@@ -1,0 +1,111 @@
+"""Ablations — measuring the design choices DESIGN.md calls out.
+
+Three load-bearing optimizations, each with an on/off switch in the
+library, measured head to head:
+
+* **EF position memoization** — positions are sets of pairs, so the
+  memo collapses the up-to-rounds! play orders of each position;
+* **semi-naive Datalog evaluation** — deltas instead of refiring every
+  rule against the full database each round;
+* **fingerprint bucketing in the type registry** — the WL-invariant
+  prefilter that avoids pairwise exact isomorphism tests when computing
+  neighborhood censuses.
+
+Each ablation asserts both that the answers are unchanged and that the
+optimized variant does strictly less work.
+"""
+
+from conftest import print_table
+
+from repro.fixpoint.datalog import parse_program
+from repro.games.ef import solve_ef_game
+from repro.locality.neighborhoods import TypeRegistry, neighborhood_census
+from repro.structures.builders import directed_chain, linear_order, undirected_cycle
+
+TC_PROGRAM = """
+    tc(X, Y) :- E(X, Y).
+    tc(X, Z) :- E(X, Y), tc(Y, Z).
+"""
+
+
+class TestEFMemoization:
+    def test_memo_reduces_positions(self):
+        left, right = linear_order(6), linear_order(7)
+        with_memo = solve_ef_game(left, right, 3, memoize=True)
+        without_memo = solve_ef_game(left, right, 3, memoize=False, budget=20_000_000)
+        rows = [
+            ("memoized", with_memo.explored, with_memo.duplicator_wins),
+            ("no memo", without_memo.explored, without_memo.duplicator_wins),
+        ]
+        print_table("ablation: EF memoization (L6 vs L7, 3 rounds)", ["variant", "positions", "win"], rows)
+        assert with_memo.duplicator_wins == without_memo.duplicator_wins
+        assert with_memo.explored < without_memo.explored
+
+    def test_benchmark_with_memo(self, benchmark):
+        left, right = linear_order(6), linear_order(7)
+        benchmark(lambda: solve_ef_game(left, right, 3, memoize=True).explored)
+
+    def test_benchmark_without_memo(self, benchmark):
+        left, right = linear_order(6), linear_order(7)
+        benchmark(
+            lambda: solve_ef_game(left, right, 3, memoize=False, budget=20_000_000).explored
+        )
+
+
+class TestSemiNaiveDatalog:
+    def test_seminaive_derives_less(self):
+        program = parse_program(TC_PROGRAM)
+        chain = directed_chain(24)
+        fast = program.evaluate(chain, seminaive=True)
+        fast_work = dict(program.last_stats)
+        slow = program.evaluate(chain, seminaive=False)
+        slow_work = dict(program.last_stats)
+        rows = [
+            ("semi-naive", fast_work["derivations"], fast_work["rounds"]),
+            ("naive", slow_work["derivations"], slow_work["rounds"]),
+        ]
+        print_table("ablation: Datalog TC on a 24-chain", ["variant", "derivations", "rounds"], rows)
+        assert fast == slow
+        assert fast_work["derivations"] < slow_work["derivations"]
+
+    def test_benchmark_seminaive(self, benchmark):
+        program = parse_program(TC_PROGRAM)
+        chain = directed_chain(24)
+        benchmark(program.evaluate, chain, True)
+
+    def test_benchmark_naive(self, benchmark):
+        program = parse_program(TC_PROGRAM)
+        chain = directed_chain(24)
+        benchmark(program.evaluate, chain, False)
+
+
+class TestFingerprintBucketing:
+    def test_prefilter_avoids_isomorphism_tests(self):
+        # A structure with several distinct neighborhood types: an
+        # assortment of cycles of different lengths.
+        from repro.structures.builders import disjoint_cycles
+
+        structure = disjoint_cycles([3, 4, 5, 6, 7, 8])
+        with_filter = TypeRegistry(use_fingerprint=True)
+        neighborhood_census(structure, 2, with_filter)
+        without_filter = TypeRegistry(use_fingerprint=False)
+        neighborhood_census(structure, 2, without_filter)
+        rows = [
+            ("fingerprint buckets", with_filter.isomorphism_tests, len(with_filter)),
+            ("no prefilter", without_filter.isomorphism_tests, len(without_filter)),
+        ]
+        print_table(
+            "ablation: type-registry prefilter (6 mixed cycles, r = 2)",
+            ["variant", "iso tests", "classes"],
+            rows,
+        )
+        assert len(with_filter) == len(without_filter)
+        assert with_filter.isomorphism_tests < without_filter.isomorphism_tests
+
+    def test_benchmark_with_prefilter(self, benchmark):
+        cycle = undirected_cycle(48)
+        benchmark(lambda: neighborhood_census(cycle, 2, TypeRegistry(use_fingerprint=True)))
+
+    def test_benchmark_without_prefilter(self, benchmark):
+        cycle = undirected_cycle(48)
+        benchmark(lambda: neighborhood_census(cycle, 2, TypeRegistry(use_fingerprint=False)))

@@ -1,0 +1,101 @@
+"""E12 — The 0–1 law for FO, including the slide's Q1/Q2 examples.
+
+Reproduced:
+
+* exact decisions: μ(Q1) = 0 (all-edges) and μ(Q2) = 1 (the extension
+  property, with the x ≠ y guard), plus a battery of sentences — every
+  one gets exactly 0 or 1;
+* convergence curves: sampled μ_n approaches the decided limit;
+* EVEN has no limit: μ_n alternates 0, 1, 0, 1 exactly;
+* two independent decision routes (symbolic generic-structure checking
+  vs a finite extension-axiom witness) agree.
+"""
+
+from conftest import print_table
+
+from repro.eval.evaluator import evaluate
+from repro.logic.parser import parse
+from repro.logic.signature import GRAPH
+from repro.queries.zoo import even_query
+from repro.zero_one.asymptotic import decide_almost_sure, decide_via_witness, mu_limit
+from repro.zero_one.extension_axioms import find_extension_witness
+from repro.zero_one.random_structures import mu_curve, mu_estimate
+
+Q1 = parse("forall x forall y E(x, y)")
+Q2 = parse("forall x forall y (~(x = y) -> exists z (E(z, x) & ~E(z, y)))")
+
+BATTERY = [
+    ("Q1: complete graph", Q1, 0),
+    ("Q2: extension property", Q2, 1),
+    ("some loop", parse("exists x E(x, x)"), 1),
+    ("all loops", parse("forall x E(x, x)"), 0),
+    ("dominating vertex", parse("exists x forall y (E(x, y) | x = y)"), 0),
+    ("no isolated vertex", parse("forall x exists y (E(x, y) & ~(x = y))"), 1),
+    ("diameter ≤ 2", parse("forall x forall y (x = y | E(x, y) | exists z (E(x, z) & E(z, y)))"), 1),
+    ("mutual pair", parse("exists x exists y (~(x = y) & E(x, y) & E(y, x))"), 1),
+]
+
+
+class TestExactDecisions:
+    def test_battery_table(self):
+        rows = []
+        for name, sentence, expected in BATTERY:
+            decided = mu_limit(sentence, GRAPH)
+            rows.append((name, decided, expected))
+            assert decided == expected, name
+        print_table("E12a: exact μ(φ) decisions", ["sentence", "μ decided", "μ expected"], rows)
+
+
+class TestConvergence:
+    def test_q2_curve_rises_to_one(self):
+        curve = mu_curve(lambda s: evaluate(s, Q2), GRAPH, [6, 12, 24, 40], samples=25, seed=19)
+        rows = [(point.n, round(point.value, 3)) for point in curve]
+        print_table("E12b: sampled μ_n(Q2) → 1", ["n", "μ_n"], rows)
+        values = [point.value for point in curve]
+        assert values[-1] > 0.8
+        assert values[0] < values[-1]
+
+    def test_q1_curve_collapses_to_zero(self):
+        curve = mu_curve(lambda s: evaluate(s, Q1), GRAPH, [2, 4, 8], samples=40, seed=23)
+        rows = [(point.n, round(point.value, 3)) for point in curve]
+        print_table("E12c: sampled μ_n(Q1) → 0", ["n", "μ_n"], rows)
+        assert curve[-1].value < 0.05
+
+    def test_even_alternates(self):
+        estimates = [
+            mu_estimate(even_query, GRAPH, n, samples=3, seed=0).value for n in range(3, 9)
+        ]
+        rows = [(n, value) for n, value in zip(range(3, 9), estimates)]
+        print_table("E12d: μ_n(EVEN) has no limit", ["n", "μ_n"], rows)
+        assert estimates == [0.0, 1.0, 0.0, 1.0, 0.0, 1.0]
+
+
+class TestTwoRoutesAgree:
+    def test_witness_route_matches_symbolic(self):
+        witness = find_extension_witness(GRAPH, 1, seed=4)
+        rows = []
+        for name, sentence, _ in BATTERY:
+            from repro.logic.analysis import quantifier_rank
+
+            if quantifier_rank(sentence) > 2:
+                continue  # the EA₁ witness only covers rank ≤ 2
+            symbolic = decide_almost_sure(sentence, GRAPH)
+            via_witness = decide_via_witness(sentence, GRAPH, witness=witness)
+            rows.append((name, symbolic, via_witness))
+            assert symbolic == via_witness
+        print_table(
+            "E12e: symbolic vs extension-axiom-witness decisions",
+            ["sentence", "symbolic", "witness"],
+            rows,
+        )
+
+
+class TestBenchmarks:
+    def test_benchmark_symbolic_decision(self, benchmark):
+        assert benchmark(decide_almost_sure, Q2, GRAPH)
+
+    def test_benchmark_sampling(self, benchmark):
+        def sample():
+            return mu_estimate(lambda s: evaluate(s, Q1), GRAPH, 8, samples=20, seed=29)
+
+        benchmark(sample)

@@ -1,0 +1,109 @@
+"""E1 — Combined complexity of FO model checking (Stockmeyer 74 / Vardi 82).
+
+Paper claims reproduced here:
+
+* evaluating a fixed query of size k on a structure of size n costs
+  O(n^k): for fixed φ the work grows polynomially in n with exponent =
+  number of nested quantifiers, and for fixed n it grows exponentially
+  in the quantifier nesting k;
+* the hardness side is a *reduction from QBF*: solving a QBF and model
+  checking its FO translation on the fixed two-element structure agree
+  on every instance.
+"""
+
+from conftest import print_table
+
+from repro.descriptive.qbf import boolean_structure, qbf_to_fo, random_qbf, solve_qbf
+from repro.eval.evaluator import EvaluationStats, evaluate
+from repro.logic.builder import V, and_, atom, forall
+
+
+def nested_query(depth: int):
+    """∀x1 ∀x2 ... ∀x_depth with a non-edge chain as matrix.
+
+    Evaluated on the empty graph the matrix is true at every binding, so
+    neither ∀ nor the conjunction can short-circuit: the evaluator does
+    the full n + n² + ... + n^depth work — the worst case of the O(n^k)
+    bound.
+    """
+    variables = [V(f"x{index}") for index in range(depth)]
+    if depth > 1:
+        body = and_(*(~atom("E", variables[i], variables[i + 1]) for i in range(depth - 1)))
+    else:
+        body = ~atom("E", variables[0], variables[0])
+    formula = body
+    for var in reversed(variables):
+        formula = forall(var, formula)
+    return formula
+
+
+def binding_counts_by_n(depth: int, sizes: list[int]) -> list[tuple[int, int]]:
+    from repro.structures.builders import empty_graph
+
+    query = nested_query(depth)
+    rows = []
+    for n in sizes:
+        stats = EvaluationStats()
+        assert evaluate(empty_graph(n), query, stats=stats)
+        rows.append((n, stats.bindings))
+    return rows
+
+
+class TestScalingInStructureSize:
+    def test_fixed_query_polynomial_in_n(self):
+        # With k = 3 alternating quantifiers on a clique (worst case for
+        # ∀), the bindings counter grows like n^3: doubling n multiplies
+        # the work by ≈ 8.
+        rows = binding_counts_by_n(3, [4, 8, 16])
+        print_table("E1a: bindings vs n (k = 3, clique)", ["n", "bindings"], rows)
+        ratio_1 = rows[1][1] / rows[0][1]
+        ratio_2 = rows[2][1] / rows[1][1]
+        assert 5 <= ratio_1 <= 9
+        assert 5 <= ratio_2 <= 9
+
+    def test_exponent_matches_quantifier_depth(self):
+        # k = 2 should scale ~n², k = 4 ~n⁴.
+        import math
+
+        rows = []
+        for depth in (2, 3, 4):
+            counts = binding_counts_by_n(depth, [4, 8])
+            observed = math.log2(counts[1][1] / counts[0][1])
+            rows.append((depth, counts[0][1], counts[1][1], round(observed, 2)))
+            assert depth - 0.8 <= observed <= depth + 0.2
+        print_table(
+            "E1b: growth exponent vs quantifier depth",
+            ["k", "bindings(n=4)", "bindings(n=8)", "log2 ratio"],
+            rows,
+        )
+
+
+class TestQBFReduction:
+    def test_reduction_agrees_on_many_instances(self):
+        structure = boolean_structure()
+        rows = []
+        agreements = 0
+        for seed in range(40):
+            qbf = random_qbf(variables=4, depth=3, seed=seed)
+            direct = solve_qbf(qbf)
+            reduced = evaluate(structure, qbf_to_fo(qbf))
+            agreements += direct == reduced
+            if seed < 5:
+                rows.append((seed, direct, reduced))
+        print_table("E1c: QBF vs FO model checking (first 5)", ["seed", "QBF", "FO"], rows)
+        assert agreements == 40
+
+
+class TestBenchmarks:
+    def test_benchmark_model_checking(self, benchmark):
+        from repro.structures.builders import empty_graph
+
+        query = nested_query(3)
+        graph = empty_graph(10)
+        benchmark(evaluate, graph, query)
+
+    def test_benchmark_qbf_reduction(self, benchmark):
+        qbf = random_qbf(variables=8, depth=4, seed=1)
+        formula = qbf_to_fo(qbf)
+        structure = boolean_structure()
+        benchmark(evaluate, structure, formula)

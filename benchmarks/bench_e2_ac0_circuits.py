@@ -1,0 +1,61 @@
+"""E2 — FO is in AC⁰ data complexity (Abiteboul–Hull–Vianu construction).
+
+Paper claims reproduced here: the circuit family compiled from a fixed
+query has
+
+* **constant depth** — the depth does not change as the domain grows;
+* **polynomial size** — gate counts grow polynomially in n (quadratic
+  for a two-variable query);
+* and computes the query: circuit evaluation ≡ direct evaluation.
+"""
+
+from conftest import print_table
+
+from repro.eval.circuits import circuit_stats, compile_query, evaluate_circuit
+from repro.eval.evaluator import evaluate
+from repro.logic.parser import parse
+from repro.logic.signature import GRAPH
+from repro.structures.builders import random_graph
+
+QUERY = parse("exists x forall y (E(x, y) | x = y)")
+SIZES = (2, 4, 8, 16, 32)
+
+
+class TestCircuitFamily:
+    def test_depth_constant_and_size_polynomial(self):
+        rows = []
+        stats = [circuit_stats(QUERY, GRAPH, n) for n in SIZES]
+        for stat in stats:
+            rows.append((stat.n, stat.size, stat.depth, stat.inputs))
+        print_table("E2: circuit family for ∃x∀y(E(x,y) ∨ x=y)", ["n", "size", "depth", "inputs"], rows)
+
+        depths = {stat.depth for stat in stats}
+        assert len(depths) == 1, "AC⁰: depth must be constant in n"
+
+        # Size: quadratic for this query — between n^1.5 and n^3 growth.
+        for smaller, larger in zip(stats, stats[1:]):
+            ratio = larger.size / smaller.size
+            assert 2 <= ratio <= 8, (smaller.n, larger.n, ratio)
+
+    def test_inputs_are_exactly_the_ground_atoms(self):
+        for n in (3, 5):
+            stat = circuit_stats(QUERY, GRAPH, n)
+            assert stat.inputs == n * n
+
+    def test_circuit_computes_the_query(self):
+        for n in (4, 6):
+            circuit = compile_query(QUERY, GRAPH, n)
+            for seed in range(10):
+                graph = random_graph(n, 0.5, seed=seed)
+                assert evaluate_circuit(circuit, graph) == evaluate(graph, QUERY)
+
+
+class TestBenchmarks:
+    def test_benchmark_compilation(self, benchmark):
+        benchmark(compile_query, QUERY, GRAPH, 16)
+
+    def test_benchmark_circuit_evaluation(self, benchmark):
+        circuit = compile_query(QUERY, GRAPH, 16)
+        graph = random_graph(16, 0.5, seed=3)
+        inputs = {label: graph.holds(label[0], label[1]) for label in circuit.input_labels()}
+        benchmark(circuit.evaluate, inputs)

@@ -1,0 +1,88 @@
+"""E3 — Theorem 3.1: L_m ≡_n L_k for all m, k ≥ 2ⁿ.
+
+Reproduced here:
+
+* the exact solver confirms the equivalence at the paper's bound 2ⁿ and
+  locates the *tight* boundary 2ⁿ − 1 (duplicator wins at the boundary,
+  spoiler wins one below) for n = 1, 2, 3;
+* the closed-form interval strategy (the "library" proof valid for all
+  n) survives adversarial play at sizes far beyond the solver's reach;
+* solver cost (positions explored) is reported — the "exponential
+  blow-up in the complexity of the proof" the paper warns about.
+"""
+
+from conftest import print_table
+
+from repro.games.ef import play_ef_game, solve_ef_game
+from repro.games.strategies import (
+    gap_halving_spoiler,
+    linear_order_duplicator,
+    linear_order_threshold,
+)
+from repro.structures.builders import linear_order
+
+
+class TestExactBoundary:
+    def test_threshold_table(self):
+        rows = []
+        for n in (1, 2, 3):
+            threshold = linear_order_threshold(n)
+            at = solve_ef_game(linear_order(threshold), linear_order(threshold + 1), n)
+            below = (
+                solve_ef_game(linear_order(threshold - 1), linear_order(threshold), n)
+                if threshold > 1
+                else None
+            )
+            rows.append(
+                (
+                    n,
+                    2**n,
+                    threshold,
+                    at.duplicator_wins,
+                    below.duplicator_wins if below else "-",
+                    at.explored,
+                )
+            )
+            assert at.duplicator_wins
+            if below is not None:
+                assert not below.duplicator_wins
+        print_table(
+            "E3a: Theorem 3.1 boundary (duplicator wins iff m,k ≥ 2ⁿ−1)",
+            ["n", "paper bound 2^n", "tight 2^n−1", "win@tight", "win@tight−1", "positions"],
+            rows,
+        )
+
+    def test_paper_bound_for_paper_families(self):
+        for n in (1, 2, 3):
+            result = solve_ef_game(linear_order(2**n), linear_order(2**n + 1), n)
+            assert result.duplicator_wins
+
+
+class TestStrategyAtScale:
+    def test_interval_strategy_beyond_solver_reach(self):
+        cases = [(15, 16, 4), (31, 32, 5), (63, 100, 6), (127, 128, 7)]
+        rows = []
+        for m, k, n in cases:
+            winner, _ = play_ef_game(
+                linear_order(m), linear_order(k), n, gap_halving_spoiler(), linear_order_duplicator()
+            )
+            rows.append((m, k, n, winner))
+            assert winner == "duplicator"
+        print_table(
+            "E3b: interval strategy vs gap-halving spoiler", ["m", "k", "rounds", "winner"], rows
+        )
+
+
+class TestBenchmarks:
+    def test_benchmark_solver_at_n3(self, benchmark):
+        left, right = linear_order(7), linear_order(8)
+        benchmark(lambda: solve_ef_game(left, right, 3).duplicator_wins)
+
+    def test_benchmark_strategy_play_at_n6(self, benchmark):
+        left, right = linear_order(63), linear_order(80)
+
+        def play():
+            return play_ef_game(left, right, 6, gap_halving_spoiler(), linear_order_duplicator())
+
+        winner, _ = benchmark(play)
+        assert winner == "duplicator"

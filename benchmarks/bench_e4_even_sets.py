@@ -1,0 +1,74 @@
+"""E4 — EVEN is not FO-definable on bare sets (§3.2's easy example).
+
+Reproduced: for every n, the families A_n (2n-element set, even) and
+B_n ((2n+1)-element set, odd) are n-game-equivalent; the copying
+strategy wins directly; and the exact boundary (spoiler wins iff one set
+has fewer than n elements and the sizes differ) is mapped.
+"""
+
+from conftest import print_table
+
+from repro.games.ef import ef_equivalent, optimal_spoiler, play_ef_game, solve_ef_game
+from repro.games.strategies import set_duplicator
+from repro.queries.zoo import even_query
+from repro.structures.builders import bare_set
+
+
+class TestPaperFamilies:
+    def test_even_vs_odd_families(self):
+        rows = []
+        for n in (1, 2, 3, 4):
+            a_n, b_n = bare_set(2 * n), bare_set(2 * n + 1)
+            result = solve_ef_game(a_n, b_n, n)
+            rows.append((n, 2 * n, 2 * n + 1, even_query(a_n), even_query(b_n), result.duplicator_wins))
+            assert result.duplicator_wins
+            assert even_query(a_n) != even_query(b_n)
+        print_table(
+            "E4a: A_n = 2n-set vs B_n = (2n+1)-set",
+            ["n", "|A|", "|B|", "EVEN(A)", "EVEN(B)", "A ≡_n B"],
+            rows,
+        )
+
+
+class TestExactBoundary:
+    def test_win_loss_map(self):
+        rows = []
+        for m in range(1, 6):
+            for k in range(m, 6):
+                for n in (2, 3):
+                    expected = m == k or (m >= n and k >= n)
+                    observed = ef_equivalent(bare_set(m), bare_set(k), n)
+                    assert observed == expected, (m, k, n)
+                    if m != k:
+                        rows.append((m, k, n, observed))
+        print_table("E4b: duplicator wins iff m=k or m,k ≥ n", ["m", "k", "n", "win"], rows[:10])
+
+
+class TestCopyingStrategy:
+    def test_wins_against_perfect_spoiler(self):
+        for m, k, n in [(3, 4, 3), (5, 7, 4), (4, 4, 4)]:
+            winner, _ = play_ef_game(bare_set(m), bare_set(k), n, optimal_spoiler(), set_duplicator())
+            assert winner == "duplicator"
+
+
+class TestBenchmarks:
+    def test_benchmark_solver(self, benchmark):
+        left, right = bare_set(8), bare_set(9)
+        benchmark(lambda: solve_ef_game(left, right, 4).duplicator_wins)
+
+    def test_benchmark_strategy_play(self, benchmark):
+        left, right = bare_set(30), bare_set(31)
+
+        def play():
+            return play_ef_game(
+                left,
+                right,
+                10,
+                lambda l, r, p: __import__("repro.games.ef", fromlist=["Move"]).Move(
+                    "right", r.universe[len(p.pairs)]
+                ),
+                set_duplicator(),
+            )
+
+        winner, _ = benchmark(play)
+        assert winner == "duplicator"

@@ -1,0 +1,79 @@
+"""E5 — The §3.3 reduction tricks (Corollary 3.2), including both figures.
+
+Reproduced: the FO order→graph constructions and their parity
+correspondences —
+
+* 2nd-successor graph + two wrap edges: connected iff |order| odd
+  (the paper's first figure);
+* 2nd-successor graph + one back edge: acyclic iff |order| even
+  (the second figure);
+* connectivity decided through transitive closure (symmetrize → close →
+  completeness test) — so TC ∉ FO.
+"""
+
+from conftest import print_table
+
+from repro.queries.zoo import (
+    acyclicity_query,
+    connectivity_query,
+    connectivity_via_tc,
+    order_to_acyclicity_graph,
+    order_to_connectivity_graph,
+)
+from repro.structures.builders import linear_order, random_graph
+from repro.structures.gaifman import connected_components, is_connected
+
+
+class TestParityTables:
+    def test_connectivity_reduction_table(self):
+        rows = []
+        for n in range(3, 13):
+            graph = order_to_connectivity_graph(linear_order(n))
+            components = len(connected_components(graph))
+            rows.append((n, "odd" if n % 2 else "even", components, components == 1))
+            assert (components == 1) == (n % 2 == 1)
+            assert components in (1, 2)
+        print_table(
+            "E5a: order → 2nd-successor graph (paper figure 1)",
+            ["n", "parity", "components", "connected"],
+            rows,
+        )
+
+    def test_acyclicity_reduction_table(self):
+        rows = []
+        for n in range(3, 13):
+            graph = order_to_acyclicity_graph(linear_order(n))
+            acyclic = acyclicity_query(graph)
+            rows.append((n, "odd" if n % 2 else "even", acyclic))
+            assert acyclic == (n % 2 == 0)
+        print_table(
+            "E5b: order → back-edge graph (paper figure 2)",
+            ["n", "parity", "acyclic"],
+            rows,
+        )
+
+
+class TestTCDecidesConnectivity:
+    def test_agreement_on_random_graphs(self):
+        rows = []
+        agreements = 0
+        for seed in range(20):
+            graph = random_graph(8, 0.18, seed=seed)
+            via_tc = connectivity_via_tc(graph)
+            direct = is_connected(graph)
+            agreements += via_tc == direct
+            if seed < 6:
+                rows.append((seed, via_tc, direct))
+        print_table("E5c: CONN via TC vs direct BFS (first 6)", ["seed", "via TC", "direct"], rows)
+        assert agreements == 20
+
+
+class TestBenchmarks:
+    def test_benchmark_connectivity_construction(self, benchmark):
+        order = linear_order(12)
+        graph = benchmark(order_to_connectivity_graph, order)
+        assert connectivity_query(graph) == (12 % 2 == 1)
+
+    def test_benchmark_conn_via_tc(self, benchmark):
+        graph = random_graph(16, 0.2, seed=3)
+        benchmark(connectivity_via_tc, graph)

@@ -1,0 +1,73 @@
+"""E6 — The bounded number of degrees property (Def 3.3 / Thm 3.4).
+
+Reproduced, with the paper's two violation examples measured:
+
+* TC of an n-node successor graph realizes all degrees 0..n−1 from
+  inputs of degree ≤ 1 — |degs| grows linearly, violating the BNDP;
+* same-generation on the full binary tree of depth d realizes degrees
+  1, 2, 4, ..., 2^d — |degs| grows with depth;
+* every FO query in the corpus plateaus (Theorem 3.4's positive half).
+"""
+
+from conftest import print_table
+
+from repro.fixpoint.lfp import same_generation, transitive_closure
+from repro.locality.bndp import bndp_report, degs, output_graph
+from repro.queries.zoo import fo_graph_corpus
+from repro.structures.builders import directed_chain, full_binary_tree
+
+
+class TestTransitiveClosureViolation:
+    def test_degree_growth_table(self):
+        family = [directed_chain(n) for n in (4, 8, 16, 32)]
+        report = bndp_report(transitive_closure, family, name="TC")
+        rows = [
+            (size, bound, count) for size, bound, count in report.profiles
+        ]
+        print_table("E6a: |degs(TC(successor_n))| grows with n", ["n", "deg(G)≤", "|degs(TC)|"], rows)
+        assert not report.bounded
+        assert report.degree_counts == (4, 8, 16, 32)
+
+    def test_exact_degree_set(self):
+        chain = directed_chain(10)
+        closure = output_graph(transitive_closure(chain), chain.universe)
+        assert degs(closure) == frozenset(range(10))
+
+
+class TestSameGenerationViolation:
+    def test_powers_of_two_table(self):
+        rows = []
+        for depth in (1, 2, 3, 4):
+            tree = full_binary_tree(depth)
+            result = output_graph(same_generation(tree), tree.universe)
+            degrees = sorted(degs(result))
+            rows.append((depth, tree.size, degrees))
+            assert degrees == [2**level for level in range(depth + 1)]
+        print_table("E6b: degs(same-generation(full binary tree))", ["depth", "|tree|", "degrees"], rows)
+
+
+class TestFOQueriesPlateau:
+    def test_corpus_table(self):
+        family = [directed_chain(n) for n in (4, 8, 16, 32)]
+        rows = []
+        for query in fo_graph_corpus():
+            if query.arity != 2:
+                continue
+            report = bndp_report(query, family, name=query.name)
+            rows.append((query.name, report.degree_counts, report.bounded))
+            assert report.bounded, query.name
+        print_table("E6c: FO corpus keeps |degs| bounded", ["query", "|degs| per n", "bounded"], rows)
+
+
+class TestBenchmarks:
+    def test_benchmark_tc_degree_profile(self, benchmark):
+        chain = directed_chain(48)
+
+        def profile():
+            return len(degs(output_graph(transitive_closure(chain), chain.universe)))
+
+        assert benchmark(profile) == 48
+
+    def test_benchmark_same_generation(self, benchmark):
+        tree = full_binary_tree(5)
+        benchmark(same_generation, tree)

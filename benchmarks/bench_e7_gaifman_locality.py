@@ -1,0 +1,79 @@
+"""E7 — Gaifman locality (Def 3.5 / Thm 3.6) and the long-chain figure.
+
+Reproduced: on a chain long enough that a, b are > 2r apart (and from
+the endpoints), N_r(a, b) ≅ N_r(b, a) — yet (a, b) ∈ TC and (b, a) ∉ TC,
+so transitive closure is not Gaifman-local at any radius; the FO corpus
+passes the same check.
+"""
+
+from conftest import print_table
+
+from repro.fixpoint.lfp import transitive_closure
+from repro.locality.gaifman_locality import (
+    gaifman_locality_counterexample,
+    transitive_closure_chain_counterexample,
+)
+from repro.queries.zoo import fo_graph_corpus
+from repro.structures.builders import random_graph
+from repro.structures.gaifman import neighborhood
+from repro.structures.isomorphism import are_isomorphic
+
+
+class TestPaperFigure:
+    def test_tc_violation_per_radius(self):
+        rows = []
+        for radius in (1, 2, 3):
+            chain, forward, backward = transitive_closure_chain_counterexample(radius)
+            nbhd_iso = are_isomorphic(
+                neighborhood(chain, forward, radius), neighborhood(chain, backward, radius)
+            )
+            closure = transitive_closure(chain)
+            rows.append(
+                (radius, chain.size, nbhd_iso, forward in closure, backward in closure)
+            )
+            assert nbhd_iso
+            assert forward in closure and backward not in closure
+        print_table(
+            "E7a: the long-chain counterexample (paper figure)",
+            ["r", "chain size", "N_r(a,b) ≅ N_r(b,a)", "(a,b) ∈ TC", "(b,a) ∈ TC"],
+            rows,
+        )
+
+    def test_violation_found_by_generic_search(self):
+        chain, forward, backward = transitive_closure_chain_counterexample(1)
+        violation = gaifman_locality_counterexample(transitive_closure, chain, 1, 2)
+        assert violation is not None
+
+
+class TestFOPositiveHalf:
+    def test_corpus_passes(self):
+        rows = []
+        structures = [random_graph(6, 0.3, seed=seed) for seed in range(3)]
+        for query in fo_graph_corpus():
+            violations = sum(
+                gaifman_locality_counterexample(query, structure, 6, query.arity) is not None
+                for structure in structures
+            )
+            rows.append((query.name, query.arity, violations))
+            assert violations == 0
+        print_table("E7b: FO corpus is Gaifman-local", ["query", "arity", "violations"], rows)
+
+
+class TestBenchmarks:
+    def test_benchmark_targeted_check(self, benchmark):
+        chain, forward, backward = transitive_closure_chain_counterexample(2)
+
+        def check():
+            return gaifman_locality_counterexample(
+                transitive_closure, chain, 2, 2, tuples=[forward, backward]
+            )
+
+        assert benchmark(check) is not None
+
+    def test_benchmark_neighborhood_typing(self, benchmark):
+        chain, forward, backward = transitive_closure_chain_counterexample(2)
+        benchmark(
+            lambda: are_isomorphic(
+                neighborhood(chain, forward, 2), neighborhood(chain, backward, 2)
+            )
+        )

@@ -1,0 +1,100 @@
+"""E8 — Hanf locality (Def 3.7 / Thm 3.8) and the two-cycles figure.
+
+Reproduced:
+
+* G¹ = two m-cycles vs G² = one 2m-cycle (m > 2r + 1): ⇆_r holds, yet
+  connectivity disagrees — so CONN is not FO-definable;
+* the tree test analogue: a 2m-chain vs an m-chain ⊎ m-cycle;
+* the ⇆_r relation is exactly "equal neighborhood censuses": both are
+  computed and compared;
+* the FO corpus never disagrees on a ⇆_r pair (Theorem 3.8).
+"""
+
+from conftest import print_table
+
+from repro.locality.hanf import hanf_equivalent, hanf_locality_counterexample
+from repro.locality.neighborhoods import TypeRegistry, neighborhood_census
+from repro.queries.zoo import connectivity_query, fo_boolean_corpus
+from repro.structures.builders import disjoint_cycles, undirected_chain, undirected_cycle
+
+
+class TestPaperFigure:
+    def test_two_cycles_vs_one_per_radius(self):
+        rows = []
+        for radius in (1, 2, 3):
+            m = 2 * radius + 2
+            left, right = disjoint_cycles([m, m]), undirected_cycle(2 * m)
+            equivalent = hanf_equivalent(left, right, radius)
+            rows.append(
+                (radius, m, equivalent, connectivity_query(left), connectivity_query(right))
+            )
+            assert equivalent
+            assert connectivity_query(left) != connectivity_query(right)
+        print_table(
+            "E8a: 2×C_m vs C_2m (m > 2r+1): ⇆_r holds, CONN disagrees",
+            ["r", "m", "⇆_r", "CONN(2×C_m)", "CONN(C_2m)"],
+            rows,
+        )
+
+    def test_boundary_condition(self):
+        # m ≤ 2r + 1: the balls wrap and the censuses differ.
+        assert not hanf_equivalent(disjoint_cycles([4, 4]), undirected_cycle(8), 2)
+
+    def test_tree_test_pair(self):
+        rows = []
+        for radius in (1, 2):
+            m = 2 * radius + 2
+            chain = undirected_chain(2 * m)
+            mixed = undirected_chain(m).disjoint_union(undirected_cycle(m))
+            equivalent = hanf_equivalent(chain, mixed, radius)
+            rows.append((radius, m, equivalent, connectivity_query(chain), connectivity_query(mixed)))
+            assert equivalent
+            assert connectivity_query(chain) and not connectivity_query(mixed)
+        print_table(
+            "E8b: 2m-chain vs m-chain ⊎ m-cycle (the tree test)",
+            ["r", "m", "⇆_r", "CONN(chain)", "CONN(mixed)"],
+            rows,
+        )
+
+    def test_census_view(self):
+        registry = TypeRegistry()
+        left, right = disjoint_cycles([8, 8]), undirected_cycle(16)
+        left_census = neighborhood_census(left, 2, registry)
+        right_census = neighborhood_census(right, 2, registry)
+        assert left_census == right_census
+        assert len(left_census) == 1  # a single realized type
+
+
+class TestFOPositiveHalf:
+    def test_corpus_on_hanf_pairs(self):
+        family = [
+            disjoint_cycles([10, 10]),
+            undirected_cycle(20),
+            undirected_chain(20),
+            disjoint_cycles([10, 10]).relabel(lambda element: (element, "copy")),
+        ]
+        rows = []
+        for query in fo_boolean_corpus():
+            violation = hanf_locality_counterexample(query, family, 3)
+            rows.append((query.name, violation is None))
+            assert violation is None
+        print_table("E8c: FO corpus is Hanf-local at r=3", ["query", "no violation"], rows)
+
+    def test_connectivity_violates(self):
+        family = [disjoint_cycles([8, 8]), undirected_cycle(16)]
+        assert hanf_locality_counterexample(connectivity_query, family, 2) is not None
+
+
+class TestBenchmarks:
+    def test_benchmark_hanf_equivalence(self, benchmark):
+        left, right = disjoint_cycles([16, 16]), undirected_cycle(32)
+        assert benchmark(hanf_equivalent, left, right, 2)
+
+    def test_benchmark_census(self, benchmark):
+        cycle = undirected_cycle(64)
+
+        def census():
+            return neighborhood_census(cycle, 2, TypeRegistry())
+
+        result = benchmark(census)
+        assert sum(result.values()) == 64

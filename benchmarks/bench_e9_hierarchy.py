@@ -1,0 +1,98 @@
+"""E9 — The locality hierarchy (Theorem 3.9):
+Hanf-local ⊆ Gaifman-local ⊆ BNDP.
+
+Reproduced as a pass/fail matrix over queries × checks: every FO corpus
+query passes all three; the fixed-point queries fail in exactly the
+paper's pattern (TC fails Gaifman *and* BNDP; CONN fails Hanf; nothing
+passes a stronger check while failing a weaker one).
+"""
+
+from conftest import print_table
+
+from repro.fixpoint.lfp import transitive_closure
+from repro.locality.bndp import bndp_report
+from repro.locality.gaifman_locality import (
+    gaifman_locality_counterexample,
+    transitive_closure_chain_counterexample,
+)
+from repro.locality.hanf import hanf_locality_counterexample
+from repro.queries.zoo import connectivity_query, fo_boolean_corpus, fo_graph_corpus
+from repro.structures.builders import (
+    directed_chain,
+    disjoint_cycles,
+    random_graph,
+    undirected_chain,
+    undirected_cycle,
+)
+
+HANF_FAMILY = [disjoint_cycles([10, 10]), undirected_cycle(20), undirected_chain(20)]
+GAIFMAN_STRUCTURES = [random_graph(6, 0.3, seed=seed) for seed in range(3)]
+BNDP_FAMILY = [directed_chain(n) for n in (4, 8, 12, 16)]
+
+
+def passes_gaifman(query) -> bool:
+    return all(
+        gaifman_locality_counterexample(query, structure, 6, query.arity) is None
+        for structure in GAIFMAN_STRUCTURES
+    )
+
+
+def passes_bndp(query) -> bool:
+    return bndp_report(query, BNDP_FAMILY).bounded
+
+
+class TestHierarchyMatrix:
+    def test_fo_corpus_passes_everything(self):
+        rows = []
+        for query in fo_boolean_corpus():
+            hanf_ok = hanf_locality_counterexample(query, HANF_FAMILY, 3) is None
+            rows.append((query.name, "boolean", hanf_ok, "-", "-"))
+            assert hanf_ok
+        for query in fo_graph_corpus():
+            gaifman_ok = passes_gaifman(query)
+            bndp_ok = passes_bndp(query) if query.arity == 2 else True
+            rows.append((query.name, f"{query.arity}-ary", "-", gaifman_ok, bndp_ok))
+            assert gaifman_ok and bndp_ok
+        print_table(
+            "E9a: locality matrix — FO corpus", ["query", "kind", "Hanf", "Gaifman", "BNDP"], rows
+        )
+
+    def test_fixed_point_failures_follow_the_hierarchy(self):
+        # TC: fails BNDP and fails Gaifman (never "passes strong, fails
+        # weak" — consistent with Thm 3.9's inclusions).
+        tc_bndp = bndp_report(transitive_closure, BNDP_FAMILY).bounded
+        chain, forward, backward = transitive_closure_chain_counterexample(2)
+        tc_gaifman = (
+            gaifman_locality_counterexample(
+                transitive_closure, chain, 2, 2, tuples=[forward, backward]
+            )
+            is None
+        )
+        conn_hanf = (
+            hanf_locality_counterexample(
+                connectivity_query, [disjoint_cycles([8, 8]), undirected_cycle(16)], 2
+            )
+            is None
+        )
+        rows = [
+            ("transitive closure", "-", tc_gaifman, tc_bndp),
+            ("connectivity", conn_hanf, "-", "-"),
+        ]
+        print_table(
+            "E9b: fixed-point queries fail the checks",
+            ["query", "Hanf", "Gaifman", "BNDP"],
+            rows,
+        )
+        assert not tc_bndp and not tc_gaifman and not conn_hanf
+        # The hierarchy direction: TC failing the *weaker* BNDP forces a
+        # Gaifman failure too (observed), never the other way around.
+
+
+class TestBenchmarks:
+    def test_benchmark_full_matrix_row(self, benchmark):
+        query = next(q for q in fo_graph_corpus() if q.arity == 2)
+
+        def row():
+            return passes_gaifman(query) and passes_bndp(query)
+
+        assert benchmark(row)

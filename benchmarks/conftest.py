@@ -1,0 +1,29 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every ``bench_eNN_*.py`` module regenerates one experiment from the
+DESIGN.md index: it computes the experiment's table, *asserts the
+paper's qualitative claim* about it, prints the rows (run with ``-s`` to
+see them), and registers a pytest-benchmark measurement of the
+experiment's core operation.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "tests"))
+
+
+def print_table(title: str, columns: list[str], rows: list[tuple]) -> None:
+    """Print an experiment table in a fixed-width layout."""
+    print(f"\n=== {title} ===")
+    widths = [
+        max(len(str(column)), *(len(str(row[index])) for row in rows)) if rows else len(str(column))
+        for index, column in enumerate(columns)
+    ]
+    header = "  ".join(str(column).ljust(width) for column, width in zip(columns, widths))
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print("  ".join(str(value).ljust(width) for value, width in zip(row, widths)))

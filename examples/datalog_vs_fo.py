@@ -1,0 +1,87 @@
+"""Datalog vs FO: running the queries FO provably cannot express.
+
+The paper's locality tools exist to show TC, same-generation and
+connectivity are beyond FO. This example runs those very queries in the
+Datalog engine — the recursive language where they live naturally — and
+cross-checks every answer against the direct fixed-point implementations.
+
+Run:  python examples/datalog_vs_fo.py
+"""
+
+from repro.fixpoint import parse_program, same_generation, transitive_closure
+from repro.structures import directed_chain, full_binary_tree, random_graph
+
+
+def transitive_closure_demo() -> None:
+    print("== Transitive closure in Datalog ==")
+    program = parse_program(
+        """
+        tc(X, Y) :- E(X, Y).
+        tc(X, Z) :- E(X, Y), tc(Y, Z).
+        """
+    )
+    chain = directed_chain(6)
+    result = program.evaluate(chain)["tc"]
+    print(f"  TC of a 6-chain: {len(result)} pairs (expected 15)")
+    assert result == transitive_closure(chain)
+    print("  agrees with the semi-naive fixed-point engine.\n")
+
+
+def same_generation_demo() -> None:
+    print("== Same generation (the paper's Datalog program) ==")
+    program = parse_program(
+        """
+        sg(X, X) :- V(X).
+        sg(X, Y) :- E(Xp, X), E(Yp, Y), sg(Xp, Yp).
+        """
+    )
+    tree = full_binary_tree(3)
+    base = tree.with_relation("V", 1, [(v,) for v in tree.universe])
+    result = program.evaluate(base)["sg"]
+    by_level = {}
+    for a, b in result:
+        by_level.setdefault(a.bit_length(), set()).add((a, b))
+    for level in sorted(by_level):
+        print(f"  level {level - 1}: {len(by_level[level])} same-generation pairs")
+    assert result == same_generation(tree)
+    print("  agrees with the direct implementation.\n")
+
+
+def stratified_negation_demo() -> None:
+    print("== Stratified negation: unreachable nodes ==")
+    program = parse_program(
+        """
+        reach(X) :- Start(X).
+        reach(Y) :- reach(X), E(X, Y).
+        unreachable(X) :- V(X), not reach(X).
+        """
+    )
+    graph = random_graph(8, 0.15, seed=5)
+    base = graph.with_relation("V", 1, [(v,) for v in graph.universe]).with_relation(
+        "Start", 1, [(0,)]
+    )
+    result = program.evaluate(base)
+    print(f"  from node 0: {len(result['reach'])} reachable, {len(result['unreachable'])} not")
+    assert len(result["reach"]) + len(result["unreachable"]) == graph.size
+    print("  strata evaluated bottom-up; negation applied to the finished lower stratum.\n")
+
+
+def lfp_logic_demo() -> None:
+    print("== FO(LFP): the logic that closes the gap ==")
+    from repro.fixpoint import evaluate_lfp, even_sentence_over_orders
+    from repro.games import ef_equivalent
+    from repro.structures import linear_order
+
+    even = even_sentence_over_orders()
+    left, right = linear_order(4), linear_order(5)
+    print(f"  L_4 ≡₂ L_5 for FO (Theorem 3.1)? {ef_equivalent(left, right, 2)}")
+    print(f"  FO(LFP) EVEN sentence: L_4 → {evaluate_lfp(left, even)}, "
+          f"L_5 → {evaluate_lfp(right, even)}")
+    print("  recursion sees the parity that no FO sentence of rank 2 can.\n")
+
+
+if __name__ == "__main__":
+    transitive_closure_demo()
+    same_generation_demo()
+    stratified_negation_demo()
+    lfp_logic_demo()

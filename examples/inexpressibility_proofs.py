@@ -1,0 +1,83 @@
+"""The paper's §3.2–3.3 inexpressibility proofs, run end to end.
+
+Each section of this script *computes* one classical proof: the
+structure families, the game equivalences, the reductions, and the
+query disagreements.
+
+Run:  python examples/inexpressibility_proofs.py
+"""
+
+from repro.games import ef_equivalent, linear_order_threshold, solve_ef_game
+from repro.queries import (
+    acyclicity_query,
+    connectivity_query,
+    connectivity_via_tc,
+    even_query,
+    order_to_acyclicity_graph,
+    order_to_connectivity_graph,
+)
+from repro.structures import bare_set, linear_order, random_graph
+from repro.structures.gaifman import is_connected
+
+
+def proof_even_on_sets() -> None:
+    print("== EVEN is not FO-definable on sets ==")
+    for n in (1, 2, 3):
+        a_n, b_n = bare_set(2 * n), bare_set(2 * n + 1)
+        equivalent = ef_equivalent(a_n, b_n, n)
+        print(
+            f"  n={n}: |A|={2 * n} (even), |B|={2 * n + 1} (odd), A ≡_{n} B: {equivalent}"
+        )
+        assert equivalent and even_query(a_n) != even_query(b_n)
+    print("  ⇒ no FO sentence of any rank defines EVEN.\n")
+
+
+def proof_even_on_orders() -> None:
+    print("== EVEN is not FO-definable on linear orders (Theorem 3.1) ==")
+    for n in (1, 2, 3):
+        m, k = 2**n, 2**n + 1
+        result = solve_ef_game(linear_order(m), linear_order(k), n)
+        print(
+            f"  n={n}: L_{m} ≡_{n} L_{k}: {result.duplicator_wins} "
+            f"({result.explored} solver positions; tight threshold {linear_order_threshold(n)})"
+        )
+        assert result.duplicator_wins
+    print("  ⇒ EVEN(<) is not FO-definable over orders.\n")
+
+
+def proof_connectivity() -> None:
+    print("== Connectivity is not FO-definable (reduction from EVEN(<)) ==")
+    for n in (5, 6, 7, 8):
+        graph = order_to_connectivity_graph(linear_order(n))
+        print(f"  |order|={n} ({'odd' if n % 2 else 'even'}): connected = {is_connected(graph)}")
+        assert is_connected(graph) == (n % 2 == 1)
+    print("  The construction is an FO query; CONN ∈ FO would give EVEN(<) ∈ FO. ⇒ CONN ∉ FO.\n")
+
+
+def proof_acyclicity() -> None:
+    print("== Acyclicity is not FO-definable (one back edge) ==")
+    for n in (5, 6, 7, 8):
+        graph = order_to_acyclicity_graph(linear_order(n))
+        print(f"  |order|={n} ({'odd' if n % 2 else 'even'}): acyclic = {acyclicity_query(graph)}")
+        assert acyclicity_query(graph) == (n % 2 == 0)
+    print("  ⇒ ACYCL ∉ FO.\n")
+
+
+def proof_transitive_closure() -> None:
+    print("== Transitive closure is not FO-definable (TC decides CONN) ==")
+    for seed in range(4):
+        graph = random_graph(7, 0.2, seed=seed)
+        via_tc = connectivity_via_tc(graph)
+        direct = connectivity_query(graph)
+        print(f"  random graph #{seed}: CONN via TC = {via_tc}, direct = {direct}")
+        assert via_tc == direct
+    print("  symmetrize → close → completeness test decides CONN. ⇒ TC ∉ FO.\n")
+
+
+if __name__ == "__main__":
+    proof_even_on_sets()
+    proof_even_on_orders()
+    proof_connectivity()
+    proof_acyclicity()
+    proof_transitive_closure()
+    print("All five classical proofs verified computationally.")

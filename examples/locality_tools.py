@@ -1,0 +1,92 @@
+"""The locality toolbox of §3.4–3.5: BNDP, Gaifman, Hanf, and the
+linear-time bounded-degree evaluator.
+
+Run:  python examples/locality_tools.py
+"""
+
+import time
+
+from repro.eval import evaluate
+from repro.fixpoint import same_generation, transitive_closure
+from repro.locality import (
+    BoundedDegreeEvaluator,
+    bndp_report,
+    degs,
+    gaifman_locality_counterexample,
+    hanf_equivalent,
+    output_graph,
+    transitive_closure_chain_counterexample,
+)
+from repro.logic import parse
+from repro.queries import connectivity_query
+from repro.structures import (
+    directed_chain,
+    disjoint_cycles,
+    full_binary_tree,
+    undirected_cycle,
+)
+
+
+def bndp_demo() -> None:
+    print("== BNDP (Definition 3.3): fixed points create degrees ==")
+    report = bndp_report(transitive_closure, [directed_chain(n) for n in (4, 8, 16)], name="TC")
+    for size, bound, count in report.profiles:
+        print(f"  TC on {size}-chain (degree ≤ {bound}): {count} distinct degrees")
+    tree = full_binary_tree(3)
+    sg = output_graph(same_generation(tree), tree.universe)
+    print(f"  same-generation on depth-3 binary tree: degrees {sorted(degs(sg))}")
+    print("  ⇒ both violate the BNDP; no FO query can do this (Theorem 3.4).\n")
+
+
+def gaifman_demo() -> None:
+    print("== Gaifman locality (Theorem 3.6): the long-chain figure ==")
+    chain, forward, backward = transitive_closure_chain_counterexample(2)
+    violation = gaifman_locality_counterexample(
+        transitive_closure, chain, 2, 2, tuples=[forward, backward]
+    )
+    inside, outside = violation
+    print(f"  chain of {chain.size} nodes, radius 2:")
+    print(f"  N_2{inside} ≅ N_2{outside}, yet {inside} ∈ TC and {outside} ∉ TC")
+    print("  ⇒ TC is not Gaifman-local, hence not FO-definable.\n")
+
+
+def hanf_demo() -> None:
+    print("== Hanf locality (Theorem 3.8): two cycles vs one ==")
+    m = 8
+    left, right = disjoint_cycles([m, m]), undirected_cycle(2 * m)
+    print(f"  2×C_{m} ⇆₂ C_{2 * m}: {hanf_equivalent(left, right, 2)}")
+    print(f"  connected? {connectivity_query(left)} vs {connectivity_query(right)}")
+    print("  ⇒ connectivity is not Hanf-local, hence not FO-definable.\n")
+
+
+def bounded_degree_demo() -> None:
+    print("== Theorem 3.11: linear-time evaluation on bounded degree ==")
+    sentence = parse("exists x exists y exists z (E(x, y) & E(y, z) & E(z, x))")
+    evaluator = BoundedDegreeEvaluator(sentence, degree_bound=2, radius=4)
+
+    warm = disjoint_cycles([30, 30])
+    evaluator.evaluate(warm)
+    target = undirected_cycle(60)
+
+    start = time.perf_counter()
+    fast = evaluator.evaluate(target)
+    fast_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    slow = evaluate(target, sentence)
+    slow_time = time.perf_counter() - start
+
+    assert fast == slow
+    print(f"  sentence: has-triangle (rank 3), structure: C_60 (degree 2)")
+    print(f"  census + table lookup: {fast_time * 1e3:8.2f} ms   (answer {fast})")
+    print(f"  naive O(n³) evaluator: {slow_time * 1e3:8.2f} ms   (answer {slow})")
+    print(f"  cache: {evaluator.stats.hits} hits / {evaluator.stats.misses} misses")
+    print("  The warm structure 2×C_30 has the same radius-4 census as C_60,")
+    print("  so Hanf's theorem licenses reusing its answer.\n")
+
+
+if __name__ == "__main__":
+    bndp_demo()
+    gaifman_demo()
+    hanf_demo()
+    bounded_degree_demo()

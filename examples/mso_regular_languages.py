@@ -1,0 +1,59 @@
+"""Beyond FO: MSO on words (Büchi–Elgot–Trakhtenbrot) and ∃SO (Fagin).
+
+EVEN — unreachable for FO (see examples/inexpressibility_proofs.py) —
+falls to monadic second-order logic: the MSO sentence for even length
+compiles to the familiar 2-state parity automaton. ∃SO goes further and
+captures NP (Fagin's theorem); 3-colorability is the classic witness.
+
+Run:  python examples/mso_regular_languages.py
+"""
+
+from repro.descriptive import (
+    even_length_sentence,
+    is_three_colorable,
+    length_divisible_sentence,
+    mso_evaluate,
+    mso_to_nfa,
+    three_colorability_eso,
+)
+from repro.structures import complete_graph, undirected_cycle
+
+
+def mso_demo() -> None:
+    print("== MSO → automata ==")
+    sentence = even_length_sentence()
+    nfa = mso_to_nfa(sentence, {"a", "b"})
+    minimal = nfa.determinize().minimize()
+    print(f"  'even length' compiles to a {len(minimal.states)}-state minimal DFA")
+    for word in ("", "ab", "aba", "abab"):
+        accepted = nfa.accepts(word)
+        semantics = mso_evaluate(word, sentence)
+        print(f"  |{word!r}| = {len(word)}: automaton={accepted}, semantics={semantics}")
+        assert accepted == semantics == (len(word) % 2 == 0)
+    print()
+
+    print("== Divisibility family ==")
+    for k in (2, 3, 4):
+        dfa = mso_to_nfa(length_divisible_sentence(k), {"a"}).determinize().minimize()
+        print(f"  |w| ≡ 0 (mod {k}) → minimal DFA with {len(dfa.states)} states")
+        assert len(dfa.states) == k
+    print()
+
+
+def eso_demo() -> None:
+    print("== ∃SO: guess-and-check 3-colorability (Fagin) ==")
+    eso = three_colorability_eso()
+    for name, graph in [("C5", undirected_cycle(5)), ("K4", complete_graph(4))]:
+        guessed = eso.check(graph, budget=10**8)
+        direct = is_three_colorable(graph)
+        verdict = "3-colorable" if direct else "NOT 3-colorable"
+        print(f"  {name}: {verdict} (witness space 2^{3 * graph.size} candidates)")
+        assert (guessed is not None) == direct
+        if guessed:
+            print(f"     witness coloring: { {k: sorted(v) for k, v in guessed.items()} }")
+    print()
+
+
+if __name__ == "__main__":
+    mso_demo()
+    eso_demo()

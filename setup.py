@@ -1,0 +1,11 @@
+"""Classic setup shim.
+
+The offline environment has no ``wheel`` package, so PEP-517 editable
+installs (``pip install -e .``) cannot build a wheel. ``python setup.py
+develop`` installs the package in editable mode without one. All project
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,125 @@
+"""fmtoolbox — the finite model theory toolbox of a database theoretician.
+
+An executable reproduction of L. Libkin's PODS 2009 survey: databases as
+finite relational structures, FO as a query language, and the survey's
+proof tools — Ehrenfeucht–Fraïssé games, locality (BNDP / Gaifman /
+Hanf / threshold-Hanf / Gaifman's theorem), 0–1 laws — implemented as
+working, tested algorithms.
+
+Subpackages
+-----------
+``repro.logic``
+    FO syntax, parser, builder DSL, quantifier rank, transformations,
+    Hintikka formulas (S1).
+``repro.structures``
+    Finite relational structures, canonical families, isomorphism,
+    Gaifman geometry (S2).
+``repro.eval``
+    Three query evaluation back-ends: naive, relational algebra, AC⁰
+    circuits (S3).
+``repro.games``
+    Exact EF and pebble game solvers, a duplicator strategy library,
+    separating sentences (S4).
+``repro.locality``
+    BNDP, Gaifman and Hanf locality, threshold-Hanf, Gaifman's theorem,
+    linear-time bounded-degree evaluation (S5).
+``repro.zero_one``
+    Random structures, extension axioms, exact μ(φ) ∈ {0, 1} decisions
+    (S6).
+``repro.fixpoint``
+    Datalog (semi-naive, stratified) and LFP operators — the non-FO
+    queries (S7).
+``repro.descriptive``
+    QBF + the PSPACE reduction, automata, MSO on words, ∃SO / Fagin
+    (S8).
+``repro.queries``
+    The canonical query zoo and the §3.3 reduction tricks (S9).
+
+Quickstart
+----------
+>>> from repro import parse, evaluate, linear_order, ef_equivalent
+>>> evaluate(linear_order(3), parse("forall x forall y (x < y | y < x | x = y)"))
+True
+>>> ef_equivalent(linear_order(4), linear_order(5), 2)   # Theorem 3.1
+True
+"""
+
+from repro.errors import (
+    BudgetExceededError,
+    DatalogError,
+    EvaluationError,
+    FMTError,
+    FormulaError,
+    GameError,
+    LocalityError,
+    ParseError,
+    SignatureError,
+    StructureError,
+)
+from repro.eval import (
+    BooleanQuery,
+    Query,
+    algebra_answers,
+    answers,
+    compile_query,
+    evaluate,
+    evaluate_circuit,
+)
+from repro.games import (
+    distinguishing_sentence,
+    ef_equivalent,
+    linear_order_duplicator,
+    play_ef_game,
+    solve_ef_game,
+)
+from repro.locality import (
+    BoundedDegreeEvaluator,
+    hanf_equivalent,
+    neighborhood_census,
+    threshold_hanf_equivalent,
+)
+from repro.logic import (
+    GRAPH,
+    ORDER,
+    SET,
+    SUCCESSOR,
+    Signature,
+    parse,
+    quantifier_rank,
+)
+from repro.structures import (
+    Structure,
+    bare_set,
+    linear_order,
+    neighborhood,
+    random_graph,
+    undirected_cycle,
+)
+from repro.zero_one import decide_almost_sure, mu_estimate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "FMTError", "SignatureError", "FormulaError", "ParseError",
+    "StructureError", "EvaluationError", "GameError", "LocalityError",
+    "DatalogError", "BudgetExceededError",
+    # logic
+    "Signature", "GRAPH", "ORDER", "SUCCESSOR", "SET", "parse",
+    "quantifier_rank",
+    # structures
+    "Structure", "bare_set", "linear_order", "random_graph",
+    "undirected_cycle", "neighborhood",
+    # eval
+    "evaluate", "answers", "algebra_answers", "compile_query",
+    "evaluate_circuit", "Query", "BooleanQuery",
+    # games
+    "solve_ef_game", "ef_equivalent", "play_ef_game",
+    "linear_order_duplicator", "distinguishing_sentence",
+    # locality
+    "hanf_equivalent", "threshold_hanf_equivalent", "neighborhood_census",
+    "BoundedDegreeEvaluator",
+    # zero-one
+    "decide_almost_sure", "mu_estimate",
+]

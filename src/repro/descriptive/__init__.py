@@ -1,0 +1,67 @@
+"""Complexity substrate (S8): QBF, automata, MSO on words, ∃SO.
+
+The executable sides of the complexity results the paper cites:
+PSPACE-hardness of combined complexity (QBF reduction), the MSO half of
+the Stockmeyer/Vardi theorem (via Büchi–Elgot–Trakhtenbrot), and Fagin's
+∃SO = NP.
+"""
+
+from repro.descriptive.automata import DFA, NFA
+from repro.descriptive.eso import ESOSentence, is_three_colorable, three_colorability_eso
+from repro.descriptive.mso import (
+    InSet,
+    Less,
+    Letter,
+    MAnd,
+    MExists1,
+    MExists2,
+    MForall1,
+    MForall2,
+    MNot,
+    MOr,
+    MSOFormula,
+    PosEq,
+    PosVar,
+    SetVar,
+    Succ,
+    even_length_sentence,
+    first_position,
+    last_position,
+    length_divisible_sentence,
+    mso_equivalent,
+    mso_evaluate,
+    mso_satisfiable,
+    mso_to_nfa,
+    mso_witness,
+)
+from repro.descriptive.qbf import (
+    BOOLEAN_SIGNATURE,
+    PVar,
+    QAnd,
+    QBF,
+    QExists,
+    QForall,
+    QNot,
+    QOr,
+    boolean_structure,
+    qbf_to_fo,
+    random_qbf,
+    solve_qbf,
+)
+
+__all__ = [
+    # automata
+    "NFA", "DFA",
+    # qbf
+    "QBF", "PVar", "QNot", "QAnd", "QOr", "QExists", "QForall",
+    "solve_qbf", "qbf_to_fo", "boolean_structure", "BOOLEAN_SIGNATURE",
+    "random_qbf",
+    # mso
+    "MSOFormula", "PosVar", "SetVar", "Less", "Succ", "PosEq", "Letter",
+    "InSet", "MNot", "MAnd", "MOr", "MExists1", "MForall1", "MExists2",
+    "MForall2", "first_position", "last_position", "mso_evaluate",
+    "mso_to_nfa", "mso_satisfiable", "mso_witness", "mso_equivalent",
+    "even_length_sentence", "length_divisible_sentence",
+    # eso
+    "ESOSentence", "three_colorability_eso", "is_three_colorable",
+]

@@ -1,0 +1,369 @@
+"""Finite automata over arbitrary hashable alphabets.
+
+The substrate for the MSO-on-words compiler
+(:mod:`repro.descriptive.mso`): the Büchi–Elgot–Trakhtenbrot theorem
+turns MSO sentences into automata through products (∧), complementation
+(¬, via the subset construction), and projection (∃). The toolkit here
+implements exactly those operations, plus minimization, emptiness, and
+equivalence testing.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.errors import AutomatonError
+
+__all__ = ["NFA", "DFA"]
+
+State = object
+Symbol = object
+
+
+@dataclass(frozen=True)
+class NFA:
+    """A nondeterministic finite automaton (no ε-transitions).
+
+    ``transitions`` maps (state, symbol) to a frozenset of successor
+    states. Missing entries mean no move.
+    """
+
+    states: frozenset
+    alphabet: frozenset
+    transitions: dict
+    initial: frozenset
+    accepting: frozenset
+
+    def __post_init__(self) -> None:
+        for (state, symbol), targets in self.transitions.items():
+            if state not in self.states:
+                raise AutomatonError(f"transition from unknown state {state!r}")
+            if symbol not in self.alphabet:
+                raise AutomatonError(f"transition on unknown symbol {symbol!r}")
+            for target in targets:
+                if target not in self.states:
+                    raise AutomatonError(f"transition to unknown state {target!r}")
+        if not self.initial <= self.states:
+            raise AutomatonError("initial states must be states")
+        if not self.accepting <= self.states:
+            raise AutomatonError("accepting states must be states")
+
+    # -- construction ----------------------------------------------------------
+
+    @staticmethod
+    def build(
+        states: Iterable,
+        alphabet: Iterable,
+        transitions: dict,
+        initial: Iterable,
+        accepting: Iterable,
+    ) -> "NFA":
+        """Convenience constructor normalizing containers to frozensets."""
+        return NFA(
+            states=frozenset(states),
+            alphabet=frozenset(alphabet),
+            transitions={key: frozenset(value) for key, value in transitions.items()},
+            initial=frozenset(initial),
+            accepting=frozenset(accepting),
+        )
+
+    # -- language queries ----------------------------------------------------
+
+    def step(self, current: frozenset, symbol: Symbol) -> frozenset:
+        if symbol not in self.alphabet:
+            raise AutomatonError(f"symbol {symbol!r} is not in the alphabet")
+        result: set = set()
+        for state in current:
+            result |= self.transitions.get((state, symbol), frozenset())
+        return frozenset(result)
+
+    def accepts(self, word: Sequence) -> bool:
+        """Whether the automaton accepts the word."""
+        current = self.initial
+        for symbol in word:
+            current = self.step(current, symbol)
+            if not current:
+                return False
+        return bool(current & self.accepting)
+
+    def is_empty(self) -> bool:
+        """Whether the language is empty (BFS reachability)."""
+        seen = set(self.initial)
+        queue = deque(self.initial)
+        while queue:
+            state = queue.popleft()
+            if state in self.accepting:
+                return False
+            for symbol in self.alphabet:
+                for target in self.transitions.get((state, symbol), frozenset()):
+                    if target not in seen:
+                        seen.add(target)
+                        queue.append(target)
+        return True
+
+    def shortest_accepted(self) -> tuple | None:
+        """A shortest accepted word, or None if the language is empty."""
+        queue: deque[tuple[frozenset, tuple]] = deque([(self.initial, ())])
+        seen = {self.initial}
+        while queue:
+            current, word = queue.popleft()
+            if current & self.accepting:
+                return word
+            for symbol in sorted(self.alphabet, key=repr):
+                target = self.step(current, symbol)
+                if target and target not in seen:
+                    seen.add(target)
+                    queue.append((target, word + (symbol,)))
+        return None
+
+    # -- the Boolean/projection operations of the MSO compiler -----------------
+
+    def determinize(self) -> "DFA":
+        """Subset construction. States of the DFA are frozensets of NFA states."""
+        initial = self.initial
+        states = {initial}
+        transitions: dict = {}
+        queue = deque([initial])
+        while queue:
+            current = queue.popleft()
+            for symbol in self.alphabet:
+                target = self.step(current, symbol)
+                transitions[(current, symbol)] = target
+                if target not in states:
+                    states.add(target)
+                    queue.append(target)
+        accepting = frozenset(state for state in states if state & self.accepting)
+        return DFA(
+            states=frozenset(states),
+            alphabet=self.alphabet,
+            transitions=transitions,
+            initial=initial,
+            accepting=accepting,
+        )
+
+    def complement(self) -> "NFA":
+        """The complement language, via determinization."""
+        return self.determinize().complement().to_nfa()
+
+    def union(self, other: "NFA") -> "NFA":
+        """L(self) ∪ L(other) (disjoint-union of the automata)."""
+        self._require_alphabet(other)
+        left = self._tag(0)
+        right = other._tag(1)
+        return NFA(
+            states=left.states | right.states,
+            alphabet=self.alphabet,
+            transitions={**left.transitions, **right.transitions},
+            initial=left.initial | right.initial,
+            accepting=left.accepting | right.accepting,
+        )
+
+    def intersection(self, other: "NFA") -> "NFA":
+        """L(self) ∩ L(other) (product construction)."""
+        self._require_alphabet(other)
+        states = frozenset(itertools.product(self.states, other.states))
+        transitions: dict = {}
+        for (first, second) in states:
+            for symbol in self.alphabet:
+                targets_first = self.transitions.get((first, symbol), frozenset())
+                targets_second = other.transitions.get((second, symbol), frozenset())
+                if targets_first and targets_second:
+                    transitions[((first, second), symbol)] = frozenset(
+                        itertools.product(targets_first, targets_second)
+                    )
+        return NFA(
+            states=states,
+            alphabet=self.alphabet,
+            transitions=transitions,
+            initial=frozenset(itertools.product(self.initial, other.initial)),
+            accepting=frozenset(itertools.product(self.accepting, other.accepting)),
+        )
+
+    def project(self, mapping) -> "NFA":
+        """Relabel symbols through ``mapping`` (a callable); merges moves.
+
+        This is the ∃-step of the MSO compiler: dropping one track of a
+        product alphabet maps each symbol to its projection.
+        """
+        new_alphabet = frozenset(mapping(symbol) for symbol in self.alphabet)
+        transitions: dict = {}
+        for (state, symbol), targets in self.transitions.items():
+            key = (state, mapping(symbol))
+            transitions[key] = transitions.get(key, frozenset()) | targets
+        return NFA(
+            states=self.states,
+            alphabet=new_alphabet,
+            transitions=transitions,
+            initial=self.initial,
+            accepting=self.accepting,
+        )
+
+    def equivalent(self, other: "NFA") -> bool:
+        """Language equality, via minimized DFAs."""
+        self._require_alphabet(other)
+        return self.determinize().minimize().isomorphic_to(other.determinize().minimize())
+
+    def _require_alphabet(self, other: "NFA") -> None:
+        if self.alphabet != other.alphabet:
+            raise AutomatonError("operation requires identical alphabets")
+
+    def _tag(self, tag: int) -> "NFA":
+        relabel = {state: (tag, state) for state in self.states}
+        return NFA(
+            states=frozenset(relabel.values()),
+            alphabet=self.alphabet,
+            transitions={
+                (relabel[state], symbol): frozenset(relabel[target] for target in targets)
+                for (state, symbol), targets in self.transitions.items()
+            },
+            initial=frozenset(relabel[state] for state in self.initial),
+            accepting=frozenset(relabel[state] for state in self.accepting),
+        )
+
+    def __repr__(self) -> str:
+        return f"NFA({len(self.states)} states, alphabet {sorted(map(repr, self.alphabet))})"
+
+
+@dataclass(frozen=True)
+class DFA:
+    """A complete deterministic finite automaton."""
+
+    states: frozenset
+    alphabet: frozenset
+    transitions: dict
+    initial: object
+    accepting: frozenset
+
+    def __post_init__(self) -> None:
+        if self.initial not in self.states:
+            raise AutomatonError("initial state must be a state")
+        for state in self.states:
+            for symbol in self.alphabet:
+                if (state, symbol) not in self.transitions:
+                    raise AutomatonError(
+                        f"DFA is incomplete: no transition from {state!r} on {symbol!r}"
+                    )
+
+    def accepts(self, word: Sequence) -> bool:
+        current = self.initial
+        for symbol in word:
+            if symbol not in self.alphabet:
+                raise AutomatonError(f"symbol {symbol!r} is not in the alphabet")
+            current = self.transitions[(current, symbol)]
+        return current in self.accepting
+
+    def complement(self) -> "DFA":
+        return DFA(
+            states=self.states,
+            alphabet=self.alphabet,
+            transitions=self.transitions,
+            initial=self.initial,
+            accepting=self.states - self.accepting,
+        )
+
+    def to_nfa(self) -> NFA:
+        return NFA(
+            states=self.states,
+            alphabet=self.alphabet,
+            transitions={
+                key: frozenset([target]) for key, target in self.transitions.items()
+            },
+            initial=frozenset([self.initial]),
+            accepting=self.accepting,
+        )
+
+    def reachable(self) -> "DFA":
+        """Restrict to states reachable from the initial state."""
+        seen = {self.initial}
+        queue = deque([self.initial])
+        while queue:
+            state = queue.popleft()
+            for symbol in self.alphabet:
+                target = self.transitions[(state, symbol)]
+                if target not in seen:
+                    seen.add(target)
+                    queue.append(target)
+        return DFA(
+            states=frozenset(seen),
+            alphabet=self.alphabet,
+            transitions={
+                (state, symbol): target
+                for (state, symbol), target in self.transitions.items()
+                if state in seen
+            },
+            initial=self.initial,
+            accepting=self.accepting & frozenset(seen),
+        )
+
+    def minimize(self) -> "DFA":
+        """Moore's partition-refinement minimization (on reachable states)."""
+        dfa = self.reachable()
+        partition: dict = {}
+        for state in dfa.states:
+            partition[state] = 1 if state in dfa.accepting else 0
+        while True:
+            signatures: dict = {}
+            for state in dfa.states:
+                signature = (
+                    partition[state],
+                    tuple(
+                        partition[dfa.transitions[(state, symbol)]]
+                        for symbol in sorted(dfa.alphabet, key=repr)
+                    ),
+                )
+                signatures[state] = signature
+            ordering = {
+                signature: index
+                for index, signature in enumerate(sorted(set(signatures.values()), key=repr))
+            }
+            new_partition = {state: ordering[signatures[state]] for state in dfa.states}
+            if len(set(new_partition.values())) == len(set(partition.values())):
+                partition = new_partition
+                break
+            partition = new_partition
+        blocks = sorted(set(partition.values()))
+        transitions = {}
+        for state in dfa.states:
+            for symbol in dfa.alphabet:
+                transitions[(partition[state], symbol)] = partition[
+                    dfa.transitions[(state, symbol)]
+                ]
+        return DFA(
+            states=frozenset(blocks),
+            alphabet=dfa.alphabet,
+            transitions=transitions,
+            initial=partition[dfa.initial],
+            accepting=frozenset(partition[state] for state in dfa.accepting),
+        )
+
+    def isomorphic_to(self, other: "DFA") -> bool:
+        """Whether two (minimal) DFAs are isomorphic — i.e. same language."""
+        if self.alphabet != other.alphabet:
+            return False
+        if len(self.states) != len(other.states):
+            return False
+        mapping = {self.initial: other.initial}
+        queue = deque([self.initial])
+        while queue:
+            state = queue.popleft()
+            for symbol in self.alphabet:
+                mine = self.transitions[(state, symbol)]
+                theirs = other.transitions[(mapping[state], symbol)]
+                if mine in mapping:
+                    if mapping[mine] != theirs:
+                        return False
+                else:
+                    mapping[mine] = theirs
+                    queue.append(mine)
+        if len(set(mapping.values())) != len(mapping):
+            return False
+        return all(
+            (state in self.accepting) == (mapping[state] in other.accepting)
+            for state in mapping
+        )
+
+    def __repr__(self) -> str:
+        return f"DFA({len(self.states)} states, alphabet {sorted(map(repr, self.alphabet))})"

@@ -1,0 +1,581 @@
+"""Monadic second-order logic on words, compiled to automata.
+
+The Büchi–Elgot–Trakhtenbrot theorem: a language of finite words is
+regular iff it is MSO-definable. This module implements both directions
+of the *effective* version used throughout database theory (and cited in
+the paper via the Stockmeyer/Vardi MSO model-checking result):
+
+* a naive MSO evaluator over word structures (exponential — it
+  enumerates subsets for set quantifiers), and
+* a compiler from MSO sentences to :class:`~repro.descriptive.automata.NFA`
+  (linear-time evaluation per word once compiled), built from products,
+  complements, and projections.
+
+The two must agree on every word — a test-suite invariant mirroring the
+evaluator triangle of the FO engines. The compiler also makes
+*EVEN length* executable as an MSO sentence, the canonical query that FO
+cannot express (E4) but MSO can (E14).
+
+Word model convention: a word w = a₀...a_{n-1} is the structure with
+universe {0..n-1}, order <, successor, and letter predicates Q_a.
+First-order variables range over positions; set variables over sets of
+positions. The compiled automata run over the product alphabet
+Σ × P(tracks), one Boolean track per free variable.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.errors import AutomatonError, FormulaError
+from repro.descriptive.automata import NFA
+
+__all__ = [
+    "MSOFormula",
+    "PosVar",
+    "SetVar",
+    "Less",
+    "Succ",
+    "PosEq",
+    "Letter",
+    "InSet",
+    "MNot",
+    "MAnd",
+    "MOr",
+    "MExists1",
+    "MForall1",
+    "MExists2",
+    "MForall2",
+    "first_position",
+    "last_position",
+    "mso_evaluate",
+    "mso_to_nfa",
+    "mso_satisfiable",
+    "mso_witness",
+    "mso_equivalent",
+    "even_length_sentence",
+    "length_divisible_sentence",
+]
+
+
+@dataclass(frozen=True)
+class PosVar:
+    """A first-order (position) variable."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class SetVar:
+    """A monadic second-order (set-of-positions) variable."""
+
+    name: str
+
+
+class MSOFormula:
+    """Base class of MSO formula nodes."""
+
+    __slots__ = ()
+
+    def __and__(self, other: "MSOFormula") -> "MAnd":
+        return MAnd(self, other)
+
+    def __or__(self, other: "MSOFormula") -> "MOr":
+        return MOr(self, other)
+
+    def __invert__(self) -> "MNot":
+        return MNot(self)
+
+
+@dataclass(frozen=True)
+class Less(MSOFormula):
+    left: PosVar
+    right: PosVar
+
+
+@dataclass(frozen=True)
+class Succ(MSOFormula):
+    left: PosVar
+    right: PosVar
+
+
+@dataclass(frozen=True)
+class PosEq(MSOFormula):
+    left: PosVar
+    right: PosVar
+
+
+@dataclass(frozen=True)
+class Letter(MSOFormula):
+    """Q_a(x): position x carries letter a."""
+
+    symbol: object
+    var: PosVar
+
+
+@dataclass(frozen=True)
+class InSet(MSOFormula):
+    var: PosVar
+    set_var: SetVar
+
+
+@dataclass(frozen=True)
+class MNot(MSOFormula):
+    body: MSOFormula
+
+
+@dataclass(frozen=True)
+class MAnd(MSOFormula):
+    left: MSOFormula
+    right: MSOFormula
+
+
+@dataclass(frozen=True)
+class MOr(MSOFormula):
+    left: MSOFormula
+    right: MSOFormula
+
+
+@dataclass(frozen=True)
+class MExists1(MSOFormula):
+    var: PosVar
+    body: MSOFormula
+
+
+@dataclass(frozen=True)
+class MForall1(MSOFormula):
+    var: PosVar
+    body: MSOFormula
+
+
+@dataclass(frozen=True)
+class MExists2(MSOFormula):
+    var: SetVar
+    body: MSOFormula
+
+
+@dataclass(frozen=True)
+class MForall2(MSOFormula):
+    var: SetVar
+    body: MSOFormula
+
+
+def first_position(x: PosVar) -> MSOFormula:
+    """x is the first position: ¬∃y Succ(y, x)."""
+    y = PosVar(f"_before_{x.name}")
+    return MNot(MExists1(y, Succ(y, x)))
+
+
+def last_position(x: PosVar) -> MSOFormula:
+    """x is the last position: ¬∃y Succ(x, y)."""
+    y = PosVar(f"_after_{x.name}")
+    return MNot(MExists1(y, Succ(x, y)))
+
+
+def free_tracks(formula: MSOFormula) -> tuple[frozenset[str], frozenset[str]]:
+    """(free position variables, free set variables), by name."""
+    if isinstance(formula, (Less, Succ, PosEq)):
+        return frozenset({formula.left.name, formula.right.name}), frozenset()
+    if isinstance(formula, Letter):
+        return frozenset({formula.var.name}), frozenset()
+    if isinstance(formula, InSet):
+        return frozenset({formula.var.name}), frozenset({formula.set_var.name})
+    if isinstance(formula, MNot):
+        return free_tracks(formula.body)
+    if isinstance(formula, (MAnd, MOr)):
+        left1, left2 = free_tracks(formula.left)
+        right1, right2 = free_tracks(formula.right)
+        return left1 | right1, left2 | right2
+    if isinstance(formula, (MExists1, MForall1)):
+        pos, sets = free_tracks(formula.body)
+        return pos - {formula.var.name}, sets
+    if isinstance(formula, (MExists2, MForall2)):
+        pos, sets = free_tracks(formula.body)
+        return pos, sets - {formula.var.name}
+    raise FormulaError(f"unknown MSO node {formula!r}")
+
+
+# ---------------------------------------------------------------------------
+# Naive evaluation over word models
+# ---------------------------------------------------------------------------
+
+
+def mso_evaluate(
+    word: Sequence,
+    formula: MSOFormula,
+    position_env: dict[str, int] | None = None,
+    set_env: dict[str, frozenset[int]] | None = None,
+) -> bool:
+    """Evaluate MSO directly on a word (exponential in set quantifiers).
+
+    The ground-truth semantics the automaton compiler is tested against.
+    """
+    positions = range(len(word))
+    env1 = dict(position_env or {})
+    env2 = dict(set_env or {})
+
+    def run(node: MSOFormula) -> bool:
+        if isinstance(node, Less):
+            return env1[node.left.name] < env1[node.right.name]
+        if isinstance(node, Succ):
+            return env1[node.left.name] + 1 == env1[node.right.name]
+        if isinstance(node, PosEq):
+            return env1[node.left.name] == env1[node.right.name]
+        if isinstance(node, Letter):
+            return word[env1[node.var.name]] == node.symbol
+        if isinstance(node, InSet):
+            return env1[node.var.name] in env2[node.set_var.name]
+        if isinstance(node, MNot):
+            return not run(node.body)
+        if isinstance(node, MAnd):
+            return run(node.left) and run(node.right)
+        if isinstance(node, MOr):
+            return run(node.left) or run(node.right)
+        if isinstance(node, (MExists1, MForall1)):
+            want = isinstance(node, MExists1)
+            shadow, had = env1.get(node.var.name), node.var.name in env1
+            result = not want
+            for value in positions:
+                env1[node.var.name] = value
+                if run(node.body) == want:
+                    result = want
+                    break
+            if had:
+                env1[node.var.name] = shadow  # type: ignore[assignment]
+            else:
+                env1.pop(node.var.name, None)
+            return result
+        if isinstance(node, (MExists2, MForall2)):
+            want = isinstance(node, MExists2)
+            shadow, had = env2.get(node.var.name), node.var.name in env2
+            result = not want
+            for size in range(len(word) + 1):
+                stop = False
+                for subset in itertools.combinations(positions, size):
+                    env2[node.var.name] = frozenset(subset)
+                    if run(node.body) == want:
+                        result = want
+                        stop = True
+                        break
+                if stop:
+                    break
+            if had:
+                env2[node.var.name] = shadow  # type: ignore[assignment]
+            else:
+                env2.pop(node.var.name, None)
+            return result
+        raise FormulaError(f"unknown MSO node {node!r}")
+
+    return run(formula)
+
+
+# ---------------------------------------------------------------------------
+# Compilation to automata
+# ---------------------------------------------------------------------------
+#
+# Automaton symbols are pairs (letter, frozenset of active track names).
+
+
+def _symbols(alphabet: frozenset, tracks: frozenset[str]) -> list[tuple]:
+    track_list = sorted(tracks)
+    result = []
+    for letter in sorted(alphabet, key=repr):
+        for size in range(len(track_list) + 1):
+            for active in itertools.combinations(track_list, size):
+                result.append((letter, frozenset(active)))
+    return result
+
+
+def _cylindrify(nfa: NFA, alphabet: frozenset, tracks: frozenset[str]) -> NFA:
+    """Expand an automaton over fewer tracks to the full track set.
+
+    Every transition on (letter, active) becomes transitions on every
+    (letter, active ∪ extra) for extra ⊆ new tracks.
+    """
+    current_tracks: set[str] = set()
+    for letter, active in nfa.alphabet:
+        current_tracks |= active
+    new = tracks - frozenset(current_tracks)
+    if not new and frozenset(_symbols(alphabet, tracks)) == nfa.alphabet:
+        return nfa
+    extras = [
+        frozenset(active)
+        for size in range(len(new) + 1)
+        for active in itertools.combinations(sorted(new), size)
+    ]
+    transitions: dict = {}
+    for (state, (letter, active)), targets in nfa.transitions.items():
+        for extra in extras:
+            key = (state, (letter, active | extra))
+            transitions[key] = transitions.get(key, frozenset()) | targets
+    return NFA(
+        states=nfa.states,
+        alphabet=frozenset(_symbols(alphabet, tracks)),
+        transitions=transitions,
+        initial=nfa.initial,
+        accepting=nfa.accepting,
+    )
+
+
+def _marked(symbol: tuple, track: str) -> bool:
+    return track in symbol[1]
+
+
+def _two_state_scan(
+    alphabet: frozenset,
+    tracks: frozenset[str],
+    track: str,
+    good,
+) -> NFA:
+    """Automaton: exactly one position is marked on ``track`` and
+    satisfies ``good(symbol)``; other positions must be unmarked."""
+    symbols = _symbols(alphabet, tracks)
+    transitions: dict = {}
+    for symbol in symbols:
+        if not _marked(symbol, track):
+            transitions[("wait", symbol)] = frozenset(["wait"])
+            transitions[("done", symbol)] = frozenset(["done"])
+        elif good(symbol):
+            transitions[("wait", symbol)] = frozenset(["done"])
+    return NFA(
+        states=frozenset(["wait", "done"]),
+        alphabet=frozenset(symbols),
+        transitions=transitions,
+        initial=frozenset(["wait"]),
+        accepting=frozenset(["done"]),
+    )
+
+
+def _singleton(alphabet: frozenset, tracks: frozenset[str], track: str) -> NFA:
+    """Exactly one mark on ``track`` (the validity constraint for FO vars)."""
+    return _two_state_scan(alphabet, tracks, track, lambda symbol: True)
+
+
+def _atom_automaton(formula: MSOFormula, alphabet: frozenset, tracks: frozenset[str]) -> NFA:
+    symbols = _symbols(alphabet, tracks)
+    if isinstance(formula, Letter):
+        return _two_state_scan(
+            alphabet, tracks, formula.var.name, lambda symbol: symbol[0] == formula.symbol
+        )
+    if isinstance(formula, InSet):
+        return _two_state_scan(
+            alphabet,
+            tracks,
+            formula.var.name,
+            lambda symbol: _marked(symbol, formula.set_var.name),
+        )
+    if isinstance(formula, PosEq):
+        x, y = formula.left.name, formula.right.name
+        if x == y:
+            return _singleton(alphabet, tracks, x)
+        return _two_state_scan(alphabet, tracks, x, lambda symbol: _marked(symbol, y))
+    if isinstance(formula, (Less, Succ)):
+        x, y = formula.left.name, formula.right.name
+        if x == y:
+            # x < x and Succ(x, x) are unsatisfiable: empty automaton.
+            return NFA(
+                states=frozenset(["dead"]),
+                alphabet=frozenset(symbols),
+                transitions={},
+                initial=frozenset(["dead"]),
+                accepting=frozenset(),
+            )
+        transitions: dict = {}
+        adjacent = isinstance(formula, Succ)
+        for symbol in symbols:
+            has_x, has_y = _marked(symbol, x), _marked(symbol, y)
+            if not has_x and not has_y:
+                transitions[("start", symbol)] = frozenset(["start"])
+                transitions[("done", symbol)] = frozenset(["done"])
+                if not adjacent:
+                    transitions[("mid", symbol)] = frozenset(["mid"])
+            if has_x and not has_y:
+                transitions[("start", symbol)] = transitions.get(
+                    ("start", symbol), frozenset()
+                ) | frozenset(["mid"])
+            if has_y and not has_x:
+                transitions[("mid", symbol)] = transitions.get(
+                    ("mid", symbol), frozenset()
+                ) | frozenset(["done"])
+            # A symbol with both marks never moves forward: x < y and
+            # Succ(x, y) both require distinct positions.
+        return NFA(
+            states=frozenset(["start", "mid", "done"]),
+            alphabet=frozenset(symbols),
+            transitions=transitions,
+            initial=frozenset(["start"]),
+            accepting=frozenset(["done"]),
+        )
+    raise FormulaError(f"not an MSO atom: {formula!r}")
+
+
+def mso_to_nfa(formula: MSOFormula, alphabet: Iterable) -> NFA:
+    """Compile an MSO formula to an NFA (Büchi–Elgot–Trakhtenbrot).
+
+    For a *sentence* the result runs over the plain alphabet (tracks are
+    all projected away), accepting exactly the words satisfying the
+    sentence — so ``mso_to_nfa(φ, Σ).accepts(w)`` agrees with
+    :func:`mso_evaluate` on every word, which the test suite verifies.
+
+    A formula with free variables yields an automaton over the product
+    alphabet Σ × P(track names); to keep the semantics exact, the result
+    is intersected with the singleton constraint of every free position
+    variable.
+    """
+    alphabet = frozenset(alphabet)
+    if not alphabet:
+        raise AutomatonError("MSO compilation requires a non-empty alphabet")
+
+    def reduce(nfa: NFA) -> NFA:
+        # Keep intermediate automata canonical and small: determinize and
+        # minimize after every construction step. Without this, nested
+        # complements over multi-track alphabets blow up multiplicatively.
+        return nfa.determinize().minimize().to_nfa()
+
+    def compile_node(node: MSOFormula) -> NFA:
+        return reduce(_compile_raw(node))
+
+    def _compile_raw(node: MSOFormula) -> NFA:
+        pos_free, set_free = free_tracks(node)
+        tracks = pos_free | set_free
+        if isinstance(node, (Less, Succ, PosEq, Letter, InSet)):
+            return _atom_automaton(node, alphabet, tracks)
+        if isinstance(node, MNot):
+            inner = compile_node(node.body)
+            result = inner.complement()
+            # Complementation can accept invalid (non-singleton) track
+            # words; re-impose the constraint for free position vars.
+            for name in sorted(pos_free):
+                result = result.intersection(_singleton(alphabet, tracks, name))
+            return result
+        if isinstance(node, (MAnd, MOr)):
+            left = _cylindrify(compile_node(node.left), alphabet, tracks)
+            right = _cylindrify(compile_node(node.right), alphabet, tracks)
+            return left.intersection(right) if isinstance(node, MAnd) else left.union(right)
+        if isinstance(node, MExists1):
+            inner_tracks = tracks | {node.var.name}
+            inner = _cylindrify(compile_node(node.body), alphabet, inner_tracks)
+            constrained = inner.intersection(
+                _singleton(alphabet, inner_tracks, node.var.name)
+            )
+            projected = constrained.project(
+                lambda symbol: (symbol[0], symbol[1] - {node.var.name})
+            )
+            return projected
+        if isinstance(node, MForall1):
+            return compile_node(MNot(MExists1(node.var, MNot(node.body))))
+        if isinstance(node, MExists2):
+            inner_tracks = tracks | {node.var.name}
+            inner = _cylindrify(compile_node(node.body), alphabet, inner_tracks)
+            return inner.project(lambda symbol: (symbol[0], symbol[1] - {node.var.name}))
+        if isinstance(node, MForall2):
+            return compile_node(MNot(MExists2(node.var, MNot(node.body))))
+        raise FormulaError(f"unknown MSO node {node!r}")
+
+    result = compile_node(formula)
+    pos_free, set_free = free_tracks(formula)
+    if not pos_free and not set_free:
+        # Strip the (empty) track component: symbols (a, ∅) → a.
+        return result.project(lambda symbol: symbol[0])
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Library sentences
+# ---------------------------------------------------------------------------
+
+
+def even_length_sentence() -> MSOFormula:
+    """|w| is even — MSO-definable though not FO-definable (E4 vs E14).
+
+    ∃X: the first position is in X, X alternates along successors, and
+    the last position is not in X (X = the odd-indexed positions
+    1st, 3rd, ...; the empty word is accepted vacuously).
+    """
+    X = SetVar("X")
+    x, y = PosVar("x"), PosVar("y")
+    first_in = MForall1(x, MOr(MNot(first_position(x)), InSet(x, X)))
+    alternates = MForall1(
+        x,
+        MForall1(
+            y,
+            MOr(
+                MNot(Succ(x, y)),
+                MOr(
+                    MAnd(InSet(x, X), MNot(InSet(y, X))),
+                    MAnd(MNot(InSet(x, X)), InSet(y, X)),
+                ),
+            ),
+        ),
+    )
+    last_out = MForall1(x, MOr(MNot(last_position(x)), MNot(InSet(x, X))))
+    return MExists2(X, MAnd(first_in, MAnd(alternates, last_out)))
+
+
+def length_divisible_sentence(k: int) -> MSOFormula:
+    """|w| ≡ 0 (mod k), via k interleaved set variables X₀..X_{k-1}.
+
+    Position i must lie in X_{i mod k}; the last position must lie in
+    X_{k-1}. The empty word is accepted vacuously.
+    """
+    if k < 1:
+        raise FormulaError(f"k must be at least 1, got {k}")
+    if k == 1:
+        x = PosVar("x")
+        return MNot(MExists1(x, MAnd(Less(x, x), MNot(Less(x, x)))))  # trivially true
+    sets = [SetVar(f"X{index}") for index in range(k)]
+    x, y = PosVar("x"), PosVar("y")
+
+    def in_only(position: PosVar, index: int) -> MSOFormula:
+        clause: MSOFormula = InSet(position, sets[index])
+        for other in range(k):
+            if other != index:
+                clause = MAnd(clause, MNot(InSet(position, sets[other])))
+        return clause
+
+    first_rule = MForall1(x, MOr(MNot(first_position(x)), in_only(x, 0)))
+    step_rules: MSOFormula | None = None
+    for index in range(k):
+        rule = MForall1(
+            x,
+            MForall1(
+                y,
+                MOr(
+                    MNot(MAnd(Succ(x, y), InSet(x, sets[index]))),
+                    in_only(y, (index + 1) % k),
+                ),
+            ),
+        )
+        step_rules = rule if step_rules is None else MAnd(step_rules, rule)
+    last_rule = MForall1(x, MOr(MNot(last_position(x)), InSet(x, sets[k - 1])))
+    body = MAnd(first_rule, MAnd(step_rules, last_rule))  # type: ignore[arg-type]
+    for set_var in reversed(sets):
+        body = MExists2(set_var, body)
+    return body
+
+
+# ---------------------------------------------------------------------------
+# Decision procedures (the algorithmic payoff of the compilation)
+# ---------------------------------------------------------------------------
+
+
+def mso_satisfiable(formula: MSOFormula, alphabet: Iterable) -> bool:
+    """Whether some finite word over the alphabet satisfies the sentence.
+
+    Decidable because the compiled automaton's emptiness is decidable —
+    the classical contrast with Trakhtenbrot's theorem for FO over
+    arbitrary finite structures.
+    """
+    return not mso_to_nfa(formula, alphabet).is_empty()
+
+
+def mso_witness(formula: MSOFormula, alphabet: Iterable) -> tuple | None:
+    """A shortest satisfying word, or None when unsatisfiable."""
+    return mso_to_nfa(formula, alphabet).shortest_accepted()
+
+
+def mso_equivalent(first: MSOFormula, second: MSOFormula, alphabet: Iterable) -> bool:
+    """Whether two MSO sentences define the same language of finite words."""
+    return mso_to_nfa(first, alphabet).equivalent(mso_to_nfa(second, alphabet))

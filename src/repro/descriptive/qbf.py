@@ -1,0 +1,187 @@
+"""Quantified Boolean formulas and the PSPACE-hardness reduction.
+
+The paper's combined-complexity lower bound (Stockmeyer/Vardi) reduces
+QBF satisfiability to FO model checking: each propositional variable p
+becomes a first-order variable x_p ranging over a fixed two-element
+structure ({0, 1} with a unary relation T = {1}), p becomes T(x_p), and
+the quantifiers carry over. This module implements QBF, a solver, and
+the reduction — experiment E1 validates the reduction by running both
+sides on random instances.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from dataclasses import dataclass
+
+from repro.errors import FormulaError
+from repro.logic.signature import Signature
+from repro.logic.syntax import (
+    And as FOAnd,
+    Atom as FOAtom,
+    Exists as FOExists,
+    Forall as FOForall,
+    Formula,
+    Not as FONot,
+    Or as FOOr,
+    Var as FOVar,
+)
+from repro.structures.structure import Structure
+
+__all__ = [
+    "QBF",
+    "PVar",
+    "QNot",
+    "QAnd",
+    "QOr",
+    "QExists",
+    "QForall",
+    "solve_qbf",
+    "qbf_to_fo",
+    "boolean_structure",
+    "BOOLEAN_SIGNATURE",
+    "random_qbf",
+]
+
+
+class QBF:
+    """Base class of QBF nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class PVar(QBF):
+    """A propositional variable."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class QNot(QBF):
+    body: QBF
+
+
+@dataclass(frozen=True)
+class QAnd(QBF):
+    left: QBF
+    right: QBF
+
+
+@dataclass(frozen=True)
+class QOr(QBF):
+    left: QBF
+    right: QBF
+
+
+@dataclass(frozen=True)
+class QExists(QBF):
+    var: str
+    body: QBF
+
+
+@dataclass(frozen=True)
+class QForall(QBF):
+    var: str
+    body: QBF
+
+
+def solve_qbf(formula: QBF, assignment: dict[str, bool] | None = None) -> bool:
+    """Evaluate a QBF (free variables read from ``assignment``).
+
+    The naive recursive algorithm — polynomial space, exponential time,
+    exactly the evaluation strategy whose FO analogue experiment E1
+    measures.
+    """
+    env = dict(assignment or {})
+
+    def run(node: QBF) -> bool:
+        if isinstance(node, PVar):
+            try:
+                return env[node.name]
+            except KeyError:
+                raise FormulaError(f"unbound propositional variable {node.name!r}") from None
+        if isinstance(node, QNot):
+            return not run(node.body)
+        if isinstance(node, QAnd):
+            return run(node.left) and run(node.right)
+        if isinstance(node, QOr):
+            return run(node.left) or run(node.right)
+        if isinstance(node, (QExists, QForall)):
+            want = isinstance(node, QExists)
+            shadow = env.get(node.var)
+            had = node.var in env
+            result = not want
+            for value in (False, True):
+                env[node.var] = value
+                if run(node.body) == want:
+                    result = want
+                    break
+            if had:
+                env[node.var] = shadow  # type: ignore[assignment]
+            else:
+                env.pop(node.var, None)
+            return result
+        raise FormulaError(f"unknown QBF node {node!r}")
+
+    return run(formula)
+
+
+#: The target signature of the reduction: one unary relation T ("true").
+BOOLEAN_SIGNATURE = Signature({"T": 1})
+
+
+def boolean_structure() -> Structure:
+    """The fixed two-element structure ({0,1}, T = {1}) of the reduction."""
+    return Structure(BOOLEAN_SIGNATURE, [0, 1], {"T": [(1,)]})
+
+
+def qbf_to_fo(formula: QBF) -> Formula:
+    """Translate a QBF into an FO formula over :data:`BOOLEAN_SIGNATURE`.
+
+    ``solve_qbf(φ)`` iff ``evaluate(boolean_structure(), qbf_to_fo(φ))``
+    for closed φ — the PSPACE-hardness reduction for FO model checking.
+    """
+    if isinstance(formula, PVar):
+        return FOAtom("T", (FOVar(formula.name),))
+    if isinstance(formula, QNot):
+        return FONot(qbf_to_fo(formula.body))
+    if isinstance(formula, QAnd):
+        return FOAnd((qbf_to_fo(formula.left), qbf_to_fo(formula.right)))
+    if isinstance(formula, QOr):
+        return FOOr((qbf_to_fo(formula.left), qbf_to_fo(formula.right)))
+    if isinstance(formula, QExists):
+        return FOExists(FOVar(formula.var), qbf_to_fo(formula.body))
+    if isinstance(formula, QForall):
+        return FOForall(FOVar(formula.var), qbf_to_fo(formula.body))
+    raise FormulaError(f"unknown QBF node {formula!r}")
+
+
+def random_qbf(variables: int, depth: int, seed: int = 0) -> QBF:
+    """A random closed QBF with the given quantifier count.
+
+    The matrix is a random Boolean combination of the variables;
+    quantifiers alternate ∃/∀ with a random start. Used for validating
+    the reduction on many instances.
+    """
+    rng = _random.Random(seed)
+    names = [f"p{index}" for index in range(variables)]
+
+    def matrix(level: int) -> QBF:
+        if level == 0 or rng.random() < 0.3:
+            return PVar(rng.choice(names))
+        kind = rng.randrange(3)
+        if kind == 0:
+            return QNot(matrix(level - 1))
+        if kind == 1:
+            return QAnd(matrix(level - 1), matrix(level - 1))
+        return QOr(matrix(level - 1), matrix(level - 1))
+
+    body: QBF = matrix(depth)
+    flip = rng.random() < 0.5
+    for index, name in enumerate(reversed(names)):
+        if (index % 2 == 0) == flip:
+            body = QExists(name, body)
+        else:
+            body = QForall(name, body)
+    return body

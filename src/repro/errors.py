@@ -1,0 +1,85 @@
+"""Exception hierarchy for fmtoolbox.
+
+Every error raised deliberately by the library derives from
+:class:`FMTError`, so callers can catch library failures without also
+swallowing programming errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class FMTError(Exception):
+    """Base class for all errors raised by fmtoolbox."""
+
+
+class SignatureError(FMTError):
+    """A symbol was used inconsistently with its signature declaration.
+
+    Raised, for example, when a relation atom has the wrong arity, when a
+    structure interprets a symbol absent from its signature, or when two
+    structures over different signatures are combined.
+    """
+
+
+class FormulaError(FMTError):
+    """A formula is malformed or used where a different shape is required.
+
+    Raised, for example, when a sentence is required but the formula has
+    free variables, or when an AST node carries ill-typed children.
+    """
+
+
+class ParseError(FMTError):
+    """The formula parser rejected its input."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        self.position = position
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+
+
+class StructureError(FMTError):
+    """A structure is malformed: tuples outside the universe, bad arity, etc."""
+
+
+class EvaluationError(FMTError):
+    """Query evaluation failed, e.g. a free variable had no binding."""
+
+
+class GameError(FMTError):
+    """A game was configured or played incorrectly.
+
+    Raised, for example, when a strategy returns an element outside the
+    structure it was asked to play in.
+    """
+
+
+class LocalityError(FMTError):
+    """A locality tool was applied outside its domain of validity.
+
+    Raised, for example, when the bounded-degree evaluator is given a
+    structure whose degree exceeds the bound it was compiled for.
+    """
+
+
+class DatalogError(FMTError):
+    """A Datalog program is unsafe, unstratifiable, or otherwise invalid."""
+
+
+class AutomatonError(FMTError):
+    """An automaton is malformed (unknown states, bad alphabet, ...)."""
+
+
+class BudgetExceededError(FMTError):
+    """A solver exceeded an explicit work budget supplied by the caller.
+
+    Exact solvers in this library (EF games, isomorphism, ∃SO checking) run
+    exponential-time algorithms; callers may bound the work and receive this
+    error instead of an unbounded computation.
+    """
+
+    def __init__(self, message: str, *, spent: int, budget: int) -> None:
+        self.spent = spent
+        self.budget = budget
+        super().__init__(f"{message}: spent {spent} of budget {budget}")

@@ -1,0 +1,39 @@
+"""Query evaluation engines (S3).
+
+Three independent back-ends for FO query evaluation — the naive
+recursive evaluator, relational algebra compilation, and AC⁰ circuit
+compilation — that must always agree (the "evaluator triangle").
+"""
+
+from repro.eval.algebra import Relation
+from repro.eval.circuits import (
+    Circuit,
+    CircuitStats,
+    circuit_stats,
+    compile_query,
+    evaluate_circuit,
+)
+from repro.eval.evaluator import (
+    BooleanQuery,
+    EvaluationStats,
+    Query,
+    answers,
+    evaluate,
+)
+from repro.eval.translate import algebra_answers, translate_to_algebra
+
+__all__ = [
+    "evaluate",
+    "answers",
+    "Query",
+    "BooleanQuery",
+    "EvaluationStats",
+    "Relation",
+    "translate_to_algebra",
+    "algebra_answers",
+    "Circuit",
+    "CircuitStats",
+    "compile_query",
+    "evaluate_circuit",
+    "circuit_stats",
+]

@@ -1,0 +1,235 @@
+"""A small relational algebra engine.
+
+Relations are named-column sets of tuples; the operators are the
+classical six (selection, projection, rename, natural join, union,
+difference) plus intersection, product, and active-domain complement.
+The FO → algebra translation in :mod:`repro.eval.translate` targets this
+engine, making the textbook equivalence "relational algebra = first-order
+logic (active-domain semantics)" executable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping
+from dataclasses import dataclass
+
+from repro.errors import EvaluationError
+from repro.structures.structure import Element
+
+__all__ = ["Relation"]
+
+
+@dataclass(frozen=True)
+class Relation:
+    """A finite relation with named attributes.
+
+    >>> r = Relation(("a", "b"), {(1, 2), (2, 3)})
+    >>> sorted(r.project(("b",)).rows)
+    [(2,), (3,)]
+    """
+
+    attributes: tuple[str, ...]
+    rows: frozenset[tuple[Element, ...]]
+
+    def __post_init__(self) -> None:
+        attributes = tuple(self.attributes)
+        if len(set(attributes)) != len(attributes):
+            raise EvaluationError(f"duplicate attribute names: {attributes}")
+        rows = frozenset(tuple(row) for row in self.rows)
+        for row in rows:
+            if len(row) != len(attributes):
+                raise EvaluationError(
+                    f"row {row!r} has {len(row)} columns, expected {len(attributes)}"
+                )
+        object.__setattr__(self, "attributes", attributes)
+        object.__setattr__(self, "rows", rows)
+
+    # -- constructors --------------------------------------------------------
+
+    @staticmethod
+    def from_tuples(attributes: Iterable[str], rows: Iterable[tuple]) -> "Relation":
+        """Build a relation from any iterables of attributes and rows."""
+        return Relation(tuple(attributes), frozenset(tuple(row) for row in rows))
+
+    @staticmethod
+    def empty(attributes: Iterable[str]) -> "Relation":
+        """The empty relation over the given attributes."""
+        return Relation(tuple(attributes), frozenset())
+
+    @staticmethod
+    def nullary(truth: bool) -> "Relation":
+        """The 0-ary relation: {()} encodes true, {} encodes false."""
+        return Relation((), frozenset([()]) if truth else frozenset())
+
+    # -- basics ----------------------------------------------------------------
+
+    @property
+    def arity(self) -> int:
+        return len(self.attributes)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def _index_of(self, attribute: str) -> int:
+        try:
+            return self.attributes.index(attribute)
+        except ValueError:
+            raise EvaluationError(
+                f"unknown attribute {attribute!r}; relation has {self.attributes}"
+            ) from None
+
+    def column(self, attribute: str) -> frozenset[Element]:
+        """All values appearing in one column."""
+        index = self._index_of(attribute)
+        return frozenset(row[index] for row in self.rows)
+
+    # -- the algebra -------------------------------------------------------------
+
+    def select(self, predicate: Callable[[Mapping[str, Element]], bool]) -> "Relation":
+        """σ: keep rows on which ``predicate`` (given a row-dict) holds."""
+        kept = {
+            row
+            for row in self.rows
+            if predicate(dict(zip(self.attributes, row)))
+        }
+        return Relation(self.attributes, frozenset(kept))
+
+    def select_eq(self, attribute: str, value: Element) -> "Relation":
+        """σ_{attribute = value}."""
+        index = self._index_of(attribute)
+        return Relation(
+            self.attributes, frozenset(row for row in self.rows if row[index] == value)
+        )
+
+    def select_attr_eq(self, first: str, second: str) -> "Relation":
+        """σ_{first = second} for two attributes."""
+        i, j = self._index_of(first), self._index_of(second)
+        return Relation(
+            self.attributes, frozenset(row for row in self.rows if row[i] == row[j])
+        )
+
+    def project(self, attributes: Iterable[str]) -> "Relation":
+        """π: keep (and reorder to) the given attributes, dropping duplicates."""
+        attributes = tuple(attributes)
+        indices = [self._index_of(attribute) for attribute in attributes]
+        rows = frozenset(tuple(row[index] for index in indices) for row in self.rows)
+        return Relation(attributes, rows)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Relation":
+        """ρ: rename attributes according to ``mapping``."""
+        attributes = tuple(mapping.get(attribute, attribute) for attribute in self.attributes)
+        return Relation(attributes, self.rows)
+
+    def join(self, other: "Relation") -> "Relation":
+        """⋈: natural join on the shared attributes (hash join).
+
+        With no shared attributes this is the cartesian product.
+        """
+        shared = [attribute for attribute in self.attributes if attribute in other.attributes]
+        other_extra = [attribute for attribute in other.attributes if attribute not in shared]
+        result_attributes = self.attributes + tuple(other_extra)
+
+        self_key = [self._index_of(attribute) for attribute in shared]
+        other_key = [other._index_of(attribute) for attribute in shared]
+        other_extra_idx = [other._index_of(attribute) for attribute in other_extra]
+
+        buckets: dict[tuple, list[tuple]] = {}
+        for row in other.rows:
+            buckets.setdefault(tuple(row[index] for index in other_key), []).append(row)
+
+        rows = set()
+        for row in self.rows:
+            key = tuple(row[index] for index in self_key)
+            for match in buckets.get(key, ()):
+                rows.add(row + tuple(match[index] for index in other_extra_idx))
+        return Relation(result_attributes, frozenset(rows))
+
+    def product(self, other: "Relation") -> "Relation":
+        """×: cartesian product (attribute sets must be disjoint)."""
+        overlap = set(self.attributes) & set(other.attributes)
+        if overlap:
+            raise EvaluationError(f"product requires disjoint attributes, shared: {sorted(overlap)}")
+        return self.join(other)
+
+    def _require_compatible(self, other: "Relation", operation: str) -> None:
+        if self.attributes != other.attributes:
+            raise EvaluationError(
+                f"{operation} requires identical attribute lists, "
+                f"got {self.attributes} vs {other.attributes}"
+            )
+
+    def union(self, other: "Relation") -> "Relation":
+        """∪ (requires identical attribute lists)."""
+        self._require_compatible(other, "union")
+        return Relation(self.attributes, self.rows | other.rows)
+
+    def difference(self, other: "Relation") -> "Relation":
+        """− (requires identical attribute lists)."""
+        self._require_compatible(other, "difference")
+        return Relation(self.attributes, self.rows - other.rows)
+
+    def intersection(self, other: "Relation") -> "Relation":
+        """∩ (requires identical attribute lists)."""
+        self._require_compatible(other, "intersection")
+        return Relation(self.attributes, self.rows & other.rows)
+
+    def divide(self, divisor: "Relation") -> "Relation":
+        """÷: relational division (the "for all" of the algebra).
+
+        ``r.divide(s)`` keeps the tuples t over the attributes of r not
+        in s such that (t, u) ∈ r for *every* u ∈ s. The divisor's
+        attributes must be a proper non-empty subset of this relation's.
+        """
+        shared = [attribute for attribute in self.attributes if attribute in divisor.attributes]
+        if set(shared) != set(divisor.attributes):
+            raise EvaluationError(
+                f"divisor attributes {divisor.attributes} must all occur in {self.attributes}"
+            )
+        quotient_attributes = tuple(
+            attribute for attribute in self.attributes if attribute not in divisor.attributes
+        )
+        if not quotient_attributes or not shared:
+            raise EvaluationError("division needs a proper, non-empty attribute split")
+        quotient_indices = [self._index_of(attribute) for attribute in quotient_attributes]
+        divisor_indices = [self._index_of(attribute) for attribute in divisor.attributes]
+        required = divisor.rows
+        seen: dict[tuple, set[tuple]] = {}
+        for row in self.rows:
+            key = tuple(row[index] for index in quotient_indices)
+            value = tuple(row[index] for index in divisor_indices)
+            seen.setdefault(key, set()).add(value)
+        rows = frozenset(key for key, values in seen.items() if required <= values)
+        return Relation(quotient_attributes, rows)
+
+    def complement(self, domain: Iterable[Element]) -> "Relation":
+        """Active-domain complement: domain^arity minus this relation.
+
+        This implements negation under active-domain semantics — the
+        classical trick that keeps FO queries domain-independent enough
+        for databases.
+        """
+        import itertools
+
+        domain = tuple(domain)
+        full = frozenset(itertools.product(domain, repeat=self.arity))
+        return Relation(self.attributes, full - self.rows)
+
+    def extend_columns(self, attributes: Iterable[str], domain: Iterable[Element]) -> "Relation":
+        """Pad with new attributes ranging over ``domain`` (a product)."""
+        attributes = tuple(attributes)
+        if not attributes:
+            return self
+        import itertools
+
+        domain = tuple(domain)
+        rows = set()
+        for row in self.rows:
+            for extra in itertools.product(domain, repeat=len(attributes)):
+                rows.add(row + extra)
+        return Relation(self.attributes + attributes, frozenset(rows))
+
+    def __repr__(self) -> str:
+        return f"Relation({self.attributes}, {len(self.rows)} rows)"

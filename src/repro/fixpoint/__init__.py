@@ -1,0 +1,33 @@
+"""Fixed-point substrate (S7): Datalog and LFP operators.
+
+The source of the paper's canonical non-FO queries.
+"""
+
+from repro.fixpoint.datalog import DVar, Literal, Program, Rule, parse_program
+from repro.fixpoint.lfp_logic import (
+    Lfp,
+    check_positive,
+    connectivity_sentence,
+    evaluate_lfp,
+    even_sentence_over_orders,
+    free_variables_lfp,
+    tc_formula,
+)
+from repro.fixpoint.lfp import (
+    has_directed_cycle,
+    inflationary_fixed_point,
+    least_fixed_point,
+    reachable_from,
+    same_generation,
+    transitive_closure,
+    transitive_closure_stages,
+)
+
+__all__ = [
+    "DVar", "Literal", "Rule", "Program", "parse_program",
+    "least_fixed_point", "inflationary_fixed_point",
+    "transitive_closure", "transitive_closure_stages",
+    "reachable_from", "same_generation", "has_directed_cycle",
+    "Lfp", "check_positive", "evaluate_lfp", "free_variables_lfp",
+    "tc_formula", "connectivity_sentence", "even_sentence_over_orders",
+]

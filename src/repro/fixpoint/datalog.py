@@ -1,0 +1,471 @@
+"""A Datalog engine: safety checking, stratified negation, semi-naive evaluation.
+
+Datalog is the paper's source of queries *beyond* FO: transitive
+closure, same-generation, connectivity. Those programs are what the
+locality tools (BNDP, Gaifman, Hanf) prove inexpressible in FO, so the
+engine is a first-class substrate of the reproduction.
+
+Syntax conventions (concrete syntax accepted by :func:`parse_program`)::
+
+    tc(X, Y) :- E(X, Y).
+    tc(X, Z) :- E(X, Y), tc(Y, Z).
+    iso(X)   :- Node(X), not linked(X).
+
+Identifiers starting with an uppercase letter *inside an argument list*
+are variables; numbers and quoted strings are constants. Predicate names
+(before the parenthesis) may be any identifier — including the
+structure's relation names such as ``E``.
+
+EDB relations come from a :class:`~repro.structures.structure.Structure`;
+IDB relations are defined by rules. Negation must be stratified; the
+engine computes strata by SCC condensation and rejects programs with a
+negative cycle.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import defaultdict
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+
+from repro.errors import DatalogError
+from repro.structures.structure import Element, Structure
+
+__all__ = ["DVar", "Literal", "Rule", "Program", "parse_program"]
+
+
+@dataclass(frozen=True)
+class DVar:
+    """A Datalog variable."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+Argument = object  # DVar or any hashable constant
+
+
+@dataclass(frozen=True)
+class Literal:
+    """An atom ``pred(args...)``, possibly negated in a rule body."""
+
+    predicate: str
+    arguments: tuple[Argument, ...]
+    negated: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "arguments", tuple(self.arguments))
+
+    def variables(self) -> frozenset[DVar]:
+        return frozenset(arg for arg in self.arguments if isinstance(arg, DVar))
+
+    def __repr__(self) -> str:
+        args = ", ".join(map(repr, self.arguments))
+        prefix = "not " if self.negated else ""
+        return f"{prefix}{self.predicate}({args})"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """``head :- body``. A rule with an empty body is a fact template."""
+
+    head: Literal
+    body: tuple[Literal, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "body", tuple(self.body))
+        if self.head.negated:
+            raise DatalogError(f"rule head cannot be negated: {self.head!r}")
+
+    def check_safety(self) -> None:
+        """Every head / negated-literal variable must be positively bound."""
+        positive: set[DVar] = set()
+        for literal in self.body:
+            if not literal.negated:
+                positive |= literal.variables()
+        unsafe = self.head.variables() - positive
+        if unsafe and self.body:
+            names = sorted(var.name for var in unsafe)
+            raise DatalogError(f"unsafe rule {self!r}: head variables {names} not bound")
+        if not self.body and self.head.variables():
+            names = sorted(var.name for var in self.head.variables())
+            raise DatalogError(f"fact {self.head!r} contains variables {names}")
+        for literal in self.body:
+            if literal.negated:
+                loose = literal.variables() - positive
+                if loose:
+                    names = sorted(var.name for var in loose)
+                    raise DatalogError(
+                        f"unsafe rule {self!r}: negated variables {names} not bound"
+                    )
+
+    def __repr__(self) -> str:
+        if not self.body:
+            return f"{self.head!r}."
+        return f"{self.head!r} :- {', '.join(map(repr, self.body))}."
+
+
+class Program:
+    """A stratified Datalog program.
+
+    >>> program = parse_program('''
+    ...     tc(X, Y) :- E(X, Y).
+    ...     tc(X, Z) :- E(X, Y), tc(Y, Z).
+    ... ''')
+    >>> # program.evaluate(structure)["tc"] is the transitive closure.
+    """
+
+    def __init__(self, rules: Iterable[Rule]) -> None:
+        self.rules = tuple(rules)
+        if not self.rules:
+            raise DatalogError("a program needs at least one rule")
+        for rule in self.rules:
+            rule.check_safety()
+        self.idb = {rule.head.predicate for rule in self.rules}
+        self._check_arities()
+        self.strata = self._stratify()
+        self.last_stats: dict[str, int] = {"derivations": 0, "rounds": 0}
+
+    def _check_arities(self) -> None:
+        arities: dict[str, int] = {}
+        for rule in self.rules:
+            for literal in (rule.head, *rule.body):
+                known = arities.setdefault(literal.predicate, len(literal.arguments))
+                if known != len(literal.arguments):
+                    raise DatalogError(
+                        f"predicate {literal.predicate!r} used with arities "
+                        f"{known} and {len(literal.arguments)}"
+                    )
+        self.arities = arities
+
+    def _stratify(self) -> list[frozenset[str]]:
+        """SCC condensation; a negative edge inside an SCC is an error."""
+        positive_edges: dict[str, set[str]] = defaultdict(set)
+        negative_edges: dict[str, set[str]] = defaultdict(set)
+        for rule in self.rules:
+            head = rule.head.predicate
+            for literal in rule.body:
+                if literal.predicate not in self.idb:
+                    continue
+                if literal.negated:
+                    negative_edges[head].add(literal.predicate)
+                else:
+                    positive_edges[head].add(literal.predicate)
+
+        components = _tarjan_scc(
+            sorted(self.idb),
+            lambda node: sorted(positive_edges[node] | negative_edges[node]),
+        )
+        component_of = {}
+        for index, component in enumerate(components):
+            for node in component:
+                component_of[node] = index
+        for head, targets in negative_edges.items():
+            for target in targets:
+                if component_of[head] == component_of[target]:
+                    raise DatalogError(
+                        f"program is not stratifiable: {head!r} depends negatively "
+                        f"on {target!r} within a recursive cycle"
+                    )
+        # Tarjan yields components in reverse topological order of the
+        # dependency graph (head -> body), i.e. dependencies first.
+        return [frozenset(component) for component in components]
+
+    # -- evaluation -----------------------------------------------------------
+
+    def evaluate(
+        self, structure: Structure, seminaive: bool = True
+    ) -> dict[str, frozenset[tuple[Element, ...]]]:
+        """Compute every IDB relation over the given EDB structure.
+
+        EDB predicates are the structure's relations. Returns a mapping
+        IDB predicate → set of tuples. Raises :class:`DatalogError` if a
+        body predicate is neither IDB nor in the structure's signature.
+
+        ``seminaive=False`` switches to the textbook naive fixpoint (all
+        rules refire against the full database every round) — only for
+        ablation experiments; ``self.last_stats['derivations']`` records
+        the work either way.
+        """
+        database: dict[str, set[tuple[Element, ...]]] = {}
+        for name in structure.signature.relation_names():
+            database[name] = set(structure.tuples(name))
+        for predicate in self.idb:
+            if predicate in database:
+                raise DatalogError(f"IDB predicate {predicate!r} shadows an EDB relation")
+            database[predicate] = set()
+        for rule in self.rules:
+            for literal in rule.body:
+                if literal.predicate not in database:
+                    raise DatalogError(
+                        f"predicate {literal.predicate!r} is neither IDB nor in the "
+                        f"structure's signature {structure.signature.relation_names()}"
+                    )
+
+        self.last_stats = {"derivations": 0, "rounds": 0}
+        for stratum in self.strata:
+            rules = [rule for rule in self.rules if rule.head.predicate in stratum]
+            if seminaive:
+                self._evaluate_stratum(rules, stratum, database, structure)
+            else:
+                self._evaluate_stratum_naive(rules, stratum, database)
+        return {predicate: frozenset(database[predicate]) for predicate in sorted(self.idb)}
+
+    def _evaluate_stratum_naive(
+        self,
+        rules: list[Rule],
+        stratum: frozenset[str],
+        database: dict[str, set[tuple[Element, ...]]],
+    ) -> None:
+        """The textbook naive fixpoint: refire everything until stable."""
+        changed = True
+        while changed:
+            changed = False
+            self.last_stats["rounds"] += 1
+            for rule in rules:
+                for row in list(self._fire(rule, database, None, stratum)):
+                    self.last_stats["derivations"] += 1
+                    if row not in database[rule.head.predicate]:
+                        database[rule.head.predicate].add(row)
+                        changed = True
+
+    def _evaluate_stratum(
+        self,
+        rules: list[Rule],
+        stratum: frozenset[str],
+        database: dict[str, set[tuple[Element, ...]]],
+        structure: Structure,
+    ) -> None:
+        # Naive first round, semi-naive afterwards.
+        delta: dict[str, set[tuple[Element, ...]]] = {
+            predicate: set() for predicate in stratum
+        }
+        for rule in rules:
+            # Materialize before inserting: _fire iterates database sets.
+            for row in list(self._fire(rule, database, None, stratum)):
+                self.last_stats["derivations"] += 1
+                if row not in database[rule.head.predicate]:
+                    database[rule.head.predicate].add(row)
+                    delta[rule.head.predicate].add(row)
+
+        while any(delta.values()):
+            self.last_stats["rounds"] += 1
+            new_delta: dict[str, set[tuple[Element, ...]]] = {
+                predicate: set() for predicate in stratum
+            }
+            for rule in rules:
+                recursive_positions = [
+                    index
+                    for index, literal in enumerate(rule.body)
+                    if not literal.negated and literal.predicate in stratum
+                ]
+                if not recursive_positions:
+                    continue
+                for position in recursive_positions:
+                    for row in list(self._fire(rule, database, (position, delta), stratum)):
+                        self.last_stats["derivations"] += 1
+                        if row not in database[rule.head.predicate]:
+                            database[rule.head.predicate].add(row)
+                            new_delta[rule.head.predicate].add(row)
+            delta = new_delta
+
+    def _fire(
+        self,
+        rule: Rule,
+        database: Mapping[str, set[tuple[Element, ...]]],
+        focus: tuple[int, Mapping[str, set[tuple[Element, ...]]]] | None,
+        stratum: frozenset[str],
+    ) -> Iterable[tuple[Element, ...]]:
+        """All head tuples derivable by one rule under the current database.
+
+        ``focus = (i, delta)`` restricts body literal i to the delta
+        relation (semi-naive evaluation). Negated literals are evaluated
+        last, when their variables are bound (safety guarantees this).
+        """
+        ordered = sorted(
+            range(len(rule.body)), key=lambda index: rule.body[index].negated
+        )
+
+        def extend(order_index: int, binding: dict[DVar, Element]) -> Iterable[dict[DVar, Element]]:
+            if order_index == len(ordered):
+                yield binding
+                return
+            literal = rule.body[ordered[order_index]]
+            if literal.negated:
+                row = tuple(
+                    binding[arg] if isinstance(arg, DVar) else arg
+                    for arg in literal.arguments
+                )
+                if row not in database[literal.predicate]:
+                    yield from extend(order_index + 1, binding)
+                return
+            if focus is not None and ordered[order_index] == focus[0]:
+                rows: Iterable[tuple[Element, ...]] = focus[1][literal.predicate]
+            else:
+                rows = database[literal.predicate]
+            for row in rows:
+                extended = dict(binding)
+                if self._match(literal, row, extended):
+                    yield from extend(order_index + 1, extended)
+
+        for binding in extend(0, {}):
+            yield tuple(
+                binding[arg] if isinstance(arg, DVar) else arg
+                for arg in rule.head.arguments
+            )
+
+    @staticmethod
+    def _match(literal: Literal, row: tuple[Element, ...], binding: dict[DVar, Element]) -> bool:
+        for arg, value in zip(literal.arguments, row):
+            if isinstance(arg, DVar):
+                bound = binding.get(arg)
+                if bound is None:
+                    binding[arg] = value
+                elif bound != value:
+                    return False
+            elif arg != value:
+                return False
+        return True
+
+
+def _tarjan_scc(nodes: list[str], successors) -> list[list[str]]:
+    """Tarjan's strongly connected components, iterative, deterministic."""
+    index_counter = 0
+    indices: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    components: list[list[str]] = []
+
+    def strongconnect(root: str) -> None:
+        nonlocal index_counter
+        work = [(root, iter(successors(root)))]
+        indices[root] = lowlink[root] = index_counter
+        index_counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, children = work[-1]
+            advanced = False
+            for child in children:
+                if child not in indices:
+                    indices[child] = lowlink[child] = index_counter
+                    index_counter += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, iter(successors(child))))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], indices[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == indices[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(sorted(component))
+
+    for node in nodes:
+        if node not in indices:
+            strongconnect(node)
+    return components
+
+
+# ---------------------------------------------------------------------------
+# Concrete syntax
+# ---------------------------------------------------------------------------
+
+_TOKEN = re.compile(
+    r"\s*(?:(?P<entail>:-)|(?P<punct>[(),.])|(?P<not>not\b)"
+    r"|(?P<number>-?\d+)|(?P<string>\"[^\"]*\"|'[^']*')"
+    r"|(?P<ident>[A-Za-z_<][A-Za-z0-9_<>']*)|(?P<comment>%[^\n]*))"
+)
+
+
+def parse_program(text: str) -> Program:
+    """Parse the concrete Datalog syntax described in the module docstring."""
+    tokens: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        if text[pos].isspace():
+            pos += 1
+            continue
+        match = _TOKEN.match(text, pos)
+        if match is None:
+            raise DatalogError(f"unexpected character {text[pos]!r} at position {pos}")
+        kind = match.lastgroup or ""
+        if kind != "comment":
+            tokens.append((kind, match.group().strip()))
+        pos = match.end()
+    tokens.append(("eof", ""))
+
+    index = 0
+
+    def peek() -> tuple[str, str]:
+        return tokens[index]
+
+    def advance() -> tuple[str, str]:
+        nonlocal index
+        token = tokens[index]
+        index += 1
+        return token
+
+    def expect(kind: str, value: str | None = None) -> tuple[str, str]:
+        token = peek()
+        if token[0] != kind or (value is not None and token[1] != value):
+            raise DatalogError(f"expected {value or kind!r}, found {token[1]!r}")
+        return advance()
+
+    def argument() -> Argument:
+        kind, value = advance()
+        if kind == "number":
+            return int(value)
+        if kind == "string":
+            return value[1:-1]
+        if kind == "ident":
+            if value[0].isupper():
+                return DVar(value)
+            return value
+        raise DatalogError(f"expected an argument, found {value!r}")
+
+    def literal() -> Literal:
+        negated = False
+        if peek() == ("not", "not"):
+            advance()
+            negated = True
+        _, name = expect("ident")
+        expect("punct", "(")
+        args = [argument()]
+        while peek() == ("punct", ","):
+            advance()
+            args.append(argument())
+        expect("punct", ")")
+        return Literal(name, tuple(args), negated)
+
+    rules: list[Rule] = []
+    while peek()[0] != "eof":
+        head = literal()
+        if head.negated:
+            raise DatalogError(f"rule head cannot be negated: {head!r}")
+        body: list[Literal] = []
+        if peek()[0] == "entail":
+            advance()
+            body.append(literal())
+            while peek() == ("punct", ","):
+                advance()
+                body.append(literal())
+        expect("punct", ".")
+        rules.append(Rule(head, tuple(body)))
+    return Program(rules)

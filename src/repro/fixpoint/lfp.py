@@ -1,0 +1,207 @@
+"""Least fixed points and the canonical non-FO queries built from them.
+
+Transitive closure, same-generation, reachability — the queries every
+locality argument in the paper is aimed at. Implemented directly (not
+through the Datalog engine) so the two substrates can validate each
+other in the integration tests.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from typing import TypeVar
+
+from repro.errors import FMTError
+from repro.structures.structure import Element, Structure
+
+__all__ = [
+    "least_fixed_point",
+    "inflationary_fixed_point",
+    "transitive_closure",
+    "transitive_closure_stages",
+    "reachable_from",
+    "same_generation",
+    "has_directed_cycle",
+]
+
+T = TypeVar("T")
+
+
+def least_fixed_point(
+    operator: Callable[[frozenset[T]], frozenset[T]],
+    max_iterations: int = 10**6,
+) -> frozenset[T]:
+    """Iterate a monotone operator from ∅ until a fixed point.
+
+    By Knaster–Tarski this is the least fixed point when ``operator`` is
+    monotone. Raises :class:`FMTError` after ``max_iterations`` (a
+    non-monotone operator may cycle).
+    """
+    current: frozenset[T] = frozenset()
+    for _ in range(max_iterations):
+        new = operator(current)
+        if new == current:
+            return current
+        current = new
+    raise FMTError(f"no fixed point reached in {max_iterations} iterations")
+
+
+def inflationary_fixed_point(
+    operator: Callable[[frozenset[T]], frozenset[T]],
+    max_iterations: int = 10**6,
+) -> frozenset[T]:
+    """Iterate X ↦ X ∪ operator(X) from ∅ (always terminates on finite domains)."""
+    current: frozenset[T] = frozenset()
+    for _ in range(max_iterations):
+        new = current | operator(current)
+        if new == current:
+            return current
+        current = new
+    raise FMTError(f"no fixed point reached in {max_iterations} iterations")
+
+
+def transitive_closure(
+    structure: Structure,
+    relation: str = "E",
+) -> frozenset[tuple[Element, Element]]:
+    """The transitive closure of a binary relation (not reflexive).
+
+    Semi-naive iteration: new pairs are joined against base edges only,
+    so the running time is O(|TC| · max-degree) rather than cubic per
+    round.
+    """
+    edges = structure.tuples(relation)
+    successors: dict[Element, list[Element]] = {}
+    for source, target in edges:
+        successors.setdefault(source, []).append(target)
+
+    closure: set[tuple[Element, Element]] = set(edges)
+    frontier = set(edges)
+    while frontier:
+        new: set[tuple[Element, Element]] = set()
+        for source, middle in frontier:
+            for target in successors.get(middle, ()):
+                pair = (source, target)
+                if pair not in closure:
+                    closure.add(pair)
+                    new.add(pair)
+        frontier = new
+    return frozenset(closure)
+
+
+def transitive_closure_stages(
+    structure: Structure,
+    relation: str = "E",
+) -> list[frozenset[tuple[Element, Element]]]:
+    """The stages E, E², ... of the fixed-point computation of TC.
+
+    Each stage is the set of pairs reachable within i+1 steps. The BNDP
+    discussion in the paper observes that "each stage of the fixed-point
+    computation generates a new element of the degree-set" — experiment
+    E6 plots exactly this.
+    """
+    edges = structure.tuples(relation)
+    stages = []
+    current = frozenset(edges)
+    while True:
+        stages.append(current)
+        extended = set(current)
+        for source, middle in current:
+            for middle2, target in edges:
+                if middle == middle2:
+                    extended.add((source, target))
+        new = frozenset(extended)
+        if new == current:
+            return stages
+        current = new
+
+
+def reachable_from(
+    structure: Structure,
+    start: Element,
+    relation: str = "E",
+) -> frozenset[Element]:
+    """Elements reachable from ``start`` by directed edges (including it)."""
+    if start not in structure:
+        raise FMTError(f"element {start!r} is not in the universe")
+    successors: dict[Element, list[Element]] = {}
+    for source, target in structure.tuples(relation):
+        successors.setdefault(source, []).append(target)
+    seen = {start}
+    stack = [start]
+    while stack:
+        current = stack.pop()
+        for target in successors.get(current, ()):
+            if target not in seen:
+                seen.add(target)
+                stack.append(target)
+    return frozenset(seen)
+
+
+def same_generation(
+    structure: Structure,
+    relation: str = "E",
+) -> frozenset[tuple[Element, Element]]:
+    """The same-generation query of the paper's Datalog program:
+
+        sg(x, x) :-
+        sg(x, y) :- e(x', x), e(y', y), sg(x', y')
+
+    x and y are in the same generation iff x = y or their parents (any
+    pair of predecessors) are. On the full binary tree of depth n the
+    answer realizes degrees 1, 2, 4, ..., 2ⁿ — the paper's BNDP example.
+    """
+    edges = structure.tuples(relation)
+    children: dict[Element, list[Element]] = {}
+    for parent, child in edges:
+        children.setdefault(parent, []).append(child)
+
+    result: set[tuple[Element, Element]] = {
+        (element, element) for element in structure.universe
+    }
+    frontier = set(result)
+    while frontier:
+        new: set[tuple[Element, Element]] = set()
+        for parent_x, parent_y in frontier:
+            for x in children.get(parent_x, ()):
+                for y in children.get(parent_y, ()):
+                    pair = (x, y)
+                    if pair not in result:
+                        result.add(pair)
+                        new.add(pair)
+        frontier = new
+    return frozenset(result)
+
+
+def has_directed_cycle(structure: Structure, relation: str = "E") -> bool:
+    """Whether the directed graph has a cycle (the ACYCL query, negated).
+
+    Iterative three-color depth-first search.
+    """
+    successors: dict[Element, list[Element]] = {}
+    for source, target in structure.tuples(relation):
+        successors.setdefault(source, []).append(target)
+
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color: dict[Element, int] = {element: WHITE for element in structure.universe}
+
+    for root in structure.universe:
+        if color[root] != WHITE:
+            continue
+        stack: list[tuple[Element, Iterable[Element]]] = [(root, iter(successors.get(root, ())))]
+        color[root] = GRAY
+        while stack:
+            node, children = stack[-1]
+            found = False
+            for child in children:
+                if color[child] == GRAY:
+                    return True
+                if color[child] == WHITE:
+                    color[child] = GRAY
+                    stack.append((child, iter(successors.get(child, ()))))
+                    found = True
+                    break
+            if not found:
+                color[node] = BLACK
+                stack.pop()
+    return False

@@ -1,0 +1,345 @@
+"""FO(LFP): first-order logic with the least-fixed-point operator.
+
+The survey's arc ends where FO's limits begin: the queries the games and
+locality tools prove undefinable (TC, connectivity, EVEN-over-orders)
+are exactly the recursion FO lacks. FO(LFP) adds it back —
+
+    [lfp_{R, x̄} φ(R, x̄)](t̄)
+
+holds iff t̄ belongs to the least fixed point of the operator
+X ↦ {x̄ : φ(X, x̄)}, which exists because φ must use R *positively*
+(checked syntactically). On ordered structures FO(LFP) captures PTIME
+(Immerman–Vardi) — the classical endpoint of the toolbox.
+
+This module extends the formula AST with an :class:`Lfp` node, extends
+evaluation, and provides the canonical definitions:
+:func:`tc_formula` (transitive closure), :func:`connectivity_sentence`,
+and :func:`even_sentence_over_orders` — EVEN, undefinable in FO over
+orders (Theorem 3.1/E3), defined in FO(LFP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import EvaluationError, FormulaError
+from repro.logic.analysis import free_variables
+from repro.logic.builder import and_, exists, forall, not_, or_
+from repro.logic.syntax import (
+    And,
+    Atom,
+    Bottom,
+    Eq,
+    Exists,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Term,
+    Top,
+    Var,
+)
+from repro.structures.structure import Element, Structure
+
+__all__ = [
+    "Lfp",
+    "check_positive",
+    "evaluate_lfp",
+    "tc_formula",
+    "connectivity_sentence",
+    "even_sentence_over_orders",
+]
+
+
+@dataclass(frozen=True, repr=False)
+class Lfp(Formula):
+    """The least-fixed-point formula [lfp_{R, x̄} body](terms).
+
+    ``relation`` is the fixpoint predicate name (it must not clash with
+    the signature); ``variables`` are the tuple variables x̄ of the
+    inductive definition; ``body`` may mention R positively; ``terms``
+    are the arguments the fixpoint is applied to.
+    """
+
+    relation: str
+    variables: tuple[Var, ...]
+    body: Formula
+    terms: tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "variables", tuple(self.variables))
+        object.__setattr__(self, "terms", tuple(self.terms))
+        if not self.variables:
+            raise FormulaError("lfp needs at least one tuple variable")
+        if len(set(self.variables)) != len(self.variables):
+            raise FormulaError("lfp tuple variables must be distinct")
+        if len(self.terms) != len(self.variables):
+            raise FormulaError(
+                f"lfp applied to {len(self.terms)} terms but defines arity {len(self.variables)}"
+            )
+        check_positive(self.body, self.relation)
+
+    def __repr__(self) -> str:
+        vars_ = ", ".join(var.name for var in self.variables)
+        terms = ", ".join(map(repr, self.terms))
+        return f"[lfp_{{{self.relation}, {vars_}}} {self.body!r}]({terms})"
+
+
+def check_positive(formula: Formula, relation: str, positive: bool = True) -> None:
+    """Verify that ``relation`` occurs only under an even number of negations.
+
+    Positivity makes the associated operator monotone, so the least
+    fixed point exists (Knaster–Tarski). Raises :class:`FormulaError`
+    on a negative occurrence.
+    """
+    if isinstance(formula, Atom):
+        if formula.relation == relation and not positive:
+            raise FormulaError(
+                f"fixpoint predicate {relation!r} occurs negatively: the operator "
+                "would not be monotone"
+            )
+        return
+    if isinstance(formula, (Eq, Top, Bottom)):
+        return
+    if isinstance(formula, Not):
+        check_positive(formula.body, relation, not positive)
+        return
+    if isinstance(formula, (And, Or)):
+        for child in formula.children:
+            check_positive(child, relation, positive)
+        return
+    if isinstance(formula, Implies):
+        check_positive(formula.premise, relation, not positive)
+        check_positive(formula.conclusion, relation, positive)
+        return
+    if isinstance(formula, Iff):
+        # Both polarities on both sides.
+        for side in (formula.left, formula.right):
+            check_positive(side, relation, True)
+            check_positive(side, relation, False)
+        return
+    if isinstance(formula, (Exists, Forall)):
+        check_positive(formula.body, relation, positive)
+        return
+    if isinstance(formula, Lfp):
+        # An inner lfp with the same name rebinds it; occurrences inside
+        # belong to the inner fixpoint and impose no constraint here.
+        if formula.relation != relation:
+            check_positive(formula.body, relation, positive)
+        return
+    raise FormulaError(f"unknown formula node {formula!r}")
+
+
+def evaluate_lfp(
+    structure: Structure,
+    formula: Formula,
+    assignment: dict[Var, Element] | None = None,
+) -> bool:
+    """Evaluate an FO(LFP) formula (plain FO nodes plus :class:`Lfp`).
+
+    Fixpoints are computed by naive iteration from ∅ — at most
+    n^arity + 1 rounds, so evaluation is polynomial-time for a fixed
+    formula (the Immerman–Vardi upper bound, made concrete).
+    """
+    env: dict[Var, Element] = dict(assignment or {})
+    fixpoints: dict[str, frozenset[tuple[Element, ...]]] = {}
+    # Fixpoint tables depend only on the bindings of the lfp body's free
+    # variables *other than* the tuple variables; memoizing on those
+    # keeps a closed fixpoint (like reach(x, y) under ∀x∀y) computed
+    # once instead of once per outer binding.
+    table_cache: dict[tuple, frozenset[tuple[Element, ...]]] = {}
+
+    def run(node: Formula) -> bool:
+        if isinstance(node, Atom):
+            row = tuple(_value(term) for term in node.terms)
+            if node.relation in fixpoints:
+                return row in fixpoints[node.relation]
+            return structure.holds(node.relation, row)
+        if isinstance(node, Eq):
+            return _value(node.left) == _value(node.right)
+        if isinstance(node, Top):
+            return True
+        if isinstance(node, Bottom):
+            return False
+        if isinstance(node, Not):
+            return not run(node.body)
+        if isinstance(node, And):
+            return all(run(child) for child in node.children)
+        if isinstance(node, Or):
+            return any(run(child) for child in node.children)
+        if isinstance(node, Implies):
+            return (not run(node.premise)) or run(node.conclusion)
+        if isinstance(node, Iff):
+            return run(node.left) == run(node.right)
+        if isinstance(node, (Exists, Forall)):
+            want = isinstance(node, Exists)
+            shadow, had = env.get(node.var), node.var in env
+            result = not want
+            for value in structure.universe:
+                env[node.var] = value
+                if run(node.body) == want:
+                    result = want
+                    break
+            if had:
+                env[node.var] = shadow  # type: ignore[assignment]
+            else:
+                env.pop(node.var, None)
+            return result
+        if isinstance(node, Lfp):
+            table = _fixpoint_table(node)
+            row = tuple(_value(term) for term in node.terms)
+            return row in table
+        raise FormulaError(f"unknown formula node {node!r}")
+
+    def _value(term: Term) -> Element:
+        if isinstance(term, Var):
+            try:
+                return env[term]
+            except KeyError:
+                raise EvaluationError(f"free variable {term.name!r} has no binding") from None
+        return structure.constant(term.name)
+
+    def _fixpoint_table(node: Lfp) -> frozenset[tuple[Element, ...]]:
+        import itertools
+
+        if node.relation in fixpoints or structure.signature.has_relation(node.relation):
+            raise FormulaError(
+                f"fixpoint predicate {node.relation!r} shadows an existing relation"
+            )
+        parameters = tuple(
+            sorted(
+                free_variables_lfp(node.body) - set(node.variables),
+                key=lambda var: var.name,
+            )
+        )
+        cache_key = (id(node), tuple(env.get(var) for var in parameters))
+        cached = table_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        arity = len(node.variables)
+        all_rows = list(itertools.product(structure.universe, repeat=arity))
+        current: frozenset[tuple[Element, ...]] = frozenset()
+        shadows = {var: env.get(var) for var in node.variables}
+        had = {var: var in env for var in node.variables}
+        while True:
+            fixpoints[node.relation] = current
+            new_rows = set()
+            for row in all_rows:
+                for var, value in zip(node.variables, row):
+                    env[var] = value
+                if run(node.body):
+                    new_rows.add(row)
+            del fixpoints[node.relation]
+            new = frozenset(new_rows)
+            if new == current:
+                break
+            current = new
+        for var in node.variables:
+            if had[var]:
+                env[var] = shadows[var]  # type: ignore[assignment]
+            else:
+                env.pop(var, None)
+        table_cache[cache_key] = current
+        return current
+
+    free = free_variables_lfp(formula)
+    missing = free - set(env)
+    if missing:
+        names = sorted(var.name for var in missing)
+        raise EvaluationError(f"free variables {names} have no binding")
+    return run(formula)
+
+
+def free_variables_lfp(formula: Formula) -> frozenset[Var]:
+    """Free variables of an FO(LFP) formula (Lfp binds its tuple variables)."""
+    if isinstance(formula, Lfp):
+        body_free = free_variables_lfp(formula.body) - set(formula.variables)
+        term_vars = frozenset(term for term in formula.terms if isinstance(term, Var))
+        return body_free | term_vars
+    if isinstance(formula, Not):
+        return free_variables_lfp(formula.body)
+    if isinstance(formula, (And, Or)):
+        result: frozenset[Var] = frozenset()
+        for child in formula.children:
+            result |= free_variables_lfp(child)
+        return result
+    if isinstance(formula, Implies):
+        return free_variables_lfp(formula.premise) | free_variables_lfp(formula.conclusion)
+    if isinstance(formula, Iff):
+        return free_variables_lfp(formula.left) | free_variables_lfp(formula.right)
+    if isinstance(formula, (Exists, Forall)):
+        return free_variables_lfp(formula.body) - {formula.var}
+    return free_variables(formula)
+
+
+# ---------------------------------------------------------------------------
+# The canonical FO(LFP) definitions
+# ---------------------------------------------------------------------------
+
+
+def tc_formula(source: str = "x", target: str = "y") -> Lfp:
+    """TC(x, y) as an LFP formula: the least R with
+    R(x, y) ← E(x, y) ∨ ∃z (E(x, z) ∧ R(z, y))."""
+    x, y, z = Var(source), Var(target), Var("_lfp_z")
+    body = or_(
+        Atom("E", (x, y)),
+        exists(z, and_(Atom("E", (x, z)), Atom("TC", (z, y)))),
+    )
+    return Lfp("TC", (x, y), body, (x, y))
+
+
+def connectivity_sentence() -> Formula:
+    """CONN as an FO(LFP) sentence over graphs (undirected reading).
+
+    ∀x∀y (x = y ∨ reach(x, y)) where reach is the LFP closure of the
+    symmetrized edge relation.
+    """
+    x, y, z = Var("x"), Var("y"), Var("_lfp_z")
+    step = or_(Atom("E", (x, y)), Atom("E", (y, x)))
+    body = or_(
+        step,
+        exists(
+            z,
+            and_(
+                or_(Atom("E", (x, z)), Atom("E", (z, x))),
+                Atom("REACH", (z, y)),
+            ),
+        ),
+    )
+    reach = Lfp("REACH", (x, y), body, (x, y))
+    return forall(x, forall(y, or_(Eq(x, y), reach)))
+
+
+def even_sentence_over_orders() -> Formula:
+    """EVEN over linear orders — not FO (Theorem 3.1), but FO(LFP).
+
+    EVENPOS is the least set containing the 2nd element and closed under
+    double successor; the universe has even size iff the last element is
+    in it. (Positions counted from 1: the 2nd, 4th, ... elements.)
+    """
+    x, y = Var("x"), Var("y")
+    a, b, m = Var("_a"), Var("_b"), Var("_m")
+
+    def succ(lo: Var, hi: Var) -> Formula:
+        return and_(
+            Atom("<", (lo, hi)),
+            not_(exists(m, and_(Atom("<", (lo, m)), Atom("<", (m, hi))))),
+        )
+
+    first_is = lambda var: not_(exists(m, Atom("<", (m, var))))  # noqa: E731
+    last_is = lambda var: not_(exists(m, Atom("<", (var, m))))  # noqa: E731
+
+    # x is the 2nd element: ∃a (first(a) ∧ succ(a, x)).
+    second = exists(a, and_(first_is(a), succ(a, x)))
+    # Double successor step: ∃a∃b (EVENPOS(a) ∧ succ(a, b) ∧ succ(b, x)).
+    step = exists(
+        a,
+        exists(
+            b,
+            and_(Atom("EVENPOS", (a,)), succ(a, b), succ(b, x)),
+        ),
+    )
+    evenpos = Lfp("EVENPOS", (x,), or_(second, step), (y,))
+    return exists(y, and_(last_is(y), evenpos))

@@ -1,0 +1,45 @@
+"""Ehrenfeucht–Fraïssé and pebble games (S4).
+
+Exact solvers, a library of closed-form duplicator strategies, and
+separating-sentence extraction.
+"""
+
+from repro.games.ef import (
+    GamePosition,
+    GameResult,
+    Move,
+    ef_equivalent,
+    optimal_duplicator,
+    optimal_spoiler,
+    play_ef_game,
+    solve_ef_game,
+)
+from repro.games.fraisse import back_and_forth_system, fraisse_equivalent
+from repro.games.pebble import pebble_forever_equivalent, pebble_game_equivalent
+from repro.games.separators import (
+    agree_on_sentence,
+    certify_equivalence,
+    distinguishing_sentence,
+)
+from repro.games.strategies import (
+    gap_halving_spoiler,
+    linear_order_duplicator,
+    linear_order_threshold,
+    order_ranks,
+    product_duplicator,
+    set_duplicator,
+    theorem_3_1_families,
+    union_duplicator,
+)
+
+__all__ = [
+    "GamePosition", "GameResult", "Move",
+    "solve_ef_game", "ef_equivalent", "play_ef_game",
+    "optimal_spoiler", "optimal_duplicator",
+    "pebble_game_equivalent", "pebble_forever_equivalent",
+    "back_and_forth_system", "fraisse_equivalent",
+    "distinguishing_sentence", "agree_on_sentence", "certify_equivalence",
+    "set_duplicator", "linear_order_duplicator", "union_duplicator",
+    "gap_halving_spoiler", "product_duplicator",
+    "order_ranks", "linear_order_threshold", "theorem_3_1_families",
+]

@@ -1,0 +1,398 @@
+"""The Ehrenfeucht–Fraïssé game: an exact solver with strategy extraction.
+
+The n-round EF game G_n(A, B) (§3.2 of the paper): in each round the
+spoiler picks an element in one structure and the duplicator answers in
+the other; the duplicator wins iff after n rounds the played pairs form a
+partial isomorphism. ``A ∼_{G_n} B`` (duplicator has a winning strategy)
+iff A ≡_n B (they agree on all sentences of quantifier rank ≤ n).
+
+Deciding the winner is PSPACE-hard in general, so the solver is an exact
+memoized minimax:
+
+* positions are the *set* of played pairs plus rounds remaining (the
+  order of play is irrelevant — only the partial map matters);
+* a spoiler move that replays an already-played element never helps (it
+  wastes a round: duplicator's reply is forced and the position is
+  unchanged), so only fresh elements are searched;
+* partial-isomorphism maintenance is checked incrementally — only tuples
+  through the new pair are examined.
+
+A per-call work budget turns runaway searches into
+:class:`~repro.errors.BudgetExceededError` instead of hangs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Literal
+
+from repro.errors import BudgetExceededError, GameError
+from repro.structures.isomorphism import extends_partial_isomorphism
+from repro.structures.structure import Element, Structure
+
+__all__ = [
+    "GamePosition",
+    "GameResult",
+    "Move",
+    "solve_ef_game",
+    "ef_equivalent",
+    "play_ef_game",
+    "optimal_spoiler",
+    "optimal_duplicator",
+]
+
+Side = Literal["left", "right"]
+
+
+@dataclass(frozen=True)
+class GamePosition:
+    """A game position: the pairs played so far and the rounds remaining.
+
+    ``pairs[i] = (a_i, b_i)`` with a_i from the left structure. The play
+    order is retained for display, but the solver treats positions as
+    sets of pairs.
+    """
+
+    pairs: tuple[tuple[Element, Element], ...]
+    rounds_left: int
+
+    def mapping(self) -> dict[Element, Element]:
+        return dict(self.pairs)
+
+
+@dataclass(frozen=True)
+class Move:
+    """One spoiler move: a side and an element of that side's structure."""
+
+    side: Side
+    element: Element
+
+
+@dataclass
+class GameResult:
+    """Outcome of solving an EF game.
+
+    ``duplicator_wins`` answers A ∼_{G_n} B; ``explored`` counts solver
+    positions (a machine-independent cost measure used by bench E3).
+    """
+
+    duplicator_wins: bool
+    rounds: int
+    explored: int
+    _value: Callable[[frozenset[tuple[Element, Element]], int], bool] = field(repr=False, default=None)  # type: ignore[assignment]
+
+
+def _check_position(left: Structure, right: Structure, position: GamePosition) -> None:
+    for a, b in position.pairs:
+        if a not in left:
+            raise GameError(f"left element {a!r} is not in the left structure")
+        if b not in right:
+            raise GameError(f"right element {b!r} is not in the right structure")
+    if position.rounds_left < 0:
+        raise GameError(f"rounds_left must be non-negative, got {position.rounds_left}")
+
+
+def solve_ef_game(
+    left: Structure,
+    right: Structure,
+    rounds: int,
+    start: GamePosition | None = None,
+    budget: int = 5_000_000,
+    memoize: bool = True,
+) -> GameResult:
+    """Decide who wins G_rounds(left, right), exactly.
+
+    Parameters
+    ----------
+    start:
+        Optional mid-game position to solve from (used for strategy
+        replay and by the locality tools); by default the empty position.
+    budget:
+        Maximum number of position expansions before raising
+        :class:`BudgetExceededError`.
+    memoize:
+        Disable only for ablation experiments: without the position
+        table the search revisits permutations of the same position,
+        multiplying the work by up to rounds!.
+    """
+    if left.signature != right.signature:
+        raise GameError("EF games require structures over the same signature")
+    if start is None:
+        start = GamePosition((), rounds)
+    _check_position(left, right, start)
+
+    memo: dict[tuple[frozenset[tuple[Element, Element]], int], bool] = {}
+    explored = 0
+
+    left_universe = left.universe
+    right_universe = right.universe
+
+    def duplicator_wins(
+        pairs: frozenset[tuple[Element, Element]],
+        mapping: dict[Element, Element],
+        inverse: dict[Element, Element],
+        rounds_left: int,
+    ) -> bool:
+        nonlocal explored
+        if rounds_left == 0:
+            return True
+        key = (pairs, rounds_left)
+        if memoize:
+            cached = memo.get(key)
+            if cached is not None:
+                return cached
+        explored += 1
+        if explored > budget:
+            raise BudgetExceededError("EF solver budget exceeded", spent=explored, budget=budget)
+
+        result = True
+        # Spoiler tries fresh elements on the left...
+        for a in left_universe:
+            if a in mapping:
+                continue
+            if not _has_response(a, "left", pairs, mapping, inverse, rounds_left):
+                result = False
+                break
+        if result:
+            # ... and on the right.
+            for b in right_universe:
+                if b in inverse:
+                    continue
+                if not _has_response(b, "right", pairs, mapping, inverse, rounds_left):
+                    result = False
+                    break
+        if memoize:
+            memo[key] = result
+        return result
+
+    def _has_response(
+        element: Element,
+        side: Side,
+        pairs: frozenset[tuple[Element, Element]],
+        mapping: dict[Element, Element],
+        inverse: dict[Element, Element],
+        rounds_left: int,
+    ) -> bool:
+        responses = right_universe if side == "left" else left_universe
+        for response in responses:
+            if side == "left":
+                a, b = element, response
+            else:
+                a, b = response, element
+            if b in inverse or a in mapping:
+                continue
+            if not extends_partial_isomorphism(left, right, mapping, inverse, a, b):
+                continue
+            mapping[a] = b
+            inverse[b] = a
+            won = duplicator_wins(pairs | {(a, b)}, mapping, inverse, rounds_left - 1)
+            del mapping[a]
+            del inverse[b]
+            if won:
+                return True
+        return False
+
+    start_mapping: dict[Element, Element] = {}
+    start_inverse: dict[Element, Element] = {}
+    for a, b in start.pairs:
+        if not extends_partial_isomorphism(left, right, start_mapping, start_inverse, a, b):
+            # The starting position is already lost for the duplicator.
+            return GameResult(False, rounds, 0, _value=lambda *_: False)
+        start_mapping[a] = b
+        start_inverse[b] = a
+
+    wins = duplicator_wins(
+        frozenset(start.pairs), start_mapping, start_inverse, start.rounds_left
+    )
+
+    def value(pairs: frozenset[tuple[Element, Element]], rounds_left: int) -> bool:
+        mapping = dict(pairs)
+        inverse = {b: a for a, b in pairs}
+        return duplicator_wins(pairs, mapping, inverse, rounds_left)
+
+    return GameResult(wins, rounds, explored, _value=value)
+
+
+def ef_equivalent(left: Structure, right: Structure, rounds: int, budget: int = 5_000_000) -> bool:
+    """Whether A ∼_{G_n} B — equivalently (EF theorem) A ≡_n B."""
+    return solve_ef_game(left, right, rounds, budget=budget).duplicator_wins
+
+
+# ---------------------------------------------------------------------------
+# Playing games: pit concrete strategies against each other
+# ---------------------------------------------------------------------------
+
+SpoilerStrategy = Callable[[Structure, Structure, GamePosition], Move]
+DuplicatorStrategy = Callable[[Structure, Structure, GamePosition, Move], Element]
+
+
+def play_ef_game(
+    left: Structure,
+    right: Structure,
+    rounds: int,
+    spoiler: SpoilerStrategy,
+    duplicator: DuplicatorStrategy,
+) -> tuple[str, GamePosition]:
+    """Play out G_rounds with the given strategies; return (winner, final).
+
+    The winner is ``"duplicator"`` if every prefix of the play is a
+    partial isomorphism after all rounds, else ``"spoiler"`` (the game
+    stops at the first violated position). Strategy outputs are
+    validated; illegal moves raise :class:`GameError`.
+
+    This is how the strategy *library* (S4) is validated: a closed-form
+    duplicator strategy playing against :func:`optimal_spoiler` must win
+    exactly when the exact solver says the duplicator wins.
+    """
+    if left.signature != right.signature:
+        raise GameError("EF games require structures over the same signature")
+    pairs: list[tuple[Element, Element]] = []
+    mapping: dict[Element, Element] = {}
+    inverse: dict[Element, Element] = {}
+    for round_index in range(rounds):
+        position = GamePosition(tuple(pairs), rounds - round_index)
+        move = spoiler(left, right, position)
+        if move.side not in ("left", "right"):
+            raise GameError(f"spoiler returned invalid side {move.side!r}")
+        source = left if move.side == "left" else right
+        if move.element not in source:
+            raise GameError(f"spoiler played {move.element!r}, not in the {move.side} structure")
+        response = duplicator(left, right, position, move)
+        if move.side == "left":
+            a, b = move.element, response
+            if b not in right:
+                raise GameError(f"duplicator played {b!r}, not in the right structure")
+        else:
+            a, b = response, move.element
+            if a not in left:
+                raise GameError(f"duplicator played {a!r}, not in the left structure")
+        consistent = (mapping.get(a, b) == b) and (inverse.get(b, a) == a)
+        fresh = a not in mapping and b not in inverse
+        if fresh:
+            if not extends_partial_isomorphism(left, right, mapping, inverse, a, b):
+                pairs.append((a, b))
+                return "spoiler", GamePosition(tuple(pairs), rounds - round_index - 1)
+            mapping[a] = b
+            inverse[b] = a
+        elif not consistent:
+            pairs.append((a, b))
+            return "spoiler", GamePosition(tuple(pairs), rounds - round_index - 1)
+        pairs.append((a, b))
+    return "duplicator", GamePosition(tuple(pairs), 0)
+
+
+def optimal_spoiler(budget: int = 5_000_000) -> SpoilerStrategy:
+    """A perfect spoiler: plays a winning move whenever one exists.
+
+    Solves the remaining game exactly at every turn, so only use on
+    small structures. If the position is already winning for the
+    duplicator, plays the first fresh element (it must play something).
+    """
+
+    def strategy(left: Structure, right: Structure, position: GamePosition) -> Move:
+        mapping = position.mapping()
+        inverse = {b: a for a, b in position.pairs}
+        rounds_left = position.rounds_left
+        for side, universe, played in (
+            ("left", left.universe, mapping),
+            ("right", right.universe, inverse),
+        ):
+            for element in universe:
+                if element in played:
+                    continue
+                # The move wins if the duplicator has NO good response.
+                if not _spoiler_move_refuted(
+                    left, right, position, side, element, budget
+                ):
+                    return Move(side, element)  # type: ignore[arg-type]
+        # No winning move: play any fresh element (or element 0 if none).
+        for side, universe, played in (
+            ("left", left.universe, mapping),
+            ("right", right.universe, inverse),
+        ):
+            for element in universe:
+                if element not in played:
+                    return Move(side, element)  # type: ignore[arg-type]
+        return Move("left", left.universe[0])
+
+    return strategy
+
+
+def _spoiler_move_refuted(
+    left: Structure,
+    right: Structure,
+    position: GamePosition,
+    side: Side,
+    element: Element,
+    budget: int,
+) -> bool:
+    """Whether the duplicator has a winning answer to this spoiler move."""
+    mapping = position.mapping()
+    inverse = {b: a for a, b in position.pairs}
+    responses = right.universe if side == "left" else left.universe
+    for response in responses:
+        if side == "left":
+            a, b = element, response
+        else:
+            a, b = response, element
+        if a in mapping or b in inverse:
+            continue
+        if not extends_partial_isomorphism(left, right, mapping, inverse, a, b):
+            continue
+        next_position = GamePosition(
+            position.pairs + ((a, b),), position.rounds_left - 1
+        )
+        result = solve_ef_game(
+            left, right, next_position.rounds_left, start=next_position, budget=budget
+        )
+        if result.duplicator_wins:
+            return True
+    return False
+
+
+def optimal_duplicator(budget: int = 5_000_000) -> DuplicatorStrategy:
+    """A perfect duplicator: answers with a winning response when one exists.
+
+    When the position is already lost it falls back to any legal-looking
+    response (preferring ones that keep the partial isomorphism alive for
+    as long as possible).
+    """
+
+    def strategy(
+        left: Structure, right: Structure, position: GamePosition, move: Move
+    ) -> Element:
+        mapping = position.mapping()
+        inverse = {b: a for a, b in position.pairs}
+        responses = right.universe if move.side == "left" else left.universe
+        fallback: Element | None = None
+        # Forced reply if the spoiler replayed an old element.
+        if move.side == "left" and move.element in mapping:
+            return mapping[move.element]
+        if move.side == "right" and move.element in inverse:
+            return inverse[move.element]
+        for response in responses:
+            if move.side == "left":
+                a, b = move.element, response
+                played = b in inverse
+            else:
+                a, b = response, move.element
+                played = a in mapping
+            if played:
+                continue
+            if not extends_partial_isomorphism(left, right, mapping, inverse, a, b):
+                continue
+            if fallback is None:
+                fallback = response
+            next_position = GamePosition(
+                position.pairs + ((a, b),), position.rounds_left - 1
+            )
+            result = solve_ef_game(
+                left, right, next_position.rounds_left, start=next_position, budget=budget
+            )
+            if result.duplicator_wins:
+                return response
+        if fallback is not None:
+            return fallback
+        return responses[0]
+
+    return strategy

@@ -1,0 +1,208 @@
+"""k-pebble games: equivalence in the bounded-variable fragments FO^k.
+
+In the k-pebble game the players have k pairs of pebbles; in each round
+the spoiler may *move* a pebble already on the board instead of having an
+unbounded supply. Duplicator winning the m-round k-pebble game
+characterizes agreement on FO^k sentences of quantifier rank ≤ m, and
+winning *forever* characterizes agreement on all of FO^k (infinitary
+C-free version). The forever-game is decidable by a greatest-fixpoint
+computation over positions, implemented here.
+
+The paper mentions bounded-variable logics as part of the toolbox; the
+pebble solver also provides an independent lower bound for the EF solver
+in tests (duplicator wins G_n ⇒ duplicator wins the n-round k-pebble
+game for every k ≥ n).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.errors import BudgetExceededError, GameError
+from repro.structures.isomorphism import is_partial_isomorphism
+from repro.structures.structure import Element, Structure
+
+__all__ = [
+    "pebble_game_equivalent",
+    "pebble_forever_equivalent",
+    "minimal_separating_rounds",
+    "minimal_separating_pebbles",
+]
+
+Position = frozenset[tuple[Element, Element]]
+
+
+def _is_valid(left: Structure, right: Structure, position: Position) -> bool:
+    mapping: dict[Element, Element] = {}
+    inverse: dict[Element, Element] = {}
+    for a, b in position:
+        if mapping.get(a, b) != b or inverse.get(b, a) != a:
+            return False
+        mapping[a] = b
+        inverse[b] = a
+    return is_partial_isomorphism(left, right, list(position))
+
+
+def pebble_game_equivalent(
+    left: Structure,
+    right: Structure,
+    pebbles: int,
+    rounds: int,
+    budget: int = 2_000_000,
+) -> bool:
+    """Whether the duplicator wins the ``rounds``-round ``pebbles``-pebble game.
+
+    Positions are sets of at most k pebbled pairs; pebble identity is
+    irrelevant because the spoiler may move any pebble. A spoiler turn:
+    optionally remove one pair (mandatory when k pairs are on the board),
+    then place a fresh pebble on any element of either structure; the
+    duplicator answers in the other structure. The duplicator survives a
+    round iff the new position is a partial isomorphism.
+    """
+    if left.signature != right.signature:
+        raise GameError("pebble games require structures over the same signature")
+    if pebbles < 1:
+        raise GameError(f"need at least one pebble, got {pebbles}")
+
+    memo: dict[tuple[Position, int], bool] = {}
+    explored = 0
+
+    def duplicator_wins(position: Position, rounds_left: int) -> bool:
+        nonlocal explored
+        if rounds_left == 0:
+            return True
+        key = (position, rounds_left)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        explored += 1
+        if explored > budget:
+            raise BudgetExceededError("pebble solver budget exceeded", spent=explored, budget=budget)
+
+        # Spoiler picks the sub-position to keep (drop one pair, or none
+        # if a pebble pair is still unused), a side, and an element.
+        keeps: set[Position] = set()
+        if len(position) < pebbles:
+            keeps.add(position)
+        for pair in position:
+            keeps.add(position - {pair})
+
+        result = True
+        for keep in keeps:
+            for side, universe in (("left", left.universe), ("right", right.universe)):
+                for element in universe:
+                    if not _duplicator_answers(keep, side, element, rounds_left):
+                        result = False
+                        memo[key] = result
+                        return result
+        memo[key] = result
+        return result
+
+    def _duplicator_answers(keep: Position, side: str, element: Element, rounds_left: int) -> bool:
+        responses = right.universe if side == "left" else left.universe
+        for response in responses:
+            pair = (element, response) if side == "left" else (response, element)
+            candidate = keep | {pair}
+            if not _is_valid(left, right, candidate):
+                continue
+            if duplicator_wins(candidate, rounds_left - 1):
+                return True
+        return False
+
+    return duplicator_wins(frozenset(), rounds)
+
+
+def pebble_forever_equivalent(left: Structure, right: Structure, pebbles: int) -> bool:
+    """Whether the duplicator survives the k-pebble game *forever*.
+
+    Greatest fixpoint: start with all valid positions (partial
+    isomorphisms of size ≤ k) and repeatedly delete positions from which
+    some spoiler move has no surviving answer, until stable. The
+    duplicator wins forever iff the empty position survives.
+
+    This decides A ≡_{FO^k} B (agreement on all k-variable sentences of
+    arbitrary quantifier rank) in polynomial time for fixed k.
+    """
+    if left.signature != right.signature:
+        raise GameError("pebble games require structures over the same signature")
+    if pebbles < 1:
+        raise GameError(f"need at least one pebble, got {pebbles}")
+
+    positions: set[Position] = set()
+    for size in range(pebbles + 1):
+        for left_tuple in itertools.combinations(left.universe, size):
+            for right_tuple in itertools.permutations(right.universe, size):
+                candidate: Position = frozenset(zip(left_tuple, right_tuple))
+                if _is_valid(left, right, candidate):
+                    positions.add(candidate)
+
+    def survives(position: Position, alive: set[Position]) -> bool:
+        keeps: set[Position] = set()
+        if len(position) < pebbles:
+            keeps.add(position)
+        for pair in position:
+            keeps.add(position - {pair})
+        for keep in keeps:
+            for side, universe, responses in (
+                ("left", left.universe, right.universe),
+                ("right", right.universe, left.universe),
+            ):
+                for element in universe:
+                    answered = False
+                    for response in responses:
+                        pair = (
+                            (element, response) if side == "left" else (response, element)
+                        )
+                        if (keep | {pair}) in alive:
+                            answered = True
+                            break
+                    if not answered:
+                        return False
+        return True
+
+    changed = True
+    while changed:
+        changed = False
+        for position in list(positions):
+            if not survives(position, positions):
+                positions.discard(position)
+                changed = True
+
+    return frozenset() in positions
+
+
+def minimal_separating_rounds(
+    left: Structure,
+    right: Structure,
+    max_rounds: int,
+    budget: int = 5_000_000,
+) -> int | None:
+    """The least n with A ≢_n B, searching n = 1..max_rounds.
+
+    Equivalently (EF theorem): the minimal quantifier rank of any FO
+    sentence separating the two structures. Returns None when even
+    ``max_rounds`` rounds do not separate them.
+    """
+    from repro.games.ef import ef_equivalent
+
+    for rounds in range(1, max_rounds + 1):
+        if not ef_equivalent(left, right, rounds, budget=budget):
+            return rounds
+    return None
+
+
+def minimal_separating_pebbles(
+    left: Structure,
+    right: Structure,
+    max_pebbles: int,
+) -> int | None:
+    """The least k such that some FO^k sentence separates the structures.
+
+    Uses the forever k-pebble game, so arbitrary quantifier rank is
+    allowed — this measures pure *variable-width*. Returns None if even
+    FO^max_pebbles cannot tell them apart.
+    """
+    for pebbles in range(1, max_pebbles + 1):
+        if not pebble_forever_equivalent(left, right, pebbles):
+            return pebbles
+    return None

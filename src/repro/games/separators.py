@@ -1,0 +1,78 @@
+"""Separating sentences: the logic side of the EF theorem, executable.
+
+When the spoiler wins G_n(A, B), the EF theorem promises a sentence of
+quantifier rank ≤ n on which A and B disagree. This module produces one
+— the rank-n Hintikka sentence of A — and verifies it, giving a
+*certificate* for every inexpressibility argument run through the game
+solver (experiment E13).
+"""
+
+from __future__ import annotations
+
+from repro.errors import GameError
+from repro.eval.evaluator import evaluate
+from repro.games.ef import ef_equivalent
+from repro.logic.analysis import quantifier_rank
+from repro.logic.hintikka import hintikka_sentence
+from repro.logic.syntax import Formula
+from repro.structures.structure import Structure
+
+__all__ = ["distinguishing_sentence", "agree_on_sentence", "certify_equivalence"]
+
+
+def distinguishing_sentence(
+    left: Structure,
+    right: Structure,
+    rounds: int,
+    budget: int = 5_000_000,
+) -> Formula | None:
+    """A sentence of qr ≤ rounds true in ``left`` and false in ``right``.
+
+    Returns ``None`` when the duplicator wins G_rounds(left, right) —
+    by the EF theorem no such sentence exists then. When the spoiler
+    wins, the rank-``rounds`` Hintikka sentence of ``left`` is returned
+    *after being checked on both structures*, so a non-None result is a
+    verified separation certificate.
+
+    Warning: Hintikka sentences grow tower-exponentially with ``rounds``;
+    keep rounds ≤ 3 and structures small.
+    """
+    if ef_equivalent(left, right, rounds, budget=budget):
+        return None
+    sentence = hintikka_sentence(left, rounds)
+    if quantifier_rank(sentence) > rounds:
+        raise GameError(
+            f"internal error: Hintikka sentence has rank {quantifier_rank(sentence)} > {rounds}"
+        )
+    if not evaluate(left, sentence):
+        raise GameError("internal error: Hintikka sentence false in its own structure")
+    if evaluate(right, sentence):
+        raise GameError(
+            "internal error: spoiler wins but the Hintikka sentence does not separate"
+        )
+    return sentence
+
+
+def agree_on_sentence(left: Structure, right: Structure, sentence: Formula) -> bool:
+    """Whether the two structures give the sentence the same truth value."""
+    return evaluate(left, sentence) == evaluate(right, sentence)
+
+
+def certify_equivalence(
+    left: Structure,
+    right: Structure,
+    rounds: int,
+    budget: int = 5_000_000,
+) -> Formula | None:
+    """Certify A ≡_rounds B via Hintikka sentences (no game search).
+
+    Returns the rank-``rounds`` Hintikka sentence of ``left`` if ``right``
+    satisfies it (which by the EF theorem *implies* A ≡_rounds B), else
+    ``None``. This is an independent check of the game solver: the
+    sentence route and the game route must always agree, and the test
+    suite asserts they do.
+    """
+    sentence = hintikka_sentence(left, rounds)
+    if evaluate(right, sentence):
+        return sentence
+    return None

@@ -1,0 +1,311 @@
+"""A library of closed-form duplicator winning strategies.
+
+The paper (§3.2, citing Fagin–Stockmeyer–Vardi) suggests "building a
+library of winning strategies for the duplicator". This module is that
+library:
+
+* :func:`set_duplicator` — the copying strategy on bare sets: wins the
+  n-round game on any two sets with ≥ n elements (§3.2's easy example);
+* :func:`linear_order_duplicator` — the interval (gap-halving) strategy
+  on linear orders: wins G_n(L_m, L_k) whenever m = k or both
+  m, k ≥ 2ⁿ − 1, which proves Theorem 3.1 for *all* sizes, not just the
+  ones the exact solver can reach;
+* :func:`union_duplicator` — the composition lemma: winning strategies
+  on (A₁,B₁) and (A₂,B₂) combine to one on (A₁⊕A₂, B₁⊕B₂).
+
+Each strategy is a plain function compatible with
+:func:`repro.games.ef.play_ef_game`; the tests validate them by playing
+against the exact :func:`repro.games.ef.optimal_spoiler`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GameError
+from repro.games.ef import DuplicatorStrategy, GamePosition, Move
+from repro.structures.structure import Element, Structure
+
+__all__ = [
+    "set_duplicator",
+    "linear_order_duplicator",
+    "union_duplicator",
+    "product_duplicator",
+    "gap_halving_spoiler",
+    "order_ranks",
+    "linear_order_threshold",
+    "theorem_3_1_families",
+]
+
+
+def linear_order_threshold(n: int) -> int:
+    """The tight size threshold for Theorem 3.1: L_m ≡_n L_k iff m = k or
+    both m, k ≥ 2ⁿ − 1.
+
+    The paper states the (slightly weaker) sufficient bound m, k ≥ 2ⁿ;
+    experiment E3 confirms with the exact solver that 2ⁿ − 1 is tight.
+    """
+    if n < 0:
+        raise GameError(f"rounds must be non-negative, got {n}")
+    return 2**n - 1
+
+
+def theorem_3_1_families(n: int) -> tuple[int, int]:
+    """The (|A_n|, |B_n|) sizes the paper picks to kill EVEN on orders.
+
+    A_n = L_{2ⁿ} (even) and B_n = L_{2ⁿ+1} (odd): both are ≥ 2ⁿ, so by
+    Theorem 3.1 they are ≡_n, yet they disagree on EVEN.
+    """
+    return 2**n, 2**n + 1
+
+
+# ---------------------------------------------------------------------------
+# Bare sets
+# ---------------------------------------------------------------------------
+
+
+def set_duplicator() -> DuplicatorStrategy:
+    """The copying strategy on structures over the empty signature.
+
+    Replayed elements get the forced answer; fresh elements get any
+    fresh answer. Wins the n-round game whenever both sets have at least
+    n elements (or equal sizes below n).
+    """
+
+    def strategy(
+        left: Structure, right: Structure, position: GamePosition, move: Move
+    ) -> Element:
+        mapping = position.mapping()
+        inverse = {b: a for a, b in position.pairs}
+        if move.side == "left":
+            if move.element in mapping:
+                return mapping[move.element]
+            for candidate in right.universe:
+                if candidate not in inverse:
+                    return candidate
+            return right.universe[0]
+        if move.element in inverse:
+            return inverse[move.element]
+        for candidate in left.universe:
+            if candidate not in mapping:
+                return candidate
+        return left.universe[0]
+
+    return strategy
+
+
+# ---------------------------------------------------------------------------
+# Linear orders
+# ---------------------------------------------------------------------------
+
+
+def order_ranks(structure: Structure, relation: str = "<") -> dict[Element, int]:
+    """Rank of each element in a linear order (0 = least).
+
+    Raises :class:`GameError` if the relation is not a strict linear
+    order on the universe.
+    """
+    tuples = structure.tuples(relation)
+    below = {element: 0 for element in structure.universe}
+    for _, greater in tuples:
+        below[greater] += 1
+    ranks = dict(below)
+    if sorted(ranks.values()) != list(range(structure.size)):
+        raise GameError(f"relation {relation!r} is not a linear order on the universe")
+    expected = structure.size * (structure.size - 1) // 2
+    if len(tuples) != expected:
+        raise GameError(f"relation {relation!r} is not a (total) linear order")
+    return ranks
+
+
+def linear_order_duplicator(relation: str = "<") -> DuplicatorStrategy:
+    """The interval strategy proving Theorem 3.1.
+
+    Invariant maintained with r rounds remaining: for every pair of
+    consecutive marked positions (with virtual sentinels one step outside
+    both ends), the two gap widths are either equal or both ≥ 2^r. The
+    response rule splits the corresponding gap: copy the offset from the
+    near end when it is < 2^(r-1), otherwise land ≥ 2^(r-1) from both
+    ends. Wins G_n(L_m, L_k) whenever m = k or m, k ≥ 2ⁿ − 1.
+    """
+
+    def strategy(
+        left: Structure, right: Structure, position: GamePosition, move: Move
+    ) -> Element:
+        left_ranks = left.cached(("order-ranks", relation), lambda: order_ranks(left, relation))
+        right_ranks = right.cached(("order-ranks", relation), lambda: order_ranks(right, relation))
+        left_by_rank = {rank: element for element, rank in left_ranks.items()}  # type: ignore[union-attr]
+        right_by_rank = {rank: element for element, rank in right_ranks.items()}  # type: ignore[union-attr]
+
+        if move.side == "left":
+            my_ranks, my_by_rank = left_ranks, left_by_rank
+            other_ranks, other_by_rank = right_ranks, right_by_rank
+            pair_index = 0
+        else:
+            my_ranks, my_by_rank = right_ranks, right_by_rank
+            other_ranks, other_by_rank = left_ranks, left_by_rank
+            pair_index = 1
+
+        played = [
+            (my_ranks[pair[pair_index]], other_ranks[pair[1 - pair_index]])  # type: ignore[index]
+            for pair in position.pairs
+        ]
+        p = my_ranks[move.element]  # type: ignore[index]
+        for mine, other in played:
+            if mine == p:
+                return other_by_rank[other]
+
+        my_size = len(my_ranks)  # type: ignore[arg-type]
+        other_size = len(other_ranks)  # type: ignore[arg-type]
+        marks = sorted(played) + [(-1, -1), (my_size, other_size)]
+        marks.sort()
+        # Find the enclosing gap.
+        lower = max(mark for mark in marks if mark[0] < p)
+        upper = min(mark for mark in marks if mark[0] > p)
+        a_low, b_low = lower
+        a_high, b_high = upper
+
+        u = p - a_low  # offset from the left end of the gap (>= 1)
+        v = a_high - p  # offset from the right end (>= 1)
+        gap_mine = a_high - a_low
+        gap_other = b_high - b_low
+        remaining = position.rounds_left - 1
+        half = 2**remaining
+
+        if gap_mine == gap_other:
+            offset = u
+        elif u < half:
+            offset = u
+        elif v < half:
+            offset = gap_other - v
+        else:
+            offset = half
+        # Clamp into the open interval (graceful degradation in lost
+        # positions; in winning positions the invariant guarantees room).
+        offset = max(1, min(offset, gap_other - 1))
+        target = b_low + offset
+        target = max(0, min(target, other_size - 1))
+        return other_by_rank[target]
+
+    return strategy
+
+
+def gap_halving_spoiler(relation: str = "<"):
+    """A cheap adversarial *spoiler* for linear orders.
+
+    Picks the pair of corresponding gaps with the largest width mismatch
+    and splits the smaller side's gap in the middle — the classic attack
+    that defeats any duplicator on orders below the 2ⁿ − 1 threshold,
+    without solving the game. Used to stress the interval duplicator at
+    sizes the optimal (game-solving) spoiler cannot reach.
+    """
+
+    def strategy(left: Structure, right: Structure, position: GamePosition) -> Move:
+        left_ranks = left.cached(("order-ranks", relation), lambda: order_ranks(left, relation))
+        right_ranks = right.cached(("order-ranks", relation), lambda: order_ranks(right, relation))
+        left_by_rank = {rank: element for element, rank in left_ranks.items()}  # type: ignore[union-attr]
+        right_by_rank = {rank: element for element, rank in right_ranks.items()}  # type: ignore[union-attr]
+        marks = sorted(
+            (left_ranks[a], right_ranks[b]) for a, b in position.pairs  # type: ignore[index]
+        )
+        marks = [(-1, -1)] + marks + [(len(left_ranks), len(right_ranks))]  # type: ignore[arg-type]
+        best: tuple[int, Move] | None = None
+        for (a_low, b_low), (a_high, b_high) in zip(marks, marks[1:]):
+            gap_left = a_high - a_low
+            gap_right = b_high - b_low
+            mismatch = abs(gap_left - gap_right)
+            if best is not None and mismatch <= best[0]:
+                continue
+            if gap_left <= gap_right and gap_left > 1:
+                move = Move("left", left_by_rank[a_low + gap_left // 2])
+            elif gap_right > 1:
+                move = Move("right", right_by_rank[b_low + gap_right // 2])
+            else:
+                continue
+            best = (mismatch, move)
+        if best is None:
+            played = {a for a, _ in position.pairs}
+            for element in left.universe:
+                if element not in played:
+                    return Move("left", element)
+            return Move("left", left.universe[0])
+        return best[1]
+
+    return strategy
+
+
+# ---------------------------------------------------------------------------
+# Disjoint unions (the composition lemma)
+# ---------------------------------------------------------------------------
+
+
+def union_duplicator(
+    first: DuplicatorStrategy,
+    second: DuplicatorStrategy,
+    components: tuple[tuple[Structure, Structure], tuple[Structure, Structure]],
+) -> DuplicatorStrategy:
+    """Compose per-component strategies into one on the disjoint unions.
+
+    ``components`` is ``((A1, B1), (A2, B2))``; the union structures must
+    be built with :meth:`Structure.disjoint_union`, whose elements are
+    tagged ``(0, element)`` / ``(1, element)``. The composed strategy
+    answers a move in component i using strategy i on the projected
+    position — the proof of the composition lemma, executed.
+    """
+    strategies = (first, second)
+
+    def strategy(
+        left: Structure, right: Structure, position: GamePosition, move: Move
+    ) -> Element:
+        tag, inner_element = move.element  # type: ignore[misc]
+        if tag not in (0, 1):
+            raise GameError(f"element {move.element!r} is not tagged by disjoint_union")
+        component_left, component_right = components[tag]
+        projected = tuple(
+            (a[1], b[1])
+            for a, b in position.pairs
+            if a[0] == tag and b[0] == tag
+        )
+        inner_position = GamePosition(projected, position.rounds_left)
+        inner_move = Move(move.side, inner_element)
+        answer = strategies[tag](component_left, component_right, inner_position, inner_move)
+        return (tag, answer)
+
+    return strategy
+
+
+def product_duplicator(
+    first: DuplicatorStrategy,
+    second: DuplicatorStrategy,
+    components: tuple[tuple[Structure, Structure], tuple[Structure, Structure]],
+) -> DuplicatorStrategy:
+    """The product composition lemma: A₁ ∼_n B₁ and A₂ ∼_n B₂ imply
+    A₁×A₂ ∼_n B₁×B₂, with the duplicator answering coordinatewise.
+
+    ``components`` is ``((A1, B1), (A2, B2))``; the product structures
+    must come from :meth:`Structure.direct_product`, whose elements are
+    pairs ``(a, c)``. Coordinatewise responses work because relations in
+    the product hold iff they hold in *both* coordinates, so a pair of
+    partial isomorphisms is a partial isomorphism of the products.
+    """
+    (first_left, first_right), (second_left, second_right) = components
+
+    def strategy(
+        left: Structure, right: Structure, position: GamePosition, move: Move
+    ) -> Element:
+        element_a, element_c = move.element  # type: ignore[misc]
+        first_pairs = tuple((a[0], b[0]) for a, b in position.pairs)
+        second_pairs = tuple((a[1], b[1]) for a, b in position.pairs)
+        answer_a = first(
+            first_left,
+            first_right,
+            GamePosition(first_pairs, position.rounds_left),
+            Move(move.side, element_a),
+        )
+        answer_c = second(
+            second_left,
+            second_right,
+            GamePosition(second_pairs, position.rounds_left),
+            Move(move.side, element_c),
+        )
+        return (answer_a, answer_c)
+
+    return strategy

@@ -1,0 +1,98 @@
+"""The bounded number of degrees property (Definition 3.3 / Theorem 3.4).
+
+A graph query Q has the BNDP if some function f_Q bounds the number of
+distinct in/out-degrees of Q(G) in terms of the degree bound of G. All
+FO queries have it; fixed-point queries typically do not — each stage of
+the fixed-point computation creates a fresh degree (transitive closure
+realizes n−1 degrees from a degree-1 successor graph; same-generation on
+the full binary tree realizes 1, 2, 4, ..., 2ⁿ). Experiment E6 plots
+exactly those profiles.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.errors import LocalityError
+from repro.logic.signature import GRAPH
+from repro.structures.structure import Element, Structure
+
+__all__ = ["degs", "output_graph", "degree_profile", "BNDPReport", "bndp_report"]
+
+AnswerSet = frozenset[tuple[Element, ...]]
+
+
+def degs(structure: Structure, relation: str = "E") -> frozenset[int]:
+    """degs(G) = in(G) ∪ out(G): the set of realized in- and out-degrees."""
+    in_degrees, out_degrees = structure.degree_sets(relation)
+    return in_degrees | out_degrees
+
+
+def output_graph(answers: AnswerSet, universe: Iterable[Element]) -> Structure:
+    """View a binary query's answer set as a graph on the input universe.
+
+    This is the "queries on graphs: input and output are graphs"
+    convention under which the BNDP is stated.
+    """
+    universe = list(universe)
+    for row in answers:
+        if len(row) != 2:
+            raise LocalityError(f"output_graph needs binary answers, got {row!r}")
+    return Structure(GRAPH, universe, {"E": answers})
+
+
+def degree_profile(
+    query: Callable[[Structure], AnswerSet],
+    structure: Structure,
+) -> tuple[int, int]:
+    """(max input degree, |degs(Q(G))|) for one input structure."""
+    input_bound = max(degs(structure) | {0}) if structure.is_graph() else structure.max_degree()
+    result = output_graph(query(structure), structure.universe)
+    return input_bound, len(degs(result))
+
+
+@dataclass(frozen=True)
+class BNDPReport:
+    """Observed degree-diversity of a query across a structure family.
+
+    ``profiles[i]`` is (input size, input degree bound, |degs(Q(G_i))|).
+    ``bounded`` is the empirical verdict: does |degs(Q(G))| stay constant
+    while inputs grow at a fixed degree bound? A ``False`` verdict (with
+    growing witness values) is how E6 exhibits BNDP violations of
+    transitive closure and same-generation.
+    """
+
+    query_name: str
+    profiles: tuple[tuple[int, int, int], ...]
+
+    @property
+    def degree_counts(self) -> tuple[int, ...]:
+        return tuple(profile[2] for profile in self.profiles)
+
+    @property
+    def bounded(self) -> bool:
+        """True if the last half of the family shows no further growth.
+
+        The family is expected to be ordered by increasing size with a
+        common degree bound; a query with the BNDP plateaus, a
+        fixed-point query keeps climbing.
+        """
+        counts = self.degree_counts
+        if len(counts) < 2:
+            return True
+        half = len(counts) // 2
+        return max(counts[half:]) <= max(counts[: half + 1])
+
+
+def bndp_report(
+    query: Callable[[Structure], AnswerSet],
+    family: Sequence[Structure],
+    name: str = "",
+) -> BNDPReport:
+    """Profile a query across a family of growing structures."""
+    profiles = []
+    for structure in family:
+        bound, count = degree_profile(query, structure)
+        profiles.append((structure.size, bound, count))
+    return BNDPReport(query_name=name, profiles=tuple(profiles))

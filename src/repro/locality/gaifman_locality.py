@@ -1,0 +1,108 @@
+"""Gaifman locality (Definition 3.5 / Theorem 3.6).
+
+An m-ary query Q is Gaifman-local with radius r if on every structure,
+tuples with isomorphic r-neighborhoods are treated identically:
+N_r(ā) ≅ N_r(b̄) implies ā ∈ Q(G) ⇔ b̄ ∈ Q(G). Every FO query is
+Gaifman-local (Theorem 3.6); transitive closure famously is not — the
+long-chain counterexample of the paper is reproduced by
+:func:`transitive_closure_chain_counterexample` and experiment E7.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Callable, Iterable
+
+from repro.errors import LocalityError
+from repro.locality.neighborhoods import TypeRegistry, tuple_type_classes
+from repro.structures.structure import Element, Structure
+
+__all__ = [
+    "gaifman_locality_counterexample",
+    "is_gaifman_local_on",
+    "gaifman_locality_radius",
+    "transitive_closure_chain_counterexample",
+]
+
+AnswerSet = frozenset[tuple[Element, ...]]
+
+
+def gaifman_locality_radius(quantifier_rank: int) -> int:
+    """Gaifman's bound: FO formulas of rank n are local with r ≤ (7^n − 1)/2.
+
+    (The precise constant varies by proof; this is the classical bound
+    from Gaifman's theorem as reported in Libkin's book. Any radius at
+    which no violation exists witnesses locality, so experiments search
+    upward from small radii.)
+    """
+    if quantifier_rank < 0:
+        raise LocalityError(f"quantifier rank must be non-negative, got {quantifier_rank}")
+    return (7**quantifier_rank - 1) // 2
+
+
+def gaifman_locality_counterexample(
+    query: Callable[[Structure], AnswerSet],
+    structure: Structure,
+    radius: int,
+    arity: int,
+    tuples: Iterable[tuple[Element, ...]] | None = None,
+) -> tuple[tuple[Element, ...], tuple[Element, ...]] | None:
+    """Find ā, b̄ with N_r(ā) ≅ N_r(b̄) but only one in Q(structure).
+
+    Returns the violating pair, or ``None`` if Q is Gaifman-local at
+    radius r on this structure. ``tuples`` restricts the search space
+    (by default all m-tuples — O(n^m) of them, so keep the structure
+    small or pass candidates).
+
+    The search is by type classes: tuples are partitioned by the
+    isomorphism type of their r-neighborhood, and Q must be constant on
+    each class.
+    """
+    if arity < 1:
+        raise LocalityError(f"Gaifman locality concerns m-ary queries with m ≥ 1, got {arity}")
+    if tuples is None:
+        tuples = itertools.product(structure.universe, repeat=arity)
+    answers = query(structure)
+    classes = tuple_type_classes(structure, tuples, radius, TypeRegistry())
+    for members in classes.values():
+        inside = [tuple_ for tuple_ in members if tuple_ in answers]
+        outside = [tuple_ for tuple_ in members if tuple_ not in answers]
+        if inside and outside:
+            return inside[0], outside[0]
+    return None
+
+
+def is_gaifman_local_on(
+    query: Callable[[Structure], AnswerSet],
+    structures: Iterable[Structure],
+    radius: int,
+    arity: int,
+) -> bool:
+    """Whether no structure in the family exhibits a violation at radius r."""
+    for structure in structures:
+        if gaifman_locality_counterexample(query, structure, radius, arity) is not None:
+            return False
+    return True
+
+
+def transitive_closure_chain_counterexample(
+    radius: int,
+) -> tuple[Structure, tuple[Element, Element], tuple[Element, Element]]:
+    """The paper's canonical Gaifman-locality counterexample for TC.
+
+    Builds a directed chain long enough that two interior points a, b sit
+    at distance > 2r from each other and from the endpoints. Then
+    N_r(a, b) ≅ N_r(b, a) (each is a disjoint union of two chains of
+    length 2r), yet (a, b) is in the transitive closure and (b, a) is
+    not. Returns (chain, (a, b), (b, a)).
+    """
+    from repro.structures.builders import directed_chain
+
+    if radius < 0:
+        raise LocalityError(f"radius must be non-negative, got {radius}")
+    segment = 2 * radius + 2  # distance > 2r between the special points
+    length = 3 * segment + 1
+    chain = directed_chain(length)
+    a = segment
+    b = 2 * segment
+    return chain, (a, b), (b, a)

@@ -1,0 +1,120 @@
+"""Hanf locality (Definition 3.7 / Theorem 3.8) and its threshold variant.
+
+G ⇆_r G' holds iff there is a bijection f with N_r(a) ≅ N_r(f(a)) for
+every a — equivalently, iff the two structures have the *same census* of
+r-neighborhood types (a bijection exists exactly when every type is
+realized equally often; this reformulation is what we compute).
+
+The threshold variant ⇆*_{m,r} (Theorem 3.10) relaxes "equal counts" to
+"equal up to threshold m": counts agree exactly below m and are both
+≥ m otherwise. It applies to bounded-degree structures and powers the
+linear-time evaluation of Theorem 3.11 (see
+:mod:`repro.locality.bounded_degree`).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Callable, Sequence
+
+from repro.errors import LocalityError
+from repro.locality.neighborhoods import TypeRegistry, neighborhood_census
+from repro.structures.structure import Structure
+
+__all__ = [
+    "hanf_equivalent",
+    "threshold_hanf_equivalent",
+    "hanf_locality_counterexample",
+    "hanf_locality_radius",
+]
+
+
+def hanf_locality_radius(quantifier_rank: int) -> int:
+    """The classical Hanf-locality rank bound (3^n − 1) / 2 for rank n.
+
+    Every FO sentence of quantifier rank n is Hanf-local with radius at
+    most (3ⁿ − 1)/2 (Fagin–Stockmeyer–Vardi; see Libkin's *Elements of
+    Finite Model Theory*, Thm 4.12). This is the default radius used by
+    the bounded-degree evaluator.
+    """
+    if quantifier_rank < 0:
+        raise LocalityError(f"quantifier rank must be non-negative, got {quantifier_rank}")
+    return (3**quantifier_rank - 1) // 2
+
+
+def hanf_equivalent(
+    left: Structure,
+    right: Structure,
+    radius: int,
+    registry: TypeRegistry | None = None,
+) -> bool:
+    """Decide G ⇆_r G': equal multisets of r-neighborhood types.
+
+    The required bijection exists iff for every isomorphism type τ both
+    structures have the same number of points realizing τ — so the check
+    compares censuses computed against a shared :class:`TypeRegistry`.
+    """
+    if left.signature != right.signature:
+        raise LocalityError("Hanf equivalence requires structures over the same signature")
+    if left.size != right.size:
+        return False
+    if registry is None:
+        registry = TypeRegistry()
+    return neighborhood_census(left, radius, registry) == neighborhood_census(
+        right, radius, registry
+    )
+
+
+def _truncate(census: Counter, threshold: int) -> dict:
+    return {
+        type_id: (count if count < threshold else threshold)
+        for type_id, count in census.items()
+    }
+
+
+def threshold_hanf_equivalent(
+    left: Structure,
+    right: Structure,
+    radius: int,
+    threshold: int,
+    registry: TypeRegistry | None = None,
+) -> bool:
+    """Decide G ⇆*_{m,r} G': censuses equal up to the threshold m.
+
+    For each type, either both counts are equal, or both are ≥ m
+    (Theorem 3.10's relation). Unlike plain Hanf equivalence this does
+    not force |G| = |G'| — that is precisely its point.
+    """
+    if left.signature != right.signature:
+        raise LocalityError("Hanf equivalence requires structures over the same signature")
+    if threshold < 1:
+        raise LocalityError(f"threshold must be at least 1, got {threshold}")
+    if registry is None:
+        registry = TypeRegistry()
+    left_census = neighborhood_census(left, radius, registry)
+    right_census = neighborhood_census(right, radius, registry)
+    return _truncate(left_census, threshold) == _truncate(right_census, threshold)
+
+
+def hanf_locality_counterexample(
+    query: Callable[[Structure], bool],
+    structures: Sequence[Structure],
+    radius: int,
+) -> tuple[Structure, Structure] | None:
+    """Search for a Hanf-locality violation of a Boolean query.
+
+    Returns a pair (G, G') with G ⇆_r G' but Q(G) ≠ Q(G'), or ``None``
+    if the query is Hanf-local at this radius *on the given family*.
+    By Theorem 3.8 every FO sentence admits some radius with no
+    violations on any family; fixed-point queries like connectivity
+    violate every radius (experiment E8 exhibits the pairs).
+    """
+    structures = list(structures)
+    registry = TypeRegistry()
+    censuses = [neighborhood_census(structure, radius, registry) for structure in structures]
+    values = [bool(query(structure)) for structure in structures]
+    for i in range(len(structures)):
+        for j in range(i + 1, len(structures)):
+            if censuses[i] == censuses[j] and values[i] != values[j]:
+                return structures[i], structures[j]
+    return None

@@ -1,0 +1,138 @@
+"""Neighborhood isomorphism types and censuses.
+
+Everything in §3.4–3.5 of the paper reduces to comparing r-neighborhoods
+up to isomorphism. This module provides:
+
+* :class:`TypeRegistry` — assigns stable integer ids to isomorphism
+  classes of (distinguished-tuple) structures, so neighborhoods from
+  *different* structures get comparable type ids;
+* :func:`neighborhood_type` / :func:`tuple_type_classes` — the type of a
+  point or tuple, and the partition of all tuples by type;
+* :func:`neighborhood_census` — the multiset {type: count} of point
+  types, the object Hanf equivalence compares.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from collections.abc import Iterable
+
+from repro.structures.gaifman import neighborhood
+from repro.structures.invariants import structure_fingerprint
+from repro.structures.isomorphism import are_isomorphic
+from repro.structures.structure import Element, Structure
+
+__all__ = [
+    "TypeRegistry",
+    "neighborhood_type",
+    "neighborhood_census",
+    "tuple_type_classes",
+    "max_ball_size",
+]
+
+
+class TypeRegistry:
+    """Stable ids for isomorphism classes of structures.
+
+    ``type_of(S)`` returns the id of S's isomorphism class, creating a
+    new id on first sight. Candidates are pre-bucketed by an invariant
+    fingerprint so most lookups do a single dictionary probe and zero
+    exact isomorphism tests. ``use_fingerprint=False`` disables the
+    bucketing (every lookup compares against every known class) — only
+    useful for ablation experiments.
+    """
+
+    def __init__(self, use_fingerprint: bool = True) -> None:
+        self._buckets: dict[tuple, list[tuple[Structure, int]]] = defaultdict(list)
+        self._next_id = 0
+        self._use_fingerprint = use_fingerprint
+        self.isomorphism_tests = 0
+
+    def type_of(self, structure: Structure) -> int:
+        fingerprint = structure_fingerprint(structure) if self._use_fingerprint else ()
+        for representative, type_id in self._buckets[fingerprint]:
+            self.isomorphism_tests += 1
+            if are_isomorphic(representative, structure):
+                return type_id
+        type_id = self._next_id
+        self._next_id += 1
+        self._buckets[fingerprint].append((structure, type_id))
+        return type_id
+
+    def representative(self, type_id: int) -> Structure:
+        """The first structure registered with this id."""
+        for bucket in self._buckets.values():
+            for representative, known_id in bucket:
+                if known_id == type_id:
+                    return representative
+        raise KeyError(f"unknown type id {type_id}")
+
+    def __len__(self) -> int:
+        return self._next_id
+
+
+def neighborhood_type(
+    structure: Structure,
+    center: Element | tuple[Element, ...],
+    radius: int,
+    registry: TypeRegistry,
+) -> int:
+    """The isomorphism type id of N_r(center), relative to ``registry``."""
+    return registry.type_of(neighborhood(structure, center, radius))
+
+
+def neighborhood_census(
+    structure: Structure,
+    radius: int,
+    registry: TypeRegistry,
+) -> Counter:
+    """The census {type id: number of points realizing it}.
+
+    "a realizes τ" in the paper's words — the census is the function
+    τ ↦ #{a : N_r(a) has type τ} restricted to realized types.
+    """
+    census: Counter = Counter()
+    for element in structure.universe:
+        census[neighborhood_type(structure, element, radius, registry)] += 1
+    return census
+
+
+def tuple_type_classes(
+    structure: Structure,
+    tuples: Iterable[tuple[Element, ...]],
+    radius: int,
+    registry: TypeRegistry | None = None,
+) -> dict[int, list[tuple[Element, ...]]]:
+    """Partition tuples of elements by the iso type of their r-neighborhood.
+
+    Gaifman locality says an FO query must be constant on every class of
+    this partition — which is exactly how
+    :func:`repro.locality.gaifman_locality.gaifman_locality_counterexample`
+    checks it.
+    """
+    if registry is None:
+        registry = TypeRegistry()
+    classes: dict[int, list[tuple[Element, ...]]] = defaultdict(list)
+    for tuple_ in tuples:
+        type_id = neighborhood_type(structure, tuple(tuple_), radius, registry)
+        classes[type_id].append(tuple(tuple_))
+    return dict(classes)
+
+
+def max_ball_size(degree_bound: int, radius: int) -> int:
+    """An upper bound on |B_r(a)| in structures of Gaifman degree ≤ k.
+
+    1 + k + k(k-1) + ... + k(k-1)^(r-1): the size of the ball in the
+    k-regular tree, which maximizes it. Used to bound |N(k, r)| in the
+    bounded-degree machinery (Thm 3.10/3.11).
+    """
+    if degree_bound < 0 or radius < 0:
+        raise ValueError("degree bound and radius must be non-negative")
+    if degree_bound == 0 or radius == 0:
+        return 1
+    total = 1
+    layer = degree_bound
+    for _ in range(radius):
+        total += layer
+        layer *= max(degree_bound - 1, 1)
+    return total

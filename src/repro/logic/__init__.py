@@ -1,0 +1,81 @@
+"""First-order logic over relational signatures (S1).
+
+Syntax, a parser, a builder DSL, and static analysis (quantifier rank,
+free variables), plus semantics-preserving transformations.
+"""
+
+from repro.logic.analysis import (
+    formula_depth,
+    formula_size,
+    free_variables,
+    is_sentence,
+    quantifier_rank,
+    require_sentence,
+    validate,
+)
+from repro.logic.builder import (
+    C,
+    V,
+    and_,
+    atom,
+    distinct,
+    eq,
+    exists,
+    exists_many,
+    forall,
+    forall_many,
+    iff,
+    implies,
+    neq,
+    not_,
+    or_,
+    variables,
+)
+from repro.logic.parser import parse
+from repro.logic.signature import EMPTY, GRAPH, ORDER, SET, SUCCESSOR, Signature
+from repro.logic.syntax import (
+    FALSE,
+    TRUE,
+    And,
+    Atom,
+    Bottom,
+    Const,
+    Eq,
+    Exists,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Term,
+    Top,
+    Var,
+)
+from repro.logic.transform import (
+    simplify,
+    standardize_apart,
+    substitute,
+    to_nnf,
+    to_prenex,
+)
+
+__all__ = [
+    # signature
+    "Signature", "GRAPH", "ORDER", "SUCCESSOR", "SET", "EMPTY",
+    # syntax
+    "Formula", "Atom", "Eq", "Top", "Bottom", "Not", "And", "Or",
+    "Implies", "Iff", "Exists", "Forall", "Var", "Const", "Term",
+    "TRUE", "FALSE",
+    # builder
+    "V", "C", "variables", "atom", "eq", "neq", "not_", "and_", "or_",
+    "implies", "iff", "exists", "forall", "exists_many", "forall_many",
+    "distinct",
+    # parser
+    "parse",
+    # analysis
+    "quantifier_rank", "free_variables", "is_sentence", "require_sentence",
+    "formula_size", "formula_depth", "validate",
+    # transforms
+    "substitute", "standardize_apart", "to_nnf", "to_prenex", "simplify",
+]

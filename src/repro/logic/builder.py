@@ -1,0 +1,229 @@
+"""A small DSL for building formulas readably.
+
+The raw AST constructors are verbose; this module provides the shorthand
+used throughout the library, tests, and examples::
+
+    from repro.logic.builder import V, atom, exists, forall, and_, not_
+
+    x, y, z = V("x"), V("y"), V("z")
+    connected_to_all = forall(y, atom("E", x, y) | (x == y))
+
+Smart constructors flatten nested conjunctions/disjunctions and drop
+identity elements, which keeps machine-generated formulas (Hintikka
+formulas, circuit inputs) small without changing their meaning.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.logic.syntax import (
+    FALSE,
+    TRUE,
+    And,
+    Atom,
+    Bottom,
+    Const,
+    Eq,
+    Exists,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Term,
+    Top,
+    Var,
+)
+
+__all__ = [
+    "V",
+    "C",
+    "variables",
+    "atom",
+    "eq",
+    "neq",
+    "not_",
+    "and_",
+    "or_",
+    "implies",
+    "iff",
+    "exists",
+    "forall",
+    "exists_many",
+    "forall_many",
+    "distinct",
+]
+
+
+class _EqVar(Var):
+    """A :class:`Var` whose ``==`` builds an :class:`Eq` atom.
+
+    This gives the DSL the pleasant ``x == y`` syntax while plain
+    :class:`Var` keeps structural equality (needed for hashing and sets).
+    Only variables created through :func:`V` get the sugar.
+    """
+
+    __hash__ = Var.__hash__
+
+    def __eq__(self, other: object):  # type: ignore[override]
+        if isinstance(other, (Var, Const)):
+            return Eq(Var(self.name), other if not isinstance(other, Var) else Var(other.name))
+        return NotImplemented
+
+    def __ne__(self, other: object):  # type: ignore[override]
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return Not(result)
+
+
+def V(name: str) -> Var:
+    """Create a variable with ``==``/``!=`` sugar for building equalities."""
+    return _EqVar(name)
+
+
+def C(name: str) -> Const:
+    """Create a constant term."""
+    return Const(name)
+
+
+def variables(names: str) -> tuple[Var, ...]:
+    """Create several variables at once from a space-separated string.
+
+    >>> x, y = variables("x y")
+    """
+    return tuple(V(name) for name in names.split())
+
+
+def _as_term(value: Term | str) -> Term:
+    if isinstance(value, (Var, Const)):
+        # Normalize _EqVar back to plain Var so formulas hash uniformly.
+        if isinstance(value, Var):
+            return Var(value.name)
+        return value
+    if isinstance(value, str):
+        return Var(value)
+    raise TypeError(f"expected a term or variable name, got {value!r}")
+
+
+def atom(relation: str, *terms: Term | str) -> Atom:
+    """Build the atom ``relation(terms...)``; bare strings become variables."""
+    return Atom(relation, tuple(_as_term(term) for term in terms))
+
+
+def eq(left: Term | str, right: Term | str) -> Eq:
+    """Build the equality ``left = right``."""
+    return Eq(_as_term(left), _as_term(right))
+
+
+def neq(left: Term | str, right: Term | str) -> Not:
+    """Build the disequality ``left ≠ right``."""
+    return Not(eq(left, right))
+
+
+def not_(body: Formula) -> Formula:
+    """Negation with double-negation and constant collapsing."""
+    if isinstance(body, Not):
+        return body.body
+    if isinstance(body, Top):
+        return FALSE
+    if isinstance(body, Bottom):
+        return TRUE
+    return Not(body)
+
+
+def _flatten(kind: type, parts: Iterable[Formula]) -> list[Formula]:
+    flat: list[Formula] = []
+    for part in parts:
+        if isinstance(part, kind):
+            flat.extend(part.children)  # type: ignore[attr-defined]
+        else:
+            flat.append(part)
+    return flat
+
+
+def and_(*parts: Formula) -> Formula:
+    """N-ary conjunction; flattens, deduplicates, and short-circuits ⊥."""
+    flat = _flatten(And, parts)
+    seen: list[Formula] = []
+    for part in flat:
+        if isinstance(part, Bottom):
+            return FALSE
+        if isinstance(part, Top) or part in seen:
+            continue
+        seen.append(part)
+    if not seen:
+        return TRUE
+    if len(seen) == 1:
+        return seen[0]
+    return And(tuple(seen))
+
+
+def or_(*parts: Formula) -> Formula:
+    """N-ary disjunction; flattens, deduplicates, and short-circuits ⊤."""
+    flat = _flatten(Or, parts)
+    seen: list[Formula] = []
+    for part in flat:
+        if isinstance(part, Top):
+            return TRUE
+        if isinstance(part, Bottom) or part in seen:
+            continue
+        seen.append(part)
+    if not seen:
+        return FALSE
+    if len(seen) == 1:
+        return seen[0]
+    return Or(tuple(seen))
+
+
+def implies(premise: Formula, conclusion: Formula) -> Formula:
+    """Implication ``premise → conclusion``."""
+    return Implies(premise, conclusion)
+
+
+def iff(left: Formula, right: Formula) -> Formula:
+    """Biconditional ``left ↔ right``."""
+    return Iff(left, right)
+
+
+def exists(var: Var | str, body: Formula) -> Exists:
+    """Existential quantification ``∃var body``."""
+    return Exists(Var(var) if isinstance(var, str) else Var(var.name), body)
+
+
+def forall(var: Var | str, body: Formula) -> Forall:
+    """Universal quantification ``∀var body``."""
+    return Forall(Var(var) if isinstance(var, str) else Var(var.name), body)
+
+
+def exists_many(vars_: Iterable[Var | str], body: Formula) -> Formula:
+    """``∃x1 ... ∃xn body`` for the given variables, outermost first."""
+    result = body
+    for var in reversed(list(vars_)):
+        result = exists(var, result)
+    return result
+
+
+def forall_many(vars_: Iterable[Var | str], body: Formula) -> Formula:
+    """``∀x1 ... ∀xn body`` for the given variables, outermost first."""
+    result = body
+    for var in reversed(list(vars_)):
+        result = forall(var, result)
+    return result
+
+
+def distinct(*vars_: Var | str) -> Formula:
+    """The conjunction asserting all given variables are pairwise distinct.
+
+    This is the body of the paper's λ_n sentences ("there are at least n
+    elements"), used in the finite-compactness counterexample.
+    """
+    terms = [_as_term(var) for var in vars_]
+    clauses = [
+        neq(terms[i], terms[j])
+        for i in range(len(terms))
+        for j in range(i + 1, len(terms))
+    ]
+    return and_(*clauses)

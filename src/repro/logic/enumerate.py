@@ -1,0 +1,109 @@
+"""Bounded exhaustive enumeration of formulas.
+
+Used by experiment E13 to validate the Ehrenfeucht–Fraïssé theorem in
+the logic→game direction: if the solver says A ∼_{G_n} B, then A and B
+must agree on *every* sentence of quantifier rank ≤ n — and we check
+agreement on an exhaustively enumerated (size-bounded) family of them.
+
+The enumeration is canonical: conjunctions/disjunctions are built from
+ordered pairs, variables come from a fixed pool x1..xv, and syntactic
+duplicates produced by the smart constructors are filtered out.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterator
+
+from repro.logic.analysis import free_variables, quantifier_rank
+from repro.logic.builder import and_, not_, or_
+from repro.logic.signature import Signature
+from repro.logic.syntax import Atom, Eq, Exists, Forall, Formula, Var
+
+__all__ = ["enumerate_formulas", "enumerate_sentences"]
+
+
+def _atoms(signature: Signature, variables: tuple[Var, ...], with_equality: bool) -> list[Formula]:
+    result: list[Formula] = []
+    if with_equality:
+        for left, right in itertools.combinations(variables, 2):
+            result.append(Eq(left, right))
+    for name in signature.relation_names():
+        arity = signature.arity(name)
+        for terms in itertools.product(variables, repeat=arity):
+            result.append(Atom(name, terms))
+    return result
+
+
+def enumerate_formulas(
+    signature: Signature,
+    max_rank: int,
+    max_connectives: int,
+    num_variables: int = 2,
+    with_equality: bool = True,
+) -> Iterator[Formula]:
+    """Yield all formulas over x1..x{num_variables} within the bounds.
+
+    ``max_connectives`` bounds the number of ¬/∧/∨ applications (atoms are
+    free); ``max_rank`` bounds the quantifier rank. The stream is
+    deterministic and duplicate-free.
+    """
+    variables = tuple(Var(f"x{index + 1}") for index in range(num_variables))
+    seen: set[Formula] = set()
+
+    # layers[(rank, budget)] maps to the list of formulas built with
+    # exactly that many quantifiers available and connective budget left.
+    base = _atoms(signature, variables, with_equality)
+
+    def emit(formula: Formula) -> Iterator[Formula]:
+        if formula not in seen:
+            seen.add(formula)
+            yield formula
+
+    # Build by connective budget, interleaving quantifiers (which consume
+    # rank instead of connective budget).
+    for atom in base:
+        yield from emit(atom)
+
+    for _ in range(max_connectives):
+        new: list[Formula] = []
+        pool = sorted(seen, key=repr)
+        for formula in pool:
+            candidate = not_(formula)
+            if quantifier_rank(candidate) <= max_rank:
+                for out in emit(candidate):
+                    new.append(out)
+                    yield out
+        for left, right in itertools.combinations(pool, 2):
+            for candidate in (and_(left, right), or_(left, right)):
+                if quantifier_rank(candidate) <= max_rank:
+                    for out in emit(candidate):
+                        new.append(out)
+                        yield out
+        for formula in pool:
+            for var in variables:
+                if var not in free_variables(formula):
+                    continue
+                for node in (Exists, Forall):
+                    candidate = node(var, formula)
+                    if quantifier_rank(candidate) <= max_rank:
+                        for out in emit(candidate):
+                            new.append(out)
+                            yield out
+        if not new:
+            break
+
+
+def enumerate_sentences(
+    signature: Signature,
+    max_rank: int,
+    max_connectives: int,
+    num_variables: int = 2,
+    with_equality: bool = True,
+) -> Iterator[Formula]:
+    """Yield only the *sentences* among :func:`enumerate_formulas`."""
+    for formula in enumerate_formulas(
+        signature, max_rank, max_connectives, num_variables, with_equality
+    ):
+        if not free_variables(formula):
+            yield formula

@@ -1,0 +1,277 @@
+"""A recursive-descent parser for first-order formulas.
+
+Grammar (precedence from loosest to tightest)::
+
+    formula  := iff
+    iff      := implies ("<->" implies)*
+    implies  := or ("->" implies)?            # right associative
+    or       := and (("|" | "or") and)*
+    and      := unary (("&" | "and") unary)*
+    unary    := ("~" | "not") unary
+              | ("exists" | "forall") ident+ "." formula     # dot: wide scope
+              | ("exists" | "forall") ident+ unary           # no dot: tight
+              | "(" formula ")"
+              | "true" | "false"
+              | ident "(" term ("," term)* ")"               # atom
+              | term ("=" | "!=" | "<") term                 # infix atoms
+    term     := ident
+
+Identifiers name variables by default; pass ``constants={"c", ...}`` (or a
+:class:`~repro.logic.signature.Signature` with constants) to have those
+identifiers parse as constant symbols. ``x < y`` is sugar for the atom
+``<(x, y)`` over the order signature.
+
+Convention: in the binding list of a quantifier, bound variables are
+*lowercase* identifiers; an identifier starting with an uppercase letter
+ends the list (it begins a relation atom). Write ``exists x P(x)``,
+not ``exists x p(x)`` — relation symbols used in the concrete syntax
+should start with an uppercase letter (``<`` being the one infix
+exception). The AST itself has no such restriction; only the parser's
+disambiguation rule does.
+
+>>> parse("forall x exists y E(x, y)")
+forall x. (exists y. (E(x, y)))
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterable
+
+from repro.errors import ParseError
+from repro.logic.builder import and_, or_
+from repro.logic.signature import Signature
+from repro.logic.syntax import (
+    FALSE,
+    TRUE,
+    Atom,
+    Const,
+    Eq,
+    Exists,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Term,
+    Var,
+)
+
+__all__ = ["parse", "parse_term"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<iff><->)
+  | (?P<implies>->)
+  | (?P<neq>!=)
+  | (?P<op>[()=<,.&|~])
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_']*)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"exists", "forall", "not", "and", "or", "true", "false"}
+
+
+def _tokenize(text: str) -> list[tuple[str, str, int]]:
+    tokens: list[tuple[str, str, int]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {text[pos]!r}", pos)
+        kind = match.lastgroup or ""
+        value = match.group()
+        if kind != "ws":
+            if kind == "ident" and value in _KEYWORDS:
+                kind = value
+            tokens.append((kind, value, pos))
+        pos = match.end()
+    tokens.append(("eof", "", len(text)))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str, constants: frozenset[str]) -> None:
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+        self.constants = constants
+
+    # -- token plumbing ----------------------------------------------------
+
+    def peek(self) -> tuple[str, str, int]:
+        return self.tokens[self.index]
+
+    def advance(self) -> tuple[str, str, int]:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def accept(self, kind: str, value: str | None = None) -> bool:
+        tok_kind, tok_value, _ = self.peek()
+        if tok_kind == kind and (value is None or tok_value == value):
+            self.index += 1
+            return True
+        return False
+
+    def expect(self, kind: str, value: str | None = None) -> tuple[str, str, int]:
+        tok_kind, tok_value, pos = self.peek()
+        if tok_kind != kind or (value is not None and tok_value != value):
+            want = value if value is not None else kind
+            raise ParseError(f"expected {want!r}, found {tok_value or 'end of input'!r}", pos)
+        return self.advance()
+
+    # -- grammar -------------------------------------------------------------
+
+    def formula(self) -> Formula:
+        return self.iff()
+
+    def iff(self) -> Formula:
+        left = self.implies()
+        while self.accept("iff"):
+            right = self.implies()
+            left = Iff(left, right)
+        return left
+
+    def implies(self) -> Formula:
+        left = self.or_()
+        if self.accept("implies"):
+            right = self.implies()
+            return Implies(left, right)
+        return left
+
+    def or_(self) -> Formula:
+        parts = [self.and_()]
+        while self.accept("op", "|") or self.accept("or"):
+            parts.append(self.and_())
+        if len(parts) == 1:
+            return parts[0]
+        return or_(*parts)
+
+    def and_(self) -> Formula:
+        parts = [self.unary()]
+        while self.accept("op", "&") or self.accept("and"):
+            parts.append(self.unary())
+        if len(parts) == 1:
+            return parts[0]
+        return and_(*parts)
+
+    def unary(self) -> Formula:
+        if self.accept("op", "~") or self.accept("not"):
+            return Not(self.unary())
+        tok_kind, tok_value, _ = self.peek()
+        if tok_kind in ("exists", "forall"):
+            return self.quantified()
+        return self.atomic()
+
+    def quantified(self) -> Formula:
+        kind, _, pos = self.advance()
+        names: list[str] = []
+        # Binding list: lowercase identifiers. An identifier followed by
+        # '=', '!=' or '<' starts the body (an infix atom) instead, and an
+        # uppercase identifier is a relation atom — see module docstring.
+        while True:
+            tok_kind, tok_value, _ = self.peek()
+            if tok_kind != "ident" or not tok_value[0].islower():
+                break
+            next_kind, next_value, _ = self.tokens[self.index + 1]
+            if (next_kind, next_value) in {("op", "="), ("neq", "!="), ("op", "<")}:
+                break
+            names.append(self.advance()[1])
+        if not names:
+            raise ParseError(f"{kind} requires at least one variable", pos)
+        # A dot makes the quantifier scope extend as far right as possible;
+        # without it, the body is a single unary formula.
+        body = self.formula() if self.accept("op", ".") else self.unary()
+        node = Exists if kind == "exists" else Forall
+        result = body
+        for name in reversed(names):
+            result = node(Var(name), result)
+        return result
+
+    def atomic(self) -> Formula:
+        tok_kind, tok_value, pos = self.peek()
+        if self.accept("op", "("):
+            inner = self.formula()
+            self.expect("op", ")")
+            return self._maybe_infix_atom_continuation(inner)
+        if self.accept("true"):
+            return TRUE
+        if self.accept("false"):
+            return FALSE
+        if tok_kind == "ident":
+            self.advance()
+            if self.accept("op", "("):
+                terms = [self.term()]
+                while self.accept("op", ","):
+                    terms.append(self.term())
+                self.expect("op", ")")
+                return Atom(tok_value, tuple(terms))
+            left = self._make_term(tok_value)
+            return self._infix_atom(left)
+        raise ParseError(f"expected a formula, found {tok_value or 'end of input'!r}", pos)
+
+    def _maybe_infix_atom_continuation(self, inner: Formula) -> Formula:
+        # Nothing to do: "(t)" as a term is not in the grammar, so a
+        # parenthesized expression is always a formula.
+        return inner
+
+    def _infix_atom(self, left: Term) -> Formula:
+        if self.accept("op", "="):
+            return Eq(left, self.term())
+        if self.accept("neq"):
+            return Not(Eq(left, self.term()))
+        if self.accept("op", "<"):
+            return Atom("<", (left, self.term()))
+        _, tok_value, pos = self.peek()
+        raise ParseError(
+            f"expected '=', '!=' or '<' after term, found {tok_value or 'end of input'!r}", pos
+        )
+
+    def term(self) -> Term:
+        _, tok_value, _ = self.expect("ident")
+        return self._make_term(tok_value)
+
+    def _make_term(self, name: str) -> Term:
+        if name in self.constants:
+            return Const(name)
+        return Var(name)
+
+
+def _constant_set(constants: Iterable[str] | Signature | None) -> frozenset[str]:
+    if constants is None:
+        return frozenset()
+    if isinstance(constants, Signature):
+        return constants.constants
+    return frozenset(constants)
+
+
+def parse(text: str, constants: Iterable[str] | Signature | None = None) -> Formula:
+    """Parse ``text`` into a :class:`Formula`.
+
+    Parameters
+    ----------
+    text:
+        The formula in the concrete syntax described in the module docstring.
+    constants:
+        Identifiers to treat as constant symbols — either an iterable of
+        names or a :class:`Signature` (whose constants are used).
+    """
+    parser = _Parser(text, _constant_set(constants))
+    result = parser.formula()
+    kind, value, pos = parser.peek()
+    if kind != "eof":
+        raise ParseError(f"unexpected trailing input {value!r}", pos)
+    return result
+
+
+def parse_term(text: str, constants: Iterable[str] | Signature | None = None) -> Term:
+    """Parse a single term (a variable or constant name)."""
+    parser = _Parser(text, _constant_set(constants))
+    result = parser.term()
+    kind, value, pos = parser.peek()
+    if kind != "eof":
+        raise ParseError(f"unexpected trailing input {value!r}", pos)
+    return result

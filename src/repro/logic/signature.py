@@ -1,0 +1,162 @@
+"""Relational signatures (vocabularies).
+
+Following the convention of the paper (and of most of finite model theory),
+signatures are *relational*: they contain relation symbols with fixed
+arities and optionally constant symbols, but no function symbols. The
+paper's Exercise 3.2 justifies this restriction — function symbols can be
+replaced by their graph relations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+
+from repro.errors import SignatureError
+
+__all__ = ["Signature", "GRAPH", "ORDER", "SUCCESSOR", "SET", "EMPTY"]
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A finite relational signature.
+
+    Parameters
+    ----------
+    relations:
+        Mapping from relation-symbol name to arity (a positive integer).
+    constants:
+        Optional constant-symbol names. Constants are interpreted by
+        structures as distinguished elements.
+
+    Signatures are immutable and hashable, so they can be dictionary keys
+    and safely shared between structures.
+
+    >>> sig = Signature({"E": 2})
+    >>> sig.arity("E")
+    2
+    """
+
+    relations: Mapping[str, int]
+    constants: frozenset[str] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        rels = dict(self.relations)
+        for name, arity in rels.items():
+            if not isinstance(name, str) or not name:
+                raise SignatureError(f"relation name must be a non-empty string, got {name!r}")
+            if not isinstance(arity, int) or arity < 1:
+                raise SignatureError(f"relation {name!r} must have positive integer arity, got {arity!r}")
+        consts = frozenset(self.constants)
+        overlap = consts & rels.keys()
+        if overlap:
+            raise SignatureError(f"symbols used both as relation and constant: {sorted(overlap)}")
+        # Store an immutable snapshot so hashing/eq are well defined.
+        object.__setattr__(self, "relations", _FrozenDict(rels))
+        object.__setattr__(self, "constants", consts)
+
+    # -- queries ---------------------------------------------------------
+
+    def arity(self, name: str) -> int:
+        """Return the arity of relation symbol ``name``.
+
+        Raises :class:`SignatureError` if the symbol is not declared.
+        """
+        try:
+            return self.relations[name]
+        except KeyError:
+            raise SignatureError(f"unknown relation symbol {name!r}; signature has {sorted(self.relations)}") from None
+
+    def has_relation(self, name: str) -> bool:
+        """Return whether ``name`` is a declared relation symbol."""
+        return name in self.relations
+
+    def has_constant(self, name: str) -> bool:
+        """Return whether ``name`` is a declared constant symbol."""
+        return name in self.constants
+
+    def relation_names(self) -> tuple[str, ...]:
+        """All relation names, in sorted order (deterministic)."""
+        return tuple(sorted(self.relations))
+
+    def max_arity(self) -> int:
+        """The largest arity among the relations (0 for the empty signature)."""
+        return max(self.relations.values(), default=0)
+
+    def is_relational(self) -> bool:
+        """Whether the signature is purely relational (no constants)."""
+        return not self.constants
+
+    # -- construction ----------------------------------------------------
+
+    def extend(
+        self,
+        relations: Mapping[str, int] | None = None,
+        constants: Iterable[str] = (),
+    ) -> "Signature":
+        """Return a new signature with extra symbols added.
+
+        Raises :class:`SignatureError` if an added relation clashes with an
+        existing one at a different arity.
+        """
+        merged = dict(self.relations)
+        for name, arity in (relations or {}).items():
+            if name in merged and merged[name] != arity:
+                raise SignatureError(
+                    f"relation {name!r} redeclared with arity {arity}, was {merged[name]}"
+                )
+            merged[name] = arity
+        return Signature(merged, self.constants | frozenset(constants))
+
+    def restrict(self, names: Iterable[str]) -> "Signature":
+        """Return the sub-signature containing only the given relation names."""
+        keep = set(names)
+        unknown = keep - set(self.relations)
+        if unknown:
+            raise SignatureError(f"cannot restrict to unknown relations {sorted(unknown)}")
+        return Signature(
+            {name: arity for name, arity in self.relations.items() if name in keep},
+            self.constants,
+        )
+
+    def __or__(self, other: "Signature") -> "Signature":
+        """Union of two signatures (arities must agree on shared symbols)."""
+        return self.extend(dict(other.relations), other.constants)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.relations or name in self.constants
+
+    def __repr__(self) -> str:
+        rels = ", ".join(f"{name}/{arity}" for name, arity in sorted(self.relations.items()))
+        if self.constants:
+            rels += "; " + ", ".join(sorted(self.constants))
+        return f"Signature({{{rels}}})"
+
+
+class _FrozenDict(dict):
+    """A hashable dict used internally to freeze ``Signature.relations``."""
+
+    def __hash__(self) -> int:  # type: ignore[override]
+        return hash(frozenset(self.items()))
+
+    def _blocked(self, *args: object, **kwargs: object) -> None:
+        raise TypeError("Signature.relations is immutable")
+
+    __setitem__ = __delitem__ = _blocked  # type: ignore[assignment]
+    clear = pop = popitem = setdefault = update = _blocked  # type: ignore[assignment]
+
+
+#: The signature of directed graphs: one binary edge relation ``E``.
+GRAPH = Signature({"E": 2})
+
+#: The signature of strict linear orders: one binary relation ``<``.
+ORDER = Signature({"<": 2})
+
+#: The signature of successor structures: one binary relation ``S``.
+SUCCESSOR = Signature({"S": 2})
+
+#: The empty signature — structures over it are bare sets (§3.2 of the paper).
+SET = Signature({})
+
+#: Alias for the empty signature.
+EMPTY = SET

@@ -1,0 +1,330 @@
+"""Formula transformations: substitution, NNF, prenex form, simplification.
+
+All transformations are semantics-preserving; the test suite checks this
+by evaluating the original and the transformed formula on random
+structures (the library's central "evaluator triangle" invariant).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Mapping
+
+from repro.errors import FormulaError
+from repro.logic.analysis import all_variables, free_variables
+from repro.logic.builder import and_, not_, or_
+from repro.logic.syntax import (
+    FALSE,
+    TRUE,
+    And,
+    Atom,
+    Bottom,
+    Eq,
+    Exists,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Term,
+    Top,
+    Var,
+)
+
+__all__ = [
+    "substitute",
+    "rename_free",
+    "standardize_apart",
+    "fresh_variable",
+    "eliminate_arrows",
+    "to_nnf",
+    "to_prenex",
+    "simplify",
+    "relativize",
+]
+
+
+def fresh_variable(taken: set[Var], stem: str = "v") -> Var:
+    """Return a variable named ``stem``/``stem0``/``stem1``... not in ``taken``."""
+    candidate = Var(stem)
+    if candidate not in taken:
+        return candidate
+    for index in itertools.count():
+        candidate = Var(f"{stem}{index}")
+        if candidate not in taken:
+            return candidate
+    raise AssertionError("unreachable")
+
+
+def substitute(formula: Formula, mapping: Mapping[Var, Term]) -> Formula:
+    """Capture-avoiding substitution of terms for free variables.
+
+    Bound variables that would capture a substituted term are renamed to
+    fresh names first.
+    """
+
+    def subst_term(term: Term) -> Term:
+        if isinstance(term, Var):
+            return mapping.get(term, term)
+        return term
+
+    if isinstance(formula, Atom):
+        return Atom(formula.relation, tuple(subst_term(term) for term in formula.terms))
+    if isinstance(formula, Eq):
+        return Eq(subst_term(formula.left), subst_term(formula.right))
+    if isinstance(formula, (Top, Bottom)):
+        return formula
+    if isinstance(formula, Not):
+        return Not(substitute(formula.body, mapping))
+    if isinstance(formula, And):
+        return And(tuple(substitute(child, mapping) for child in formula.children))
+    if isinstance(formula, Or):
+        return Or(tuple(substitute(child, mapping) for child in formula.children))
+    if isinstance(formula, Implies):
+        return Implies(substitute(formula.premise, mapping), substitute(formula.conclusion, mapping))
+    if isinstance(formula, Iff):
+        return Iff(substitute(formula.left, mapping), substitute(formula.right, mapping))
+    if isinstance(formula, (Exists, Forall)):
+        node = type(formula)
+        # Drop bindings shadowed by the quantifier.
+        inner = {var: term for var, term in mapping.items() if var != formula.var}
+        if not inner:
+            return node(formula.var, formula.body)
+        # Rename the bound variable if any substituted term would be captured.
+        captured = any(
+            isinstance(term, Var) and term == formula.var for term in inner.values()
+        )
+        if captured:
+            taken = set(all_variables(formula.body))
+            taken.update(
+                term for term in inner.values() if isinstance(term, Var)
+            )
+            taken.update(inner.keys())
+            fresh = fresh_variable(taken, formula.var.name)
+            renamed = substitute(formula.body, {formula.var: fresh})
+            return node(fresh, substitute(renamed, inner))
+        return node(formula.var, substitute(formula.body, inner))
+    raise FormulaError(f"unknown formula node {formula!r}")
+
+
+def rename_free(formula: Formula, mapping: Mapping[Var, Var]) -> Formula:
+    """Rename free variables according to ``mapping`` (capture-avoiding)."""
+    return substitute(formula, dict(mapping))
+
+
+def standardize_apart(formula: Formula, reserved: set[Var] | None = None) -> Formula:
+    """Rename bound variables so each quantifier binds a distinct variable.
+
+    After this transformation no variable is bound twice and no bound
+    variable collides with a free variable (or with ``reserved``). This is
+    the precondition for the naive prenexing step.
+    """
+    taken: set[Var] = set(free_variables(formula))
+    if reserved:
+        taken |= reserved
+
+    def walk(node: Formula) -> Formula:
+        if isinstance(node, (Atom, Eq, Top, Bottom)):
+            return node
+        if isinstance(node, Not):
+            return Not(walk(node.body))
+        if isinstance(node, And):
+            return And(tuple(walk(child) for child in node.children))
+        if isinstance(node, Or):
+            return Or(tuple(walk(child) for child in node.children))
+        if isinstance(node, Implies):
+            return Implies(walk(node.premise), walk(node.conclusion))
+        if isinstance(node, Iff):
+            return Iff(walk(node.left), walk(node.right))
+        if isinstance(node, (Exists, Forall)):
+            kind = type(node)
+            if node.var in taken:
+                fresh = fresh_variable(taken, node.var.name)
+                taken.add(fresh)
+                body = substitute(node.body, {node.var: fresh})
+                return kind(fresh, walk(body))
+            taken.add(node.var)
+            return kind(node.var, walk(node.body))
+        raise FormulaError(f"unknown formula node {node!r}")
+
+    return walk(formula)
+
+
+def eliminate_arrows(formula: Formula) -> Formula:
+    """Rewrite ``→`` and ``↔`` in terms of ``¬``, ``∧``, ``∨``."""
+    if isinstance(formula, (Atom, Eq, Top, Bottom)):
+        return formula
+    if isinstance(formula, Not):
+        return Not(eliminate_arrows(formula.body))
+    if isinstance(formula, And):
+        return And(tuple(eliminate_arrows(child) for child in formula.children))
+    if isinstance(formula, Or):
+        return Or(tuple(eliminate_arrows(child) for child in formula.children))
+    if isinstance(formula, Implies):
+        return Or((Not(eliminate_arrows(formula.premise)), eliminate_arrows(formula.conclusion)))
+    if isinstance(formula, Iff):
+        left = eliminate_arrows(formula.left)
+        right = eliminate_arrows(formula.right)
+        return And((Or((Not(left), right)), Or((Not(right), left))))
+    if isinstance(formula, (Exists, Forall)):
+        return type(formula)(formula.var, eliminate_arrows(formula.body))
+    raise FormulaError(f"unknown formula node {formula!r}")
+
+
+def to_nnf(formula: Formula) -> Formula:
+    """Negation normal form: negations pushed down to atoms.
+
+    Arrows are eliminated first. The result contains only atoms, negated
+    atoms, ∧, ∨, ∃, ∀, ⊤, ⊥.
+    """
+    return _nnf(eliminate_arrows(formula), positive=True)
+
+
+def _nnf(formula: Formula, positive: bool) -> Formula:
+    if isinstance(formula, (Atom, Eq)):
+        return formula if positive else Not(formula)
+    if isinstance(formula, Top):
+        return TRUE if positive else FALSE
+    if isinstance(formula, Bottom):
+        return FALSE if positive else TRUE
+    if isinstance(formula, Not):
+        return _nnf(formula.body, not positive)
+    if isinstance(formula, And):
+        children = tuple(_nnf(child, positive) for child in formula.children)
+        return And(children) if positive else Or(children)
+    if isinstance(formula, Or):
+        children = tuple(_nnf(child, positive) for child in formula.children)
+        return Or(children) if positive else And(children)
+    if isinstance(formula, Exists):
+        body = _nnf(formula.body, positive)
+        return Exists(formula.var, body) if positive else Forall(formula.var, body)
+    if isinstance(formula, Forall):
+        body = _nnf(formula.body, positive)
+        return Forall(formula.var, body) if positive else Exists(formula.var, body)
+    raise FormulaError(f"arrows must be eliminated before NNF: {formula!r}")
+
+
+def to_prenex(formula: Formula) -> Formula:
+    """Prenex normal form: all quantifiers pulled to the front.
+
+    The input is first converted to NNF and standardized apart, after
+    which quantifiers commute freely with ∧ and ∨. The quantifier prefix
+    preserves the left-to-right order of quantifiers in the NNF.
+    """
+    nnf = standardize_apart(to_nnf(formula))
+    prefix, matrix = _strip(nnf)
+    result: Formula = matrix
+    for kind, var in reversed(prefix):
+        result = kind(var, result)
+    return result
+
+
+def _strip(formula: Formula) -> tuple[list[tuple[type, Var]], Formula]:
+    if isinstance(formula, (Exists, Forall)):
+        prefix, matrix = _strip(formula.body)
+        return [(type(formula), formula.var)] + prefix, matrix
+    if isinstance(formula, And):
+        all_prefix: list[tuple[type, Var]] = []
+        matrices = []
+        for child in formula.children:
+            prefix, matrix = _strip(child)
+            all_prefix.extend(prefix)
+            matrices.append(matrix)
+        return all_prefix, And(tuple(matrices))
+    if isinstance(formula, Or):
+        all_prefix = []
+        matrices = []
+        for child in formula.children:
+            prefix, matrix = _strip(child)
+            all_prefix.extend(prefix)
+            matrices.append(matrix)
+        return all_prefix, Or(tuple(matrices))
+    return [], formula
+
+
+def simplify(formula: Formula) -> Formula:
+    """Bottom-up constant folding and trivial-equality elimination.
+
+    Removes ⊤/⊥ subformulas, collapses ``t = t`` to ⊤, flattens nested
+    ∧/∨ and drops duplicate conjuncts/disjuncts. The result is logically
+    equivalent to the input.
+    """
+    if isinstance(formula, (Atom, Top, Bottom)):
+        return formula
+    if isinstance(formula, Eq):
+        if formula.left == formula.right:
+            return TRUE
+        return formula
+    if isinstance(formula, Not):
+        return not_(simplify(formula.body))
+    if isinstance(formula, And):
+        return and_(*(simplify(child) for child in formula.children))
+    if isinstance(formula, Or):
+        return or_(*(simplify(child) for child in formula.children))
+    if isinstance(formula, Implies):
+        premise = simplify(formula.premise)
+        conclusion = simplify(formula.conclusion)
+        if isinstance(premise, Top):
+            return conclusion
+        if isinstance(premise, Bottom) or isinstance(conclusion, Top):
+            return TRUE
+        if isinstance(conclusion, Bottom):
+            return not_(premise)
+        return Implies(premise, conclusion)
+    if isinstance(formula, Iff):
+        left = simplify(formula.left)
+        right = simplify(formula.right)
+        if isinstance(left, Top):
+            return right
+        if isinstance(right, Top):
+            return left
+        if isinstance(left, Bottom):
+            return not_(right)
+        if isinstance(right, Bottom):
+            return not_(left)
+        if left == right:
+            return TRUE
+        return Iff(left, right)
+    if isinstance(formula, (Exists, Forall)):
+        body = simplify(formula.body)
+        if isinstance(body, (Top, Bottom)):
+            # Valid because structures have non-empty universes (the
+            # library enforces this, matching the usual FMT convention).
+            return body
+        return type(formula)(formula.var, body)
+    raise FormulaError(f"unknown formula node {formula!r}")
+
+
+def relativize(formula: Formula, guard_relation: str) -> Formula:
+    """Relativize all quantifiers to a unary guard relation.
+
+    ``∃x φ`` becomes ``∃x (G(x) ∧ φ)`` and ``∀x φ`` becomes
+    ``∀x (G(x) → φ)``. Used to interpret a formula inside a definable
+    substructure — e.g. inside a ball, for Gaifman's theorem (E11).
+    """
+    if isinstance(formula, (Atom, Eq, Top, Bottom)):
+        return formula
+    if isinstance(formula, Not):
+        return Not(relativize(formula.body, guard_relation))
+    if isinstance(formula, And):
+        return And(tuple(relativize(child, guard_relation) for child in formula.children))
+    if isinstance(formula, Or):
+        return Or(tuple(relativize(child, guard_relation) for child in formula.children))
+    if isinstance(formula, Implies):
+        return Implies(
+            relativize(formula.premise, guard_relation),
+            relativize(formula.conclusion, guard_relation),
+        )
+    if isinstance(formula, Iff):
+        return Iff(
+            relativize(formula.left, guard_relation),
+            relativize(formula.right, guard_relation),
+        )
+    if isinstance(formula, Exists):
+        guard = Atom(guard_relation, (formula.var,))
+        return Exists(formula.var, And((guard, relativize(formula.body, guard_relation))))
+    if isinstance(formula, Forall):
+        guard = Atom(guard_relation, (formula.var,))
+        return Forall(formula.var, Implies(guard, relativize(formula.body, guard_relation)))
+    raise FormulaError(f"unknown formula node {formula!r}")

@@ -1,0 +1,17 @@
+"""Structures with order (§3.6): order-invariant queries."""
+
+from repro.orders.invariance import (
+    all_order_expansions,
+    evaluate_invariant,
+    expand_with_order,
+    is_order_invariant_on,
+    order_invariance_counterexample,
+)
+
+__all__ = [
+    "expand_with_order",
+    "all_order_expansions",
+    "order_invariance_counterexample",
+    "is_order_invariant_on",
+    "evaluate_invariant",
+]

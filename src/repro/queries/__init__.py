@@ -1,0 +1,24 @@
+"""The query zoo (S9): canonical queries, the §3.3 reduction tricks, and
+conjunctive queries with the Chandra–Merlin toolbox."""
+
+from repro.queries.conjunctive import ConjunctiveQuery, homomorphism, is_homomorphic
+from repro.queries.zoo import (
+    acyclicity_query,
+    connectivity_query,
+    connectivity_via_tc,
+    even_query,
+    fo_boolean_corpus,
+    fo_graph_corpus,
+    order_successor_formula,
+    order_to_acyclicity_graph,
+    order_to_connectivity_graph,
+    tc_query,
+)
+
+__all__ = [
+    "even_query", "connectivity_query", "acyclicity_query", "tc_query",
+    "order_successor_formula", "order_to_connectivity_graph",
+    "order_to_acyclicity_graph", "connectivity_via_tc",
+    "fo_graph_corpus", "fo_boolean_corpus",
+    "ConjunctiveQuery", "homomorphism", "is_homomorphic",
+]

@@ -1,0 +1,316 @@
+"""Conjunctive queries and the Chandra–Merlin theorem.
+
+The survey's audience is database theoreticians, and the first theorem
+such an audience meets after "FO = relational algebra" is Chandra–Merlin:
+containment, equivalence, and minimization of conjunctive queries (the
+SELECT–PROJECT–JOIN fragment) are decidable via *homomorphisms of
+canonical databases*. This module implements the full circle:
+
+* :class:`ConjunctiveQuery` — head variables + body atoms, parseable
+  from rule syntax (``q(X, Y) :- E(X, Z), E(Z, Y).``);
+* evaluation by homomorphism enumeration (and, for cross-checking, a
+  compilation to an FO formula run through the standard evaluator);
+* :func:`homomorphism` — structure homomorphisms with distinguished
+  elements;
+* containment (Q₁ ⊆ Q₂ iff canonical(Q₂) → canonical(Q₁)), equivalence,
+  and minimization to the core by atom deletion.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+
+from repro.errors import FormulaError
+from repro.fixpoint.datalog import DVar, Literal, parse_program
+from repro.logic.builder import and_, exists_many
+from repro.logic.signature import Signature
+from repro.logic.syntax import Atom as FOAtom, Formula, Var as FOVar
+from repro.structures.structure import Element, Structure
+
+__all__ = ["ConjunctiveQuery", "homomorphism", "is_homomorphic"]
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery:
+    """A conjunctive query: head(x̄) :- R₁(ū₁), ..., R_k(ū_k).
+
+    ``head`` lists the answer variables (:class:`DVar`); body atoms are
+    positive :class:`Literal` objects whose arguments are variables or
+    constants. Every head variable must occur in the body (safety).
+    """
+
+    head: tuple[DVar, ...]
+    body: tuple[Literal, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "head", tuple(self.head))
+        object.__setattr__(self, "body", tuple(self.body))
+        if not self.body:
+            raise FormulaError("a conjunctive query needs at least one body atom")
+        for literal in self.body:
+            if literal.negated:
+                raise FormulaError(f"conjunctive queries are negation-free: {literal!r}")
+        body_vars = self.variables()
+        for var in self.head:
+            if not isinstance(var, DVar):
+                raise FormulaError(f"head entries must be variables, got {var!r}")
+            if var not in body_vars:
+                raise FormulaError(f"unsafe head variable {var.name!r}: not in the body")
+
+    # -- construction -----------------------------------------------------
+
+    @staticmethod
+    def from_rule(text: str) -> "ConjunctiveQuery":
+        """Parse one rule in Datalog syntax into a conjunctive query.
+
+        >>> path2 = ConjunctiveQuery.from_rule("q(X, Y) :- E(X, Z), E(Z, Y).")
+        """
+        program = parse_program(text)
+        if len(program.rules) != 1:
+            raise FormulaError("expected exactly one rule")
+        rule = program.rules[0]
+        head_vars = []
+        for argument in rule.head.arguments:
+            if not isinstance(argument, DVar):
+                raise FormulaError(
+                    f"head argument {argument!r} is a constant; use a variable plus "
+                    "an equality atom in the body instead"
+                )
+            head_vars.append(argument)
+        return ConjunctiveQuery(tuple(head_vars), rule.body)
+
+    # -- structure views ------------------------------------------------------
+
+    def variables(self) -> frozenset[DVar]:
+        result: set[DVar] = set()
+        for literal in self.body:
+            result |= literal.variables()
+        return frozenset(result)
+
+    def constants(self) -> frozenset:
+        result: set = set()
+        for literal in self.body:
+            result |= {arg for arg in literal.arguments if not isinstance(arg, DVar)}
+        return frozenset(result)
+
+    def signature(self) -> Signature:
+        relations: dict[str, int] = {}
+        for literal in self.body:
+            known = relations.setdefault(literal.predicate, len(literal.arguments))
+            if known != len(literal.arguments):
+                raise FormulaError(f"predicate {literal.predicate!r} used at two arities")
+        return Signature(relations)
+
+    def canonical_structure(self) -> tuple[Structure, tuple[Element, ...]]:
+        """The canonical (frozen) database and its distinguished tuple.
+
+        Universe = variables (as their names) ∪ constants; one tuple per
+        body atom. Returns (structure, head-elements). Chandra–Merlin
+        works with homomorphisms of these.
+        """
+        universe: list[Element] = [var.name for var in sorted(self.variables(), key=lambda v: v.name)]
+        universe += sorted(self.constants(), key=repr)
+        relations: dict[str, list[tuple]] = {}
+        for literal in self.body:
+            row = tuple(
+                arg.name if isinstance(arg, DVar) else arg for arg in literal.arguments
+            )
+            relations.setdefault(literal.predicate, []).append(row)
+        structure = Structure(self.signature(), universe, relations)
+        return structure, tuple(var.name for var in self.head)
+
+    def to_formula(self) -> Formula:
+        """The FO rendering: ∃(non-head vars) ⋀ atoms — for cross-checks."""
+        body = and_(
+            *(
+                FOAtom(
+                    literal.predicate,
+                    tuple(
+                        FOVar(arg.name) if isinstance(arg, DVar) else FOVar(f"_c_{arg}")
+                        for arg in literal.arguments
+                    ),
+                )
+                for literal in self.body
+            )
+        )
+        if self.constants():
+            raise FormulaError(
+                "to_formula supports constant-free queries (constants would need "
+                "signature constants); evaluate() handles constants directly"
+            )
+        head_names = {var.name for var in self.head}
+        bound = sorted(
+            (var.name for var in self.variables() if var.name not in head_names),
+        )
+        return exists_many([FOVar(name) for name in bound], body)
+
+    # -- evaluation ------------------------------------------------------------
+
+    def evaluate(self, structure: Structure) -> frozenset[tuple[Element, ...]]:
+        """All answers: images of the head under homomorphisms body → structure."""
+        answers: set[tuple[Element, ...]] = set()
+        for binding in self._homomorphisms_into(structure):
+            answers.add(tuple(binding[var] for var in self.head))
+        return frozenset(answers)
+
+    def boolean(self, structure: Structure) -> bool:
+        """Whether some homomorphism exists (Boolean CQ semantics)."""
+        for _ in self._homomorphisms_into(structure):
+            return True
+        return False
+
+    def _homomorphisms_into(self, structure: Structure) -> Iterable[dict[DVar, Element]]:
+        # Order atoms to bind variables early (simple greedy join order:
+        # prefer atoms sharing variables with what is already bound).
+        remaining = list(self.body)
+        ordered: list[Literal] = []
+        bound: set[DVar] = set()
+        while remaining:
+            best_index = max(
+                range(len(remaining)),
+                key=lambda index: len(remaining[index].variables() & bound),
+            )
+            chosen = remaining.pop(best_index)
+            ordered.append(chosen)
+            bound |= chosen.variables()
+
+        def extend(index: int, binding: dict[DVar, Element]) -> Iterable[dict[DVar, Element]]:
+            if index == len(ordered):
+                yield dict(binding)
+                return
+            literal = ordered[index]
+            for row in structure.tuples(literal.predicate):
+                candidate = dict(binding)
+                if self._match(literal, row, candidate):
+                    yield from extend(index + 1, candidate)
+
+        yield from extend(0, {})
+
+    @staticmethod
+    def _match(literal: Literal, row: tuple, binding: dict[DVar, Element]) -> bool:
+        for arg, value in zip(literal.arguments, row):
+            if isinstance(arg, DVar):
+                known = binding.get(arg)
+                if known is None:
+                    binding[arg] = value
+                elif known != value:
+                    return False
+            elif arg != value:
+                return False
+        return True
+
+    # -- Chandra–Merlin ----------------------------------------------------------
+
+    def contained_in(self, other: "ConjunctiveQuery") -> bool:
+        """Q ⊆ Q' iff there is a homomorphism canonical(Q') → canonical(Q)
+        carrying head to head (Chandra–Merlin)."""
+        if len(self.head) != len(other.head):
+            raise FormulaError("containment requires equal head arities")
+        mine, my_head = self.canonical_structure()
+        theirs, their_head = other.canonical_structure()
+        return homomorphism(theirs, mine, dict(zip(their_head, my_head)), fixed=self.constants() | other.constants()) is not None
+
+    def equivalent_to(self, other: "ConjunctiveQuery") -> bool:
+        """Semantic equivalence, decided by two containment checks."""
+        return self.contained_in(other) and other.contained_in(self)
+
+    def minimize(self) -> "ConjunctiveQuery":
+        """The core: a minimal equivalent subquery, by atom deletion.
+
+        Repeatedly drop a body atom if the smaller query is still
+        equivalent; the fixpoint is unique up to isomorphism (the core of
+        the canonical database).
+        """
+        current = self
+        changed = True
+        while changed:
+            changed = False
+            for index in range(len(current.body)):
+                body = current.body[:index] + current.body[index + 1 :]
+                if not body:
+                    continue
+                try:
+                    candidate = ConjunctiveQuery(current.head, body)
+                except FormulaError:
+                    continue  # dropping this atom would unsafely free a head variable
+                if candidate.equivalent_to(current):
+                    current = candidate
+                    changed = True
+                    break
+        return current
+
+    def __repr__(self) -> str:
+        head = ", ".join(var.name for var in self.head)
+        body = ", ".join(map(repr, self.body))
+        return f"q({head}) :- {body}."
+
+
+def homomorphism(
+    source: Structure,
+    target: Structure,
+    seed_mapping: Mapping[Element, Element] | None = None,
+    fixed: frozenset = frozenset(),
+) -> dict[Element, Element] | None:
+    """A homomorphism source → target extending ``seed_mapping``.
+
+    A homomorphism maps every tuple of every relation of ``source`` to a
+    tuple of the same relation of ``target`` (it need not be injective).
+    Elements in ``fixed`` must map to themselves (constants). Returns a
+    full mapping or None. Backtracking; exponential in the worst case
+    (the problem is NP-complete), fine on canonical databases of
+    realistic queries.
+    """
+    if set(source.signature.relations) - set(target.signature.relations):
+        return None
+    mapping: dict[Element, Element] = dict(seed_mapping or {})
+    for element in fixed:
+        if element in source:
+            if element not in target:
+                return None
+            if mapping.get(element, element) != element:
+                return None
+            mapping[element] = element
+
+    incidence: dict[Element, list[tuple[str, tuple]]] = {}
+    for name in source.signature.relation_names():
+        for row in source.relations[name]:
+            for element in row:
+                incidence.setdefault(element, []).append((name, row))
+
+    order = sorted(
+        (element for element in source.universe if element not in mapping),
+        key=lambda element: -len(incidence.get(element, ())),
+    )
+
+    def consistent(element: Element) -> bool:
+        for name, row in incidence.get(element, ()):
+            if all(value in mapping for value in row):
+                image = tuple(mapping[value] for value in row)
+                if not target.holds(name, image):
+                    return False
+        return True
+
+    for element in list(mapping):
+        if element in source and not consistent(element):
+            return None
+
+    def backtrack(index: int) -> bool:
+        if index == len(order):
+            return True
+        element = order[index]
+        for candidate in target.universe:
+            mapping[element] = candidate
+            if consistent(element) and backtrack(index + 1):
+                return True
+            del mapping[element]
+        return False
+
+    if backtrack(0):
+        return dict(mapping)
+    return None
+
+
+def is_homomorphic(source: Structure, target: Structure) -> bool:
+    """Whether any homomorphism source → target exists."""
+    return homomorphism(source, target) is not None

@@ -1,0 +1,217 @@
+"""The paper's canonical queries and reduction tricks, in one place.
+
+Contains:
+
+* the non-FO queries every tool is aimed at — EVEN, connectivity,
+  acyclicity, transitive closure, same-generation;
+* the §3.3 reduction constructions from linear orders to graphs (the
+  two figures of the paper), *expressed as FO queries over orders* and
+  executed, with the parity correspondences they prove;
+* an FO query corpus used by the locality experiments: a spread of
+  definable queries that must pass every locality check.
+"""
+
+from __future__ import annotations
+
+from repro.eval.evaluator import BooleanQuery, Query
+from repro.fixpoint.lfp import has_directed_cycle, transitive_closure
+from repro.logic.builder import V, and_, atom, exists, not_, or_
+from repro.logic.parser import parse
+from repro.structures.gaifman import is_connected
+from repro.structures.structure import Element, Structure
+
+__all__ = [
+    "even_query",
+    "connectivity_query",
+    "acyclicity_query",
+    "tc_query",
+    "order_successor_formula",
+    "order_to_connectivity_graph",
+    "order_to_acyclicity_graph",
+    "connectivity_via_tc",
+    "fo_graph_corpus",
+    "fo_boolean_corpus",
+]
+
+
+# ---------------------------------------------------------------------------
+# The non-FO queries
+# ---------------------------------------------------------------------------
+
+
+def even_query(structure: Structure) -> bool:
+    """EVEN(σ): the domain has even cardinality (§3.2)."""
+    return structure.size % 2 == 0
+
+
+def connectivity_query(structure: Structure) -> bool:
+    """CONN: the (Gaifman) graph is connected (§3.3)."""
+    return is_connected(structure)
+
+
+def acyclicity_query(structure: Structure) -> bool:
+    """ACYCL: the directed graph has no cycle (§3.3)."""
+    return not has_directed_cycle(structure)
+
+
+def tc_query(structure: Structure) -> frozenset[tuple[Element, Element]]:
+    """TC: the transitive closure of the edge relation, as a binary query."""
+    return transitive_closure(structure)
+
+
+# ---------------------------------------------------------------------------
+# Order vocabulary: FO-definable positions in a linear order
+# ---------------------------------------------------------------------------
+
+
+def order_successor_formula(x: str = "x", y: str = "y"):
+    """succ(x, y) over <: y is the immediate successor of x."""
+    z = V("z")
+    vx, vy = V(x), V(y)
+    between = exists(z, and_(atom("<", vx, z), atom("<", z, vy)))
+    return and_(atom("<", vx, vy), not_(between))
+
+
+def _order_position_formulas():
+    """first, last, and successor as FO formula builders.
+
+    The bound variables are fresh names (``_b``, ``_a``, ``_m``) so the
+    builders can safely be applied to any of the free variables x, y, z.
+    """
+    below, above, mid = V("_b"), V("_a"), V("_m")
+
+    def first(var):
+        return not_(exists(below, atom("<", below, var)))
+
+    def last(var):
+        return not_(exists(above, atom("<", var, above)))
+
+    def succ(a, b):
+        return and_(
+            atom("<", a, b),
+            not_(exists(mid, and_(atom("<", a, mid), atom("<", mid, b)))),
+        )
+
+    return first, last, succ
+
+
+def order_to_connectivity_graph(order: Structure) -> Structure:
+    """The paper's first figure: 2nd-successor edges plus two wrap edges.
+
+    For each element an edge to its 2nd successor; plus an edge from the
+    last element to the 2nd element and from the penultimate to the
+    first. The construction is FO (the defining formula is evaluated by
+    the standard evaluator), and the resulting graph is connected iff
+    the order has odd size — the reduction that kills CONN (E5).
+    """
+    from repro.eval.evaluator import answers
+    from repro.logic.signature import GRAPH
+
+    x, y, z, u, v = V("x"), V("y"), V("z"), V("u"), V("v")
+    first, last, succ = _order_position_formulas()
+    second_succ = exists(z, and_(succ(x, z), succ(z, y)))
+    second = exists(u, and_(first(u), succ(u, y)))
+    penultimate = exists(v, and_(last(v), succ(x, v)))
+    edge = or_(
+        second_succ,
+        and_(last(x), second),
+        and_(penultimate, first(y)),
+    )
+    pairs = answers(order, edge, free_order=(x, y))
+    symmetric = pairs | frozenset((b, a) for a, b in pairs)
+    return Structure(GRAPH, order.universe, {"E": symmetric})
+
+
+def order_to_acyclicity_graph(order: Structure) -> Structure:
+    """The paper's second figure: 2nd-successor edges plus one back edge.
+
+    Edges to 2nd successors, plus last → first. Acyclic iff the order
+    has even size — the reduction that kills ACYCL (E5).
+    """
+    from repro.eval.evaluator import answers
+    from repro.logic.signature import GRAPH
+
+    x, y, z = V("x"), V("y"), V("z")
+    first, last, succ = _order_position_formulas()
+    second_succ = exists(z, and_(succ(x, z), succ(z, y)))
+    edge = or_(second_succ, and_(last(x), first(y)))
+    pairs = answers(order, edge, free_order=(x, y))
+    return Structure(GRAPH, order.universe, {"E": pairs})
+
+
+def connectivity_via_tc(structure: Structure) -> bool:
+    """CONN from TC, the paper's third trick: symmetrize, close, check complete.
+
+    Add an edge (x, y) for each edge (y, x), compute the transitive
+    closure, and test whether the result relates every pair — so if TC
+    were FO-definable, CONN would be too (E5).
+    """
+    edges = structure.tuples("E")
+    symmetric = edges | frozenset((b, a) for a, b in edges)
+    doubled = Structure(structure.signature, structure.universe, {"E": symmetric})
+    closure = transitive_closure(doubled)
+    for a in structure.universe:
+        for b in structure.universe:
+            if a != b and (a, b) not in closure:
+                return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# An FO corpus for the locality experiments
+# ---------------------------------------------------------------------------
+
+
+def fo_graph_corpus() -> list[Query]:
+    """FO-definable graph queries of arities 1 and 2.
+
+    Every query here must pass every locality check (Gaifman, BNDP) at a
+    suitable radius — the positive half of experiments E6/E7/E9.
+    """
+    x, y = V("x"), V("y")
+    return [
+        Query(parse("exists y E(x, y)"), (x,), name="has-out-edge"),
+        Query(parse("exists y E(y, x)"), (x,), name="has-in-edge"),
+        Query(parse("E(x, x)"), (x,), name="has-loop"),
+        Query(
+            parse("exists y exists z (E(x, y) & E(y, z) & E(z, x))"),
+            (x,),
+            name="on-triangle",
+        ),
+        Query(
+            parse("forall y (~E(x, y) | E(y, x))"),
+            (x,),
+            name="out-edges-reciprocated",
+        ),
+        Query(parse("E(x, y)"), (x, y), name="edge"),
+        Query(parse("E(x, y) & E(y, x)"), (x, y), name="mutual-edge"),
+        Query(
+            parse("exists z (E(x, z) & E(z, y)) & ~E(x, y)"),
+            (x, y),
+            name="distance-two",
+        ),
+        Query(
+            parse("~(x = y) & forall z ((~E(x, z) | E(y, z)))"),
+            (x, y),
+            name="out-dominated",
+        ),
+    ]
+
+
+def fo_boolean_corpus() -> list[BooleanQuery]:
+    """FO-definable Boolean graph queries for the Hanf experiments (E8/E9)."""
+    return [
+        BooleanQuery(parse("exists x E(x, x)"), name="has-some-loop"),
+        BooleanQuery(parse("exists x exists y (E(x, y) & E(y, x))"), name="has-mutual-pair"),
+        BooleanQuery(
+            parse("forall x exists y (E(x, y) | E(y, x))"), name="no-isolated-node"
+        ),
+        BooleanQuery(
+            parse("exists x exists y exists z (E(x, y) & E(y, z) & E(z, x))"),
+            name="has-triangle",
+        ),
+        BooleanQuery(
+            parse("exists x (exists y E(x, y) & forall y forall z (~E(x, y) | ~E(x, z) | y = z))"),
+            name="has-out-degree-exactly-one",
+        ),
+    ]

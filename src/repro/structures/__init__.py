@@ -1,0 +1,68 @@
+"""Finite relational structures and their geometry (S2).
+
+The database substrate: structures, canonical families, isomorphism,
+color refinement, and the Gaifman graph with its balls and neighborhoods.
+"""
+
+from repro.structures.builders import (
+    bare_set,
+    complete_graph,
+    directed_chain,
+    directed_cycle,
+    disjoint_cycles,
+    empty_graph,
+    full_binary_tree,
+    graph_from_edges,
+    grid_graph,
+    linear_order,
+    random_graph,
+    random_structure,
+    random_tournament,
+    star_graph,
+    successor,
+    undirected_chain,
+    undirected_cycle,
+)
+from repro.structures.gaifman import (
+    ball,
+    connected_components,
+    diameter,
+    distance,
+    gaifman_adjacency,
+    gaifman_graph,
+    is_connected,
+    neighborhood,
+)
+from repro.structures.invariants import (
+    color_classes,
+    joint_refine_colors,
+    refine_colors,
+    structure_fingerprint,
+)
+from repro.structures.isomorphism import (
+    are_isomorphic,
+    count_automorphisms,
+    find_isomorphism,
+    is_partial_isomorphism,
+    isomorphism_classes,
+)
+from repro.structures.structure import Element, Structure
+
+__all__ = [
+    "Structure", "Element",
+    # builders
+    "bare_set", "linear_order", "successor", "directed_chain",
+    "directed_cycle", "undirected_chain", "undirected_cycle",
+    "complete_graph", "empty_graph", "full_binary_tree", "grid_graph",
+    "star_graph", "disjoint_cycles", "graph_from_edges", "random_graph",
+    "random_structure", "random_tournament",
+    # gaifman
+    "gaifman_adjacency", "gaifman_graph", "distance", "ball",
+    "neighborhood", "connected_components", "is_connected", "diameter",
+    # invariants
+    "refine_colors", "joint_refine_colors", "color_classes",
+    "structure_fingerprint",
+    # isomorphism
+    "is_partial_isomorphism", "find_isomorphism", "are_isomorphic",
+    "count_automorphisms", "isomorphism_classes",
+]

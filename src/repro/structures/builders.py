@@ -1,0 +1,272 @@
+"""Constructors for the structure families used throughout the paper.
+
+These are the A_n / B_n families of every inexpressibility argument:
+bare sets, linear orders L_n, successor structures, chains, cycles,
+full binary trees, and uniform random structures (for the 0–1 law).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable
+
+from repro.errors import StructureError
+from repro.logic.signature import GRAPH, ORDER, SET, SUCCESSOR, Signature
+from repro.structures.structure import Element, Structure
+
+__all__ = [
+    "bare_set",
+    "linear_order",
+    "successor",
+    "directed_chain",
+    "directed_cycle",
+    "undirected_chain",
+    "undirected_cycle",
+    "complete_graph",
+    "empty_graph",
+    "full_binary_tree",
+    "grid_graph",
+    "star_graph",
+    "disjoint_cycles",
+    "graph_from_edges",
+    "random_graph",
+    "random_structure",
+    "random_tournament",
+]
+
+
+def bare_set(n: int) -> Structure:
+    """An n-element structure over the empty signature (§3.2's easy case)."""
+    _require_positive(n)
+    return Structure(SET, range(n))
+
+
+def linear_order(n: int) -> Structure:
+    """L_n: the n-element strict linear order 0 < 1 < ... < n-1."""
+    _require_positive(n)
+    pairs = [(i, j) for i in range(n) for j in range(n) if i < j]
+    return Structure(ORDER, range(n), {"<": pairs})
+
+
+def successor(n: int) -> Structure:
+    """The n-element successor structure S(0,1), S(1,2), ..., S(n-2,n-1)."""
+    _require_positive(n)
+    return Structure(SUCCESSOR, range(n), {"S": [(i, i + 1) for i in range(n - 1)]})
+
+
+def directed_chain(n: int) -> Structure:
+    """A directed path on n nodes over the graph signature.
+
+    This is the graph ``{(a_1,a_2), ..., (a_{n-1},a_n)}`` of §3.4 whose
+    transitive closure realizes n-1 distinct degrees.
+    """
+    _require_positive(n)
+    return Structure(GRAPH, range(n), {"E": [(i, i + 1) for i in range(n - 1)]})
+
+
+def directed_cycle(n: int) -> Structure:
+    """A directed cycle on n nodes."""
+    _require_positive(n)
+    return Structure(GRAPH, range(n), {"E": [(i, (i + 1) % n) for i in range(n)]})
+
+
+def undirected_chain(n: int) -> Structure:
+    """A path on n nodes with edges in both directions (undirected view)."""
+    _require_positive(n)
+    edges = []
+    for i in range(n - 1):
+        edges.append((i, i + 1))
+        edges.append((i + 1, i))
+    return Structure(GRAPH, range(n), {"E": edges})
+
+
+def undirected_cycle(n: int) -> Structure:
+    """A cycle on n ≥ 3 nodes with edges in both directions.
+
+    These are the C_m of the Hanf-locality example (E8).
+    """
+    if n < 3:
+        raise StructureError(f"an undirected cycle needs at least 3 nodes, got {n}")
+    edges = []
+    for i in range(n):
+        j = (i + 1) % n
+        edges.append((i, j))
+        edges.append((j, i))
+    return Structure(GRAPH, range(n), {"E": edges})
+
+
+def disjoint_cycles(lengths: Iterable[int]) -> Structure:
+    """A disjoint union of undirected cycles of the given lengths.
+
+    ``disjoint_cycles([m, m])`` vs :func:`undirected_cycle` of ``2m`` is
+    the canonical Hanf-locality pair of the paper's figure.
+    """
+    lengths = list(lengths)
+    if not lengths:
+        raise StructureError("need at least one cycle")
+    nodes: list[Element] = []
+    edges: list[tuple[Element, Element]] = []
+    for index, length in enumerate(lengths):
+        if length < 3:
+            raise StructureError(f"an undirected cycle needs at least 3 nodes, got {length}")
+        ring = [(index, k) for k in range(length)]
+        nodes.extend(ring)
+        for k in range(length):
+            a, b = ring[k], ring[(k + 1) % length]
+            edges.append((a, b))
+            edges.append((b, a))
+    return Structure(GRAPH, nodes, {"E": edges})
+
+
+def complete_graph(n: int, loops: bool = False) -> Structure:
+    """The complete directed graph on n nodes (optionally with loops)."""
+    _require_positive(n)
+    edges = [(i, j) for i in range(n) for j in range(n) if loops or i != j]
+    return Structure(GRAPH, range(n), {"E": edges})
+
+
+def empty_graph(n: int) -> Structure:
+    """n isolated nodes over the graph signature."""
+    _require_positive(n)
+    return Structure(GRAPH, range(n), {"E": []})
+
+
+def star_graph(n: int) -> Structure:
+    """A star: node 0 with undirected edges to nodes 1..n-1."""
+    _require_positive(n)
+    edges = []
+    for i in range(1, n):
+        edges.append((0, i))
+        edges.append((i, 0))
+    return Structure(GRAPH, range(n), {"E": edges})
+
+
+def full_binary_tree(depth: int, undirected: bool = False) -> Structure:
+    """The full binary tree of the given depth, edges parent→child.
+
+    Nodes are the integers 1 .. 2^(depth+1)-1 in heap order (children of
+    ``v`` are ``2v`` and ``2v+1``). Depth 0 is a single root. This is the
+    input of the same-generation BNDP example (E6).
+    """
+    if depth < 0:
+        raise StructureError(f"depth must be non-negative, got {depth}")
+    count = 2 ** (depth + 1) - 1
+    nodes = range(1, count + 1)
+    edges = []
+    for node in nodes:
+        for child in (2 * node, 2 * node + 1):
+            if child <= count:
+                edges.append((node, child))
+                if undirected:
+                    edges.append((child, node))
+    return Structure(GRAPH, nodes, {"E": edges})
+
+
+def grid_graph(rows: int, cols: int) -> Structure:
+    """An undirected rows × cols grid (degree ≤ 4, for bounded-degree demos)."""
+    _require_positive(rows)
+    _require_positive(cols)
+    nodes = [(r, c) for r in range(rows) for c in range(cols)]
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            if r + 1 < rows:
+                edges.append(((r, c), (r + 1, c)))
+                edges.append(((r + 1, c), (r, c)))
+            if c + 1 < cols:
+                edges.append(((r, c), (r, c + 1)))
+                edges.append(((r, c + 1), (r, c)))
+    return Structure(GRAPH, nodes, {"E": edges})
+
+
+def graph_from_edges(edges: Iterable[tuple[Element, Element]], nodes: Iterable[Element] = ()) -> Structure:
+    """A graph from an edge list (plus optional extra isolated nodes)."""
+    edges = [tuple(edge) for edge in edges]
+    universe = list(nodes)
+    for source, target in edges:
+        universe.append(source)
+        universe.append(target)
+    if not universe:
+        raise StructureError("graph_from_edges needs at least one node")
+    return Structure(GRAPH, universe, {"E": edges})
+
+
+def random_graph(n: int, p: float = 0.5, seed: int | None = None, undirected: bool = False) -> Structure:
+    """A uniform random (di)graph G(n, p), loop-free.
+
+    With ``p = 0.5`` this is the uniform distribution on labelled graphs —
+    the measure μ_n of the 0–1 law (E12).
+    """
+    _require_positive(n)
+    rng = random.Random(seed)
+    edges = []
+    if undirected:
+        for i in range(n):
+            for j in range(i + 1, n):
+                if rng.random() < p:
+                    edges.append((i, j))
+                    edges.append((j, i))
+    else:
+        for i in range(n):
+            for j in range(n):
+                if i != j and rng.random() < p:
+                    edges.append((i, j))
+    return Structure(GRAPH, range(n), {"E": edges})
+
+
+def random_structure(signature: Signature, n: int, p: float = 0.5, seed: int | None = None) -> Structure:
+    """A uniform random structure over any relational signature.
+
+    Every possible tuple of every relation is included independently with
+    probability ``p``; with ``p = 0.5`` this samples STRUC(σ, n) uniformly,
+    exactly the probability space of the 0–1 law's μ_n.
+    """
+    _require_positive(n)
+    if signature.constants:
+        raise StructureError("random_structure requires a purely relational signature")
+    rng = random.Random(seed)
+    relations: dict[str, list[tuple]] = {}
+    for name in signature.relation_names():
+        arity = signature.arity(name)
+        tuples = []
+        for row in _all_tuples(range(n), arity):
+            if rng.random() < p:
+                tuples.append(row)
+        relations[name] = tuples
+    return Structure(signature, range(n), relations)
+
+
+def random_tournament(n: int, seed: int | None = None) -> Structure:
+    """A random tournament: exactly one direction of each edge, uniformly."""
+    _require_positive(n)
+    rng = random.Random(seed)
+    edges = []
+    for i in range(n):
+        for j in range(i + 1, n):
+            edges.append((i, j) if rng.random() < 0.5 else (j, i))
+    return Structure(GRAPH, range(n), {"E": edges})
+
+
+def _all_tuples(domain: Iterable[Element], arity: int):
+    domain = list(domain)
+    if arity == 0:
+        yield ()
+        return
+    indices = [0] * arity
+    size = len(domain)
+    while True:
+        yield tuple(domain[i] for i in indices)
+        position = arity - 1
+        while position >= 0:
+            indices[position] += 1
+            if indices[position] < size:
+                break
+            indices[position] = 0
+            position -= 1
+        if position < 0:
+            return
+
+
+def _require_positive(n: int) -> None:
+    if n < 1:
+        raise StructureError(f"size must be at least 1, got {n}")

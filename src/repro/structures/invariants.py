@@ -1,0 +1,140 @@
+"""Color refinement (1-dimensional Weisfeiler–Leman) for structures.
+
+Color refinement computes an isomorphism-*invariant* partition of the
+elements of a structure: elements with different stable colors cannot be
+exchanged by any isomorphism. It is used as a cheap pre-filter and
+candidate-ordering heuristic by the exact isomorphism search, and to
+fingerprint structures before pairwise isomorphism tests (Hanf types).
+
+The refinement is defined for arbitrary relational structures, not just
+graphs: the signal an element receives in one round is the multiset of
+(relation, position, colors-of-the-other-coordinates) patterns of every
+tuple it participates in.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+
+from repro.structures.structure import Element, Structure
+
+__all__ = ["refine_colors", "joint_refine_colors", "structure_fingerprint", "color_classes"]
+
+
+def _initial_colors(structure: Structure) -> dict[Element, object]:
+    constant_names: dict[Element, tuple[str, ...]] = defaultdict(tuple)
+    for name in sorted(structure.constants):
+        element = structure.constants[name]
+        constant_names[element] = constant_names[element] + (name,)
+    return {element: ("init", constant_names.get(element, ())) for element in structure.universe}
+
+
+def _incidence(structure: Structure) -> dict[Element, list[tuple[str, int, tuple]]]:
+    """For each element, the list of (relation, position, tuple) incidences."""
+    incidence: dict[Element, list[tuple[str, int, tuple]]] = defaultdict(list)
+    for name in structure.signature.relation_names():
+        for row in structure.relations[name]:
+            for position, element in enumerate(row):
+                incidence[element].append((name, position, row))
+    return incidence
+
+
+def _refine(
+    structures: list[Structure],
+) -> list[dict[Element, int]]:
+    """Jointly refine colors across several structures until stable.
+
+    Joint refinement gives *comparable* colors: if element a of structure
+    A and element b of structure B end with different colors, no
+    isomorphism A → B can map a to b.
+    """
+    tagged: list[tuple[int, Element]] = []
+    raw_colors: dict[tuple[int, Element], object] = {}
+    incidences: list[dict[Element, list[tuple[str, int, tuple]]]] = []
+    for index, structure in enumerate(structures):
+        initial = _initial_colors(structure)
+        incidences.append(_incidence(structure))
+        for element in structure.universe:
+            tagged.append((index, element))
+            raw_colors[(index, element)] = initial[element]
+
+    colors = _canonicalize(raw_colors)
+    while True:
+        signals: dict[tuple[int, Element], object] = {}
+        for index, element in tagged:
+            patterns = Counter()
+            for name, position, row in incidences[index].get(element, ()):
+                pattern = (
+                    name,
+                    position,
+                    tuple(colors[(index, other)] for other in row),
+                )
+                patterns[pattern] += 1
+            signals[(index, element)] = (
+                colors[(index, element)],
+                tuple(sorted(patterns.items())),
+            )
+        new_colors = _canonicalize(signals)
+        if _partition_sizes(new_colors) == _partition_sizes(colors):
+            colors = new_colors
+            break
+        colors = new_colors
+
+    return [
+        {element: colors[(index, element)] for element in structure.universe}
+        for index, structure in enumerate(structures)
+    ]
+
+
+def _canonicalize(raw: dict[tuple[int, Element], object]) -> dict[tuple[int, Element], int]:
+    """Map arbitrary color values to small integers, deterministically."""
+    ordering = {value: rank for rank, value in enumerate(sorted(set(map(repr, raw.values()))))}
+    return {key: ordering[repr(value)] for key, value in raw.items()}
+
+
+def _partition_sizes(colors: dict) -> int:
+    return len(set(colors.values()))
+
+
+def refine_colors(structure: Structure) -> dict[Element, int]:
+    """Stable color-refinement colors of one structure (memoized)."""
+    return structure.cached(("wl-colors",), lambda: _refine([structure])[0])  # type: ignore[return-value]
+
+
+def joint_refine_colors(left: Structure, right: Structure) -> tuple[dict[Element, int], dict[Element, int]]:
+    """Comparable stable colors for a pair of structures.
+
+    If the color histograms differ, the structures are not isomorphic
+    (the converse does not hold — this is a one-sided test).
+    """
+    refined = _refine([left, right])
+    return refined[0], refined[1]
+
+
+def color_classes(structure: Structure) -> list[tuple[Element, ...]]:
+    """The color-refinement partition as a list of element classes."""
+    colors = refine_colors(structure)
+    classes: dict[int, list[Element]] = defaultdict(list)
+    for element in structure.universe:
+        classes[colors[element]].append(element)
+    return [tuple(classes[color]) for color in sorted(classes)]
+
+
+def structure_fingerprint(structure: Structure) -> tuple:
+    """An isomorphism-invariant fingerprint of a structure.
+
+    Two isomorphic structures have equal fingerprints; unequal
+    fingerprints certify non-isomorphism. Used to bucket neighborhoods
+    before exact isomorphism tests when computing Hanf types.
+    """
+
+    def compute() -> tuple:
+        colors = refine_colors(structure)
+        histogram = tuple(sorted(Counter(colors.values()).items()))
+        relation_counts = tuple(
+            (name, len(structure.relations[name]))
+            for name in structure.signature.relation_names()
+        )
+        return (structure.size, relation_counts, histogram)
+
+    return structure.cached(("fingerprint",), compute)  # type: ignore[return-value]

@@ -1,0 +1,254 @@
+"""Exact isomorphism and partial isomorphism for finite structures.
+
+Partial isomorphism (slide 38 / the winning condition of the EF game) and
+full isomorphism search. The search is backtracking, guided by joint
+color refinement: candidates are restricted to equal-colored elements,
+which makes the common cases (neighborhood types, small game positions)
+fast while remaining exact.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from collections.abc import Iterable
+
+from repro.errors import StructureError
+from repro.structures.invariants import joint_refine_colors, structure_fingerprint
+from repro.structures.structure import Element, Structure
+
+__all__ = [
+    "is_partial_isomorphism",
+    "extends_partial_isomorphism",
+    "find_isomorphism",
+    "are_isomorphic",
+    "count_automorphisms",
+    "isomorphism_classes",
+]
+
+
+def is_partial_isomorphism(
+    left: Structure,
+    right: Structure,
+    pairs: Iterable[tuple[Element, Element]],
+) -> bool:
+    """Whether the given pairs form a partial isomorphism left → right.
+
+    Following the definition in the paper, the map must:
+
+    * be a well-defined injective function (``a_i = a_j`` iff ``b_i = b_j``),
+    * include every constant pair ``(c^A, c^B)`` consistently, and
+    * preserve and reflect every relation on its domain:
+      ``R^A(ā)`` iff ``R^B(f(ā))`` for tuples over the domain.
+    """
+    if left.signature != right.signature:
+        return False
+    mapping: dict[Element, Element] = {}
+    inverse: dict[Element, Element] = {}
+    for name in left.signature.constants:
+        mapping[left.constant(name)] = right.constant(name)
+        inverse[right.constant(name)] = left.constant(name)
+        if len(mapping) != len(inverse):
+            return False
+    for a, b in pairs:
+        if a not in left or b not in right:
+            raise StructureError(f"pair ({a!r}, {b!r}) is outside the structures' universes")
+        if mapping.get(a, b) != b or inverse.get(b, a) != a:
+            return False
+        mapping[a] = b
+        inverse[b] = a
+    return _preserves_relations(left, right, mapping)
+
+
+def _preserves_relations(
+    left: Structure,
+    right: Structure,
+    mapping: dict[Element, Element],
+) -> bool:
+    domain = set(mapping)
+    image = set(mapping.values())
+    for name in left.signature.relation_names():
+        arity = left.signature.arity(name)
+        left_rows = {
+            row for row in left.relations[name] if all(value in domain for value in row)
+        }
+        right_rows = {
+            row for row in right.relations[name] if all(value in image for value in row)
+        }
+        if {tuple(mapping[value] for value in row) for row in left_rows} != right_rows:
+            return False
+        if arity == 0:  # pragma: no cover - arities are >= 1 by Signature
+            continue
+    return True
+
+
+def extends_partial_isomorphism(
+    left: Structure,
+    right: Structure,
+    mapping: dict[Element, Element],
+    inverse: dict[Element, Element],
+    a: Element,
+    b: Element,
+) -> bool:
+    """Incremental check: does adding the pair (a, b) keep a partial iso?
+
+    Assumes ``mapping``/``inverse`` already form a partial isomorphism.
+    Only tuples involving ``a`` (resp. ``b``) are re-examined, which is
+    what makes the EF game solver's inner loop affordable.
+    """
+    if a in mapping or b in inverse:
+        return mapping.get(a) == b and inverse.get(b) == a
+    new_mapping = dict(mapping)
+    new_mapping[a] = b
+    domain = set(new_mapping)
+    image = set(new_mapping.values())
+    for name in left.signature.relation_names():
+        left_rows = {
+            row
+            for row in left.relations[name]
+            if a in row and all(value in domain for value in row)
+        }
+        right_rows = {
+            row
+            for row in right.relations[name]
+            if b in row and all(value in image for value in row)
+        }
+        if {tuple(new_mapping[value] for value in row) for row in left_rows} != right_rows:
+            return False
+    return True
+
+
+def find_isomorphism(left: Structure, right: Structure) -> dict[Element, Element] | None:
+    """Find an isomorphism left → right, or return ``None``.
+
+    Exact backtracking search over color-refinement classes. Worst-case
+    exponential (graph isomorphism has no known polynomial algorithm),
+    but the refinement makes all structures arising in this library's
+    experiments fast.
+    """
+    if left.signature != right.signature or left.size != right.size:
+        return None
+    for name in left.signature.relation_names():
+        if len(left.relations[name]) != len(right.relations[name]):
+            return None
+    if structure_fingerprint(left) != structure_fingerprint(right):
+        return None
+
+    left_colors, right_colors = joint_refine_colors(left, right)
+    if Counter(left_colors.values()) != Counter(right_colors.values()):
+        return None
+
+    right_by_color: dict[int, list[Element]] = defaultdict(list)
+    for element in right.universe:
+        right_by_color[right_colors[element]].append(element)
+
+    # Order left elements so the most constrained (rarest color) come first.
+    order = sorted(
+        left.universe,
+        key=lambda element: (len(right_by_color[left_colors[element]]), repr(element)),
+    )
+
+    mapping: dict[Element, Element] = {}
+    inverse: dict[Element, Element] = {}
+    for name in left.signature.constants:
+        a, b = left.constant(name), right.constant(name)
+        if left_colors[a] != right_colors[b]:
+            return None
+        if mapping.get(a, b) != b or inverse.get(b, a) != a:
+            return None
+        if a not in mapping:
+            if not extends_partial_isomorphism(left, right, mapping, inverse, a, b):
+                return None
+            mapping[a] = b
+            inverse[b] = a
+
+    def backtrack(index: int) -> bool:
+        if index == len(order):
+            return True
+        a = order[index]
+        if a in mapping:
+            return backtrack(index + 1)
+        for b in right_by_color[left_colors[a]]:
+            if b in inverse:
+                continue
+            if extends_partial_isomorphism(left, right, mapping, inverse, a, b):
+                mapping[a] = b
+                inverse[b] = a
+                if backtrack(index + 1):
+                    return True
+                del mapping[a]
+                del inverse[b]
+        return False
+
+    if backtrack(0):
+        return dict(mapping)
+    return None
+
+
+def are_isomorphic(left: Structure, right: Structure) -> bool:
+    """Whether the two structures are isomorphic (A ≅ B)."""
+    return find_isomorphism(left, right) is not None
+
+
+def count_automorphisms(structure: Structure, limit: int = 10**6) -> int:
+    """Count the automorphisms of a structure (up to ``limit``).
+
+    Useful in tests: e.g. a directed cycle of length n has exactly n
+    automorphisms, a bare n-set has n! of them.
+    """
+    from repro.structures.invariants import refine_colors
+
+    colors = refine_colors(structure)
+    by_color: dict[int, list[Element]] = defaultdict(list)
+    for element in structure.universe:
+        by_color[colors[element]].append(element)
+    order = sorted(
+        structure.universe,
+        key=lambda element: (len(by_color[colors[element]]), repr(element)),
+    )
+
+    mapping: dict[Element, Element] = {}
+    inverse: dict[Element, Element] = {}
+    count = 0
+
+    def backtrack(index: int) -> None:
+        nonlocal count
+        if count >= limit:
+            return
+        if index == len(order):
+            count += 1
+            return
+        a = order[index]
+        for b in by_color[colors[a]]:
+            if b in inverse:
+                continue
+            if extends_partial_isomorphism(structure, structure, mapping, inverse, a, b):
+                mapping[a] = b
+                inverse[b] = a
+                backtrack(index + 1)
+                del mapping[a]
+                del inverse[b]
+
+    backtrack(0)
+    return count
+
+
+def isomorphism_classes(structures: Iterable[Structure]) -> list[list[Structure]]:
+    """Partition structures into isomorphism classes.
+
+    Structures are first bucketed by invariant fingerprint, then compared
+    pairwise inside each bucket. Used to compute the multiset of
+    neighborhood types for Hanf equivalence.
+    """
+    buckets: dict[tuple, list[list[Structure]]] = defaultdict(list)
+    for structure in structures:
+        fingerprint = structure_fingerprint(structure)
+        for cls in buckets[fingerprint]:
+            if are_isomorphic(cls[0], structure):
+                cls.append(structure)
+                break
+        else:
+            buckets[fingerprint].append([structure])
+    classes: list[list[Structure]] = []
+    for groups in buckets.values():
+        classes.extend(groups)
+    return classes

@@ -1,0 +1,367 @@
+"""Finite relational structures — the library's model of a database.
+
+A :class:`Structure` is a finite universe together with an interpretation
+of every relation symbol of its signature (and of its constants, if any).
+Structures are immutable and hashable; all "mutating" operations return
+new structures.
+
+The element sort order used internally is deterministic (by type name and
+repr), so every derived object — neighborhoods, unions, canonical invariants
+— is reproducible run to run.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Mapping
+from typing import Callable
+
+from repro.errors import SignatureError, StructureError
+from repro.logic.signature import Signature
+
+__all__ = ["Structure", "Element"]
+
+Element = Hashable
+
+
+def _sort_key(element: Element) -> tuple[str, str]:
+    return (type(element).__name__, repr(element))
+
+
+class Structure:
+    """A finite structure A = (A, R1^A, ..., Rk^A, c1^A, ..., cm^A).
+
+    Parameters
+    ----------
+    signature:
+        The relational signature the structure interprets.
+    universe:
+        The (non-empty, finite) domain. Elements may be any hashable
+        values; duplicates are removed.
+    relations:
+        For each relation symbol, the set of tuples in its interpretation.
+        Symbols may be omitted — they are interpreted as empty. Tuples of
+        binary relations may be given as 2-tuples, etc.
+    constants:
+        For each constant symbol of the signature, the element it denotes.
+
+    >>> from repro.logic.signature import GRAPH
+    >>> triangle = Structure(GRAPH, [0, 1, 2], {"E": [(0, 1), (1, 2), (2, 0)]})
+    >>> triangle.size
+    3
+    """
+
+    __slots__ = (
+        "signature",
+        "universe",
+        "relations",
+        "constants",
+        "_universe_set",
+        "_hash",
+        "_cache",
+    )
+
+    def __init__(
+        self,
+        signature: Signature,
+        universe: Iterable[Element],
+        relations: Mapping[str, Iterable[tuple]] | None = None,
+        constants: Mapping[str, Element] | None = None,
+    ) -> None:
+        self.signature = signature
+        elements = list(dict.fromkeys(universe))
+        if not elements:
+            raise StructureError("the universe of a structure must be non-empty")
+        try:
+            elements.sort(key=_sort_key)
+        except TypeError:  # pragma: no cover - repr-keys are always comparable
+            pass
+        self.universe: tuple[Element, ...] = tuple(elements)
+        self._universe_set = frozenset(elements)
+
+        interp: dict[str, frozenset[tuple]] = {}
+        provided = dict(relations or {})
+        for name in provided:
+            if not signature.has_relation(name):
+                raise SignatureError(
+                    f"structure interprets undeclared relation {name!r}; "
+                    f"signature has {sorted(signature.relations)}"
+                )
+        for name in signature.relation_names():
+            arity = signature.arity(name)
+            tuples = frozenset(tuple(row) for row in provided.get(name, ()))
+            for row in tuples:
+                if len(row) != arity:
+                    raise StructureError(
+                        f"tuple {row!r} in {name!r} has length {len(row)}, expected {arity}"
+                    )
+                for value in row:
+                    if value not in self._universe_set:
+                        raise StructureError(
+                            f"tuple {row!r} in {name!r} mentions {value!r}, "
+                            "which is outside the universe"
+                        )
+            interp[name] = tuples
+        self.relations: dict[str, frozenset[tuple]] = interp
+
+        const_interp: dict[str, Element] = dict(constants or {})
+        for name in const_interp:
+            if not signature.has_constant(name):
+                raise SignatureError(f"structure interprets undeclared constant {name!r}")
+            if const_interp[name] not in self._universe_set:
+                raise StructureError(
+                    f"constant {name!r} denotes {const_interp[name]!r}, "
+                    "which is outside the universe"
+                )
+        missing = signature.constants - const_interp.keys()
+        if missing:
+            raise StructureError(f"constants {sorted(missing)} are not interpreted")
+        self.constants: dict[str, Element] = const_interp
+
+        self._hash: int | None = None
+        self._cache: dict = {}
+
+    # -- basic protocol ----------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of elements in the universe (written |A| or n)."""
+        return len(self.universe)
+
+    def __len__(self) -> int:
+        return len(self.universe)
+
+    def __contains__(self, element: Element) -> bool:
+        return element in self._universe_set
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Structure):
+            return NotImplemented
+        return (
+            self.signature == other.signature
+            and self._universe_set == other._universe_set
+            and self.relations == other.relations
+            and self.constants == other.constants
+        )
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(
+                (
+                    self.signature,
+                    self._universe_set,
+                    frozenset(self.relations.items()),
+                    frozenset(self.constants.items()),
+                )
+            )
+        return self._hash
+
+    def __repr__(self) -> str:
+        rels = ", ".join(
+            f"{name}:{len(tuples)}" for name, tuples in sorted(self.relations.items())
+        )
+        return f"Structure(|A|={self.size}, {rels or 'no relations'})"
+
+    # -- membership ----------------------------------------------------------
+
+    def holds(self, relation: str, row: tuple) -> bool:
+        """Whether the tuple ``row`` is in relation ``relation``."""
+        try:
+            return tuple(row) in self.relations[relation]
+        except KeyError:
+            raise SignatureError(f"unknown relation symbol {relation!r}") from None
+
+    def tuples(self, relation: str) -> frozenset[tuple]:
+        """The interpretation of ``relation`` as a set of tuples."""
+        try:
+            return self.relations[relation]
+        except KeyError:
+            raise SignatureError(f"unknown relation symbol {relation!r}") from None
+
+    def constant(self, name: str) -> Element:
+        """The element denoted by constant ``name``."""
+        try:
+            return self.constants[name]
+        except KeyError:
+            raise SignatureError(f"unknown constant symbol {name!r}") from None
+
+    def active_domain(self) -> frozenset[Element]:
+        """Elements occurring in some relation tuple or as a constant.
+
+        The *active domain* is the semantics used by the FO→relational
+        algebra translation (databases only see values that appear in
+        tables).
+        """
+        active: set[Element] = set(self.constants.values())
+        for tuples in self.relations.values():
+            for row in tuples:
+                active.update(row)
+        return frozenset(active)
+
+    # -- derived structures ---------------------------------------------------
+
+    def induced(self, elements: Iterable[Element]) -> "Structure":
+        """The substructure induced on ``elements`` (which must be non-empty).
+
+        Relations are restricted to tuples entirely inside the chosen set.
+        Constants must all lie inside the set (otherwise the substructure
+        would not interpret them), or :class:`StructureError` is raised.
+        """
+        keep = set(elements)
+        stray = keep - self._universe_set
+        if stray:
+            raise StructureError(f"elements {sorted(map(repr, stray))} are not in the universe")
+        for name, value in self.constants.items():
+            if value not in keep:
+                raise StructureError(
+                    f"constant {name!r} = {value!r} lies outside the induced universe"
+                )
+        relations = {
+            name: {row for row in tuples if all(value in keep for value in row)}
+            for name, tuples in self.relations.items()
+        }
+        return Structure(self.signature, keep, relations, self.constants)
+
+    def relabel(self, mapping: Callable[[Element], Element] | Mapping[Element, Element]) -> "Structure":
+        """Rename elements through an injective mapping."""
+        if callable(mapping):
+            rename = {element: mapping(element) for element in self.universe}
+        else:
+            rename = {element: mapping[element] for element in self.universe}
+        if len(set(rename.values())) != len(rename):
+            raise StructureError("relabeling must be injective")
+        relations = {
+            name: {tuple(rename[value] for value in row) for row in tuples}
+            for name, tuples in self.relations.items()
+        }
+        constants = {name: rename[value] for name, value in self.constants.items()}
+        return Structure(self.signature, rename.values(), relations, constants)
+
+    def disjoint_union(self, other: "Structure") -> "Structure":
+        """The disjoint union A ⊕ B, with elements tagged (0, a) and (1, b).
+
+        Both structures must be over the same relational signature with no
+        constants (a constant cannot denote two elements).
+        """
+        if self.signature != other.signature:
+            raise SignatureError("disjoint union requires identical signatures")
+        if self.constants or other.constants:
+            raise StructureError("disjoint union is undefined for structures with constants")
+        left = self.relabel(lambda element: (0, element))
+        right = other.relabel(lambda element: (1, element))
+        relations = {
+            name: left.relations[name] | right.relations[name]
+            for name in self.signature.relation_names()
+        }
+        return Structure(self.signature, left.universe + right.universe, relations)
+
+    def direct_product(self, other: "Structure") -> "Structure":
+        """The direct product A × B: universe A × B, relations coordinatewise.
+
+        R^{A×B}((a₁,b₁), ..., (a_k,b_k)) iff R^A(ā) and R^B(b̄). Game
+        equivalence composes over products (see
+        :func:`repro.games.strategies.product_duplicator`), the
+        Feferman–Vaught-flavored tool of the classical toolbox.
+        """
+        if self.signature != other.signature:
+            raise SignatureError("direct product requires identical signatures")
+        if self.constants or other.constants:
+            raise StructureError("direct product is implemented for constant-free signatures")
+        universe = [(a, b) for a in self.universe for b in other.universe]
+        relations: dict[str, set[tuple]] = {}
+        for name in self.signature.relation_names():
+            rows: set[tuple] = set()
+            for left_row in self.relations[name]:
+                for right_row in other.relations[name]:
+                    rows.add(tuple(zip(left_row, right_row)))
+            relations[name] = rows
+        return Structure(self.signature, universe, relations)
+
+    def with_relation(self, name: str, arity: int, tuples: Iterable[tuple]) -> "Structure":
+        """Return a structure over the extended signature with ``name`` added.
+
+        If ``name`` already exists (at the same arity) its interpretation
+        is replaced.
+        """
+        signature = self.signature.extend({name: arity})
+        relations = dict(self.relations)
+        relations[name] = frozenset(tuple(row) for row in tuples)
+        return Structure(signature, self.universe, relations, self.constants)
+
+    def with_distinguished(self, elements: tuple[Element, ...], prefix: str = "@") -> "Structure":
+        """Mark a tuple of elements with fresh singleton unary relations.
+
+        Element ``elements[i]`` is marked by the relation ``{prefix}{i}``.
+        This encodes *distinguished* tuples (as in neighborhoods N_r(ā))
+        so that plain isomorphism on the marked structures is exactly
+        isomorphism respecting h(a_i) = b_i.
+        """
+        signature = self.signature
+        relations: dict[str, Iterable[tuple]] = dict(self.relations)
+        for index, element in enumerate(elements):
+            if element not in self._universe_set:
+                raise StructureError(f"distinguished element {element!r} not in universe")
+            name = f"{prefix}{index}"
+            signature = signature.extend({name: 1})
+            relations[name] = {(element,)}
+        return Structure(signature, self.universe, relations, self.constants)
+
+    def reduct(self, names: Iterable[str]) -> "Structure":
+        """The reduct to a sub-signature (forget the other relations)."""
+        keep = list(names)
+        signature = self.signature.restrict(keep)
+        relations = {name: self.relations[name] for name in keep}
+        return Structure(signature, self.universe, relations, self.constants)
+
+    # -- graph-view helpers ----------------------------------------------------
+
+    def out_degree(self, element: Element, relation: str = "E") -> int:
+        """Out-degree of ``element`` in a binary relation (default ``E``)."""
+        self._require_binary(relation)
+        return sum(1 for row in self.relations[relation] if row[0] == element)
+
+    def in_degree(self, element: Element, relation: str = "E") -> int:
+        """In-degree of ``element`` in a binary relation (default ``E``)."""
+        self._require_binary(relation)
+        return sum(1 for row in self.relations[relation] if row[1] == element)
+
+    def degree_sets(self, relation: str = "E") -> tuple[frozenset[int], frozenset[int]]:
+        """(in(G), out(G)): the sets of in- and out-degrees realized.
+
+        These are the ingredients of the BNDP (Definition 3.3): ``degs(G)``
+        is their union, computed by :func:`repro.locality.bndp.degs`.
+        """
+        self._require_binary(relation)
+        out_counts = {element: 0 for element in self.universe}
+        in_counts = {element: 0 for element in self.universe}
+        for source, target in self.relations[relation]:
+            out_counts[source] += 1
+            in_counts[target] += 1
+        return frozenset(in_counts.values()), frozenset(out_counts.values())
+
+    def max_degree(self) -> int:
+        """Maximal Gaifman degree over all elements (0 for a bare set).
+
+        This is the ``k`` of bounded-degree classes in Theorems 3.10/3.11.
+        Computed from the Gaifman graph, so it is well defined for every
+        signature, not just graphs.
+        """
+        from repro.structures.gaifman import gaifman_adjacency
+
+        adjacency = gaifman_adjacency(self)
+        return max((len(neighbors) for neighbors in adjacency.values()), default=0)
+
+    def is_graph(self) -> bool:
+        """Whether the structure is over the one-binary-relation signature."""
+        return set(self.signature.relations.items()) == {("E", 2)}
+
+    def _require_binary(self, relation: str) -> None:
+        if self.signature.arity(relation) != 2:
+            raise StructureError(f"relation {relation!r} is not binary")
+
+    # -- internal memoization -----------------------------------------------
+
+    def cached(self, key: object, compute: Callable[[], object]) -> object:
+        """Memoize a per-structure computation (Gaifman graph, WL colors...)."""
+        if key not in self._cache:
+            self._cache[key] = compute()
+        return self._cache[key]

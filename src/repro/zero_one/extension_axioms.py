@@ -1,0 +1,160 @@
+"""Extension axioms: the axiomatization behind the 0–1 law.
+
+The level-k extension axioms EA_k say: for all distinct x₁..x_k and
+every consistent description τ of how a further element z could relate
+to them (every atom involving z set true or false), some z ∉ {x₁..x_k}
+realizes τ. Each EA_k holds almost surely in STRUC(σ, n) as n → ∞, and
+together they axiomatize a complete theory — the almost-sure theory —
+which is what makes μ(φ) ∈ {0, 1} for every FO sentence φ.
+
+This module enumerates extension conditions, renders them as FO
+sentences, checks whether a concrete finite structure satisfies EA_k,
+and searches for finite witnesses (random structures of growing size).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterator
+
+from repro.errors import FMTError
+from repro.logic.builder import and_, distinct, exists, forall_many, implies, neq, not_
+from repro.logic.signature import Signature
+from repro.logic.syntax import Atom, Formula, Var
+from repro.structures.builders import random_structure
+from repro.structures.structure import Element, Structure
+
+__all__ = [
+    "extension_atoms",
+    "extension_conditions",
+    "extension_axiom_formula",
+    "satisfies_extension_axiom",
+    "extension_axiom_counterexample",
+    "find_extension_witness",
+]
+
+
+def extension_atoms(signature: Signature, k: int) -> list[tuple[str, tuple[int, ...]]]:
+    """All atom patterns over x₁..x_k, z that mention z.
+
+    A pattern is (relation, positions) where positions are indices into
+    the tuple (x₁, ..., x_k, z) — index k denotes z. Patterns are ordered
+    deterministically.
+    """
+    if k < 0:
+        raise FMTError(f"k must be non-negative, got {k}")
+    patterns: list[tuple[str, tuple[int, ...]]] = []
+    for name in signature.relation_names():
+        arity = signature.arity(name)
+        for positions in itertools.product(range(k + 1), repeat=arity):
+            if k in positions:
+                patterns.append((name, positions))
+    return patterns
+
+
+def extension_conditions(signature: Signature, k: int) -> Iterator[dict[tuple[str, tuple[int, ...]], bool]]:
+    """Every truth assignment to the z-involving atom patterns.
+
+    There are 2^|extension_atoms| conditions; for directed graphs and
+    k = 2 that is 2⁵ = 32.
+    """
+    patterns = extension_atoms(signature, k)
+    for bits in itertools.product((False, True), repeat=len(patterns)):
+        yield dict(zip(patterns, bits))
+
+
+def extension_axiom_formula(
+    signature: Signature,
+    k: int,
+    condition: dict[tuple[str, tuple[int, ...]], bool],
+) -> Formula:
+    """The FO sentence for one extension condition.
+
+    ∀x₁..x_k (distinct(x̄) → ∃z (z ≠ xᵢ ∧ ⋀ (±)R(...))) — quantifier rank
+    k + 1. Used to express the axioms for documentation and for tiny
+    cross-checks against :func:`satisfies_extension_axiom`.
+    """
+    xs = tuple(Var(f"x{index + 1}") for index in range(k))
+    z = Var("z")
+    variables = xs + (z,)
+    literals: list[Formula] = [neq(z, x) for x in xs]
+    for (name, positions), value in condition.items():
+        atom_ = Atom(name, tuple(variables[p] for p in positions))
+        literals.append(atom_ if value else not_(atom_))
+    body = exists(z, and_(*literals))
+    if k == 0:
+        return body
+    return forall_many(xs, implies(distinct(*xs), body))
+
+
+def _z_realizes(
+    structure: Structure,
+    xs: tuple[Element, ...],
+    z: Element,
+    condition: dict[tuple[str, tuple[int, ...]], bool],
+) -> bool:
+    tuple_with_z = xs + (z,)
+    for (name, positions), value in condition.items():
+        row = tuple(tuple_with_z[p] for p in positions)
+        if structure.holds(name, row) != value:
+            return False
+    return True
+
+
+def extension_axiom_counterexample(
+    structure: Structure,
+    k: int,
+) -> tuple[tuple[Element, ...], dict] | None:
+    """A (x̄, condition) pair with no witness, or None if EA_k holds.
+
+    Exhaustive: O(n^k · 2^atoms · n) structure probes, so use on
+    moderate sizes. The numpy-free generic path; adequate for the
+    witness sizes the library searches (k ≤ 2).
+    """
+    if k < 0:
+        raise FMTError(f"k must be non-negative, got {k}")
+    signature = structure.signature
+    conditions = list(extension_conditions(signature, k))
+    for xs in itertools.permutations(structure.universe, k):
+        forbidden = set(xs)
+        for condition in conditions:
+            if not any(
+                _z_realizes(structure, xs, z, condition)
+                for z in structure.universe
+                if z not in forbidden
+            ):
+                return xs, condition
+    return None
+
+
+def satisfies_extension_axiom(structure: Structure, k: int) -> bool:
+    """Whether the structure satisfies every level-k extension axiom."""
+    return extension_axiom_counterexample(structure, k) is None
+
+
+def find_extension_witness(
+    signature: Signature,
+    k: int,
+    start_size: int = 8,
+    max_size: int = 512,
+    seed: int = 0,
+) -> Structure:
+    """A finite structure satisfying EA_k, found by random search.
+
+    Random structures satisfy EA_k with probability → 1, so doubling the
+    size until verification succeeds terminates quickly in practice.
+    Raises :class:`FMTError` if ``max_size`` is exhausted (raise it, or
+    lower k).
+    """
+    size = max(start_size, k + 2)
+    attempt = 0
+    while size <= max_size:
+        candidate = random_structure(signature, size, p=0.5, seed=seed * 7919 + attempt)
+        if satisfies_extension_axiom(candidate, k):
+            return candidate
+        attempt += 1
+        size = int(size * 1.5) + 1
+    raise FMTError(
+        f"no EA_{k} witness found up to size {max_size}; raise max_size "
+        "(witness sizes grow exponentially with the number of atom patterns)"
+    )

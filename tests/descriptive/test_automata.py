@@ -1,0 +1,150 @@
+"""Tests for the NFA/DFA toolkit."""
+
+import pytest
+
+from repro.errors import AutomatonError
+from repro.descriptive.automata import DFA, NFA
+
+
+def ends_in_b() -> NFA:
+    return NFA.build(
+        states={"q0", "q1"},
+        alphabet={"a", "b"},
+        transitions={
+            ("q0", "a"): {"q0"},
+            ("q0", "b"): {"q0", "q1"},
+        },
+        initial={"q0"},
+        accepting={"q1"},
+    )
+
+
+def even_as() -> NFA:
+    return NFA.build(
+        states={0, 1},
+        alphabet={"a", "b"},
+        transitions={
+            (0, "a"): {1},
+            (1, "a"): {0},
+            (0, "b"): {0},
+            (1, "b"): {1},
+        },
+        initial={0},
+        accepting={0},
+    )
+
+
+class TestNFABasics:
+    def test_accepts(self):
+        nfa = ends_in_b()
+        assert nfa.accepts("ab")
+        assert nfa.accepts("b")
+        assert not nfa.accepts("ba")
+        assert not nfa.accepts("")
+
+    def test_unknown_symbol_rejected(self):
+        with pytest.raises(AutomatonError):
+            ends_in_b().accepts("xyz")
+
+    def test_validation(self):
+        with pytest.raises(AutomatonError):
+            NFA.build({"q"}, {"a"}, {("missing", "a"): {"q"}}, {"q"}, {"q"})
+        with pytest.raises(AutomatonError):
+            NFA.build({"q"}, {"a"}, {}, {"other"}, set())
+
+    def test_is_empty(self):
+        nfa = ends_in_b()
+        assert not nfa.is_empty()
+        no_accept = NFA.build({"q"}, {"a"}, {}, {"q"}, set())
+        assert no_accept.is_empty()
+
+    def test_shortest_accepted(self):
+        assert ends_in_b().shortest_accepted() == ("b",)
+        assert even_as().shortest_accepted() == ()
+
+
+class TestDeterminization:
+    def test_preserves_language(self):
+        nfa = ends_in_b()
+        dfa = nfa.determinize()
+        for word in ["", "a", "b", "ab", "ba", "abb", "bab", "aab"]:
+            assert dfa.accepts(word) == nfa.accepts(word)
+
+    def test_result_is_complete(self):
+        dfa = ends_in_b().determinize()
+        for state in dfa.states:
+            for symbol in dfa.alphabet:
+                assert (state, symbol) in dfa.transitions
+
+
+class TestBooleanOperations:
+    WORDS = ["", "a", "b", "aa", "ab", "ba", "bb", "aab", "abb", "bba"]
+
+    def test_complement(self):
+        nfa = ends_in_b()
+        complement = nfa.complement()
+        for word in self.WORDS:
+            assert complement.accepts(word) == (not nfa.accepts(word))
+
+    def test_union(self):
+        union = ends_in_b().union(even_as())
+        for word in self.WORDS:
+            assert union.accepts(word) == (
+                ends_in_b().accepts(word) or even_as().accepts(word)
+            )
+
+    def test_intersection(self):
+        product = ends_in_b().intersection(even_as())
+        for word in self.WORDS:
+            assert product.accepts(word) == (
+                ends_in_b().accepts(word) and even_as().accepts(word)
+            )
+
+    def test_alphabet_mismatch_rejected(self):
+        other = NFA.build({0}, {"x"}, {}, {0}, {0})
+        with pytest.raises(AutomatonError):
+            ends_in_b().union(other)
+
+    def test_projection(self):
+        # Map both letters to 'a': the ends-in-b language projects to
+        # all non-empty words over {a}.
+        projected = ends_in_b().project(lambda symbol: "a")
+        assert projected.accepts("a")
+        assert projected.accepts("aaa")
+        assert not projected.accepts("")
+
+
+class TestMinimization:
+    def test_minimal_size_for_even_as(self):
+        minimal = even_as().determinize().minimize()
+        assert len(minimal.states) == 2
+
+    def test_preserves_language(self):
+        minimal = ends_in_b().determinize().minimize()
+        for word in TestBooleanOperations.WORDS:
+            assert minimal.accepts(word) == ends_in_b().accepts(word)
+
+    def test_removes_unreachable_states(self):
+        dfa = DFA(
+            states=frozenset({0, 1, 99}),
+            alphabet=frozenset({"a"}),
+            transitions={(0, "a"): 1, (1, "a"): 0, (99, "a"): 99},
+            initial=0,
+            accepting=frozenset({0, 99}),
+        )
+        assert len(dfa.minimize().states) == 2
+
+
+class TestEquivalence:
+    def test_same_language_different_automata(self):
+        bigger = ends_in_b().union(ends_in_b())
+        assert bigger.equivalent(ends_in_b())
+
+    def test_different_languages(self):
+        assert not ends_in_b().equivalent(even_as())
+
+    def test_dfa_isomorphism_negative(self):
+        left = even_as().determinize().minimize()
+        right = ends_in_b().determinize().minimize()
+        if len(left.states) == len(right.states):
+            assert not left.isomorphic_to(right)

@@ -1,0 +1,90 @@
+"""Property tests for the automata toolkit on randomly generated NFAs."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.descriptive.automata import NFA
+
+ALPHABET = ("a", "b")
+
+
+@st.composite
+def nfas(draw):
+    state_count = draw(st.integers(min_value=1, max_value=4))
+    states = list(range(state_count))
+    transitions = {}
+    for state in states:
+        for symbol in ALPHABET:
+            targets = draw(
+                st.lists(st.sampled_from(states), unique=True, max_size=state_count)
+            )
+            if targets:
+                transitions[(state, symbol)] = frozenset(targets)
+    initial = draw(st.lists(st.sampled_from(states), unique=True, min_size=1, max_size=2))
+    accepting = draw(st.lists(st.sampled_from(states), unique=True, max_size=state_count))
+    return NFA.build(states, ALPHABET, transitions, initial, accepting)
+
+
+def words(max_length: int):
+    for length in range(max_length + 1):
+        yield from itertools.product(ALPHABET, repeat=length)
+
+
+class TestDeterminization:
+    @settings(max_examples=30)
+    @given(nfas())
+    def test_preserves_language(self, nfa):
+        dfa = nfa.determinize()
+        for word in words(4):
+            assert dfa.accepts(word) == nfa.accepts(word)
+
+    @settings(max_examples=30)
+    @given(nfas())
+    def test_minimization_preserves_language(self, nfa):
+        minimal = nfa.determinize().minimize()
+        for word in words(4):
+            assert minimal.accepts(word) == nfa.accepts(word)
+
+    @settings(max_examples=20)
+    @given(nfas())
+    def test_minimize_is_idempotent(self, nfa):
+        once = nfa.determinize().minimize()
+        twice = once.minimize()
+        assert len(once.states) == len(twice.states)
+        assert once.isomorphic_to(twice)
+
+
+class TestBooleanLaws:
+    @settings(max_examples=25)
+    @given(nfas())
+    def test_complement_involution(self, nfa):
+        double = nfa.complement().complement()
+        for word in words(3):
+            assert double.accepts(word) == nfa.accepts(word)
+
+    @settings(max_examples=25)
+    @given(nfas(), nfas())
+    def test_de_morgan(self, first, second):
+        union = first.union(second)
+        via_intersection = first.complement().intersection(second.complement()).complement()
+        for word in words(3):
+            assert union.accepts(word) == via_intersection.accepts(word)
+
+    @settings(max_examples=25)
+    @given(nfas(), nfas())
+    def test_intersection_semantics(self, first, second):
+        product = first.intersection(second)
+        for word in words(3):
+            assert product.accepts(word) == (first.accepts(word) and second.accepts(word))
+
+    @settings(max_examples=20)
+    @given(nfas())
+    def test_equivalence_is_reflexive(self, nfa):
+        assert nfa.equivalent(nfa)
+
+    @settings(max_examples=20)
+    @given(nfas())
+    def test_emptiness_agrees_with_shortest_word(self, nfa):
+        assert nfa.is_empty() == (nfa.shortest_accepted() is None)

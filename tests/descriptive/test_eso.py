@@ -1,0 +1,94 @@
+"""Tests for the ∃SO checker (Fagin's theorem demonstrator)."""
+
+import pytest
+
+from repro.errors import BudgetExceededError, FormulaError
+from repro.descriptive.eso import ESOSentence, is_three_colorable, three_colorability_eso
+from repro.logic.parser import parse
+from repro.structures.builders import (
+    complete_graph,
+    empty_graph,
+    grid_graph,
+    star_graph,
+    undirected_cycle,
+)
+
+
+class TestESOSentence:
+    def test_matrix_must_be_sentence(self):
+        with pytest.raises(FormulaError):
+            ESOSentence({"R": 1}, parse("R(x)"))
+
+    def test_must_guess_something(self):
+        with pytest.raises(FormulaError):
+            ESOSentence({}, parse("exists x E(x, x)"))
+
+    def test_guessed_cannot_shadow_base(self):
+        sentence = ESOSentence({"E": 2}, parse("exists x E(x, x)"))
+        with pytest.raises(FormulaError):
+            sentence.check(empty_graph(2))
+
+    def test_witness_count(self):
+        sentence = ESOSentence({"R": 1}, parse("exists x R(x)"))
+        assert sentence.witness_count(empty_graph(3)) == 8
+
+    def test_budget_enforced(self):
+        sentence = ESOSentence({"R": 2}, parse("exists x R(x, x)"))
+        with pytest.raises(BudgetExceededError):
+            sentence.check(empty_graph(5), budget=100)
+
+    def test_simple_guess_found(self):
+        # ∃R unary: R holds exactly of loop nodes.
+        matrix = parse("forall x (R(x) <-> E(x, x))")
+        sentence = ESOSentence({"R": 1}, matrix)
+        from repro.logic.signature import GRAPH
+        from repro.structures.structure import Structure
+
+        graph = Structure(GRAPH, [0, 1, 2], {"E": [(0, 0), (1, 2)]})
+        witness = sentence.check(graph)
+        assert witness == {"R": frozenset({(0,)})}
+
+    def test_unsatisfiable_guess(self):
+        matrix = parse("exists x (R(x) & ~R(x))")
+        sentence = ESOSentence({"R": 1}, matrix)
+        assert sentence.check(empty_graph(2)) is None
+        assert not sentence.holds(empty_graph(2))
+
+
+class TestThreeColorability:
+    @pytest.mark.parametrize(
+        "structure,expected",
+        [
+            (undirected_cycle(4), True),
+            (undirected_cycle(5), True),
+            (complete_graph(3), True),
+            (complete_graph(4), False),
+            (star_graph(4), True),
+            (empty_graph(3), True),
+        ],
+        ids=["C4", "C5", "K3", "K4", "star", "empty"],
+    )
+    def test_eso_matches_backtracking_solver(self, structure, expected):
+        eso = three_colorability_eso()
+        assert is_three_colorable(structure) == expected
+        assert eso.holds(structure, budget=10**7) == expected
+
+    def test_witness_is_a_valid_coloring(self):
+        eso = three_colorability_eso()
+        cycle = undirected_cycle(5)
+        witness = eso.check(cycle, budget=10**7)
+        assert witness is not None
+        color_of = {}
+        for name in ("R", "G", "B"):
+            for (node,) in witness[name]:
+                assert node not in color_of
+                color_of[node] = name
+        assert set(color_of) == set(cycle.universe)
+        for a, b in cycle.tuples("E"):
+            assert color_of[a] != color_of[b]
+
+    def test_backtracking_solver_on_larger_graphs(self):
+        # The ESO search is exponential, but the reference solver scales:
+        # grids are bipartite, hence 3-colorable; K4 is not.
+        assert is_three_colorable(grid_graph(4, 4))
+        assert not is_three_colorable(complete_graph(4))

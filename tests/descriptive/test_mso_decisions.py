@@ -1,0 +1,70 @@
+"""Tests for the MSO decision procedures (satisfiability, equivalence)."""
+
+from repro.descriptive.mso import (
+    Letter,
+    MAnd,
+    MExists1,
+    MForall1,
+    MNot,
+    PosVar,
+    Succ,
+    even_length_sentence,
+    length_divisible_sentence,
+    mso_equivalent,
+    mso_satisfiable,
+    mso_witness,
+)
+
+
+class TestSatisfiability:
+    def test_satisfiable_sentence(self):
+        x = PosVar("x")
+        assert mso_satisfiable(MExists1(x, Letter("a", x)), {"a", "b"})
+
+    def test_unsatisfiable_sentence(self):
+        # "Some position is both a and b".
+        x = PosVar("x")
+        contradiction = MExists1(x, MAnd(Letter("a", x), Letter("b", x)))
+        assert not mso_satisfiable(contradiction, {"a", "b"})
+
+    def test_witness_is_shortest(self):
+        x = PosVar("x")
+        assert mso_witness(MExists1(x, Letter("b", x)), {"a", "b"}) == ("b",)
+
+    def test_witness_of_even_length_is_empty_word(self):
+        assert mso_witness(even_length_sentence(), {"a"}) == ()
+
+    def test_unsat_has_no_witness(self):
+        x = PosVar("x")
+        contradiction = MExists1(x, MAnd(Letter("a", x), Letter("b", x)))
+        assert mso_witness(contradiction, {"a", "b"}) is None
+
+
+class TestEquivalence:
+    def test_divisible_by_two_equals_even_length(self):
+        assert mso_equivalent(even_length_sentence(), length_divisible_sentence(2), {"a"})
+
+    def test_divisible_by_two_not_three(self):
+        assert not mso_equivalent(
+            length_divisible_sentence(2), length_divisible_sentence(3), {"a"}
+        )
+
+    def test_double_negation(self):
+        sentence = even_length_sentence()
+        assert mso_equivalent(sentence, MNot(MNot(sentence)), {"a", "b"})
+
+    def test_forall_exists_duality(self):
+        x = PosVar("x")
+        all_a = MForall1(x, Letter("a", x))
+        no_non_a = MNot(MExists1(x, MNot(Letter("a", x))))
+        assert mso_equivalent(all_a, no_non_a, {"a", "b"})
+
+    def test_succ_implies_less_as_language_inclusion(self):
+        # L("∃xy Succ(x,y) both a") ⊆ L("∃xy x<y both a"): equivalence of
+        # the second with the disjunction of both shows the inclusion.
+        x, y = PosVar("x"), PosVar("y")
+        adjacent = MExists1(x, MExists1(y, MAnd(Succ(x, y), MAnd(Letter("a", x), Letter("a", y)))))
+        from repro.descriptive.mso import Less, MOr
+
+        apart = MExists1(x, MExists1(y, MAnd(Less(x, y), MAnd(Letter("a", x), Letter("a", y)))))
+        assert mso_equivalent(apart, MOr(apart, adjacent), {"a", "b"})

@@ -1,0 +1,88 @@
+"""Tests for QBF and the PSPACE-hardness reduction to FO model checking."""
+
+import pytest
+
+from repro.errors import FormulaError
+from repro.descriptive.qbf import (
+    BOOLEAN_SIGNATURE,
+    PVar,
+    QAnd,
+    QExists,
+    QForall,
+    QNot,
+    QOr,
+    boolean_structure,
+    qbf_to_fo,
+    random_qbf,
+    solve_qbf,
+)
+from repro.eval.evaluator import evaluate
+
+
+class TestSolver:
+    def test_slide_examples(self):
+        # ∃p∃q (p ∧ q) is satisfiable; ∃p (p ∧ ¬p) is not.
+        sat = QExists("p", QExists("q", QAnd(PVar("p"), PVar("q"))))
+        unsat = QExists("p", QAnd(PVar("p"), QNot(PVar("p"))))
+        assert solve_qbf(sat)
+        assert not solve_qbf(unsat)
+
+    def test_forall_requires_both(self):
+        assert not solve_qbf(QForall("p", PVar("p")))
+        assert solve_qbf(QForall("p", QOr(PVar("p"), QNot(PVar("p")))))
+
+    def test_alternation(self):
+        # ∀p∃q (p ↔ q) — true: q copies p.
+        matched = QForall(
+            "p",
+            QExists(
+                "q",
+                QOr(QAnd(PVar("p"), PVar("q")), QAnd(QNot(PVar("p")), QNot(PVar("q")))),
+            ),
+        )
+        assert solve_qbf(matched)
+        # ∃q∀p (p ↔ q) — false.
+        flipped = QExists(
+            "q",
+            QForall(
+                "p",
+                QOr(QAnd(PVar("p"), PVar("q")), QAnd(QNot(PVar("p")), QNot(PVar("q")))),
+            ),
+        )
+        assert not solve_qbf(flipped)
+
+    def test_free_variables_from_assignment(self):
+        assert solve_qbf(PVar("p"), {"p": True})
+        assert not solve_qbf(PVar("p"), {"p": False})
+
+    def test_unbound_variable_rejected(self):
+        with pytest.raises(FormulaError):
+            solve_qbf(PVar("p"))
+
+
+class TestReduction:
+    def test_boolean_structure_shape(self):
+        structure = boolean_structure()
+        assert structure.size == 2
+        assert structure.tuples("T") == {(1,)}
+        assert structure.signature == BOOLEAN_SIGNATURE
+
+    def test_translation_preserves_shape(self):
+        qbf = QExists("p", QAnd(PVar("p"), QNot(PVar("p"))))
+        formula = qbf_to_fo(qbf)
+        from repro.logic.analysis import is_sentence, quantifier_rank
+
+        assert is_sentence(formula)
+        assert quantifier_rank(formula) == 1
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_reduction_correct_on_random_instances(self, seed):
+        """The Stockmeyer/Vardi reduction, validated instance by instance."""
+        qbf = random_qbf(variables=3, depth=3, seed=seed)
+        expected = solve_qbf(qbf)
+        assert evaluate(boolean_structure(), qbf_to_fo(qbf)) == expected
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_reduction_with_more_alternations(self, seed):
+        qbf = random_qbf(variables=5, depth=4, seed=seed)
+        assert evaluate(boolean_structure(), qbf_to_fo(qbf)) == solve_qbf(qbf)

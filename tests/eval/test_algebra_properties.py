@@ -1,0 +1,100 @@
+"""Property tests: algebraic laws of the relational algebra engine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.algebra import Relation
+
+DOMAIN = (0, 1, 2)
+
+
+@st.composite
+def relations(draw, attributes=("a", "b")):
+    rows = draw(
+        st.lists(
+            st.tuples(*(st.sampled_from(DOMAIN) for _ in attributes)),
+            unique=True,
+            max_size=6,
+        )
+    )
+    return Relation.from_tuples(attributes, rows)
+
+
+class TestSetLaws:
+    @settings(max_examples=40)
+    @given(relations(), relations())
+    def test_union_commutative(self, left, right):
+        assert left.union(right) == right.union(left)
+
+    @settings(max_examples=40)
+    @given(relations(), relations(), relations())
+    def test_union_associative(self, first, second, third):
+        assert first.union(second).union(third) == first.union(second.union(third))
+
+    @settings(max_examples=40)
+    @given(relations(), relations())
+    def test_difference_then_union_recovers_subset(self, left, right):
+        remainder = left.difference(right)
+        assert remainder.union(left.intersection(right)) == left
+
+    @settings(max_examples=40)
+    @given(relations())
+    def test_double_complement_identity(self, relation):
+        assert relation.complement(DOMAIN).complement(DOMAIN) == relation
+
+    @settings(max_examples=40)
+    @given(relations(), relations())
+    def test_de_morgan(self, left, right):
+        union_complement = left.union(right).complement(DOMAIN)
+        intersection_of_complements = left.complement(DOMAIN).intersection(
+            right.complement(DOMAIN)
+        )
+        assert union_complement == intersection_of_complements
+
+
+class TestJoinLaws:
+    @settings(max_examples=40)
+    @given(relations(), relations(attributes=("b", "c")))
+    def test_join_commutative_up_to_column_order(self, left, right):
+        forward = left.join(right)
+        backward = right.join(left).project(forward.attributes)
+        assert forward == backward
+
+    @settings(max_examples=40)
+    @given(relations())
+    def test_join_with_self_is_idempotent(self, relation):
+        assert relation.join(relation) == relation
+
+    @settings(max_examples=40)
+    @given(relations())
+    def test_projection_shrinks_or_keeps(self, relation):
+        projected = relation.project(("a",))
+        assert len(projected) <= len(relation)
+
+    @settings(max_examples=40)
+    @given(relations())
+    def test_select_then_project_commutes_on_kept_attribute(self, relation):
+        first = relation.select_eq("a", 1).project(("a",))
+        second = relation.project(("a",)).select_eq("a", 1)
+        assert first == second
+
+
+class TestDivisionLaws:
+    @settings(max_examples=40)
+    @given(relations(), st.lists(st.sampled_from(DOMAIN), unique=True, max_size=3))
+    def test_division_matches_definition(self, relation, divisor_values):
+        divisor = Relation.from_tuples(("b",), [(value,) for value in divisor_values])
+        quotient = relation.divide(divisor)
+        for (a_value,) in quotient.rows:
+            for (b_value,) in divisor.rows:
+                assert (a_value, b_value) in relation.rows
+
+    @settings(max_examples=40)
+    @given(relations())
+    def test_quotient_times_divisor_within_original(self, relation):
+        divisor = relation.project(("b",))
+        if not divisor:
+            return
+        quotient = relation.divide(divisor)
+        rebuilt = quotient.join(divisor)
+        assert rebuilt.rows <= relation.project(("a", "b")).rows

@@ -1,0 +1,118 @@
+"""Tests for the AC⁰ circuit compiler — experiment E2's engine."""
+
+import pytest
+from hypothesis import given
+
+import strategies as fmt_st
+from repro.errors import EvaluationError, FormulaError
+from repro.eval.circuits import Circuit, circuit_stats, compile_query, evaluate_circuit
+from repro.eval.evaluator import evaluate
+from repro.logic.parser import parse
+from repro.logic.signature import GRAPH, Signature
+from repro.structures.builders import random_graph
+
+
+class TestCircuitPrimitives:
+    def test_gate_interning(self):
+        circuit = Circuit()
+        first = circuit.input_gate("E", (0, 1))
+        second = circuit.input_gate("E", (0, 1))
+        assert first == second
+        assert circuit.size == 1
+
+    def test_and_or_simplification(self):
+        circuit = Circuit()
+        gate = circuit.input_gate("E", (0, 1))
+        assert circuit.and_gate((gate,)) == gate
+        assert circuit.or_gate(()) == circuit.const_gate(False)
+        assert circuit.and_gate(()) == circuit.const_gate(True)
+
+    def test_unknown_input_gate_rejected(self):
+        circuit = Circuit()
+        with pytest.raises(EvaluationError):
+            circuit.add("and", (5,))
+
+    def test_evaluation_requires_output(self):
+        circuit = Circuit()
+        circuit.input_gate("E", (0, 0))
+        with pytest.raises(EvaluationError):
+            circuit.evaluate({("E", (0, 0)): True})
+
+    def test_missing_input_value_rejected(self):
+        circuit = Circuit()
+        circuit.output = circuit.input_gate("E", (0, 0))
+        with pytest.raises(EvaluationError):
+            circuit.evaluate({})
+
+
+class TestCompilation:
+    def test_requires_sentence(self):
+        with pytest.raises(FormulaError):
+            compile_query(parse("E(x, y)"), GRAPH, 3)
+
+    def test_requires_positive_domain(self):
+        with pytest.raises(EvaluationError):
+            compile_query(parse("exists x E(x, x)"), GRAPH, 0)
+
+    def test_requires_relational_signature(self):
+        sig = Signature({"E": 2}, constants={"c"})
+        with pytest.raises(EvaluationError):
+            compile_query(parse("exists x E(x, x)"), sig, 3)
+
+    def test_exists_becomes_or_over_domain(self):
+        circuit = compile_query(parse("exists x E(x, x)"), GRAPH, 4)
+        assert len(circuit.input_labels()) == 4
+
+    def test_equality_folds_to_constants(self):
+        circuit = compile_query(parse("exists x y (x = y)"), GRAPH, 3)
+        # No relation inputs needed at all.
+        assert circuit.input_labels() == []
+
+
+class TestAC0Claims:
+    def test_depth_constant_in_n(self):
+        sentence = parse("exists x forall y (E(x, y) | x = y)")
+        depths = {circuit_stats(sentence, GRAPH, n).depth for n in (2, 4, 8, 16)}
+        assert len(depths) == 1
+
+    def test_size_polynomial_in_n(self):
+        sentence = parse("exists x forall y (E(x, y) | x = y)")
+        sizes = [circuit_stats(sentence, GRAPH, n).size for n in (4, 8, 16)]
+        # Quadratically many gates for this two-variable query: doubling n
+        # should roughly quadruple the size, and certainly not blow up
+        # exponentially.
+        assert sizes[0] < sizes[1] < sizes[2]
+        assert sizes[2] <= 6 * sizes[1]
+
+    def test_inputs_are_all_ground_atoms(self):
+        sentence = parse("forall x forall y (E(x, y) -> E(y, x))")
+        stats = circuit_stats(sentence, GRAPH, 3)
+        assert stats.inputs == 9
+
+
+class TestCircuitEvaluation:
+    def test_universe_must_be_range(self):
+        circuit = compile_query(parse("exists x E(x, x)"), GRAPH, 3)
+        shifted = random_graph(3, 0.5, seed=0).relabel(lambda element: element + 10)
+        with pytest.raises(EvaluationError):
+            evaluate_circuit(circuit, shifted)
+
+    @given(fmt_st.sentences(max_leaves=5))
+    def test_circuit_agrees_with_naive_evaluator(self, sentence):
+        """The second edge of the evaluator triangle."""
+        for seed in (0, 1):
+            graph = random_graph(4, 0.5, seed=seed)
+            circuit = compile_query(sentence, GRAPH, 4)
+            assert evaluate_circuit(circuit, graph) == evaluate(graph, sentence)
+
+    def test_specific_sentences(self):
+        graph = random_graph(5, 0.4, seed=13)
+        for text in [
+            "exists x E(x, x)",
+            "forall x exists y (E(x, y) | E(y, x))",
+            "exists x y (E(x, y) & ~E(y, x))",
+            "forall x forall y (E(x, y) -> exists z (E(y, z)))",
+        ]:
+            sentence = parse(text)
+            circuit = compile_query(sentence, GRAPH, 5)
+            assert evaluate_circuit(circuit, graph) == evaluate(graph, sentence)

@@ -1,0 +1,98 @@
+"""Tests for relational division and quantifier relativization."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval.algebra import Relation
+from repro.eval.evaluator import evaluate
+from repro.logic.parser import parse
+from repro.logic.transform import relativize
+from repro.logic.signature import Signature
+from repro.structures.structure import Structure
+
+
+class TestDivision:
+    def test_textbook_example(self):
+        # Students × courses taken ÷ required courses.
+        taken = Relation.from_tuples(
+            ("student", "course"),
+            [("ann", "db"), ("ann", "fmt"), ("bob", "db"), ("eve", "fmt"), ("eve", "db")],
+        )
+        required = Relation.from_tuples(("course",), [("db",), ("fmt",)])
+        assert taken.divide(required).rows == {("ann",), ("eve",)}
+
+    def test_division_by_singleton_is_selection_projection(self):
+        taken = Relation.from_tuples(("a", "b"), [(1, "x"), (2, "y")])
+        single = Relation.from_tuples(("b",), [("x",)])
+        assert taken.divide(single).rows == {(1,)}
+
+    def test_empty_divisor_keeps_everything(self):
+        # ∀ over an empty set is vacuously true.
+        taken = Relation.from_tuples(("a", "b"), [(1, "x")])
+        empty = Relation.empty(("b",))
+        assert taken.divide(empty).rows == {(1,)}
+
+    def test_divisor_attributes_must_be_subset(self):
+        left = Relation.from_tuples(("a", "b"), [(1, 2)])
+        wrong = Relation.from_tuples(("c",), [(3,)])
+        with pytest.raises(EvaluationError):
+            left.divide(wrong)
+
+    def test_full_overlap_rejected(self):
+        left = Relation.from_tuples(("a",), [(1,)])
+        with pytest.raises(EvaluationError):
+            left.divide(left)
+
+    def test_division_expresses_forall(self):
+        # r ÷ s = {x | ∀y ∈ s: (x, y) ∈ r} — cross-check against the FO
+        # evaluator on a concrete structure.
+        sig = Signature({"R": 2, "S": 1})
+        structure = Structure(
+            sig,
+            [0, 1, 2, "u", "v"],
+            {"R": [(0, "u"), (0, "v"), (1, "u"), (2, "v"), (2, "u")], "S": [("u",), ("v",)]},
+        )
+        r = Relation.from_tuples(("x", "y"), structure.tuples("R"))
+        s = Relation.from_tuples(("y",), structure.tuples("S"))
+        divided = r.divide(s)
+        formula = parse("forall y (~S(y) | R(x, y))")
+        from repro.eval.evaluator import answers
+        from repro.logic.syntax import Var
+
+        direct = answers(structure, formula, (Var("x"),))
+        # The division only sees x-values occurring in R; the FO version
+        # also returns inactive elements vacuously... here every element
+        # with all S-partners is active, so restrict to R's column.
+        assert divided.rows == {row for row in direct if row[0] in r.column("x")}
+
+
+class TestRelativize:
+    def test_relativized_quantifiers_are_guarded(self):
+        sig = Signature({"E": 2, "G": 1})
+        structure = Structure(
+            sig,
+            [0, 1, 2, 3],
+            {"E": [(0, 1), (2, 3)], "G": [(0,), (1,)]},
+        )
+        # ∃x∃y E(x,y) is true globally; relativized to G it must only
+        # see the edge inside {0, 1}.
+        sentence = parse("exists x exists y E(x, y)")
+        relativized = relativize(sentence, "G")
+        assert evaluate(structure, sentence)
+        assert evaluate(structure, relativized)
+
+        only_outside = Structure(
+            sig, [0, 1, 2, 3], {"E": [(2, 3)], "G": [(0,), (1,)]}
+        )
+        assert evaluate(only_outside, sentence)
+        assert not evaluate(only_outside, relativized)
+
+    def test_forall_relativization_is_implication_guarded(self):
+        sig = Signature({"E": 2, "G": 1})
+        structure = Structure(
+            sig, [0, 1, 2], {"E": [(0, 0), (1, 1)], "G": [(0,), (1,)]}
+        )
+        # ∀x E(x,x) fails globally (node 2) but holds inside G.
+        sentence = parse("forall x E(x, x)")
+        assert not evaluate(structure, sentence)
+        assert evaluate(structure, relativize(sentence, "G"))

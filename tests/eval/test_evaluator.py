@@ -1,0 +1,145 @@
+"""Tests for the naive recursive evaluator."""
+
+import pytest
+
+from repro.errors import EvaluationError, FormulaError, SignatureError
+from repro.eval.evaluator import BooleanQuery, EvaluationStats, Query, answers, evaluate
+from repro.logic.parser import parse
+from repro.logic.signature import Signature
+from repro.logic.syntax import Var
+from repro.structures.builders import (
+    complete_graph,
+    directed_cycle,
+    empty_graph,
+    linear_order,
+    random_graph,
+)
+from repro.structures.structure import Structure
+
+
+class TestEvaluate:
+    def test_atom_lookup(self, triangle):
+        assert evaluate(triangle, parse("E(x, y)"), {Var("x"): 0, Var("y"): 1})
+        assert not evaluate(triangle, parse("E(x, y)"), {Var("x"): 1, Var("y"): 0})
+
+    def test_equality(self, triangle):
+        assert evaluate(triangle, parse("x = x"), {Var("x"): 0})
+
+    def test_connectives(self, triangle):
+        env = {Var("x"): 0, Var("y"): 1}
+        assert evaluate(triangle, parse("E(x, y) & ~E(y, x)"), env)
+        assert evaluate(triangle, parse("E(y, x) -> false"), env)
+        assert evaluate(triangle, parse("E(x, y) <-> ~E(y, x)"), env)
+
+    def test_quantifiers(self, triangle):
+        assert evaluate(triangle, parse("forall x exists y E(x, y)"))
+        assert not evaluate(triangle, parse("exists x forall y E(x, y)"))
+
+    def test_quantifier_shadowing(self, triangle):
+        # The inner ∃x shadows the outer binding; truth must not leak.
+        formula = parse("exists x (E(x, x) | exists x (x = x))")
+        assert evaluate(triangle, formula)
+
+    def test_sentence_on_order(self):
+        totality = parse("forall x forall y (x < y | y < x | x = y)")
+        assert evaluate(linear_order(4), totality)
+
+    def test_unbound_variable_rejected(self, triangle):
+        with pytest.raises(EvaluationError):
+            evaluate(triangle, parse("E(x, y)"), {Var("x"): 0})
+
+    def test_binding_outside_universe_rejected(self, triangle):
+        with pytest.raises(EvaluationError):
+            evaluate(triangle, parse("E(x, x)"), {Var("x"): 99})
+
+    def test_signature_mismatch_rejected(self, triangle):
+        with pytest.raises(SignatureError):
+            evaluate(triangle, parse("R(x, y, z)"), {Var("x"): 0, Var("y"): 0, Var("z"): 0})
+
+    def test_constants_resolved(self):
+        sig = Signature({"E": 2}, constants={"c"})
+        structure = Structure(sig, [0, 1], {"E": [(0, 1)]}, {"c": 0})
+        assert evaluate(structure, parse("exists y E(c, y)", constants=sig))
+
+    def test_stats_counted(self, triangle):
+        stats = EvaluationStats()
+        evaluate(triangle, parse("forall x exists y E(x, y)"), stats=stats)
+        assert stats.bindings > 0
+        assert stats.atom_lookups > 0
+
+
+class TestAnswers:
+    def test_edge_query(self, triangle):
+        result = answers(triangle, parse("E(x, y)"))
+        assert result == triangle.tuples("E")
+
+    def test_column_order_defaults_to_sorted_names(self, triangle):
+        result = answers(triangle, parse("E(y, x)"))
+        # Columns are (x, y): for edge (0, 1), y=0, x=1 → row (1, 0).
+        assert (1, 0) in result
+
+    def test_explicit_order(self, triangle):
+        result = answers(triangle, parse("E(x, y)"), free_order=(Var("y"), Var("x")))
+        assert (1, 0) in result
+
+    def test_order_must_cover_free_vars(self, triangle):
+        with pytest.raises(EvaluationError):
+            answers(triangle, parse("E(x, y)"), free_order=(Var("x"),))
+
+    def test_boolean_conventions(self, triangle):
+        assert answers(triangle, parse("exists x E(x, x)")) == frozenset()
+        assert answers(triangle, parse("exists x y E(x, y)")) == {()}
+
+    def test_unary_query(self):
+        graph = Structure(
+            Signature({"E": 2}), [0, 1, 2], {"E": [(0, 1), (0, 2)]}
+        )
+        sources = answers(graph, parse("exists y E(x, y)"))
+        assert sources == {(0,)}
+
+
+class TestQueryObjects:
+    def test_query_callable(self, triangle):
+        query = Query(parse("E(x, y)"), (Var("x"), Var("y")))
+        assert query(triangle) == triangle.tuples("E")
+
+    def test_query_variable_order_controls_columns(self, triangle):
+        query = Query(parse("E(x, y)"), (Var("y"), Var("x")))
+        assert (1, 0) in query(triangle)
+
+    def test_query_must_cover_free_vars(self):
+        with pytest.raises(FormulaError):
+            Query(parse("E(x, y)"), (Var("x"),))
+
+    def test_query_holds(self, triangle):
+        query = Query(parse("E(x, y)"), (Var("x"), Var("y")))
+        assert query.holds(triangle, (0, 1))
+        assert not query.holds(triangle, (1, 0))
+
+    def test_query_holds_arity_checked(self, triangle):
+        query = Query(parse("E(x, y)"), (Var("x"), Var("y")))
+        with pytest.raises(EvaluationError):
+            query.holds(triangle, (0,))
+
+    def test_boolean_query(self, triangle):
+        query = BooleanQuery(parse("exists x y E(x, y)"))
+        assert query(triangle) is True
+
+    def test_boolean_query_rejects_open_formula(self):
+        with pytest.raises(FormulaError):
+            BooleanQuery(parse("E(x, y)"))
+
+
+class TestSemanticSanity:
+    def test_complete_graph_domination(self):
+        formula = parse("exists x forall y (E(x, y) | x = y)")
+        assert evaluate(complete_graph(4), formula)
+        assert not evaluate(empty_graph(4), formula)
+
+    def test_cycle_has_no_sink(self):
+        formula = parse("exists x forall y ~E(x, y)")
+        assert not evaluate(directed_cycle(5), formula)
+
+    def test_random_graph_edge_count_matches(self):
+        graph = random_graph(6, 0.5, seed=11)
+        assert len(answers(graph, parse("E(x, y)"))) == len(graph.tuples("E"))

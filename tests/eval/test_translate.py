@@ -1,0 +1,104 @@
+"""Tests for the FO → relational algebra compiler."""
+
+import pytest
+from hypothesis import given
+
+import strategies as fmt_st
+from repro.errors import EvaluationError
+from repro.eval.evaluator import answers, evaluate
+from repro.eval.translate import algebra_answers, translate_to_algebra
+from repro.logic.analysis import free_variables
+from repro.logic.parser import parse
+from repro.logic.signature import GRAPH, Signature
+from repro.structures.builders import directed_cycle, empty_graph, random_graph
+from repro.structures.structure import Structure
+
+GRAPHS = [random_graph(n, p, seed=seed) for n, p, seed in [(3, 0.5, 0), (4, 0.4, 1), (5, 0.6, 2)]]
+
+
+class TestBasics:
+    def test_atom(self, triangle):
+        assert algebra_answers(triangle, parse("E(x, y)")) == triangle.tuples("E")
+
+    def test_repeated_variable_atom(self, triangle):
+        assert algebra_answers(triangle, parse("E(x, x)")) == frozenset()
+
+    def test_equality(self, triangle):
+        assert algebra_answers(triangle, parse("x = y")) == {(d, d) for d in triangle.universe}
+
+    def test_negation_uses_domain(self, triangle):
+        result = algebra_answers(triangle, parse("~E(x, y)"))
+        assert len(result) == 9 - 3
+
+    def test_sentence_true(self, triangle):
+        assert algebra_answers(triangle, parse("exists x y E(x, y)")) == {()}
+
+    def test_sentence_false(self, triangle):
+        assert algebra_answers(triangle, parse("forall x E(x, x)")) == frozenset()
+
+    def test_forall(self, triangle):
+        # Every node of the 3-cycle has an out-edge.
+        assert algebra_answers(triangle, parse("forall x exists y E(x, y)")) == {()}
+
+    def test_columns_are_sorted_names(self, triangle):
+        relation = translate_to_algebra(triangle, parse("E(y, x)"))
+        assert relation.attributes == ("x", "y")
+
+    def test_constants(self):
+        sig = Signature({"E": 2}, constants={"c"})
+        structure = Structure(sig, [0, 1], {"E": [(0, 1)]}, {"c": 0})
+        result = algebra_answers(structure, parse("E(c, y)", constants=sig))
+        assert result == {(1,)}
+
+    def test_bad_domain_mode_rejected(self, triangle):
+        with pytest.raises(EvaluationError):
+            translate_to_algebra(triangle, parse("E(x, y)"), domain="bogus")
+
+
+class TestActiveDomain:
+    def test_agrees_on_safe_queries(self):
+        graph = Structure(GRAPH, [0, 1, 2, 3], {"E": [(0, 1), (1, 2)]})
+        safe = parse("exists y E(x, y)")
+        assert algebra_answers(graph, safe, domain="active") == algebra_answers(graph, safe)
+
+    def test_differs_on_unsafe_negation(self):
+        # Node 3 is inactive: it satisfies ¬∃y E(x,y) under universe
+        # semantics but is invisible to the active domain.
+        graph = Structure(GRAPH, [0, 1, 2, 3], {"E": [(0, 1), (1, 2)]})
+        unsafe = parse("~exists y E(x, y)")
+        universe_rows = algebra_answers(graph, unsafe, domain="universe")
+        active_rows = algebra_answers(graph, unsafe, domain="active")
+        assert (3,) in universe_rows
+        assert (3,) not in active_rows
+
+    def test_all_relations_empty_falls_back(self):
+        graph = empty_graph(3)
+        assert algebra_answers(graph, parse("exists x (x = x)"), domain="active") == {()}
+
+
+class TestEquivalenceWithNaiveEvaluator:
+    """One edge of the evaluator triangle: algebra ≡ naive, always."""
+
+    @given(fmt_st.formulas(max_leaves=5))
+    def test_open_formulas_agree(self, formula):
+        for graph in GRAPHS:
+            order = tuple(sorted(free_variables(formula), key=lambda var: var.name))
+            assert algebra_answers(graph, formula) == answers(graph, formula, order)
+
+    @given(fmt_st.sentences(max_leaves=5))
+    def test_sentences_agree(self, sentence):
+        for graph in GRAPHS:
+            expected = {()} if evaluate(graph, sentence) else frozenset()
+            assert algebra_answers(graph, sentence) == expected
+
+    def test_on_directed_cycle(self):
+        cycle = directed_cycle(5)
+        for text in [
+            "exists z (E(x, z) & E(z, y))",
+            "~(exists z (E(x, z) & E(z, y)))",
+            "forall y (E(x, y) -> exists z E(y, z))",
+            "E(x, y) | E(y, x)",
+        ]:
+            formula = parse(text)
+            order = tuple(sorted(free_variables(formula), key=lambda var: var.name))
+            assert algebra_answers(cycle, formula) == answers(cycle, formula, order)

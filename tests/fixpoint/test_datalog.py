@@ -1,0 +1,180 @@
+"""Tests for the Datalog engine."""
+
+import pytest
+
+from repro.errors import DatalogError
+from repro.fixpoint.datalog import DVar, Literal, Program, Rule, parse_program
+from repro.fixpoint.lfp import transitive_closure
+from repro.logic.signature import GRAPH, Signature
+from repro.structures.builders import (
+    directed_chain,
+    directed_cycle,
+    full_binary_tree,
+    random_graph,
+)
+from repro.structures.structure import Structure
+
+TC_PROGRAM = """
+    tc(X, Y) :- E(X, Y).
+    tc(X, Z) :- E(X, Y), tc(Y, Z).
+"""
+
+
+class TestParsing:
+    def test_parse_tc(self):
+        program = parse_program(TC_PROGRAM)
+        assert len(program.rules) == 2
+        assert program.idb == {"tc"}
+
+    def test_uppercase_arguments_are_variables(self):
+        program = parse_program("p(X, 1) :- E(X, Y), E(Y, 1).")
+        head = program.rules[0].head
+        assert head.arguments == (DVar("X"), 1)
+
+    def test_quoted_strings_are_constants(self):
+        program = parse_program('p(X) :- Name(X, "alice").')
+        literal = program.rules[0].body[0]
+        assert literal.arguments[1] == "alice"
+
+    def test_comments_ignored(self):
+        program = parse_program("% a comment\n p(X) :- E(X, X).")
+        assert len(program.rules) == 1
+
+    def test_negation_keyword(self):
+        program = parse_program("iso(X) :- V(X), not linked(X, X).\nlinked(X, Y) :- E(X, Y).")
+        literals = program.rules[0].body
+        assert literals[1].negated
+
+    def test_missing_period_rejected(self):
+        with pytest.raises(DatalogError):
+            parse_program("p(X) :- E(X, X)")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(DatalogError):
+            parse_program("p(X) :- @E(X, X).")
+
+
+class TestValidation:
+    def test_unsafe_head_rejected(self):
+        with pytest.raises(DatalogError, match="unsafe"):
+            parse_program("p(X, Y) :- E(X, X).")
+
+    def test_unsafe_negation_rejected(self):
+        with pytest.raises(DatalogError, match="unsafe"):
+            parse_program("p(X) :- E(X, X), not q(Y).\nq(X) :- E(X, X).")
+
+    def test_fact_with_variables_rejected(self):
+        with pytest.raises(DatalogError):
+            parse_program("p(X).")
+
+    def test_negated_head_rejected(self):
+        with pytest.raises(DatalogError):
+            Rule(Literal("p", (1,), negated=True))
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(DatalogError, match="arit"):
+            parse_program("p(X) :- E(X, X).\np(X, Y) :- E(X, Y).")
+
+    def test_unstratifiable_rejected(self):
+        with pytest.raises(DatalogError, match="stratif"):
+            parse_program("win(X) :- Move(X, Y), not win(Y).\nwin(X) :- win(X).")
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(DatalogError):
+            Program([])
+
+    def test_idb_shadowing_edb_rejected(self):
+        program = parse_program("E(X, Y) :- E(Y, X).")
+        with pytest.raises(DatalogError, match="shadow"):
+            program.evaluate(directed_cycle(3))
+
+    def test_unknown_predicate_rejected(self):
+        program = parse_program("p(X) :- Mystery(X).")
+        with pytest.raises(DatalogError, match="Mystery"):
+            program.evaluate(directed_cycle(3))
+
+
+class TestEvaluation:
+    def test_tc_matches_direct_implementation(self):
+        program = parse_program(TC_PROGRAM)
+        for structure in [directed_chain(6), directed_cycle(5), random_graph(6, 0.3, seed=5)]:
+            assert program.evaluate(structure)["tc"] == transitive_closure(structure)
+
+    def test_facts(self):
+        program = parse_program("p(1). p(2). q(X) :- p(X), E(X, X).")
+        loop = Structure(GRAPH, [1, 2, 3], {"E": [(1, 1)]})
+        result = program.evaluate(loop)
+        assert result["p"] == {(1,), (2,)}
+        assert result["q"] == {(1,)}
+
+    def test_same_generation_program(self):
+        from repro.fixpoint.lfp import same_generation
+
+        program = parse_program(
+            """
+            sg(X, X) :- V(X).
+            sg(X, Y) :- E(Xp, X), E(Yp, Y), sg(Xp, Yp).
+            """
+        )
+        tree = full_binary_tree(3)
+        with_nodes = tree.with_relation("V", 1, [(v,) for v in tree.universe])
+        assert program.evaluate(with_nodes)["sg"] == same_generation(tree)
+
+    def test_stratified_negation(self):
+        # Unreachable nodes: reach from node 0, then complement.
+        program = parse_program(
+            """
+            reach(X) :- Start(X).
+            reach(Y) :- reach(X), E(X, Y).
+            unreachable(X) :- V(X), not reach(X).
+            """
+        )
+        chain = directed_chain(4)
+        base = chain.with_relation("V", 1, [(v,) for v in chain.universe]).with_relation(
+            "Start", 1, [(0,)]
+        )
+        result = program.evaluate(base)
+        assert result["reach"] == {(0,), (1,), (2,), (3,)}
+        assert result["unreachable"] == frozenset()
+
+        base2 = base.with_relation("Start", 1, [(2,)])
+        result2 = program.evaluate(base2)
+        assert result2["unreachable"] == {(0,), (1,)}
+
+    def test_mutual_recursion(self):
+        program = parse_program(
+            """
+            even(X) :- Zero(X).
+            odd(Y) :- even(X), S(X, Y).
+            even(Y) :- odd(X), S(X, Y).
+            """
+        )
+        from repro.structures.builders import successor
+
+        base = successor(6).with_relation("Zero", 1, [(0,)])
+        result = program.evaluate(base)
+        assert result["even"] == {(0,), (2,), (4,)}
+        assert result["odd"] == {(1,), (3,), (5,)}
+
+    def test_multiple_strata_with_negation_chain(self):
+        program = parse_program(
+            """
+            a(X) :- E(X, X).
+            b(X) :- V(X), not a(X).
+            c(X) :- V(X), not b(X).
+            """
+        )
+        graph = Structure(
+            Signature({"E": 2, "V": 1}),
+            [0, 1],
+            {"E": [(0, 0)], "V": [(0,), (1,)]},
+        )
+        result = program.evaluate(graph)
+        assert result["a"] == {(0,)}
+        assert result["b"] == {(1,)}
+        assert result["c"] == {(0,)}
+
+    def test_constants_in_rules(self):
+        program = parse_program("from_zero(Y) :- E(0, Y).")
+        result = program.evaluate(directed_chain(4))
+        assert result["from_zero"] == {(1,)}

@@ -1,0 +1,148 @@
+"""Tests for LFP operators and the canonical non-FO queries."""
+
+import pytest
+
+from repro.errors import FMTError
+from repro.fixpoint.lfp import (
+    has_directed_cycle,
+    inflationary_fixed_point,
+    least_fixed_point,
+    reachable_from,
+    same_generation,
+    transitive_closure,
+    transitive_closure_stages,
+)
+from repro.structures.builders import (
+    directed_chain,
+    directed_cycle,
+    empty_graph,
+    full_binary_tree,
+    random_graph,
+    undirected_cycle,
+)
+
+
+class TestFixedPointOperators:
+    def test_lfp_of_monotone_operator(self):
+        # Closure of {1} under doubling below 20.
+        def op(current):
+            new = set(current) | {1}
+            new |= {2 * value for value in current if value < 20}
+            return frozenset(new)
+
+        assert least_fixed_point(op) == {1, 2, 4, 8, 16, 32}
+
+    def test_lfp_detects_non_termination(self):
+        def alternating(current):
+            return frozenset({1}) if 1 not in current else frozenset()
+
+        with pytest.raises(FMTError):
+            least_fixed_point(alternating, max_iterations=10)
+
+    def test_ifp_always_grows(self):
+        def alternating(current):
+            return frozenset({1}) if 1 not in current else frozenset()
+
+        # Inflationary semantics terminates even for this operator.
+        assert inflationary_fixed_point(alternating) == {1}
+
+
+class TestTransitiveClosure:
+    def test_chain(self):
+        closure = transitive_closure(directed_chain(4))
+        assert closure == {(i, j) for i in range(4) for j in range(4) if i < j}
+
+    def test_cycle_is_complete_with_loops(self):
+        closure = transitive_closure(directed_cycle(3))
+        assert closure == {(i, j) for i in range(3) for j in range(3)}
+
+    def test_empty_graph(self):
+        assert transitive_closure(empty_graph(3)) == frozenset()
+
+    def test_not_reflexive_by_default(self):
+        closure = transitive_closure(directed_chain(3))
+        assert (0, 0) not in closure
+
+    def test_agrees_with_matrix_power_semantics(self):
+        graph = random_graph(6, 0.3, seed=17)
+        closure = transitive_closure(graph)
+        # (a, b) ∈ TC iff b reachable from a in ≥ 1 step.
+        for a in graph.universe:
+            successors = set()
+            frontier = {b for (x, b) in graph.tuples("E") if x == a}
+            while frontier:
+                successors |= frontier
+                frontier = {
+                    c for (x, c) in graph.tuples("E") if x in frontier
+                } - successors
+            for b in graph.universe:
+                assert ((a, b) in closure) == (b in successors)
+
+    def test_stages_grow_to_closure(self):
+        chain = directed_chain(6)
+        stages = transitive_closure_stages(chain)
+        assert stages[0] == chain.tuples("E")
+        assert stages[-1] == transitive_closure(chain)
+        for earlier, later in zip(stages, stages[1:]):
+            assert earlier < later
+
+
+class TestReachability:
+    def test_reachable_includes_start(self):
+        assert 0 in reachable_from(directed_chain(4), 0)
+
+    def test_reachable_respects_direction(self):
+        assert reachable_from(directed_chain(4), 2) == {2, 3}
+
+    def test_unknown_start_rejected(self):
+        with pytest.raises(FMTError):
+            reachable_from(directed_chain(3), 99)
+
+
+class TestSameGeneration:
+    def test_reflexive(self):
+        tree = full_binary_tree(2)
+        result = same_generation(tree)
+        for node in tree.universe:
+            assert (node, node) in result
+
+    def test_levels_of_binary_tree(self):
+        tree = full_binary_tree(2)
+        result = same_generation(tree)
+        # Level 1: nodes 2, 3; level 2: nodes 4..7.
+        assert (2, 3) in result
+        assert (4, 7) in result
+        assert (2, 4) not in result
+        assert (1, 2) not in result
+
+    def test_symmetric(self):
+        tree = full_binary_tree(3)
+        result = same_generation(tree)
+        for a, b in result:
+            assert (b, a) in result
+
+
+class TestCycleDetection:
+    def test_chain_is_acyclic(self):
+        assert not has_directed_cycle(directed_chain(5))
+
+    def test_cycle_detected(self):
+        assert has_directed_cycle(directed_cycle(4))
+
+    def test_self_loop_detected(self):
+        from repro.logic.signature import GRAPH
+        from repro.structures.structure import Structure
+
+        loop = Structure(GRAPH, [0, 1], {"E": [(0, 1), (1, 1)]})
+        assert has_directed_cycle(loop)
+
+    def test_undirected_encoding_is_cyclic(self):
+        # Symmetric edges form directed 2-cycles.
+        assert has_directed_cycle(undirected_cycle(4))
+
+    def test_dag_with_diamond(self):
+        from repro.logic.signature import GRAPH
+        from repro.structures.structure import Structure
+
+        diamond = Structure(GRAPH, [0, 1, 2, 3], {"E": [(0, 1), (0, 2), (1, 3), (2, 3)]})
+        assert not has_directed_cycle(diamond)

@@ -1,0 +1,157 @@
+"""Tests for FO(LFP): the least-fixed-point logic."""
+
+import pytest
+
+from repro.errors import EvaluationError, FormulaError
+from repro.fixpoint.lfp import transitive_closure
+from repro.fixpoint.lfp_logic import (
+    Lfp,
+    check_positive,
+    connectivity_sentence,
+    evaluate_lfp,
+    even_sentence_over_orders,
+    free_variables_lfp,
+    tc_formula,
+)
+from repro.logic.builder import and_, exists, not_, or_
+from repro.logic.parser import parse
+from repro.logic.syntax import Atom, Eq, Var
+from repro.structures.builders import (
+    directed_chain,
+    directed_cycle,
+    disjoint_cycles,
+    linear_order,
+    random_graph,
+    undirected_cycle,
+)
+from repro.structures.gaifman import is_connected
+
+X, Y, Z = Var("x"), Var("y"), Var("z")
+
+
+class TestConstruction:
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(FormulaError):
+            Lfp("R", (X, Y), Atom("R", (X, Y)), (X,))
+
+    def test_duplicate_tuple_variables_rejected(self):
+        with pytest.raises(FormulaError):
+            Lfp("R", (X, X), Atom("R", (X, X)), (X, Y))
+
+    def test_empty_tuple_rejected(self):
+        with pytest.raises(FormulaError):
+            Lfp("R", (), Atom("E", (X, Y)), ())
+
+    def test_repr_mentions_operator(self):
+        formula = tc_formula()
+        assert "lfp" in repr(formula)
+
+
+class TestPositivityCheck:
+    def test_positive_occurrence_accepted(self):
+        check_positive(or_(Atom("E", (X, Y)), Atom("R", (X, Y))), "R")
+
+    def test_negative_occurrence_rejected(self):
+        with pytest.raises(FormulaError, match="negatively"):
+            check_positive(not_(Atom("R", (X, Y))), "R")
+
+    def test_double_negation_is_positive(self):
+        check_positive(not_(not_(Atom("R", (X, Y)))), "R")
+
+    def test_implication_premise_is_negative(self):
+        from repro.logic.syntax import Implies
+
+        with pytest.raises(FormulaError):
+            check_positive(Implies(Atom("R", (X, Y)), Atom("E", (X, Y))), "R")
+
+    def test_iff_rejected_in_both_polarities(self):
+        from repro.logic.syntax import Iff
+
+        with pytest.raises(FormulaError):
+            check_positive(Iff(Atom("R", (X, Y)), Atom("E", (X, Y))), "R")
+
+    def test_constructor_enforces_positivity(self):
+        with pytest.raises(FormulaError):
+            Lfp("R", (X, Y), not_(Atom("R", (X, Y))), (X, Y))
+
+    def test_inner_rebinding_shields_occurrences(self):
+        inner = Lfp("R", (X,), or_(Eq(X, X), Atom("R", (X,))), (X,))
+        # R occurs inside an lfp that rebinds it: no complaint.
+        check_positive(not_(inner), "R")
+
+
+class TestEvaluation:
+    def test_tc_matches_direct_implementation(self):
+        for structure in [directed_chain(5), directed_cycle(4), random_graph(5, 0.3, seed=3)]:
+            tc = tc_formula()
+            via_lfp = {
+                (a, b)
+                for a in structure.universe
+                for b in structure.universe
+                if evaluate_lfp(structure, tc, {X: a, Y: b})
+            }
+            assert via_lfp == transitive_closure(structure)
+
+    def test_connectivity_sentence(self):
+        assert evaluate_lfp(undirected_cycle(6), connectivity_sentence())
+        assert not evaluate_lfp(disjoint_cycles([3, 4]), connectivity_sentence())
+
+    def test_connectivity_on_random_graphs(self):
+        sentence = connectivity_sentence()
+        for seed in range(6):
+            graph = random_graph(6, 0.2, seed=seed)
+            assert evaluate_lfp(graph, sentence) == is_connected(graph)
+
+    def test_even_over_orders(self):
+        sentence = even_sentence_over_orders()
+        for n in range(1, 10):
+            assert evaluate_lfp(linear_order(n), sentence) == (n % 2 == 0), n
+
+    def test_plain_fo_formulas_still_work(self):
+        graph = directed_cycle(3)
+        assert evaluate_lfp(graph, parse("forall x exists y E(x, y)"))
+
+    def test_unbound_variable_rejected(self):
+        with pytest.raises(EvaluationError):
+            evaluate_lfp(directed_chain(3), tc_formula())
+
+    def test_shadowing_signature_relation_rejected(self):
+        bad = Lfp("E", (X, Y), Atom("E", (X, Y)), (X, Y))
+        with pytest.raises(FormulaError):
+            evaluate_lfp(directed_chain(3), exists("x", exists("y", bad)))
+
+    def test_nested_fixpoints(self):
+        # reach-from-a-loop: inner fixpoint computes TC, outer uses it...
+        # simpler nested case: lfp over a body containing another lfp on
+        # a different name.
+        inner = Lfp("A", (X, Y), or_(Atom("E", (X, Y)),
+                                     exists(Z, and_(Atom("E", (X, Z)), Atom("A", (Z, Y))))), (X, Y))
+        outer = Lfp("B", (X,), or_(exists(Y, and_(inner, Eq(Y, Y))), Atom("B", (X,))), (X,))
+        graph = directed_chain(3)
+        # B(x) holds iff some TC-pair starts at... evaluate just to check
+        # nesting executes without error and gives a sane value.
+        assert evaluate_lfp(graph, outer, {X: 0}) in (True, False)
+
+
+class TestFreeVariables:
+    def test_lfp_binds_tuple_variables(self):
+        formula = tc_formula()
+        assert free_variables_lfp(formula) == {X, Y}
+
+    def test_sentences_are_closed(self):
+        assert free_variables_lfp(connectivity_sentence()) == frozenset()
+        assert free_variables_lfp(even_sentence_over_orders()) == frozenset()
+
+
+class TestExpressivityStory:
+    def test_lfp_defines_what_fo_cannot(self):
+        """The survey's arc in one test: EVEN over orders is FO-undefinable
+        (Theorem 3.1: L_4 ≡₂ L_5) yet FO(LFP)-definable."""
+        from repro.games.ef import ef_equivalent
+
+        even = even_sentence_over_orders()
+        left, right = linear_order(4), linear_order(5)
+        # FO cannot: the structures are rank-2 equivalent but disagree.
+        assert ef_equivalent(left, right, 2)
+        # FO(LFP) can:
+        assert evaluate_lfp(left, even) and not evaluate_lfp(right, even)

@@ -1,0 +1,174 @@
+"""Tests for the exact EF game solver — the engine of §3.2."""
+
+import pytest
+
+from repro.errors import BudgetExceededError, GameError
+from repro.games.ef import (
+    GamePosition,
+    Move,
+    ef_equivalent,
+    optimal_duplicator,
+    optimal_spoiler,
+    play_ef_game,
+    solve_ef_game,
+)
+from repro.structures.builders import (
+    bare_set,
+    directed_chain,
+    directed_cycle,
+    linear_order,
+    random_graph,
+    undirected_chain,
+)
+
+
+class TestBasics:
+    def test_isomorphic_structures_always_equivalent(self):
+        left = directed_cycle(4)
+        right = directed_cycle(4).relabel(lambda element: element + 10)
+        for rounds in (1, 2, 3):
+            assert ef_equivalent(left, right, rounds)
+
+    def test_zero_rounds_always_duplicator(self):
+        assert ef_equivalent(bare_set(1), bare_set(5), 0)
+
+    def test_signature_mismatch_rejected(self):
+        with pytest.raises(GameError):
+            ef_equivalent(bare_set(2), directed_cycle(3), 1)
+
+    def test_budget_enforced(self):
+        with pytest.raises(BudgetExceededError):
+            solve_ef_game(linear_order(10), linear_order(11), 4, budget=10)
+
+    def test_result_reports_exploration(self):
+        result = solve_ef_game(bare_set(3), bare_set(4), 2)
+        assert result.explored > 0
+        assert result.rounds == 2
+
+
+class TestEvenOnSets:
+    """§3.2: on bare sets the duplicator wins G_n on any two ≥n sets."""
+
+    def test_large_sets_equivalent(self):
+        assert ef_equivalent(bare_set(4), bare_set(5), 3)
+        assert ef_equivalent(bare_set(3), bare_set(7), 3)
+
+    def test_spoiler_wins_when_one_set_too_small(self):
+        assert not ef_equivalent(bare_set(2), bare_set(3), 3)
+
+    def test_equal_small_sets_equivalent(self):
+        assert ef_equivalent(bare_set(2), bare_set(2), 5)
+
+    def test_paper_families(self):
+        # A_n = 2n-set, B_n = (2n+1)-set: equivalent at n rounds, and
+        # they disagree on EVEN — the first inexpressibility proof.
+        for n in (1, 2, 3):
+            assert ef_equivalent(bare_set(2 * n), bare_set(2 * n + 1), n)
+            assert (2 * n) % 2 == 0 and (2 * n + 1) % 2 == 1
+
+
+class TestTheorem31:
+    """Theorem 3.1: L_m ≡_n L_k for m, k ≥ 2ⁿ, tight at 2ⁿ − 1."""
+
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_equivalence_at_threshold(self, n):
+        threshold = 2**n - 1
+        assert ef_equivalent(linear_order(threshold), linear_order(threshold + 1), n)
+
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_spoiler_wins_below_threshold(self, n):
+        threshold = 2**n - 1
+        assert not ef_equivalent(linear_order(threshold - 1), linear_order(threshold), n)
+
+    def test_paper_statement(self):
+        # The paper takes A_n = L_{2^n}, B_n = L_{2^n + 1}.
+        for n in (1, 2, 3):
+            assert ef_equivalent(linear_order(2**n), linear_order(2**n + 1), n)
+
+    def test_equal_orders_equivalent_below_threshold(self):
+        assert ef_equivalent(linear_order(3), linear_order(3), 4)
+
+
+class TestGraphCases:
+    def test_chain_vs_cycle_one_round(self):
+        # One round cannot tell a chain from a cycle of the same size.
+        assert ef_equivalent(directed_chain(4), directed_cycle(4), 1)
+
+    def test_chain_vs_cycle_two_rounds(self):
+        # Two rounds: the spoiler pebbles the chain's source (no in-edge).
+        assert not ef_equivalent(directed_chain(4), directed_cycle(4), 2)
+
+    def test_monotone_in_rounds(self):
+        # If the spoiler wins with n rounds, he wins with n+1.
+        pairs = [
+            (random_graph(4, 0.5, seed=i), random_graph(4, 0.5, seed=i + 10))
+            for i in range(3)
+        ]
+        for left, right in pairs:
+            results = [ef_equivalent(left, right, rounds) for rounds in (1, 2, 3)]
+            for earlier, later in zip(results, results[1:]):
+                assert earlier or not later
+
+
+class TestMidGamePositions:
+    def test_losing_start_position(self):
+        cycle = directed_cycle(4)
+        # (0 ↦ 0, 1 ↦ 2) breaks the edge relation immediately.
+        start = GamePosition(((0, 0), (1, 2)), 1)
+        result = solve_ef_game(cycle, cycle, 1, start=start)
+        assert not result.duplicator_wins
+
+    def test_winning_start_position(self):
+        cycle = directed_cycle(4)
+        start = GamePosition(((0, 1),), 1)
+        result = solve_ef_game(cycle, cycle, 1, start=start)
+        assert result.duplicator_wins
+
+    def test_position_validation(self):
+        with pytest.raises(GameError):
+            solve_ef_game(bare_set(2), bare_set(2), 1, start=GamePosition(((9, 0),), 1))
+
+
+class TestPlayedGames:
+    def test_optimal_vs_optimal_matches_solver(self):
+        cases = [
+            (bare_set(2), bare_set(3), 3),
+            (linear_order(3), linear_order(4), 2),
+            (directed_chain(4), directed_cycle(4), 2),
+        ]
+        for left, right, rounds in cases:
+            winner, _ = play_ef_game(left, right, rounds, optimal_spoiler(), optimal_duplicator())
+            expected = "duplicator" if ef_equivalent(left, right, rounds) else "spoiler"
+            assert winner == expected
+
+    def test_final_position_recorded(self):
+        winner, final = play_ef_game(
+            bare_set(3), bare_set(3), 2, optimal_spoiler(), optimal_duplicator()
+        )
+        assert winner == "duplicator"
+        assert len(final.pairs) == 2
+
+    def test_illegal_spoiler_move_rejected(self):
+        def bad_spoiler(left, right, position):
+            return Move("left", 99)
+
+        with pytest.raises(GameError):
+            play_ef_game(bare_set(2), bare_set(2), 1, bad_spoiler, optimal_duplicator())
+
+    def test_illegal_duplicator_response_rejected(self):
+        def bad_duplicator(left, right, position, move):
+            return 99
+
+        with pytest.raises(GameError):
+            play_ef_game(bare_set(2), bare_set(2), 1, optimal_spoiler(), bad_duplicator)
+
+    def test_spoiler_replay_forces_duplicator_reply(self):
+        # A spoiler that replays its first element should never beat an
+        # optimal duplicator on equivalent structures.
+        def replaying_spoiler(left, right, position):
+            return Move("left", left.universe[0])
+
+        winner, _ = play_ef_game(
+            undirected_chain(4), undirected_chain(4), 3, replaying_spoiler, optimal_duplicator()
+        )
+        assert winner == "duplicator"

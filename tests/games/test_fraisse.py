@@ -1,0 +1,82 @@
+"""Tests for Fraïssé back-and-forth systems.
+
+The headline property: `fraisse_equivalent` must agree with the EF game
+solver on every pair — two independent decision procedures for ≡_n
+checking each other.
+"""
+
+import pytest
+
+from repro.errors import GameError
+from repro.games.ef import ef_equivalent
+from repro.games.fraisse import back_and_forth_system, fraisse_equivalent
+from repro.structures.builders import (
+    bare_set,
+    directed_chain,
+    directed_cycle,
+    linear_order,
+    random_graph,
+)
+
+
+class TestBackAndForthSystem:
+    def test_levels_are_decreasing(self):
+        levels = back_and_forth_system(bare_set(3), bare_set(3), 2)
+        for higher, lower in zip(levels[1:], levels):
+            assert higher <= lower
+
+    def test_level_zero_contains_empty_map(self):
+        levels = back_and_forth_system(bare_set(2), bare_set(3), 2)
+        assert frozenset() in levels[0]
+
+    def test_signature_mismatch_rejected(self):
+        with pytest.raises(GameError):
+            back_and_forth_system(bare_set(2), directed_cycle(3), 1)
+
+    def test_negative_rounds_rejected(self):
+        with pytest.raises(GameError):
+            back_and_forth_system(bare_set(2), bare_set(2), -1)
+
+    def test_zero_rounds_trivially_equivalent(self):
+        assert fraisse_equivalent(bare_set(1), bare_set(5), 0)
+
+    def test_value_function_matches_game_positions(self):
+        # A singleton pair that breaks the order relation should be
+        # absent from every level ≥ 1... in fact from level 0 already
+        # (it is no partial isomorphism).
+        left, right = linear_order(3), linear_order(3)
+        levels = back_and_forth_system(left, right, 2)
+        bad = frozenset({(0, 0), (1, 0)})
+        assert bad not in levels[0]
+        good = frozenset({(0, 0)})
+        assert good in levels[1]
+
+
+class TestAgreementWithGameSolver:
+    CASES = [
+        (bare_set(2), bare_set(3), 2),
+        (bare_set(2), bare_set(3), 3),
+        (bare_set(4), bare_set(5), 3),
+        (linear_order(3), linear_order(4), 2),
+        (linear_order(2), linear_order(3), 2),
+        (directed_chain(4), directed_cycle(4), 2),
+        (directed_cycle(4), directed_cycle(4), 3),
+    ]
+
+    @pytest.mark.parametrize("left,right,rounds", CASES)
+    def test_fraisse_equals_game(self, left, right, rounds):
+        assert fraisse_equivalent(left, right, rounds) == ef_equivalent(left, right, rounds)
+
+    def test_random_pairs(self):
+        for seed in range(5):
+            left = random_graph(3, 0.5, seed=seed)
+            right = random_graph(3, 0.4, seed=seed + 40)
+            for rounds in (1, 2):
+                assert fraisse_equivalent(left, right, rounds) == ef_equivalent(
+                    left, right, rounds
+                ), (seed, rounds)
+
+    def test_theorem_3_1_via_fraisse(self):
+        # The back-and-forth route also proves Theorem 3.1 instances.
+        assert fraisse_equivalent(linear_order(4), linear_order(5), 2)
+        assert not fraisse_equivalent(linear_order(2), linear_order(3), 2)

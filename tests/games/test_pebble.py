@@ -1,0 +1,80 @@
+"""Tests for k-pebble games."""
+
+import pytest
+
+from repro.errors import GameError
+from repro.games.ef import ef_equivalent
+from repro.games.pebble import pebble_forever_equivalent, pebble_game_equivalent
+from repro.structures.builders import (
+    bare_set,
+    directed_chain,
+    directed_cycle,
+    linear_order,
+    random_graph,
+)
+
+
+class TestBoundedPebbleGame:
+    def test_isomorphic_structures_equivalent(self):
+        left = directed_cycle(4)
+        right = directed_cycle(4).relabel(lambda element: element + 7)
+        assert pebble_game_equivalent(left, right, pebbles=2, rounds=3)
+
+    def test_needs_at_least_one_pebble(self):
+        with pytest.raises(GameError):
+            pebble_game_equivalent(bare_set(2), bare_set(2), 0, 1)
+
+    def test_signature_mismatch_rejected(self):
+        with pytest.raises(GameError):
+            pebble_game_equivalent(bare_set(2), directed_cycle(3), 1, 1)
+
+    def test_chain_vs_cycle_with_two_pebbles(self):
+        # Two pebbles and two rounds find the chain's source.
+        assert not pebble_game_equivalent(directed_chain(4), directed_cycle(4), 2, 2)
+
+    def test_ef_win_implies_pebble_win(self):
+        # With at least n pebbles, the n-round pebble game is easier for
+        # the spoiler... conversely a duplicator EF win transfers.
+        pairs = [
+            (random_graph(3, 0.5, seed=i), random_graph(3, 0.5, seed=i + 20))
+            for i in range(3)
+        ]
+        for left, right in pairs:
+            if ef_equivalent(left, right, 2):
+                assert pebble_game_equivalent(left, right, pebbles=2, rounds=2)
+
+    def test_one_pebble_is_weak(self):
+        # With a single pebble only point types (loops) are visible, so a
+        # loop-free chain and a loop-free cycle are indistinguishable at
+        # any number of rounds — "has a source" needs two variables.
+        assert pebble_game_equivalent(directed_chain(3), directed_cycle(3), 1, 4)
+
+
+class TestForeverPebbleGame:
+    def test_isomorphic_structures_survive_forever(self):
+        left = directed_cycle(4)
+        right = directed_cycle(4).relabel(lambda element: element + 7)
+        assert pebble_forever_equivalent(left, right, 2)
+
+    def test_different_cycle_lengths_with_two_pebbles(self):
+        # C3 vs C4 are distinguishable in FO² with enough rank... the
+        # forever 2-pebble game detects it (distance counting).
+        assert not pebble_forever_equivalent(directed_cycle(3), directed_cycle(4), 2)
+
+    def test_bare_sets_forever_equivalent_with_fewer_pebbles(self):
+        # FO^k cannot count beyond k: 3- and 4-element sets agree on all
+        # 2-variable sentences, at every quantifier rank.
+        assert pebble_forever_equivalent(bare_set(3), bare_set(4), 2)
+        assert not pebble_forever_equivalent(bare_set(3), bare_set(4), 4)
+
+    def test_forever_implies_bounded(self):
+        left, right = bare_set(3), bare_set(4)
+        assert pebble_forever_equivalent(left, right, 2)
+        for rounds in (1, 2, 3, 4):
+            assert pebble_game_equivalent(left, right, 2, rounds)
+
+    def test_linear_orders_two_pebbles(self):
+        # FO² over orders can say "there are at least 3 elements" but
+        # separating L5 from L6 needs counting: 2 pebbles forever suffice
+        # to distinguish them (the spoiler walks the order).
+        assert not pebble_forever_equivalent(linear_order(5), linear_order(6), 2)

@@ -1,0 +1,53 @@
+"""Tests for the separation-measure utilities (rank vs variable width)."""
+
+from repro.games.pebble import minimal_separating_pebbles, minimal_separating_rounds
+from repro.structures.builders import (
+    bare_set,
+    directed_chain,
+    directed_cycle,
+    linear_order,
+)
+
+
+class TestMinimalRounds:
+    def test_sets_need_rank_equal_to_smaller_size_plus_one(self):
+        # 2-set vs 3-set: equivalent at rank ≤ 2, separated at rank 3.
+        assert minimal_separating_rounds(bare_set(2), bare_set(3), 4) == 3
+
+    def test_orders_follow_the_log_threshold(self):
+        # L_3 vs L_4: equivalent at rank 2 (both ≥ 2²−1), separated at 3.
+        assert minimal_separating_rounds(linear_order(3), linear_order(4), 4) == 3
+
+    def test_chain_vs_cycle(self):
+        # The chain's source is found with 2 quantifiers.
+        assert minimal_separating_rounds(directed_chain(4), directed_cycle(4), 3) == 2
+
+    def test_none_for_isomorphic(self):
+        left = directed_cycle(4)
+        right = directed_cycle(4).relabel(lambda element: element + 30)
+        assert minimal_separating_rounds(left, right, 3) is None
+
+
+class TestMinimalPebbles:
+    def test_counting_needs_width(self):
+        # Separating a 3-set from a 4-set needs 4 variables, at any rank.
+        assert minimal_separating_pebbles(bare_set(3), bare_set(4), 5) == 4
+
+    def test_orders_separable_with_two_variables(self):
+        # FO² over orders counts by walking: 2 pebbles suffice.
+        assert minimal_separating_pebbles(linear_order(4), linear_order(5), 3) == 2
+
+    def test_chain_vs_cycle_two_pebbles(self):
+        assert minimal_separating_pebbles(directed_chain(4), directed_cycle(4), 3) == 2
+
+    def test_none_for_isomorphic(self):
+        left = directed_cycle(3)
+        right = directed_cycle(3).relabel(lambda element: element + 7)
+        assert minimal_separating_pebbles(left, right, 3) is None
+
+    def test_rank_vs_width_tradeoff(self):
+        # The two measures genuinely differ: 3-set vs 4-set needs rank 4
+        # (rounds) but ALSO width 4 — while L_4 vs L_5 needs rank 3 yet
+        # only width 2.
+        assert minimal_separating_rounds(linear_order(4), linear_order(5), 4) == 3
+        assert minimal_separating_pebbles(linear_order(4), linear_order(5), 4) == 2

@@ -1,0 +1,84 @@
+"""Tests for separating-sentence extraction (the logic side of the EF
+theorem)."""
+
+from repro.eval.evaluator import evaluate
+from repro.games.separators import (
+    agree_on_sentence,
+    certify_equivalence,
+    distinguishing_sentence,
+)
+from repro.logic.analysis import quantifier_rank
+from repro.structures.builders import (
+    bare_set,
+    directed_chain,
+    directed_cycle,
+    linear_order,
+    random_graph,
+)
+
+
+class TestDistinguishingSentence:
+    def test_none_when_duplicator_wins(self):
+        assert distinguishing_sentence(bare_set(4), bare_set(5), 2) is None
+
+    def test_separator_for_small_sets(self):
+        sentence = distinguishing_sentence(bare_set(1), bare_set(2), 2)
+        assert sentence is not None
+        assert quantifier_rank(sentence) <= 2
+        assert evaluate(bare_set(1), sentence)
+        assert not evaluate(bare_set(2), sentence)
+
+    def test_separator_for_chain_vs_cycle(self):
+        sentence = distinguishing_sentence(directed_chain(4), directed_cycle(4), 2)
+        assert sentence is not None
+        assert evaluate(directed_chain(4), sentence)
+        assert not evaluate(directed_cycle(4), sentence)
+
+    def test_separator_for_short_orders(self):
+        sentence = distinguishing_sentence(linear_order(2), linear_order(3), 2)
+        assert sentence is not None
+        assert quantifier_rank(sentence) <= 2
+
+    def test_separator_transfers_to_isomorphic_copies(self):
+        left, right = directed_chain(4), directed_cycle(4)
+        sentence = distinguishing_sentence(left, right, 2)
+        assert sentence is not None
+        relabeled = right.relabel(lambda element: element + 50)
+        assert not evaluate(relabeled, sentence)
+
+
+class TestAgreement:
+    def test_agree_on_sentence(self):
+        from repro.logic.parser import parse
+
+        sentence = parse("exists x E(x, x)")
+        assert agree_on_sentence(directed_chain(3), directed_cycle(3), sentence)
+
+    def test_disagree_on_sentence(self):
+        from repro.logic.parser import parse
+
+        # The chain has a source, the cycle does not.
+        sentence = parse("exists x forall y ~E(y, x)")
+        assert not agree_on_sentence(directed_chain(3), directed_cycle(3), sentence)
+
+
+class TestCertifyEquivalence:
+    def test_certificate_for_equivalent_structures(self):
+        certificate = certify_equivalence(bare_set(3), bare_set(4), 2)
+        assert certificate is not None
+        assert evaluate(bare_set(4), certificate)
+
+    def test_no_certificate_when_spoiler_wins(self):
+        assert certify_equivalence(bare_set(1), bare_set(2), 2) is None
+
+    def test_certificate_agrees_with_game_solver(self):
+        from repro.games.ef import ef_equivalent
+
+        pairs = [
+            (random_graph(3, 0.5, seed=i), random_graph(3, 0.4, seed=i + 30))
+            for i in range(3)
+        ]
+        for left, right in pairs:
+            game = ef_equivalent(left, right, 2)
+            certificate = certify_equivalence(left, right, 2)
+            assert (certificate is not None) == game

@@ -1,0 +1,153 @@
+"""Tests for the duplicator strategy library — validated against the
+exact solver's optimal spoiler."""
+
+import pytest
+
+from repro.errors import GameError
+from repro.games.ef import ef_equivalent, optimal_spoiler, play_ef_game
+from repro.games.strategies import (
+    gap_halving_spoiler,
+    linear_order_duplicator,
+    linear_order_threshold,
+    order_ranks,
+    set_duplicator,
+    theorem_3_1_families,
+    union_duplicator,
+)
+from repro.structures.builders import bare_set, directed_cycle, linear_order, undirected_chain
+
+
+class TestThresholds:
+    def test_threshold_values(self):
+        assert linear_order_threshold(1) == 1
+        assert linear_order_threshold(2) == 3
+        assert linear_order_threshold(3) == 7
+
+    def test_negative_rejected(self):
+        with pytest.raises(GameError):
+            linear_order_threshold(-1)
+
+    def test_paper_families(self):
+        assert theorem_3_1_families(3) == (8, 9)
+
+
+class TestOrderRanks:
+    def test_ranks_of_linear_order(self):
+        ranks = order_ranks(linear_order(4))
+        assert ranks == {0: 0, 1: 1, 2: 2, 3: 3}
+
+    def test_non_order_rejected(self):
+        bad = linear_order(3).with_relation("<", 2, [(0, 1)])
+        with pytest.raises(GameError):
+            order_ranks(bad)
+
+
+class TestSetStrategy:
+    @pytest.mark.parametrize("sizes", [(3, 3), (3, 5), (4, 4), (5, 9)])
+    def test_beats_optimal_spoiler_on_large_sets(self, sizes):
+        left, right = bare_set(sizes[0]), bare_set(sizes[1])
+        rounds = min(sizes)
+        winner, _ = play_ef_game(left, right, rounds, optimal_spoiler(), set_duplicator())
+        assert winner == "duplicator"
+
+    def test_loses_exactly_when_solver_says(self):
+        # Sets of sizes 2 and 3 at 3 rounds: spoiler wins; the strategy
+        # cannot be expected to survive a lost game.
+        left, right = bare_set(2), bare_set(3)
+        assert not ef_equivalent(left, right, 3)
+
+
+class TestLinearOrderStrategy:
+    @pytest.mark.parametrize(
+        "m,k,n",
+        [
+            (3, 4, 2),
+            (4, 4, 2),
+            (3, 10, 2),
+            (7, 8, 3),
+            (7, 12, 3),
+            (5, 5, 3),
+        ],
+    )
+    def test_wins_against_optimal_spoiler(self, m, k, n):
+        threshold = linear_order_threshold(n)
+        assert m == k or (m >= threshold and k >= threshold)
+        winner, final = play_ef_game(
+            linear_order(m), linear_order(k), n, optimal_spoiler(budget=2_000_000),
+            linear_order_duplicator(),
+        )
+        assert winner == "duplicator", final
+
+    @pytest.mark.parametrize(
+        "m,k,n",
+        [
+            (9, 30, 3),
+            (15, 16, 4),
+            (15, 40, 4),
+            (31, 45, 5),
+        ],
+    )
+    def test_wins_against_gap_halving_spoiler_at_scale(self, m, k, n):
+        winner, final = play_ef_game(
+            linear_order(m), linear_order(k), n, gap_halving_spoiler(),
+            linear_order_duplicator(),
+        )
+        assert winner == "duplicator", final
+
+    def test_below_threshold_the_position_is_genuinely_lost(self):
+        # Sanity for the adversary tests above: below the 2ⁿ − 1
+        # threshold no duplicator can win — the optimal spoiler beats
+        # even the interval strategy.
+        assert not ef_equivalent(linear_order(4), linear_order(6), 3)
+        winner, _ = play_ef_game(
+            linear_order(4), linear_order(6), 3, optimal_spoiler(),
+            linear_order_duplicator(),
+        )
+        assert winner == "spoiler"
+
+    def test_equal_orders_any_rounds(self):
+        winner, _ = play_ef_game(
+            linear_order(4), linear_order(4), 4, optimal_spoiler(), linear_order_duplicator()
+        )
+        assert winner == "duplicator"
+
+    def test_forced_reply_on_replay(self):
+        from repro.games.ef import GamePosition, Move
+
+        strategy = linear_order_duplicator()
+        left, right = linear_order(5), linear_order(6)
+        position = GamePosition(((2, 3),), 2)
+        assert strategy(left, right, position, Move("left", 2)) == 3
+        assert strategy(left, right, position, Move("right", 3)) == 2
+
+
+class TestUnionStrategy:
+    def test_composition_lemma_played_out(self):
+        # A1 ≡₂ B1 (two 3-sets) and A2 ≡₂ B2 (orders ≥ 3): the union
+        # strategy must win the composed game.
+        a1, b1 = bare_set(3), bare_set(4)
+        a2, b2 = linear_order(3), linear_order(4)
+        # Tag with the same labels disjoint_union produces.
+        left = a1_union = None
+        from repro.logic.signature import Signature
+        from repro.structures.structure import Structure
+
+        # Promote the pieces to a common signature before the union.
+        sig = Signature({"<": 2})
+        a1s = Structure(sig, a1.universe, {"<": []})
+        b1s = Structure(sig, b1.universe, {"<": []})
+        left = a1s.disjoint_union(a2)
+        right = b1s.disjoint_union(b2)
+        strategy = union_duplicator(
+            set_duplicator(), linear_order_duplicator(), ((a1s, b1s), (a2, b2))
+        )
+        winner, final = play_ef_game(left, right, 2, optimal_spoiler(), strategy)
+        assert winner == "duplicator", final
+
+    def test_solver_confirms_composition_lemma(self):
+        # Independent check of the lemma itself on small structures.
+        a1, b1 = directed_cycle(3), directed_cycle(3)
+        a2, b2 = undirected_chain(3), undirected_chain(3)
+        left = a1.disjoint_union(a2)
+        right = b1.disjoint_union(b2)
+        assert ef_equivalent(left, right, 2)

@@ -1,0 +1,99 @@
+"""The Ehrenfeucht–Fraïssé theorem, validated in both directions (E13).
+
+A ∼_{G_n} B iff A ≡_n B. We check:
+
+* game → logic: when the solver says the duplicator wins n rounds, the
+  structures agree on an exhaustively enumerated family of sentences of
+  quantifier rank ≤ n, and on each other's Hintikka sentences;
+* logic → game: when the spoiler wins, a concrete separating sentence
+  of rank ≤ n exists (Hintikka extraction) and is verified.
+"""
+
+import itertools
+
+import pytest
+
+from repro.eval.evaluator import evaluate
+from repro.games.ef import ef_equivalent
+from repro.games.separators import certify_equivalence, distinguishing_sentence
+from repro.logic.analysis import quantifier_rank
+from repro.logic.enumerate import enumerate_sentences
+from repro.logic.signature import GRAPH, SET
+from repro.structures.builders import bare_set, linear_order, random_graph
+
+PAIRS = [
+    (random_graph(3, 0.4, seed=i), random_graph(3, 0.5, seed=i + 100)) for i in range(4)
+] + [
+    (random_graph(4, 0.5, seed=7), random_graph(4, 0.5, seed=8)),
+    (bare_set(3).with_relation("E", 2, []), bare_set(4).with_relation("E", 2, [])),
+]
+
+
+class TestGameImpliesLogic:
+    def test_equivalent_pairs_agree_on_enumerated_sentences(self):
+        sentences = list(
+            enumerate_sentences(GRAPH, max_rank=2, max_connectives=2, num_variables=2)
+        )
+        assert len(sentences) >= 40
+        for left, right in PAIRS:
+            if not ef_equivalent(left, right, 2):
+                continue
+            for sentence in sentences:
+                assert evaluate(left, sentence) == evaluate(right, sentence), (
+                    left,
+                    right,
+                    sentence,
+                )
+
+    def test_equivalent_orders_agree_on_rank2_sentences(self):
+        from repro.logic.signature import ORDER
+
+        left, right = linear_order(3), linear_order(4)
+        assert ef_equivalent(left, right, 2)
+        count = 0
+        for sentence in enumerate_sentences(ORDER, max_rank=2, max_connectives=2, num_variables=2):
+            assert evaluate(left, sentence) == evaluate(right, sentence), sentence
+            count += 1
+        assert count > 20
+
+
+class TestLogicImpliesGame:
+    def test_separator_exists_exactly_when_spoiler_wins(self):
+        for left, right in PAIRS:
+            for rounds in (1, 2):
+                game = ef_equivalent(left, right, rounds)
+                separator = distinguishing_sentence(left, right, rounds)
+                assert (separator is None) == game
+                if separator is not None:
+                    assert quantifier_rank(separator) <= rounds
+                    assert evaluate(left, separator)
+                    assert not evaluate(right, separator)
+
+    def test_hintikka_certificates_match_games(self):
+        for left, right in PAIRS:
+            for rounds in (1, 2):
+                assert (certify_equivalence(left, right, rounds) is not None) == ef_equivalent(
+                    left, right, rounds
+                )
+
+
+class TestBothDirectionsOnSets:
+    """On bare sets the full truth is known: duplicator wins G_n iff the
+    sizes are equal or both ≥ n. Cross-check games, Hintikka sentences,
+    and cardinality sentences against it."""
+
+    @pytest.mark.parametrize("m,k,n", itertools.product((1, 2, 3, 4), (1, 2, 3, 4), (1, 2, 3)))
+    def test_known_characterization(self, m, k, n):
+        expected = m == k or (m >= n and k >= n)
+        assert ef_equivalent(bare_set(m), bare_set(k), n) == expected
+
+    def test_at_least_n_sentence_separates(self):
+        # λ_3 = ∃x1 x2 x3 pairwise distinct (rank 3) separates 2- from
+        # 3-element sets, matching the spoiler win at 3 rounds.
+        from repro.logic.builder import distinct, exists_many, variables
+
+        x1, x2, x3 = variables("x1 x2 x3")
+        at_least_3 = exists_many([x1, x2, x3], distinct(x1, x2, x3))
+        assert not evaluate(bare_set(2), at_least_3)
+        assert evaluate(bare_set(3), at_least_3)
+        assert not ef_equivalent(bare_set(2), bare_set(3), 3)

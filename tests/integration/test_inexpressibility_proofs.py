@@ -1,0 +1,108 @@
+"""End-to-end reproductions of the paper's inexpressibility proofs.
+
+Each test runs one complete argument from the paper, with every step
+computed rather than asserted: the structure families, the game
+equivalences, the query disagreements, and the reductions.
+"""
+
+import pytest
+
+from repro.games.ef import ef_equivalent
+from repro.games.strategies import linear_order_threshold
+from repro.queries.zoo import (
+    acyclicity_query,
+    connectivity_query,
+    connectivity_via_tc,
+    even_query,
+    order_to_acyclicity_graph,
+    order_to_connectivity_graph,
+)
+from repro.structures.builders import bare_set, linear_order
+
+
+class TestEvenOnSets:
+    """§3.2: EVEN(∅) is not FO-expressible."""
+
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_full_argument(self, n):
+        # Families: A_n = 2n-element set (EVEN), B_n = (2n+1)-element set.
+        a_n, b_n = bare_set(2 * n), bare_set(2 * n + 1)
+        # 1. All A_n satisfy EVEN; no B_n does.
+        assert even_query(a_n) and not even_query(b_n)
+        # 2. A_n ≡_n B_n.
+        assert ef_equivalent(a_n, b_n, n)
+        # Conclusion: no FO sentence of rank n defines EVEN — for any n.
+
+
+class TestEvenOnOrders:
+    """Theorem 3.1 ⇒ EVEN(<) not expressible over linear orders."""
+
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_full_argument(self, n):
+        a_n, b_n = linear_order(2**n), linear_order(2**n + 1)
+        assert even_query(a_n) and not even_query(b_n)
+        assert ef_equivalent(a_n, b_n, n)
+
+    def test_threshold_is_tight(self):
+        # Below 2ⁿ − 1 the argument would fail: the spoiler wins.
+        for n in (2, 3):
+            threshold = linear_order_threshold(n)
+            assert not ef_equivalent(linear_order(threshold - 1), linear_order(threshold), n)
+
+
+class TestConnectivityReduction:
+    """§3.3: CONN is not FO-expressible — reduction from EVEN(<)."""
+
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_full_argument(self, n):
+        # If CONN were FO, composing with the FO construction
+        # order ↦ graph would make EVEN(<) FO — contradiction. Computed:
+        a_n, b_n = linear_order(2**n), linear_order(2**n + 1)
+        graph_even = order_to_connectivity_graph(a_n)
+        graph_odd = order_to_connectivity_graph(b_n)
+        # even order → disconnected, odd order → connected:
+        assert not connectivity_query(graph_even)
+        assert connectivity_query(graph_odd)
+        # and the source orders are n-game-equivalent:
+        assert ef_equivalent(a_n, b_n, n)
+
+
+class TestAcyclicityReduction:
+    """§3.3: ACYCL is not FO-expressible."""
+
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_full_argument(self, n):
+        a_n, b_n = linear_order(2**n), linear_order(2**n + 1)
+        assert acyclicity_query(order_to_acyclicity_graph(a_n))
+        assert not acyclicity_query(order_to_acyclicity_graph(b_n))
+        assert ef_equivalent(a_n, b_n, n)
+
+
+class TestTransitiveClosureReduction:
+    """§3.3: TC is not FO-expressible — it decides CONN."""
+
+    def test_tc_decides_connectivity(self):
+        from repro.structures.builders import disjoint_cycles, random_graph, undirected_cycle
+        from repro.structures.gaifman import is_connected
+
+        cases = [undirected_cycle(6), disjoint_cycles([3, 4])] + [
+            random_graph(6, 0.25, seed=seed) for seed in range(5)
+        ]
+        for graph in cases:
+            assert connectivity_via_tc(graph) == is_connected(graph)
+
+
+class TestCorollary32:
+    """Corollary 3.2, assembled: all three queries are non-FO because
+    each inexpressibility chains back to EVEN via computed reductions."""
+
+    def test_chain_of_reductions(self):
+        n = 2
+        a_n, b_n = linear_order(2**n), linear_order(2**n + 1)
+        assert ef_equivalent(a_n, b_n, n)
+        assert even_query(a_n) != even_query(b_n)
+        conn_pair = (order_to_connectivity_graph(a_n), order_to_connectivity_graph(b_n))
+        assert connectivity_query(conn_pair[0]) != connectivity_query(conn_pair[1])
+        acyc_pair = (order_to_acyclicity_graph(a_n), order_to_acyclicity_graph(b_n))
+        assert acyclicity_query(acyc_pair[0]) != acyclicity_query(acyc_pair[1])
+        assert connectivity_via_tc(conn_pair[1]) and not connectivity_via_tc(conn_pair[0])

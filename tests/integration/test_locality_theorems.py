@@ -1,0 +1,111 @@
+"""Locality theorems across subsystems: Theorems 3.4, 3.6, 3.8, 3.9.
+
+Positive half: the FO corpus passes every locality check at suitable
+radii. Negative half: each fixed-point query fails exactly the checks
+the paper says it fails. Hierarchy (Thm 3.9): no query in the corpus
+is Hanf-local without being Gaifman-local, or Gaifman-local without the
+BNDP, at matched radii.
+"""
+
+import pytest
+
+from repro.fixpoint.lfp import same_generation, transitive_closure
+from repro.locality.bndp import bndp_report
+from repro.locality.gaifman_locality import gaifman_locality_counterexample
+from repro.locality.hanf import hanf_equivalent, hanf_locality_counterexample
+from repro.queries.zoo import connectivity_query, fo_boolean_corpus, fo_graph_corpus
+from repro.structures.builders import (
+    directed_chain,
+    directed_cycle,
+    disjoint_cycles,
+    full_binary_tree,
+    random_graph,
+    undirected_chain,
+    undirected_cycle,
+)
+
+HANF_FAMILY = [
+    disjoint_cycles([12, 12]),
+    undirected_cycle(24),
+    undirected_chain(24),
+    disjoint_cycles([8, 16]),
+]
+
+
+class TestPositiveHalf:
+    @pytest.mark.parametrize("query", fo_boolean_corpus(), ids=lambda q: q.name)
+    def test_fo_sentences_hanf_local_on_families(self, query):
+        assert hanf_locality_counterexample(query, HANF_FAMILY, 4) is None
+
+    @pytest.mark.parametrize("query", fo_graph_corpus(), ids=lambda q: q.name)
+    def test_fo_queries_gaifman_local_on_small_graphs(self, query):
+        for seed in range(3):
+            graph = random_graph(5, 0.4, seed=seed)
+            # Radius 5 makes neighborhoods maximal on 5-node graphs.
+            assert gaifman_locality_counterexample(query, graph, 5, query.arity) is None
+
+    @pytest.mark.parametrize(
+        "query", [q for q in fo_graph_corpus() if q.arity == 2], ids=lambda q: q.name
+    )
+    def test_fo_queries_have_bndp_on_chains_and_cycles(self, query):
+        for family in (
+            [directed_chain(n) for n in (4, 8, 12, 16)],
+            [directed_cycle(n) for n in (4, 8, 12, 16)],
+        ):
+            assert bndp_report(query, family, name=query.name).bounded
+
+
+class TestNegativeHalf:
+    def test_connectivity_fails_hanf(self):
+        for radius in (1, 2):
+            m = 2 * radius + 2
+            family = [disjoint_cycles([m, m]), undirected_cycle(2 * m)]
+            assert hanf_locality_counterexample(connectivity_query, family, radius)
+
+    def test_tc_fails_gaifman(self):
+        from repro.locality.gaifman_locality import transitive_closure_chain_counterexample
+
+        chain, forward, backward = transitive_closure_chain_counterexample(2)
+        assert gaifman_locality_counterexample(
+            transitive_closure, chain, 2, 2, tuples=[forward, backward]
+        )
+
+    def test_tc_and_same_generation_fail_bndp(self):
+        tc_family = [directed_chain(n) for n in (4, 8, 12, 16)]
+        assert not bndp_report(transitive_closure, tc_family).bounded
+        sg_family = [full_binary_tree(depth) for depth in (1, 2, 3, 4)]
+        assert not bndp_report(same_generation, sg_family).bounded
+
+
+class TestHierarchy:
+    """Theorem 3.9: Hanf ⇒ Gaifman ⇒ BNDP, checked as: a query that
+    passes the stronger check never fails the weaker one."""
+
+    def test_gaifman_local_implies_bndp_on_corpus(self):
+        # Every corpus query passes Gaifman (above); all must pass BNDP.
+        family = [directed_chain(n) for n in (4, 8, 12)]
+        for query in fo_graph_corpus():
+            if query.arity != 2:
+                continue
+            assert bndp_report(query, family).bounded, query.name
+
+    def test_bndp_violator_also_violates_gaifman(self):
+        # TC violates BNDP; Thm 3.9's contrapositive says it must also
+        # violate Gaifman-locality (at every radius) — exhibited at r=1,2.
+        from repro.locality.gaifman_locality import transitive_closure_chain_counterexample
+
+        for radius in (1, 2):
+            chain, forward, backward = transitive_closure_chain_counterexample(radius)
+            assert gaifman_locality_counterexample(
+                transitive_closure, chain, radius, 2, tuples=[forward, backward]
+            )
+
+    def test_hanf_pairs_preserve_fo_truth(self):
+        # The operational content of "Hanf-local": on every ⇆₄ pair in
+        # the family, every corpus sentence agrees.
+        for i, left in enumerate(HANF_FAMILY):
+            for right in HANF_FAMILY[i + 1 :]:
+                if not hanf_equivalent(left, right, 4):
+                    continue
+                for query in fo_boolean_corpus():
+                    assert query(left) == query(right), (query.name, left, right)

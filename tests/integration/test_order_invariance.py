@@ -1,0 +1,105 @@
+"""Tests for §3.6: structures with order and order-invariant queries."""
+
+import pytest
+
+from repro.errors import FMTError, FormulaError
+from repro.logic.parser import parse
+from repro.orders.invariance import (
+    all_order_expansions,
+    evaluate_invariant,
+    expand_with_order,
+    is_order_invariant_on,
+    order_invariance_counterexample,
+)
+from repro.structures.builders import directed_chain, empty_graph, random_graph
+
+
+class TestExpansion:
+    def test_expansion_is_linear_order(self):
+        graph = empty_graph(4)
+        expanded = expand_with_order(graph, [2, 0, 3, 1])
+        assert expanded.holds("<", (2, 0))
+        assert expanded.holds("<", (0, 3))
+        assert not expanded.holds("<", (1, 2))
+        assert len(expanded.tuples("<")) == 6
+
+    def test_permutation_required(self):
+        with pytest.raises(FMTError):
+            expand_with_order(empty_graph(3), [0, 1])
+
+    def test_existing_order_rejected(self):
+        from repro.structures.builders import linear_order
+
+        with pytest.raises(FMTError):
+            expand_with_order(linear_order(3), [0, 1, 2])
+
+    def test_all_expansions_exhaustive_count(self):
+        graph = empty_graph(3)
+        assert len(list(all_order_expansions(graph))) == 6
+
+    def test_all_expansions_sampled_beyond_cutoff(self):
+        graph = empty_graph(8)
+        expansions = list(all_order_expansions(graph, sample=5, seed=1))
+        assert len(expansions) == 5
+
+
+class TestInvariance:
+    def test_order_free_sentence_is_invariant(self):
+        sentence = parse("exists x E(x, x)")
+        graph = random_graph(4, 0.5, seed=71)
+        assert order_invariance_counterexample(sentence, graph) is None
+
+    def test_minimal_element_property_is_not_invariant(self):
+        # "the <-least element has an outgoing edge" depends on the order
+        # whenever some nodes have out-edges and some do not.
+        sentence = parse("exists x ((~exists y (y < x)) & exists z E(x, z))")
+        chain = directed_chain(3)  # node 2 has no out-edge, others do
+        counterexample = order_invariance_counterexample(sentence, chain)
+        assert counterexample is not None
+        left, right = counterexample
+        from repro.eval.evaluator import evaluate
+
+        assert evaluate(left, sentence) and not evaluate(right, sentence)
+
+    def test_order_only_tautology_is_invariant(self):
+        # Totality of < holds under every expansion.
+        sentence = parse("forall x forall y (x < y | y < x | x = y)")
+        graph = empty_graph(4)
+        assert is_order_invariant_on(sentence, [graph])
+
+    def test_open_formula_rejected(self):
+        with pytest.raises(FormulaError):
+            order_invariance_counterexample(parse("x < y"), empty_graph(3))
+
+
+class TestEvaluateInvariant:
+    def test_evaluates_under_canonical_order(self):
+        sentence = parse("exists x forall y (x = y | x < y)")  # "a least element exists"
+        assert evaluate_invariant(sentence, empty_graph(4))
+
+    def test_verification_catches_non_invariance(self):
+        sentence = parse("exists x ((~exists y (y < x)) & exists z E(x, z))")
+        with pytest.raises(FMTError):
+            evaluate_invariant(sentence, directed_chain(3), verify=True)
+
+    def test_verified_invariant_evaluation(self):
+        sentence = parse("exists x E(x, x) & forall x forall y (x < y | y < x | x = y)")
+        from repro.logic.signature import GRAPH
+        from repro.structures.structure import Structure
+
+        looped = Structure(GRAPH, [0, 1, 2], {"E": [(1, 1)]})
+        assert evaluate_invariant(sentence, looped, verify=True)
+
+
+class TestLocalityOverOrderedStructures:
+    def test_invariant_queries_respect_hanf_pairs(self):
+        # Grohe–Schwentick's theme, checked empirically: an
+        # order-invariant sentence (here an order-free one, the simplest
+        # kind) cannot distinguish Hanf-equivalent unordered structures.
+        from repro.locality.hanf import hanf_equivalent
+        from repro.structures.builders import disjoint_cycles, undirected_cycle
+
+        left, right = disjoint_cycles([8, 8]), undirected_cycle(16)
+        assert hanf_equivalent(left, right, 2)
+        sentence = parse("exists x exists y (E(x, y) & E(y, x))")
+        assert evaluate_invariant(sentence, left) == evaluate_invariant(sentence, right)

@@ -1,0 +1,151 @@
+"""The whole survey in one test module, in the order the paper tells it.
+
+Each test is one beat of the narrative; together they are the
+executable abstract of the reproduction. If this module passes, the
+story the paper tells is running code.
+"""
+
+from repro.logic import GRAPH, parse, quantifier_rank
+
+
+class TestAct1_FOAsQueryLanguage:
+    def test_databases_are_structures_and_fo_queries_them(self):
+        from repro.eval import answers, evaluate
+        from repro.structures import Structure
+
+        db = Structure(GRAPH, ["a", "b", "c"], {"E": [("a", "b"), ("b", "c")]})
+        assert evaluate(db, parse("exists x exists y E(x, y)"))
+        assert answers(db, parse("exists y E(x, y)")) == {("a",), ("b",)}
+
+    def test_combined_complexity_is_query_driven(self):
+        # O(n^k): the exponent is the query's, not the database's.
+        from repro.eval.evaluator import EvaluationStats, evaluate
+        from repro.structures import empty_graph
+
+        stats2, stats3 = EvaluationStats(), EvaluationStats()
+        evaluate(empty_graph(8), parse("forall x forall y ~E(x, y)"), stats=stats2)
+        evaluate(empty_graph(8), parse("forall x forall y forall z (~E(x, y) | ~E(y, z))"), stats=stats3)
+        assert stats3.bindings > 5 * stats2.bindings
+
+    def test_data_complexity_is_constant_depth(self):
+        from repro.eval import circuit_stats
+
+        query = parse("forall x exists y E(x, y)")
+        assert circuit_stats(query, GRAPH, 4).depth == circuit_stats(query, GRAPH, 32).depth
+
+
+class TestAct2_GamesKillEven:
+    def test_even_on_sets(self):
+        from repro.games import ef_equivalent
+        from repro.structures import bare_set
+
+        assert ef_equivalent(bare_set(6), bare_set(7), 3)
+
+    def test_even_on_orders_theorem_31(self):
+        from repro.games import ef_equivalent
+        from repro.structures import linear_order
+
+        assert ef_equivalent(linear_order(8), linear_order(9), 3)
+
+    def test_games_are_complete_a_separator_always_exists(self):
+        from repro.eval import evaluate
+        from repro.games import distinguishing_sentence
+        from repro.structures import bare_set
+
+        separator = distinguishing_sentence(bare_set(2), bare_set(3), 3)
+        assert separator is not None and quantifier_rank(separator) <= 3
+        assert evaluate(bare_set(2), separator) and not evaluate(bare_set(3), separator)
+
+
+class TestAct3_TricksSpreadTheDamage:
+    def test_connectivity_falls(self):
+        from repro.queries import connectivity_query, order_to_connectivity_graph
+        from repro.structures import linear_order
+
+        assert connectivity_query(order_to_connectivity_graph(linear_order(7)))
+        assert not connectivity_query(order_to_connectivity_graph(linear_order(8)))
+
+    def test_acyclicity_falls(self):
+        from repro.queries import acyclicity_query, order_to_acyclicity_graph
+        from repro.structures import linear_order
+
+        assert acyclicity_query(order_to_acyclicity_graph(linear_order(8)))
+        assert not acyclicity_query(order_to_acyclicity_graph(linear_order(7)))
+
+    def test_transitive_closure_falls(self):
+        from repro.queries import connectivity_via_tc
+        from repro.structures import disjoint_cycles, undirected_cycle
+
+        assert connectivity_via_tc(undirected_cycle(6))
+        assert not connectivity_via_tc(disjoint_cycles([3, 3]))
+
+
+class TestAct4_LocalityAsATool:
+    def test_bndp_catches_fixed_points(self):
+        from repro.fixpoint import transitive_closure
+        from repro.locality import degs, output_graph
+        from repro.structures import directed_chain
+
+        chain = directed_chain(9)
+        assert len(degs(output_graph(transitive_closure(chain), chain.universe))) == 9
+
+    def test_gaifman_catches_tc(self):
+        from repro.fixpoint import transitive_closure
+        from repro.locality import (
+            gaifman_locality_counterexample,
+            transitive_closure_chain_counterexample,
+        )
+
+        chain, forward, backward = transitive_closure_chain_counterexample(1)
+        assert gaifman_locality_counterexample(
+            transitive_closure, chain, 1, 2, tuples=[forward, backward]
+        )
+
+    def test_hanf_catches_connectivity(self):
+        from repro.locality import hanf_equivalent
+        from repro.queries import connectivity_query
+        from repro.structures import disjoint_cycles, undirected_cycle
+
+        left, right = disjoint_cycles([6, 6]), undirected_cycle(12)
+        assert hanf_equivalent(left, right, 2)
+        assert connectivity_query(left) != connectivity_query(right)
+
+    def test_bounded_degree_gives_linear_time(self):
+        from repro.eval import evaluate
+        from repro.locality import BoundedDegreeEvaluator
+        from repro.structures import disjoint_cycles, undirected_cycle
+
+        sentence = parse("exists x exists y (E(x, y) & E(y, x))")
+        evaluator = BoundedDegreeEvaluator(sentence, degree_bound=2, radius=4)
+        evaluator.evaluate(disjoint_cycles([12, 12]))
+        assert evaluator.evaluate(undirected_cycle(24)) == evaluate(
+            undirected_cycle(24), sentence
+        )
+        assert evaluator.stats.hits == 1
+
+
+class TestAct5_ZeroOneLaw:
+    def test_every_fo_sentence_has_a_zero_one_limit(self):
+        from repro.zero_one import mu_limit
+
+        assert mu_limit(parse("forall x forall y E(x, y)"), GRAPH) == 0
+        assert mu_limit(parse("exists x E(x, x)"), GRAPH) == 1
+
+    def test_even_has_no_limit_because_it_is_not_fo(self):
+        from repro.queries import even_query
+        from repro.zero_one import mu_estimate
+
+        values = [mu_estimate(even_query, GRAPH, n, samples=2).value for n in (4, 5, 6)]
+        assert values == [1.0, 0.0, 1.0]
+
+
+class TestFinale_RecursionClosesTheGap:
+    def test_fo_lfp_defines_the_undefinable(self):
+        from repro.fixpoint import evaluate_lfp, even_sentence_over_orders
+        from repro.games import ef_equivalent
+        from repro.structures import linear_order
+
+        even = even_sentence_over_orders()
+        left, right = linear_order(4), linear_order(5)
+        assert ef_equivalent(left, right, 2)  # FO rank 2: blind
+        assert evaluate_lfp(left, even) and not evaluate_lfp(right, even)  # LFP: sees

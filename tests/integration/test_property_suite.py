@@ -1,0 +1,172 @@
+"""Cross-subsystem property tests (hypothesis).
+
+Randomized invariants tying independent implementations to each other:
+Datalog ↔ direct fixed points, census ↔ relabeling, EF games ↔
+isomorphism, conjunctive queries ↔ their own algebra, MSO automata ↔
+direct semantics.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import strategies as fmt_st
+from repro.fixpoint.datalog import parse_program
+from repro.fixpoint.lfp import transitive_closure
+from repro.games.ef import ef_equivalent
+from repro.locality.neighborhoods import TypeRegistry, neighborhood_census
+from repro.queries.conjunctive import ConjunctiveQuery
+from repro.structures.isomorphism import are_isomorphic
+
+TC_PROGRAM = parse_program(
+    """
+    tc(X, Y) :- E(X, Y).
+    tc(X, Z) :- E(X, Y), tc(Y, Z).
+    """
+)
+
+
+class TestDatalogAgreesWithFixedPoints:
+    @given(fmt_st.graphs(max_size=5))
+    def test_tc_two_ways(self, graph):
+        assert TC_PROGRAM.evaluate(graph)["tc"] == transitive_closure(graph)
+
+    @given(fmt_st.graphs(max_size=5))
+    def test_naive_and_seminaive_agree(self, graph):
+        assert TC_PROGRAM.evaluate(graph, seminaive=True) == TC_PROGRAM.evaluate(
+            graph, seminaive=False
+        )
+
+
+class TestCensusInvariance:
+    @given(fmt_st.graphs(max_size=6), st.integers(min_value=0, max_value=2))
+    def test_census_counts_every_node_once(self, graph, radius):
+        census = neighborhood_census(graph, radius, TypeRegistry())
+        assert sum(census.values()) == graph.size
+
+    @given(fmt_st.graphs(max_size=5), st.integers(min_value=0, max_value=2))
+    def test_census_invariant_under_relabeling(self, graph, radius):
+        relabeled = graph.relabel(lambda element: element + 101)
+        registry = TypeRegistry()
+        assert neighborhood_census(graph, radius, registry) == neighborhood_census(
+            relabeled, radius, registry
+        )
+
+
+class TestGameInvariants:
+    @given(fmt_st.graphs(max_size=4), st.integers(min_value=1, max_value=2))
+    def test_isomorphic_structures_always_equivalent(self, graph, rounds):
+        relabeled = graph.relabel(lambda element: element + 50)
+        assert ef_equivalent(graph, relabeled, rounds)
+
+    @given(fmt_st.graphs(max_size=4), fmt_st.graphs(max_size=4))
+    def test_monotone_in_rounds(self, left, right):
+        if left.signature != right.signature:
+            return
+        wins = [ef_equivalent(left, right, rounds) for rounds in (1, 2)]
+        assert wins[0] or not wins[1]
+
+    @given(fmt_st.graphs(max_size=4), fmt_st.graphs(max_size=4))
+    def test_symmetric(self, left, right):
+        assert ef_equivalent(left, right, 2) == ef_equivalent(right, left, 2)
+
+    @given(fmt_st.graphs(max_size=4), fmt_st.graphs(max_size=4))
+    def test_non_equivalence_certifies_non_isomorphism(self, left, right):
+        # ≇ follows from any game separation (the contrapositive of
+        # "isomorphic ⇒ equivalent at every rank").
+        if not ef_equivalent(left, right, 2):
+            assert not are_isomorphic(left, right)
+
+
+def _cq_strategy():
+    variables = ("X", "Y", "Z", "W")
+
+    @st.composite
+    def build(draw):
+        from repro.fixpoint.datalog import DVar, Literal
+
+        atom_count = draw(st.integers(min_value=1, max_value=4))
+        body = []
+        used: set[str] = set()
+        for _ in range(atom_count):
+            a = draw(st.sampled_from(variables))
+            b = draw(st.sampled_from(variables))
+            body.append(Literal("E", (DVar(a), DVar(b))))
+            used |= {a, b}
+        head = (DVar(draw(st.sampled_from(sorted(used)))),)
+        return ConjunctiveQuery(head, tuple(body))
+
+    return build()
+
+
+class TestConjunctiveQueryProperties:
+    @settings(max_examples=20)
+    @given(_cq_strategy())
+    def test_containment_is_reflexive(self, query):
+        assert query.contained_in(query)
+
+    @settings(max_examples=20)
+    @given(_cq_strategy(), fmt_st.graphs(min_size=2, max_size=4))
+    def test_core_preserves_semantics(self, query, graph):
+        core = query.minimize()
+        assert len(core.body) <= len(query.body)
+        assert core.evaluate(graph) == query.evaluate(graph)
+
+    @settings(max_examples=20)
+    @given(_cq_strategy(), _cq_strategy(), fmt_st.graphs(min_size=2, max_size=4))
+    def test_containment_is_semantically_sound(self, first, second, graph):
+        if len(first.head) != len(second.head):
+            return
+        if first.contained_in(second):
+            assert first.evaluate(graph) <= second.evaluate(graph)
+
+
+def _mso_sentences():
+    from repro.descriptive.mso import (
+        Less,
+        Letter,
+        MAnd,
+        MExists1,
+        MForall1,
+        MNot,
+        MOr,
+        PosVar,
+        Succ,
+    )
+
+    x, y = PosVar("x"), PosVar("y")
+    atoms = st.sampled_from(
+        [Letter("a", x), Letter("b", x), Less(x, y), Succ(x, y), Letter("a", y)]
+    )
+
+    def extend(children):
+        return st.one_of(
+            children.map(MNot),
+            st.tuples(children, children).map(lambda pair: MAnd(*pair)),
+            st.tuples(children, children).map(lambda pair: MOr(*pair)),
+        )
+
+    def close(formula):
+        from repro.descriptive.mso import free_tracks
+
+        pos_free, _ = free_tracks(formula)
+        closed = formula
+        for name in sorted(pos_free):
+            quantifier = MExists1 if hash(name) % 2 else MForall1
+            closed = quantifier(PosVar(name), closed)
+        return closed
+
+    return st.recursive(atoms, extend, max_leaves=4).map(close)
+
+
+class TestMSOCompilerProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(_mso_sentences())
+    def test_automaton_matches_semantics(self, sentence):
+        from repro.descriptive.mso import mso_evaluate, mso_to_nfa
+
+        nfa = mso_to_nfa(sentence, {"a", "b"})
+        for length in range(4):
+            for word in itertools.product("ab", repeat=length):
+                assert nfa.accepts(word) == mso_evaluate(word, sentence), word

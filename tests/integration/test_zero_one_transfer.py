@@ -1,0 +1,76 @@
+"""The transfer lemma behind the 0–1 law, tested through the game solver.
+
+Extension axioms pin down structures up to ≡_k: any two structures
+satisfying EA_j for j < k are k-game-equivalent. This is the bridge
+between the symbolic almost-sure decider (which evaluates in the generic
+structure) and finite random structures.
+"""
+
+import pytest
+
+from repro.eval.evaluator import evaluate
+from repro.games.ef import ef_equivalent
+from repro.logic.parser import parse
+from repro.logic.signature import GRAPH, Signature
+from repro.zero_one.asymptotic import decide_almost_sure
+from repro.zero_one.extension_axioms import find_extension_witness, satisfies_extension_axiom
+from repro.zero_one.random_structures import mu_estimate
+
+UNARY = Signature({"P": 1})
+
+
+class TestTransferViaGames:
+    def test_unary_ea_witnesses_are_game_equivalent(self):
+        # EA_1 over a unary signature: both P and ¬P keep being realized.
+        left = find_extension_witness(UNARY, 1, seed=1)
+        right = find_extension_witness(UNARY, 1, seed=5)
+        assert satisfies_extension_axiom(left, 1)
+        assert satisfies_extension_axiom(right, 1)
+        assert ef_equivalent(left, right, 2)
+
+    def test_graph_ea0_witnesses_agree_on_rank1_sentences(self):
+        left = find_extension_witness(GRAPH, 0, start_size=3, seed=2)
+        right = find_extension_witness(GRAPH, 0, start_size=3, seed=9)
+        for text in ["exists x E(x, x)", "forall x E(x, x)", "exists x ~E(x, x)"]:
+            sentence = parse(text)
+            assert evaluate(left, sentence) == evaluate(right, sentence)
+
+    def test_ea1_witness_decides_rank2_like_the_generic_structure(self):
+        witness = find_extension_witness(GRAPH, 1, seed=3)
+        rank2 = [
+            "exists x E(x, x)",
+            "forall x exists y E(x, y)",
+            "exists x forall y E(y, x)",
+            "forall x exists y (~(x = y) & E(x, y))",
+            "exists x exists y (~(x = y) & E(x, y) & E(y, x))",
+        ]
+        for text in rank2:
+            sentence = parse(text)
+            assert evaluate(witness, sentence) == decide_almost_sure(sentence, GRAPH), text
+
+
+class TestDecisionsMatchSampling:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "exists x exists y (~(x = y) & E(x, y) & E(y, x))",
+            "forall x forall y (E(x, y) | E(y, x) | x = y)",
+            "exists x forall y (x = y | E(x, y))",
+        ],
+    )
+    def test_limits_visible_at_moderate_n(self, text):
+        sentence = parse(text)
+        limit = 1 if decide_almost_sure(sentence, GRAPH) else 0
+        estimate = mu_estimate(lambda s: evaluate(s, sentence), GRAPH, 26, samples=40, seed=11)
+        if limit == 1:
+            assert estimate.value > 0.6
+        else:
+            assert estimate.value < 0.4
+
+    def test_mu_monotone_towards_limit_for_q2(self):
+        q2 = parse("forall x forall y (~(x = y) -> exists z (E(z, x) & ~E(z, y)))")
+        assert decide_almost_sure(q2, GRAPH)
+        small = mu_estimate(lambda s: evaluate(s, q2), GRAPH, 8, samples=40, seed=13)
+        large = mu_estimate(lambda s: evaluate(s, q2), GRAPH, 40, samples=20, seed=13)
+        assert small.value < large.value
+        assert large.value > 0.8

@@ -1,0 +1,102 @@
+"""Tests for the bounded number of degrees property (Def 3.3 / Thm 3.4)."""
+
+import pytest
+
+from repro.errors import LocalityError
+from repro.fixpoint.lfp import same_generation, transitive_closure
+from repro.locality.bndp import (
+    bndp_report,
+    degree_profile,
+    degs,
+    output_graph,
+)
+from repro.queries.zoo import fo_graph_corpus
+from repro.structures.builders import (
+    directed_chain,
+    directed_cycle,
+    full_binary_tree,
+    random_graph,
+)
+
+
+class TestDegs:
+    def test_chain_degrees(self):
+        assert degs(directed_chain(5)) == {0, 1}
+
+    def test_cycle_degrees(self):
+        assert degs(directed_cycle(5)) == {1}
+
+    def test_tc_of_chain_realizes_all_degrees(self):
+        # §3.4's warm-up: TC of an n-node successor realizes degrees
+        # 0..n-1.
+        chain = directed_chain(8)
+        closure = output_graph(transitive_closure(chain), chain.universe)
+        assert degs(closure) == frozenset(range(8))
+
+
+class TestOutputGraph:
+    def test_binary_answers_required(self):
+        with pytest.raises(LocalityError):
+            output_graph(frozenset({(1,)}), [1, 2])
+
+    def test_preserves_universe(self):
+        graph = output_graph(frozenset(), [0, 1, 2])
+        assert graph.size == 3
+
+
+class TestDegreeProfile:
+    def test_profile_of_tc(self):
+        bound, count = degree_profile(transitive_closure, directed_chain(6))
+        assert bound == 1
+        assert count == 6
+
+
+class TestBNDPViolations:
+    """The paper's two violation examples, measured."""
+
+    def test_transitive_closure_violates_bndp(self):
+        family = [directed_chain(n) for n in (4, 6, 8, 10, 12)]
+        report = bndp_report(transitive_closure, family, name="TC")
+        assert not report.bounded
+        # Degree diversity grows linearly with input size while the input
+        # degree bound stays 1.
+        assert report.degree_counts == (4, 6, 8, 10, 12)
+        assert all(profile[1] == 1 for profile in report.profiles)
+
+    def test_same_generation_violates_bndp(self):
+        # On the full binary tree of depth n, same-generation realizes
+        # degrees 1, 2, 4, ..., 2^n.
+        family = [full_binary_tree(depth) for depth in (1, 2, 3, 4)]
+        report = bndp_report(same_generation, family, name="same-generation")
+        assert not report.bounded
+        tree = full_binary_tree(3)
+        result = output_graph(same_generation(tree), tree.universe)
+        assert degs(result) == {1, 2, 4, 8}
+
+
+class TestFOQueriesHaveBNDP:
+    """Theorem 3.4: FO queries keep |degs(Q(G))| bounded."""
+
+    @pytest.mark.parametrize(
+        "query",
+        [q for q in fo_graph_corpus() if q.arity == 2],
+        ids=lambda q: q.name,
+    )
+    def test_binary_corpus_plateaus_on_chains(self, query):
+        family = [directed_chain(n) for n in (4, 6, 8, 10, 12, 14)]
+        report = bndp_report(query, family, name=query.name)
+        assert report.bounded, report
+
+    def test_edge_query_on_bounded_degree_random_graphs(self):
+        from repro.eval.evaluator import Query
+        from repro.logic.parser import parse
+        from repro.logic.syntax import Var
+
+        query = Query(parse("E(x, y) | E(y, x)"), (Var("x"), Var("y")))
+        family = [directed_cycle(n) for n in (4, 8, 12, 16)]
+        report = bndp_report(query, family)
+        assert report.bounded
+
+    def test_report_with_single_structure_trivially_bounded(self):
+        report = bndp_report(transitive_closure, [directed_chain(4)])
+        assert report.bounded

@@ -1,0 +1,92 @@
+"""Tests for Gaifman locality (Definition 3.5 / Theorem 3.6)."""
+
+import pytest
+
+from repro.errors import LocalityError
+from repro.fixpoint.lfp import transitive_closure
+from repro.locality.gaifman_locality import (
+    gaifman_locality_counterexample,
+    gaifman_locality_radius,
+    is_gaifman_local_on,
+    transitive_closure_chain_counterexample,
+)
+from repro.queries.zoo import fo_graph_corpus
+from repro.structures.builders import directed_chain, random_graph, undirected_cycle
+
+
+class TestRadiusBound:
+    def test_values(self):
+        assert gaifman_locality_radius(0) == 0
+        assert gaifman_locality_radius(1) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(LocalityError):
+            gaifman_locality_radius(-2)
+
+
+class TestCanonicalCounterexample:
+    def test_chain_construction(self):
+        chain, forward, backward = transitive_closure_chain_counterexample(2)
+        from repro.structures.gaifman import distance
+
+        a, b = forward
+        assert distance(chain, a, b) > 4
+        assert distance(chain, 0, a) > 4
+
+    def test_tc_violates_gaifman_locality(self):
+        # The paper's long-chain argument, executed: N_r(a,b) ≅ N_r(b,a)
+        # but TC contains (a,b) and not (b,a).
+        for radius in (1, 2):
+            chain, forward, backward = transitive_closure_chain_counterexample(radius)
+            violation = gaifman_locality_counterexample(
+                transitive_closure, chain, radius, arity=2, tuples=[forward, backward]
+            )
+            assert violation is not None
+            inside, outside = violation
+            closure = transitive_closure(chain)
+            assert inside in closure
+            assert outside not in closure
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(LocalityError):
+            transitive_closure_chain_counterexample(-1)
+
+
+class TestCounterexampleSearch:
+    def test_zero_arity_rejected(self):
+        with pytest.raises(LocalityError):
+            gaifman_locality_counterexample(transitive_closure, directed_chain(3), 1, 0)
+
+    def test_exhaustive_search_without_explicit_tuples(self):
+        chain, *_ = transitive_closure_chain_counterexample(1)
+        violation = gaifman_locality_counterexample(transitive_closure, chain, 1, arity=2)
+        assert violation is not None
+
+    def test_no_violation_on_symmetric_query(self):
+        # "x and y are mutually adjacent" is symmetric and local.
+        def mutual(structure):
+            edges = structure.tuples("E")
+            return frozenset((a, b) for a, b in edges if (b, a) in edges)
+
+        cycle = undirected_cycle(8)
+        assert gaifman_locality_counterexample(mutual, cycle, 1, 2) is None
+
+
+class TestFOQueriesAreLocal:
+    """Theorem 3.6: every FO query passes the check at a suitable radius."""
+
+    @pytest.mark.parametrize("query", fo_graph_corpus(), ids=lambda q: q.name)
+    def test_corpus_query_is_local_on_random_graphs(self, query):
+        structures = [random_graph(6, 0.3, seed=seed) for seed in range(3)]
+        # On 6-node graphs, radius-6 balls cover whole components, so the
+        # neighborhoods are maximal — an FO query that violated locality
+        # here would contradict Theorem 3.6 outright.
+        assert is_gaifman_local_on(query, structures, 6, query.arity)
+
+    def test_edge_query_is_local_at_radius_one(self):
+        from repro.eval.evaluator import Query
+
+        query = fo_graph_corpus()[5]  # plain edge query E(x, y)
+        assert query.name == "edge"
+        structures = [random_graph(5, 0.5, seed=seed) for seed in range(3)]
+        assert is_gaifman_local_on(query, structures, 1, 2)

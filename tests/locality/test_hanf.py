@@ -1,0 +1,141 @@
+"""Tests for Hanf locality (Definition 3.7 / Theorems 3.8, 3.10)."""
+
+import pytest
+
+from repro.errors import LocalityError
+from repro.eval.evaluator import evaluate
+from repro.locality.hanf import (
+    hanf_equivalent,
+    hanf_locality_counterexample,
+    hanf_locality_radius,
+    threshold_hanf_equivalent,
+)
+from repro.queries.zoo import connectivity_query, fo_boolean_corpus
+from repro.structures.builders import (
+    bare_set,
+    directed_cycle,
+    disjoint_cycles,
+    undirected_chain,
+    undirected_cycle,
+)
+
+
+class TestHanfRadius:
+    def test_formula_bound(self):
+        assert hanf_locality_radius(0) == 0
+        assert hanf_locality_radius(1) == 1
+        assert hanf_locality_radius(2) == 4
+        assert hanf_locality_radius(3) == 13
+
+    def test_negative_rank_rejected(self):
+        with pytest.raises(LocalityError):
+            hanf_locality_radius(-1)
+
+
+class TestHanfEquivalence:
+    def test_paper_cycle_pair(self):
+        # The paper's figure: two cycles of length m vs one of length 2m,
+        # with m > 2r + 1 — every node's r-ball is a chain with the node
+        # in the middle.
+        m, r = 6, 2
+        assert m > 2 * r + 1
+        assert hanf_equivalent(disjoint_cycles([m, m]), undirected_cycle(2 * m), r)
+
+    def test_fails_for_small_cycles(self):
+        # m = 4 ≤ 2r + 1 for r = 2: the balls wrap around and differ.
+        assert not hanf_equivalent(disjoint_cycles([4, 4]), undirected_cycle(8), 2)
+
+    def test_different_sizes_never_equivalent(self):
+        assert not hanf_equivalent(undirected_cycle(6), undirected_cycle(8), 1)
+
+    def test_signature_mismatch_rejected(self):
+        with pytest.raises(LocalityError):
+            hanf_equivalent(bare_set(3), undirected_cycle(3), 1)
+
+    def test_isomorphic_structures_equivalent_at_any_radius(self):
+        left = directed_cycle(6)
+        right = directed_cycle(6).relabel(lambda element: element + 9)
+        for radius in (0, 1, 2, 5):
+            assert hanf_equivalent(left, right, radius)
+
+    def test_radius_zero_compares_point_types(self):
+        # At radius 0 only loops matter: any two loop-free graphs of the
+        # same size are ⇆₀.
+        assert hanf_equivalent(undirected_chain(5), undirected_cycle(5), 0)
+
+    def test_chain_vs_cycle_radius_one(self):
+        # The chain has endpoint types the cycle lacks.
+        assert not hanf_equivalent(undirected_chain(6), undirected_cycle(6), 1)
+
+
+class TestThresholdHanf:
+    def test_allows_different_sizes(self):
+        # 2×C8 vs C12: all nodes have the same radius-2 type; counts 16
+        # and 12 both exceed threshold 3.
+        assert threshold_hanf_equivalent(
+            disjoint_cycles([8, 8]), undirected_cycle(12), 2, 3
+        )
+
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(LocalityError):
+            threshold_hanf_equivalent(bare_set(2), bare_set(2), 1, 0)
+
+    def test_low_counts_must_match_exactly(self):
+        # Chains: exactly 2 endpoint-type nodes each; interior counts
+        # exceed the threshold.
+        assert threshold_hanf_equivalent(undirected_chain(8), undirected_chain(12), 1, 3)
+
+    def test_distinct_small_counts_detected(self):
+        # A chain (2 endpoints) vs a chain plus an isolated node.
+        from repro.structures.structure import Structure
+        from repro.logic.signature import GRAPH
+
+        chain = undirected_chain(8)
+        chain_plus = Structure(
+            GRAPH, list(range(9)), {"E": chain.tuples("E")}
+        )
+        assert not threshold_hanf_equivalent(chain, chain_plus, 1, 5)
+
+    def test_plain_hanf_implies_threshold_hanf(self):
+        left, right = disjoint_cycles([6, 6]), undirected_cycle(12)
+        assert hanf_equivalent(left, right, 2)
+        for m in (1, 2, 5):
+            assert threshold_hanf_equivalent(left, right, 2, m)
+
+
+class TestHanfLocalityOfQueries:
+    def test_connectivity_violates_every_radius(self):
+        # Theorem 3.8's contrapositive, run forward: CONN disagrees on a
+        # ⇆_r pair for every r we test — so it is not FO-definable.
+        for r in (1, 2):
+            m = 2 * r + 2
+            family = [disjoint_cycles([m, m]), undirected_cycle(2 * m)]
+            violation = hanf_locality_counterexample(connectivity_query, family, r)
+            assert violation is not None
+
+    def test_tree_test_example(self):
+        # The paper's second Hanf example: a 2m-chain vs an m-chain plus
+        # an m-cycle (m > 2r + 1): same censuses, but only one is a tree.
+        from repro.logic.signature import GRAPH
+        from repro.structures.structure import Structure
+
+        r, m = 1, 5
+        chain = undirected_chain(2 * m)
+        mixed_chain = undirected_chain(m)
+        cycle = undirected_cycle(m)
+        mixed = mixed_chain.disjoint_union(cycle)
+        assert hanf_equivalent(chain, mixed, r)
+        assert connectivity_query(chain) != connectivity_query(mixed)
+
+    def test_fo_corpus_is_hanf_local(self):
+        # FO sentences must never violate Hanf locality at a radius ≥
+        # their Hanf rank; we check radius 4 ≥ hlr for rank ≤ 2 pieces on
+        # the canonical families.
+        families = [
+            disjoint_cycles([12, 12]),
+            undirected_cycle(24),
+            undirected_chain(24),
+        ]
+        for query in fo_boolean_corpus():
+            violation = hanf_locality_counterexample(query, families, 4)
+            assert violation is None, query

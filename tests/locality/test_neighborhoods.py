@@ -1,0 +1,109 @@
+"""Tests for neighborhood types, the type registry, and censuses."""
+
+import pytest
+
+from repro.locality.neighborhoods import (
+    TypeRegistry,
+    max_ball_size,
+    neighborhood_census,
+    neighborhood_type,
+    tuple_type_classes,
+)
+from repro.structures.builders import (
+    directed_chain,
+    disjoint_cycles,
+    undirected_chain,
+    undirected_cycle,
+)
+
+
+class TestTypeRegistry:
+    def test_same_type_for_isomorphic_structures(self):
+        registry = TypeRegistry()
+        first = undirected_cycle(5)
+        second = undirected_cycle(5).relabel(lambda element: element + 10)
+        assert registry.type_of(first) == registry.type_of(second)
+
+    def test_different_types_for_non_isomorphic(self):
+        registry = TypeRegistry()
+        assert registry.type_of(undirected_cycle(4)) != registry.type_of(undirected_cycle(5))
+
+    def test_ids_are_stable(self):
+        registry = TypeRegistry()
+        first = registry.type_of(undirected_cycle(4))
+        registry.type_of(undirected_cycle(5))
+        assert registry.type_of(undirected_cycle(4)) == first
+
+    def test_representative_round_trip(self):
+        registry = TypeRegistry()
+        type_id = registry.type_of(undirected_cycle(4))
+        from repro.structures.isomorphism import are_isomorphic
+
+        assert are_isomorphic(registry.representative(type_id), undirected_cycle(4))
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(KeyError):
+            TypeRegistry().representative(0)
+
+    def test_len_counts_classes(self):
+        registry = TypeRegistry()
+        registry.type_of(undirected_cycle(4))
+        registry.type_of(undirected_cycle(5))
+        registry.type_of(undirected_cycle(4))
+        assert len(registry) == 2
+
+
+class TestNeighborhoodTypes:
+    def test_cycle_nodes_share_one_type(self):
+        registry = TypeRegistry()
+        cycle = undirected_cycle(8)
+        types = {neighborhood_type(cycle, node, 2, registry) for node in cycle.universe}
+        assert len(types) == 1
+
+    def test_chain_has_three_types_at_radius_one(self):
+        registry = TypeRegistry()
+        chain = undirected_chain(6)
+        census = neighborhood_census(chain, 1, registry)
+        # Endpoints (2 nodes of one type) and interior nodes.
+        assert sorted(census.values()) == [2, 4]
+
+    def test_census_across_structures_comparable(self):
+        registry = TypeRegistry()
+        two_cycles = disjoint_cycles([8, 8])
+        one_cycle = undirected_cycle(16)
+        assert neighborhood_census(two_cycles, 2, registry) == neighborhood_census(
+            one_cycle, 2, registry
+        )
+
+
+class TestTupleTypeClasses:
+    def test_partition_covers_all_tuples(self):
+        chain = directed_chain(5)
+        tuples = [(a,) for a in chain.universe]
+        classes = tuple_type_classes(chain, tuples, 1)
+        flattened = [t for members in classes.values() for t in members]
+        assert sorted(flattened) == sorted(tuples)
+
+    def test_symmetric_pairs_in_same_class(self):
+        chain = directed_chain(13)
+        classes = tuple_type_classes(chain, [(4, 8), (8, 4)], 1)
+        assert len(classes) == 1
+
+
+class TestMaxBallSize:
+    def test_radius_zero(self):
+        assert max_ball_size(5, 0) == 1
+
+    def test_degree_zero(self):
+        assert max_ball_size(0, 3) == 1
+
+    def test_degree_two_is_path(self):
+        # Degree ≤ 2: ball of radius r has at most 2r + 1 nodes.
+        assert max_ball_size(2, 3) == 7
+
+    def test_matches_tree_growth(self):
+        assert max_ball_size(3, 2) == 1 + 3 + 6
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            max_ball_size(-1, 2)

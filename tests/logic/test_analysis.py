@@ -1,0 +1,130 @@
+"""Tests for formula analysis (quantifier rank, free variables, validation)."""
+
+import pytest
+
+from repro.errors import FormulaError, SignatureError
+from repro.logic.analysis import (
+    all_variables,
+    constants_of,
+    formula_depth,
+    formula_size,
+    free_variables,
+    is_sentence,
+    quantifier_rank,
+    relations_of,
+    require_sentence,
+    subformulas,
+    validate,
+)
+from repro.logic.parser import parse
+from repro.logic.signature import GRAPH, Signature
+from repro.logic.syntax import Atom, Const, Var
+
+
+class TestQuantifierRank:
+    def test_atom_has_rank_zero(self):
+        assert quantifier_rank(parse("E(x, y)")) == 0
+
+    def test_single_quantifier(self):
+        assert quantifier_rank(parse("exists x E(x, x)")) == 1
+
+    def test_slide_example(self):
+        # qr(∀x [∃w P(x,w) ∧ ∃y∃z R(x,y,z)]) = 3 (slide 41)
+        formula = parse("forall x (exists w P(x, w) & exists y exists z R(x, y, z))")
+        assert quantifier_rank(formula) == 3
+
+    def test_rank_is_max_not_sum(self):
+        formula = parse("exists x E(x, x) & exists y E(y, y)")
+        assert quantifier_rank(formula) == 1
+
+    def test_negation_transparent(self):
+        assert quantifier_rank(parse("~exists x E(x, x)")) == 1
+
+    def test_implication_takes_max(self):
+        formula = parse("exists x E(x, x) -> exists y exists z E(y, z)")
+        assert quantifier_rank(formula) == 2
+
+    def test_iff_takes_max(self):
+        formula = parse("exists x E(x, x) <-> E(y, y)")
+        assert quantifier_rank(formula) == 1
+
+
+class TestFreeVariables:
+    def test_atom_variables_free(self):
+        assert free_variables(parse("E(x, y)")) == {Var("x"), Var("y")}
+
+    def test_quantifier_binds(self):
+        assert free_variables(parse("exists x E(x, y)")) == {Var("y")}
+
+    def test_sentence_has_none(self):
+        assert free_variables(parse("exists x y E(x, y)")) == frozenset()
+
+    def test_shadowed_use_outside_scope_is_free(self):
+        formula = parse("(exists x E(x, x)) & P(x)")
+        assert free_variables(formula) == {Var("x")}
+
+    def test_all_variables_includes_bound(self):
+        formula = parse("exists x E(x, y)")
+        assert all_variables(formula) == {Var("x"), Var("y")}
+
+    def test_constants_of(self):
+        formula = parse("E(c, x)", constants={"c"})
+        assert constants_of(formula) == {"c"}
+
+    def test_relations_of(self):
+        formula = parse("E(x, y) & P(x) | exists z R(z, z, z)")
+        assert relations_of(formula) == {"E", "P", "R"}
+
+
+class TestSentences:
+    def test_is_sentence(self):
+        assert is_sentence(parse("exists x E(x, x)"))
+        assert not is_sentence(parse("E(x, y)"))
+
+    def test_require_sentence_passes_sentences(self):
+        sentence = parse("exists x E(x, x)")
+        assert require_sentence(sentence) is sentence
+
+    def test_require_sentence_rejects_open_formulas(self):
+        with pytest.raises(FormulaError, match="x"):
+            require_sentence(parse("E(x, x)"))
+
+
+class TestSizeAndDepth:
+    def test_atom_size_one(self):
+        assert formula_size(parse("E(x, y)")) == 1
+
+    def test_size_counts_nodes(self):
+        assert formula_size(parse("E(x, y) & E(y, x)")) == 3
+
+    def test_depth_of_atom(self):
+        assert formula_depth(parse("E(x, y)")) == 1
+
+    def test_depth_of_nested(self):
+        assert formula_depth(parse("exists x (E(x, x) & ~E(x, x))")) == 4
+
+    def test_subformulas_contains_self(self):
+        formula = parse("exists x E(x, x)")
+        assert formula in set(subformulas(formula))
+
+
+class TestValidate:
+    def test_valid_formula_passes(self):
+        validate(parse("exists x E(x, y)"), GRAPH)
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(SignatureError, match="arity"):
+            validate(Atom("E", (Var("x"),)), GRAPH)
+
+    def test_unknown_relation_rejected(self):
+        with pytest.raises(SignatureError):
+            validate(parse("R(x)"), GRAPH)
+
+    def test_undeclared_constant_rejected(self):
+        formula = Atom("E", (Const("c"), Var("x")))
+        with pytest.raises(SignatureError, match="c"):
+            validate(formula, GRAPH)
+
+    def test_declared_constant_passes(self):
+        sig = Signature({"E": 2}, constants={"c"})
+        validate(Atom("E", (Const("c"), Var("x"))), sig)

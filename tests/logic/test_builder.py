@@ -1,0 +1,146 @@
+"""Tests for the formula builder DSL."""
+
+from repro.logic.builder import (
+    C,
+    V,
+    and_,
+    atom,
+    distinct,
+    eq,
+    exists,
+    exists_many,
+    forall,
+    forall_many,
+    iff,
+    implies,
+    neq,
+    not_,
+    or_,
+    variables,
+)
+from repro.logic.syntax import (
+    FALSE,
+    TRUE,
+    And,
+    Atom,
+    Const,
+    Eq,
+    Exists,
+    Forall,
+    Not,
+    Or,
+    Var,
+)
+
+
+class TestTermBuilders:
+    def test_v_creates_var(self):
+        assert isinstance(V("x"), Var)
+        assert V("x").name == "x"
+
+    def test_c_creates_const(self):
+        assert C("c") == Const("c")
+
+    def test_variables_splits_names(self):
+        x, y, z = variables("x y z")
+        assert (x.name, y.name, z.name) == ("x", "y", "z")
+
+    def test_eq_sugar_on_dsl_vars(self):
+        x, y = V("x"), V("y")
+        assert (x == y) == Eq(Var("x"), Var("y"))
+
+    def test_neq_sugar_on_dsl_vars(self):
+        x, y = V("x"), V("y")
+        assert (x != y) == Not(Eq(Var("x"), Var("y")))
+
+    def test_dsl_vars_hash_like_plain_vars(self):
+        assert hash(V("x")) == hash(Var("x"))
+
+
+class TestAtomBuilder:
+    def test_atom_accepts_strings_as_vars(self):
+        assert atom("E", "x", "y") == Atom("E", (Var("x"), Var("y")))
+
+    def test_atom_normalizes_dsl_vars(self):
+        built = atom("E", V("x"), V("y"))
+        assert type(built.terms[0]) is Var
+
+    def test_eq_and_neq(self):
+        assert eq("x", "y") == Eq(Var("x"), Var("y"))
+        assert neq("x", "y") == Not(Eq(Var("x"), Var("y")))
+
+
+class TestSmartConnectives:
+    def test_not_collapses_double_negation(self):
+        body = atom("E", "x", "y")
+        assert not_(not_(body)) == body
+
+    def test_not_of_constants(self):
+        assert not_(TRUE) == FALSE
+        assert not_(FALSE) == TRUE
+
+    def test_and_flattens(self):
+        a, b, c = atom("P", "x"), atom("Q", "x"), atom("R", "x")
+        assert and_(and_(a, b), c) == And((a, b, c))
+
+    def test_and_drops_true_units(self):
+        a = atom("P", "x")
+        assert and_(TRUE, a, TRUE) == a
+
+    def test_and_short_circuits_false(self):
+        assert and_(atom("P", "x"), FALSE) == FALSE
+
+    def test_and_deduplicates(self):
+        a = atom("P", "x")
+        assert and_(a, a) == a
+
+    def test_empty_and_is_true(self):
+        assert and_() == TRUE
+
+    def test_or_flattens_and_dedups(self):
+        a, b = atom("P", "x"), atom("Q", "x")
+        assert or_(or_(a, b), a) == Or((a, b))
+
+    def test_or_short_circuits_true(self):
+        assert or_(atom("P", "x"), TRUE) == TRUE
+
+    def test_empty_or_is_false(self):
+        assert or_() == FALSE
+
+    def test_implies_and_iff_build_nodes(self):
+        a, b = atom("P", "x"), atom("Q", "x")
+        assert implies(a, b).premise == a
+        assert iff(a, b).left == a
+
+
+class TestQuantifierBuilders:
+    def test_exists_accepts_string(self):
+        built = exists("x", atom("P", "x"))
+        assert built == Exists(Var("x"), Atom("P", (Var("x"),)))
+
+    def test_forall_accepts_var(self):
+        built = forall(V("x"), atom("P", "x"))
+        assert isinstance(built, Forall)
+
+    def test_exists_many_order(self):
+        built = exists_many(["x", "y"], atom("E", "x", "y"))
+        assert isinstance(built, Exists)
+        assert built.var == Var("x")
+        assert isinstance(built.body, Exists)
+
+    def test_forall_many_empty_is_identity(self):
+        body = atom("P", "x")
+        assert forall_many([], body) == body
+
+
+class TestDistinct:
+    def test_distinct_pairwise(self):
+        built = distinct("x", "y", "z")
+        assert isinstance(built, And)
+        assert len(built.children) == 3
+
+    def test_distinct_of_two(self):
+        assert distinct("x", "y") == neq("x", "y")
+
+    def test_distinct_of_one_is_true(self):
+        assert distinct("x") == TRUE

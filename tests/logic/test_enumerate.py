@@ -1,0 +1,52 @@
+"""Tests for bounded formula enumeration."""
+
+from repro.logic.analysis import free_variables, quantifier_rank
+from repro.logic.enumerate import enumerate_formulas, enumerate_sentences
+from repro.logic.signature import GRAPH, SET, Signature
+
+
+class TestEnumerateFormulas:
+    def test_contains_base_atoms(self):
+        formulas = list(enumerate_formulas(GRAPH, max_rank=0, max_connectives=0))
+        from repro.logic.parser import parse
+
+        assert parse("E(x1, x2)") in formulas
+
+    def test_respects_rank_bound(self):
+        for formula in enumerate_formulas(GRAPH, max_rank=1, max_connectives=2, num_variables=2):
+            assert quantifier_rank(formula) <= 1
+
+    def test_no_duplicates(self):
+        formulas = list(enumerate_formulas(GRAPH, max_rank=1, max_connectives=1))
+        assert len(formulas) == len(set(formulas))
+
+    def test_deterministic(self):
+        first = list(enumerate_formulas(GRAPH, max_rank=1, max_connectives=1))
+        second = list(enumerate_formulas(GRAPH, max_rank=1, max_connectives=1))
+        assert first == second
+
+    def test_empty_signature_yields_equalities(self):
+        formulas = list(enumerate_formulas(SET, max_rank=0, max_connectives=0))
+        assert formulas  # x1 = x2 at least
+
+    def test_grows_with_budget(self):
+        small = list(enumerate_formulas(GRAPH, max_rank=1, max_connectives=0))
+        large = list(enumerate_formulas(GRAPH, max_rank=1, max_connectives=1))
+        assert len(large) > len(small)
+
+
+class TestEnumerateSentences:
+    def test_all_closed(self):
+        for sentence in enumerate_sentences(GRAPH, max_rank=2, max_connectives=1):
+            assert not free_variables(sentence)
+
+    def test_finds_some_sentences(self):
+        sentences = list(enumerate_sentences(GRAPH, max_rank=2, max_connectives=2, num_variables=1))
+        assert sentences
+
+    def test_unary_signature(self):
+        sig = Signature({"P": 1})
+        sentences = list(enumerate_sentences(sig, max_rank=1, max_connectives=1, num_variables=1))
+        from repro.logic.parser import parse
+
+        assert parse("exists x1 P(x1)") in sentences

@@ -1,0 +1,112 @@
+"""Tests for Hintikka (characteristic) formulas."""
+
+import pytest
+
+from repro.errors import FormulaError
+from repro.eval.evaluator import evaluate
+from repro.logic.analysis import free_variables, quantifier_rank
+from repro.logic.hintikka import atomic_type, hintikka_formula, hintikka_sentence
+from repro.logic.syntax import Var
+from repro.structures.builders import (
+    bare_set,
+    directed_cycle,
+    linear_order,
+    random_graph,
+    undirected_chain,
+)
+
+
+class TestAtomicType:
+    def test_true_in_own_structure(self):
+        graph = random_graph(4, 0.5, seed=1)
+        elements = (graph.universe[0], graph.universe[2])
+        formula = atomic_type(graph, elements)
+        env = {Var("x1"): elements[0], Var("x2"): elements[1]}
+        assert evaluate(graph, formula, env)
+
+    def test_distinguishes_edge_from_non_edge(self):
+        cycle = directed_cycle(4)
+        edge_type = atomic_type(cycle, (0, 1))
+        non_edge_type = atomic_type(cycle, (0, 2))
+        assert edge_type != non_edge_type
+        assert not evaluate(cycle, edge_type, {Var("x1"): 0, Var("x2"): 2})
+
+    def test_records_equality_pattern(self):
+        cycle = directed_cycle(3)
+        same = atomic_type(cycle, (0, 0))
+        different = atomic_type(cycle, (0, 1))
+        assert same != different
+
+    def test_rank_zero(self):
+        cycle = directed_cycle(3)
+        assert quantifier_rank(atomic_type(cycle, (0, 1))) == 0
+
+
+class TestHintikkaFormula:
+    def test_rank_matches_request(self):
+        graph = random_graph(3, 0.5, seed=2)
+        for rank in range(3):
+            formula = hintikka_formula(graph, (), rank)
+            assert quantifier_rank(formula) <= rank
+
+    def test_free_variables_match_tuple(self):
+        graph = random_graph(3, 0.5, seed=3)
+        formula = hintikka_formula(graph, (0, 1), 1)
+        assert free_variables(formula) <= {Var("x1"), Var("x2")}
+
+    def test_negative_rank_rejected(self):
+        with pytest.raises(FormulaError):
+            hintikka_formula(random_graph(3, 0.5, seed=4), (), -1)
+
+    def test_true_in_own_structure(self):
+        graph = random_graph(4, 0.4, seed=5)
+        for rank in range(3):
+            assert evaluate(graph, hintikka_sentence(graph, rank))
+
+
+class TestCharacteristicProperty:
+    """B ⊨ φⁿ_A iff duplicator wins G_n(A, B) — checked via the solver."""
+
+    def test_sets_of_equal_size_satisfy_each_other(self):
+        a, b = bare_set(3), bare_set(3)
+        assert evaluate(b, hintikka_sentence(a, 2))
+
+    def test_large_sets_agree_at_low_rank(self):
+        # 3- and 4-element sets are ≡₂ (both ≥ 2 elements).
+        assert evaluate(bare_set(4), hintikka_sentence(bare_set(3), 2))
+
+    def test_small_sets_disagree(self):
+        # 1- vs 2-element sets are distinguished at rank 2.
+        assert not evaluate(bare_set(2), hintikka_sentence(bare_set(1), 2))
+
+    def test_orders_at_threshold(self):
+        # L₃ ≡₂ L₄ (Theorem 3.1, threshold 2² − 1 = 3).
+        assert evaluate(linear_order(4), hintikka_sentence(linear_order(3), 2))
+
+    def test_orders_below_threshold(self):
+        # L₂ and L₃ are separated at rank 2.
+        assert not evaluate(linear_order(3), hintikka_sentence(linear_order(2), 2))
+
+    def test_agrees_with_game_solver_on_random_graphs(self):
+        from repro.games.ef import ef_equivalent
+
+        pairs = [
+            (random_graph(3, 0.4, seed=i), random_graph(3, 0.6, seed=i + 50))
+            for i in range(4)
+        ]
+        for left, right in pairs:
+            for rank in (1, 2):
+                sentence = hintikka_sentence(left, rank)
+                assert evaluate(right, sentence) == ef_equivalent(left, right, rank)
+
+    def test_chain_positions_rank1_vs_rank2_types(self):
+        chain = undirected_chain(5)
+        # One extension round cannot tell an endpoint from a middle node
+        # (both have an adjacent and a non-adjacent witness) ...
+        rank1 = hintikka_formula(chain, (0,), 1)
+        assert evaluate(chain, rank1, {Var("x1"): 2})
+        # ... but two rounds can: the spoiler pebbles both neighbors of
+        # the middle node, and the endpoint has only one.
+        rank2 = hintikka_formula(chain, (0,), 2)
+        assert evaluate(chain, rank2, {Var("x1"): 4})
+        assert not evaluate(chain, rank2, {Var("x1"): 2})

@@ -1,0 +1,163 @@
+"""Tests for the FO parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.logic.analysis import free_variables, quantifier_rank
+from repro.logic.parser import parse, parse_term
+from repro.logic.signature import Signature
+from repro.logic.syntax import (
+    FALSE,
+    TRUE,
+    And,
+    Atom,
+    Const,
+    Eq,
+    Exists,
+    Forall,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Var,
+)
+
+
+class TestAtoms:
+    def test_relational_atom(self):
+        assert parse("E(x, y)") == Atom("E", (Var("x"), Var("y")))
+
+    def test_equality(self):
+        assert parse("x = y") == Eq(Var("x"), Var("y"))
+
+    def test_disequality(self):
+        assert parse("x != y") == Not(Eq(Var("x"), Var("y")))
+
+    def test_infix_order_atom(self):
+        assert parse("x < y") == Atom("<", (Var("x"), Var("y")))
+
+    def test_constants_from_set(self):
+        parsed = parse("E(c, x)", constants={"c"})
+        assert parsed == Atom("E", (Const("c"), Var("x")))
+
+    def test_constants_from_signature(self):
+        sig = Signature({"E": 2}, constants={"c"})
+        parsed = parse("c = x", constants=sig)
+        assert parsed == Eq(Const("c"), Var("x"))
+
+    def test_true_false(self):
+        assert parse("true") == TRUE
+        assert parse("false") == FALSE
+
+
+class TestConnectives:
+    def test_negation_symbol_and_keyword(self):
+        assert parse("~E(x, y)") == parse("not E(x, y)")
+
+    def test_and_binds_tighter_than_or(self):
+        parsed = parse("P(x) | Q(x) & R(x)")
+        assert isinstance(parsed, Or)
+
+    def test_implication_right_associative(self):
+        parsed = parse("P(x) -> Q(x) -> R(x)")
+        assert isinstance(parsed, Implies)
+        assert isinstance(parsed.conclusion, Implies)
+
+    def test_iff(self):
+        assert isinstance(parse("P(x) <-> Q(x)"), Iff)
+
+    def test_nary_conjunction_flattened(self):
+        parsed = parse("P(x) & Q(x) & R(x)")
+        assert isinstance(parsed, And)
+        assert len(parsed.children) == 3
+
+    def test_parentheses_override(self):
+        parsed = parse("(P(x) | Q(x)) & R(x)")
+        assert isinstance(parsed, And)
+
+
+class TestQuantifiers:
+    def test_simple_exists(self):
+        assert parse("exists x E(x, x)") == Exists(Var("x"), Atom("E", (Var("x"), Var("x"))))
+
+    def test_multi_binder(self):
+        parsed = parse("exists x y E(x, y)")
+        assert parsed == Exists(Var("x"), Exists(Var("y"), Atom("E", (Var("x"), Var("y")))))
+
+    def test_tight_scope_without_dot(self):
+        parsed = parse("exists x P(x) & Q(x)")
+        assert isinstance(parsed, And)
+
+    def test_wide_scope_with_dot(self):
+        parsed = parse("exists x. P(x) & Q(x)")
+        assert isinstance(parsed, Exists)
+
+    def test_binder_stops_at_infix_atom(self):
+        parsed = parse("exists x x = y")
+        assert parsed == Exists(Var("x"), Eq(Var("x"), Var("y")))
+        assert free_variables(parsed) == {Var("y")}
+
+    def test_binder_followed_by_parenthesized_body(self):
+        parsed = parse("exists x (P(x) & Q(x))")
+        assert isinstance(parsed, Exists)
+
+    def test_nested_quantifiers_rank(self):
+        parsed = parse("forall x (exists w P(x, w) & exists y exists z R(x, y, z))")
+        assert quantifier_rank(parsed) == 3
+
+    def test_forall(self):
+        assert isinstance(parse("forall x E(x, x)"), Forall)
+
+
+class TestErrors:
+    def test_trailing_input_rejected(self):
+        with pytest.raises(ParseError):
+            parse("E(x, y) E(y, x)")
+
+    def test_unbalanced_paren_rejected(self):
+        with pytest.raises(ParseError):
+            parse("(E(x, y)")
+
+    def test_missing_binder_rejected(self):
+        with pytest.raises(ParseError):
+            parse("exists E(x, y)")
+
+    def test_bad_character_rejected(self):
+        with pytest.raises(ParseError):
+            parse("E(x, y) $ Q(x)")
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as info:
+            parse("E(x, y) @")
+        assert info.value.position is not None
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ParseError):
+            parse("")
+
+
+class TestParseTerm:
+    def test_variable(self):
+        assert parse_term("x") == Var("x")
+
+    def test_constant(self):
+        assert parse_term("c", constants={"c"}) == Const("c")
+
+    def test_trailing_rejected(self):
+        with pytest.raises(ParseError):
+            parse_term("x y")
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "exists x forall y (E(x, y) | x = y)",
+            "forall x (P(x) -> exists y (E(x, y) & ~(x = y)))",
+            "~(exists x E(x, x)) <-> forall x ~E(x, x)",
+            "exists x y z (E(x, y) & E(y, z) & E(z, x))",
+        ],
+    )
+    def test_repr_reparses_to_same_ast(self, text):
+        first = parse(text)
+        assert parse(repr(first)) == first

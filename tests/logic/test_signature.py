@@ -1,0 +1,121 @@
+"""Tests for relational signatures."""
+
+import pytest
+
+from repro.errors import SignatureError
+from repro.logic.signature import EMPTY, GRAPH, ORDER, SET, SUCCESSOR, Signature
+
+
+class TestConstruction:
+    def test_graph_signature_has_binary_edge(self):
+        assert GRAPH.arity("E") == 2
+
+    def test_order_signature_uses_less_than(self):
+        assert ORDER.arity("<") == 2
+
+    def test_successor_signature(self):
+        assert SUCCESSOR.arity("S") == 2
+
+    def test_empty_signature_has_no_relations(self):
+        assert SET.relation_names() == ()
+        assert EMPTY is SET
+
+    def test_constants_are_recorded(self):
+        sig = Signature({"E": 2}, constants={"c", "d"})
+        assert sig.has_constant("c")
+        assert sig.has_constant("d")
+        assert not sig.has_constant("e")
+
+    def test_zero_arity_rejected(self):
+        with pytest.raises(SignatureError):
+            Signature({"P": 0})
+
+    def test_negative_arity_rejected(self):
+        with pytest.raises(SignatureError):
+            Signature({"P": -1})
+
+    def test_non_integer_arity_rejected(self):
+        with pytest.raises(SignatureError):
+            Signature({"P": "two"})
+
+    def test_empty_relation_name_rejected(self):
+        with pytest.raises(SignatureError):
+            Signature({"": 1})
+
+    def test_relation_constant_clash_rejected(self):
+        with pytest.raises(SignatureError):
+            Signature({"c": 1}, constants={"c"})
+
+
+class TestQueries:
+    def test_unknown_relation_raises(self):
+        with pytest.raises(SignatureError):
+            GRAPH.arity("R")
+
+    def test_has_relation(self):
+        assert GRAPH.has_relation("E")
+        assert not GRAPH.has_relation("F")
+
+    def test_relation_names_sorted(self):
+        sig = Signature({"Z": 1, "A": 2, "M": 3})
+        assert sig.relation_names() == ("A", "M", "Z")
+
+    def test_max_arity(self):
+        assert Signature({"A": 2, "B": 5}).max_arity() == 5
+        assert SET.max_arity() == 0
+
+    def test_is_relational(self):
+        assert GRAPH.is_relational()
+        assert not Signature({"E": 2}, constants={"c"}).is_relational()
+
+    def test_contains(self):
+        sig = Signature({"E": 2}, constants={"c"})
+        assert "E" in sig
+        assert "c" in sig
+        assert "x" not in sig
+
+
+class TestAlgebra:
+    def test_extend_adds_relation(self):
+        extended = GRAPH.extend({"P": 1})
+        assert extended.arity("P") == 1
+        assert extended.arity("E") == 2
+
+    def test_extend_is_pure(self):
+        GRAPH.extend({"P": 1})
+        assert not GRAPH.has_relation("P")
+
+    def test_extend_conflicting_arity_rejected(self):
+        with pytest.raises(SignatureError):
+            GRAPH.extend({"E": 3})
+
+    def test_extend_same_arity_allowed(self):
+        assert GRAPH.extend({"E": 2}) == GRAPH
+
+    def test_restrict(self):
+        sig = Signature({"E": 2, "P": 1})
+        assert sig.restrict(["E"]) == GRAPH
+
+    def test_restrict_unknown_rejected(self):
+        with pytest.raises(SignatureError):
+            GRAPH.restrict(["Q"])
+
+    def test_union_operator(self):
+        combined = GRAPH | Signature({"P": 1})
+        assert combined.has_relation("E")
+        assert combined.has_relation("P")
+
+
+class TestValueSemantics:
+    def test_equal_signatures_are_equal(self):
+        assert Signature({"E": 2}) == GRAPH
+
+    def test_hashable(self):
+        assert len({Signature({"E": 2}), GRAPH}) == 1
+
+    def test_relations_mapping_immutable(self):
+        with pytest.raises(TypeError):
+            GRAPH.relations["F"] = 1  # type: ignore[index]
+
+    def test_repr_mentions_arity(self):
+        assert "E/2" in repr(GRAPH)

@@ -1,0 +1,190 @@
+"""Tests for formula transformations, including semantics preservation."""
+
+import itertools
+
+import pytest
+from hypothesis import given
+
+import strategies as fmt_st
+from repro.eval.evaluator import answers, evaluate
+from repro.logic.analysis import free_variables, quantifier_rank, subformulas
+from repro.logic.parser import parse
+from repro.logic.syntax import (
+    And,
+    Atom,
+    Bottom,
+    Eq,
+    Exists,
+    Forall,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Top,
+    Var,
+)
+from repro.logic.transform import (
+    eliminate_arrows,
+    fresh_variable,
+    simplify,
+    standardize_apart,
+    substitute,
+    to_nnf,
+    to_prenex,
+)
+from repro.structures.builders import random_graph
+
+
+class TestSubstitute:
+    def test_free_occurrence_replaced(self):
+        formula = parse("E(x, y)")
+        result = substitute(formula, {Var("x"): Var("z")})
+        assert result == parse("E(z, y)")
+
+    def test_bound_occurrence_untouched(self):
+        formula = parse("exists x E(x, y)")
+        result = substitute(formula, {Var("x"): Var("z")})
+        assert result == formula
+
+    def test_capture_avoided(self):
+        # Substituting y := x into ∃x E(x, y) must not capture x.
+        formula = parse("exists x E(x, y)")
+        result = substitute(formula, {Var("y"): Var("x")})
+        assert isinstance(result, Exists)
+        assert result.var != Var("x")
+        assert free_variables(result) == {Var("x")}
+
+    def test_semantics_of_capture_avoidance(self):
+        graph = random_graph(4, 0.5, seed=7)
+        formula = parse("exists x E(x, y)")
+        substituted = substitute(formula, {Var("y"): Var("x")})
+        for value in graph.universe:
+            direct = evaluate(graph, formula, {Var("y"): value})
+            renamed = evaluate(graph, substituted, {Var("x"): value})
+            assert direct == renamed
+
+
+class TestFreshVariable:
+    def test_prefers_stem(self):
+        assert fresh_variable(set(), "v") == Var("v")
+
+    def test_avoids_taken(self):
+        fresh = fresh_variable({Var("v"), Var("v0")}, "v")
+        assert fresh not in {Var("v"), Var("v0")}
+
+
+class TestStandardizeApart:
+    def test_no_variable_bound_twice(self):
+        formula = parse("exists x E(x, x) & exists x P(x)")
+        result = standardize_apart(formula)
+        binders = [node.var for node in subformulas(result) if isinstance(node, (Exists, Forall))]
+        assert len(binders) == len(set(binders))
+
+    def test_bound_avoids_free(self):
+        formula = parse("P(x) & exists x E(x, x)")
+        result = standardize_apart(formula)
+        binders = {node.var for node in subformulas(result) if isinstance(node, (Exists, Forall))}
+        assert Var("x") not in binders
+
+
+class TestNormalForms:
+    def test_nnf_has_no_arrows_and_negates_atoms_only(self):
+        formula = parse("~(exists x (E(x, x) -> P(x)) <-> forall y P(y))")
+        nnf = to_nnf(formula)
+        for node in subformulas(nnf):
+            assert not isinstance(node, (Implies, Iff))
+            if isinstance(node, Not):
+                assert isinstance(node.body, (Atom, Eq))
+
+    def test_prenex_has_leading_quantifiers_only(self):
+        formula = parse("(exists x E(x, x)) & (forall y P(y) | ~exists z E(z, z))")
+        prenex = to_prenex(formula)
+        node = prenex
+        while isinstance(node, (Exists, Forall)):
+            node = node.body
+        for inner in subformulas(node):
+            assert not isinstance(inner, (Exists, Forall))
+
+    def test_prenex_preserves_rank_at_least(self):
+        formula = parse("exists x E(x, x) & forall y P(y)")
+        assert quantifier_rank(to_prenex(formula)) >= quantifier_rank(formula)
+
+
+class TestSimplify:
+    def test_constant_folding(self):
+        assert simplify(parse("E(x, y) & true")) == parse("E(x, y)")
+        assert simplify(parse("E(x, y) | true")) == Top()
+        assert simplify(parse("E(x, y) & false")) == Bottom()
+
+    def test_trivial_equality(self):
+        assert simplify(parse("x = x")) == Top()
+
+    def test_implication_folding(self):
+        assert simplify(parse("false -> E(x, y)")) == Top()
+        assert simplify(parse("true -> E(x, y)")) == parse("E(x, y)")
+
+    def test_iff_folding(self):
+        assert simplify(parse("E(x, y) <-> E(x, y)")) == Top()
+
+    def test_quantifier_over_constant_collapses(self):
+        assert simplify(parse("exists x true")) == Top()
+        assert simplify(parse("forall x (x = x)")) == Top()
+
+
+GRAPHS = [random_graph(n, p, seed=seed) for n, p, seed in [(3, 0.4, 0), (4, 0.5, 1), (5, 0.3, 2)]]
+
+
+def _semantics(formula, structure, order=None):
+    """Answers of the formula, padded to a fixed variable order.
+
+    Transformations may *shrink* the free-variable set (e.g. simplify
+    turns x = x into ⊤), so equivalence is compared over the original
+    formula's variables.
+    """
+    if order is None:
+        order = tuple(sorted(free_variables(formula), key=lambda var: var.name))
+    import itertools
+
+    extra = tuple(var for var in order if var not in free_variables(formula))
+    base_order = tuple(var for var in order if var not in extra)
+    base = answers(structure, formula, base_order)
+    if not extra:
+        return base
+    padded = set()
+    for row in base:
+        env = dict(zip(base_order, row))
+        for values in itertools.product(structure.universe, repeat=len(extra)):
+            env.update(zip(extra, values))
+            padded.add(tuple(env[var] for var in order))
+    return frozenset(padded)
+
+
+class TestSemanticsPreservation:
+    """Every transformation must preserve answers on every structure."""
+
+    @staticmethod
+    def _check(transform, formula):
+        order = tuple(sorted(free_variables(formula), key=lambda var: var.name))
+        for graph in GRAPHS:
+            expected = _semantics(formula, graph, order)
+            assert _semantics(transform(formula), graph, order) == expected
+
+    @given(fmt_st.formulas(max_leaves=5))
+    def test_eliminate_arrows_preserves_semantics(self, formula):
+        self._check(eliminate_arrows, formula)
+
+    @given(fmt_st.formulas(max_leaves=5))
+    def test_nnf_preserves_semantics(self, formula):
+        self._check(to_nnf, formula)
+
+    @given(fmt_st.formulas(max_leaves=5))
+    def test_prenex_preserves_semantics(self, formula):
+        self._check(to_prenex, formula)
+
+    @given(fmt_st.formulas(max_leaves=5))
+    def test_simplify_preserves_semantics(self, formula):
+        self._check(simplify, formula)
+
+    @given(fmt_st.formulas(max_leaves=5))
+    def test_standardize_apart_preserves_semantics(self, formula):
+        self._check(standardize_apart, formula)

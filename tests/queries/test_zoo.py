@@ -1,0 +1,124 @@
+"""Tests for the query zoo and the §3.3 reduction tricks."""
+
+import pytest
+
+from repro.eval.evaluator import evaluate
+from repro.queries.zoo import (
+    acyclicity_query,
+    connectivity_query,
+    connectivity_via_tc,
+    even_query,
+    fo_boolean_corpus,
+    fo_graph_corpus,
+    order_successor_formula,
+    order_to_acyclicity_graph,
+    order_to_connectivity_graph,
+)
+from repro.structures.builders import (
+    bare_set,
+    directed_chain,
+    directed_cycle,
+    disjoint_cycles,
+    linear_order,
+    random_graph,
+    undirected_cycle,
+)
+from repro.structures.gaifman import is_connected
+from repro.logic.syntax import Var
+
+
+class TestBasicQueries:
+    def test_even(self):
+        assert even_query(bare_set(4))
+        assert not even_query(bare_set(5))
+
+    def test_connectivity(self):
+        assert connectivity_query(undirected_cycle(5))
+        assert not connectivity_query(disjoint_cycles([3, 3]))
+
+    def test_acyclicity(self):
+        assert acyclicity_query(directed_chain(4))
+        assert not acyclicity_query(directed_cycle(4))
+
+
+class TestOrderSuccessor:
+    def test_successor_formula(self):
+        order = linear_order(5)
+        formula = order_successor_formula()
+        assert evaluate(order, formula, {Var("x"): 2, Var("y"): 3})
+        assert not evaluate(order, formula, {Var("x"): 2, Var("y"): 4})
+        assert not evaluate(order, formula, {Var("x"): 3, Var("y"): 2})
+
+
+class TestConnectivityReduction:
+    """The paper's first figure: connected iff the order is odd."""
+
+    @pytest.mark.parametrize("n", range(3, 13))
+    def test_parity_correspondence(self, n):
+        graph = order_to_connectivity_graph(linear_order(n))
+        assert is_connected(graph) == (n % 2 == 1)
+
+    def test_five_element_example_matches_figure(self):
+        # The paper draws the 5-element case as a single cycle
+        # 0-2-4-1-3-0.
+        graph = order_to_connectivity_graph(linear_order(5))
+        assert graph.holds("E", (0, 2))
+        assert graph.holds("E", (2, 4))
+        assert graph.holds("E", (4, 1))  # last → second
+        assert graph.holds("E", (3, 0))  # penultimate → first
+
+    def test_six_element_example_has_two_components(self):
+        from repro.structures.gaifman import connected_components
+
+        graph = order_to_connectivity_graph(linear_order(6))
+        components = connected_components(graph)
+        assert sorted(len(c) for c in components) == [3, 3]
+
+
+class TestAcyclicityReduction:
+    """The paper's second figure: acyclic iff the order is even."""
+
+    @pytest.mark.parametrize("n", range(3, 13))
+    def test_parity_correspondence(self, n):
+        graph = order_to_acyclicity_graph(linear_order(n))
+        assert acyclicity_query(graph) == (n % 2 == 0)
+
+    def test_back_edge_present(self):
+        graph = order_to_acyclicity_graph(linear_order(5))
+        assert graph.holds("E", (4, 0))
+
+
+class TestTCReduction:
+    """The paper's third trick: connectivity from transitive closure."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_direct_connectivity(self, seed):
+        graph = random_graph(7, 0.2, seed=seed)
+        assert connectivity_via_tc(graph) == is_connected(graph)
+
+    def test_single_node(self):
+        from repro.structures.builders import empty_graph
+
+        assert connectivity_via_tc(empty_graph(1))
+
+
+class TestCorpora:
+    def test_graph_corpus_arities(self):
+        for query in fo_graph_corpus():
+            assert query.arity in (1, 2)
+            assert query.name
+
+    def test_graph_corpus_runs(self):
+        graph = random_graph(5, 0.4, seed=3)
+        for query in fo_graph_corpus():
+            result = query(graph)
+            assert isinstance(result, frozenset)
+
+    def test_boolean_corpus_runs(self):
+        graph = random_graph(5, 0.4, seed=4)
+        for query in fo_boolean_corpus():
+            assert isinstance(query(graph), bool)
+
+    def test_corpus_names_unique(self):
+        names = [q.name for q in fo_graph_corpus()] + [q.name for q in fo_boolean_corpus()]
+        assert len(names) == len(set(names))

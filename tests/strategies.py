@@ -1,0 +1,104 @@
+"""Shared hypothesis strategies: random formulas and random structures.
+
+The property-based tests draw FO formulas and finite structures from
+these strategies; every semantics-preserving claim in the library
+(transformations, the evaluator triangle, locality theorems) is tested
+against them.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.logic.signature import GRAPH, Signature
+from repro.logic.syntax import (
+    And,
+    Atom,
+    Eq,
+    Exists,
+    Forall,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Var,
+)
+from repro.structures.structure import Structure
+
+VARS = tuple(Var(name) for name in ("x", "y", "z"))
+
+
+def terms(num_vars: int = 3):
+    return st.sampled_from(VARS[:num_vars])
+
+
+def atoms(signature: Signature = GRAPH, num_vars: int = 3):
+    """Atomic formulas (relational atoms and equalities) over x, y, z."""
+    relational = st.one_of(
+        [
+            st.tuples(*[terms(num_vars)] * signature.arity(name)).map(
+                lambda args, name=name: Atom(name, args)
+            )
+            for name in signature.relation_names()
+        ]
+        or [st.nothing()]
+    )
+    equality = st.tuples(terms(num_vars), terms(num_vars)).map(lambda pair: Eq(*pair))
+    if signature.relation_names():
+        return st.one_of(relational, equality)
+    return equality
+
+
+def formulas(signature: Signature = GRAPH, num_vars: int = 3, max_leaves: int = 6):
+    """Random FO formulas over the given signature, depth-bounded."""
+
+    def extend(children):
+        unary = st.one_of(
+            children.map(Not),
+            st.tuples(terms(num_vars), children).map(lambda pair: Exists(pair[0], pair[1])),
+            st.tuples(terms(num_vars), children).map(lambda pair: Forall(pair[0], pair[1])),
+        )
+        binary = st.one_of(
+            st.tuples(children, children).map(lambda pair: And(pair)),
+            st.tuples(children, children).map(lambda pair: Or(pair)),
+            st.tuples(children, children).map(lambda pair: Implies(*pair)),
+            st.tuples(children, children).map(lambda pair: Iff(*pair)),
+        )
+        return st.one_of(unary, binary)
+
+    return st.recursive(atoms(signature, num_vars), extend, max_leaves=max_leaves)
+
+
+def sentences(signature: Signature = GRAPH, num_vars: int = 3, max_leaves: int = 6):
+    """Random sentences: formulas closed by quantifying every free variable."""
+    from repro.logic.analysis import free_variables
+    from repro.logic.builder import exists_many
+
+    def close(formula):
+        free = sorted(free_variables(formula), key=lambda var: var.name)
+        return exists_many(free, formula)
+
+    return formulas(signature, num_vars, max_leaves).map(close)
+
+
+@st.composite
+def graphs(draw, min_size: int = 1, max_size: int = 6, signature: Signature = GRAPH):
+    """Random small structures over a (binary-relational) signature."""
+    size = draw(st.integers(min_value=min_size, max_value=max_size))
+    universe = list(range(size))
+    relations = {}
+    for name in signature.relation_names():
+        arity = signature.arity(name)
+        possible = [
+            tuple(row)
+            for row in _all_rows(universe, arity)
+        ]
+        chosen = draw(st.lists(st.sampled_from(possible), unique=True, max_size=len(possible)))
+        relations[name] = chosen
+    return Structure(signature, universe, relations)
+
+
+def _all_rows(universe, arity):
+    import itertools
+
+    return itertools.product(universe, repeat=arity)

@@ -1,0 +1,165 @@
+"""Tests for the canonical structure families."""
+
+import pytest
+
+from repro.errors import StructureError
+from repro.logic.signature import GRAPH, ORDER, Signature
+from repro.structures.builders import (
+    bare_set,
+    complete_graph,
+    directed_chain,
+    directed_cycle,
+    disjoint_cycles,
+    empty_graph,
+    full_binary_tree,
+    graph_from_edges,
+    grid_graph,
+    linear_order,
+    random_graph,
+    random_structure,
+    random_tournament,
+    star_graph,
+    successor,
+    undirected_chain,
+    undirected_cycle,
+)
+from repro.structures.gaifman import connected_components, is_connected
+
+
+class TestBareSets:
+    def test_size(self):
+        assert bare_set(5).size == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(StructureError):
+            bare_set(0)
+
+
+class TestLinearOrders:
+    def test_edge_count(self):
+        order = linear_order(4)
+        assert len(order.tuples("<")) == 6  # C(4, 2)
+
+    def test_is_total_irreflexive(self):
+        order = linear_order(5)
+        for i in order.universe:
+            assert not order.holds("<", (i, i))
+            for j in order.universe:
+                if i != j:
+                    assert order.holds("<", (i, j)) != order.holds("<", (j, i))
+
+    def test_transitive(self):
+        order = linear_order(5)
+        tuples = order.tuples("<")
+        for a, b in tuples:
+            for c, d in tuples:
+                if b == c:
+                    assert (a, d) in tuples
+
+
+class TestSuccessorAndChains:
+    def test_successor_edge_count(self):
+        assert len(successor(5).tuples("S")) == 4
+
+    def test_directed_chain_degrees(self):
+        chain = directed_chain(6)
+        in_degrees, out_degrees = chain.degree_sets()
+        assert in_degrees == {0, 1}
+        assert out_degrees == {0, 1}
+
+    def test_undirected_chain_symmetric(self):
+        chain = undirected_chain(4)
+        for a, b in chain.tuples("E"):
+            assert chain.holds("E", (b, a))
+
+    def test_single_node_chain(self):
+        assert directed_chain(1).tuples("E") == frozenset()
+
+
+class TestCycles:
+    def test_directed_cycle_edge_count(self):
+        assert len(directed_cycle(5).tuples("E")) == 5
+
+    def test_undirected_cycle_connected(self):
+        assert is_connected(undirected_cycle(7))
+
+    def test_undirected_cycle_minimum_size(self):
+        with pytest.raises(StructureError):
+            undirected_cycle(2)
+
+    def test_disjoint_cycles_components(self):
+        two = disjoint_cycles([5, 5])
+        assert two.size == 10
+        assert len(connected_components(two)) == 2
+
+    def test_disjoint_cycles_regular(self):
+        two = disjoint_cycles([4, 6])
+        assert two.max_degree() == 2
+
+
+class TestOtherFamilies:
+    def test_complete_graph_edges(self):
+        assert len(complete_graph(4).tuples("E")) == 12
+        assert len(complete_graph(3, loops=True).tuples("E")) == 9
+
+    def test_empty_graph(self):
+        assert empty_graph(3).tuples("E") == frozenset()
+
+    def test_star_graph_center_degree(self):
+        star = star_graph(5)
+        assert star.out_degree(0) == 4
+
+    def test_full_binary_tree_sizes(self):
+        assert full_binary_tree(0).size == 1
+        assert full_binary_tree(3).size == 15
+
+    def test_full_binary_tree_heap_edges(self):
+        tree = full_binary_tree(2)
+        assert tree.holds("E", (1, 2))
+        assert tree.holds("E", (3, 7))
+        assert not tree.holds("E", (2, 1))
+
+    def test_grid_graph_degree_bound(self):
+        assert grid_graph(4, 5).max_degree() <= 4
+        assert grid_graph(4, 5).size == 20
+
+    def test_graph_from_edges_with_isolated(self):
+        graph = graph_from_edges([(0, 1)], nodes=[5])
+        assert graph.size == 3
+        assert 5 in graph
+
+
+class TestRandomFamilies:
+    def test_random_graph_deterministic_by_seed(self):
+        assert random_graph(6, 0.5, seed=1) == random_graph(6, 0.5, seed=1)
+
+    def test_random_graph_varies_by_seed(self):
+        assert random_graph(8, 0.5, seed=1) != random_graph(8, 0.5, seed=2)
+
+    def test_random_graph_no_loops(self):
+        graph = random_graph(6, 1.0, seed=0)
+        for a, b in graph.tuples("E"):
+            assert a != b
+
+    def test_random_graph_undirected_symmetric(self):
+        graph = random_graph(6, 0.5, seed=3, undirected=True)
+        for a, b in graph.tuples("E"):
+            assert graph.holds("E", (b, a))
+
+    def test_random_structure_covers_all_relations(self):
+        sig = Signature({"E": 2, "P": 1})
+        structure = random_structure(sig, 5, p=1.0, seed=0)
+        assert len(structure.tuples("P")) == 5
+        assert len(structure.tuples("E")) == 25  # loops included
+
+    def test_random_structure_rejects_constants(self):
+        sig = Signature({}, constants={"c"})
+        with pytest.raises(StructureError):
+            random_structure(sig, 3)
+
+    def test_random_tournament_exactly_one_direction(self):
+        tournament = random_tournament(6, seed=4)
+        for i in tournament.universe:
+            for j in tournament.universe:
+                if i < j:
+                    assert tournament.holds("E", (i, j)) != tournament.holds("E", (j, i))

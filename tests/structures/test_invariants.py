@@ -1,0 +1,101 @@
+"""Tests for color refinement and structure fingerprints."""
+
+from collections import Counter
+
+from hypothesis import given
+
+import strategies as fmt_st
+from repro.structures.builders import (
+    directed_chain,
+    directed_cycle,
+    disjoint_cycles,
+    linear_order,
+    star_graph,
+    undirected_chain,
+    undirected_cycle,
+)
+from repro.structures.invariants import (
+    color_classes,
+    joint_refine_colors,
+    refine_colors,
+    structure_fingerprint,
+)
+
+
+class TestRefineColors:
+    def test_cycle_is_monochromatic(self):
+        colors = refine_colors(directed_cycle(5))
+        assert len(set(colors.values())) == 1
+
+    def test_chain_distinguishes_positions(self):
+        # In a directed chain, every node has a distinct distance profile,
+        # so refinement separates all of them.
+        colors = refine_colors(directed_chain(5))
+        assert len(set(colors.values())) == 5
+
+    def test_star_has_two_classes(self):
+        colors = refine_colors(star_graph(6))
+        assert len(set(colors.values())) == 2
+
+    def test_undirected_chain_symmetric_pairs(self):
+        colors = refine_colors(undirected_chain(5))
+        assert colors[0] == colors[4]
+        assert colors[1] == colors[3]
+        assert len({colors[0], colors[1], colors[2]}) == 3
+
+    def test_linear_order_fully_refined(self):
+        colors = refine_colors(linear_order(4))
+        assert len(set(colors.values())) == 4
+
+    def test_constants_seed_colors(self):
+        from repro.logic.signature import Signature
+        from repro.structures.structure import Structure
+
+        sig = Signature({}, constants={"c"})
+        structure = Structure(sig, [0, 1, 2], constants={"c": 1})
+        colors = refine_colors(structure)
+        assert colors[0] == colors[2]
+        assert colors[1] != colors[0]
+
+
+class TestJointRefinement:
+    def test_isomorphic_structures_equal_histograms(self):
+        left = directed_cycle(4)
+        right = directed_cycle(4).relabel(lambda element: element + 100)
+        left_colors, right_colors = joint_refine_colors(left, right)
+        assert Counter(left_colors.values()) == Counter(right_colors.values())
+
+    def test_distinguishes_chain_from_cycle(self):
+        left_colors, right_colors = joint_refine_colors(directed_chain(4), directed_cycle(4))
+        assert Counter(left_colors.values()) != Counter(right_colors.values())
+
+    def test_wl_blind_spot_regular_graphs(self):
+        # C6 vs 3+3: 1-WL cannot distinguish 2-regular graphs — colors
+        # agree even though the graphs are not isomorphic. Documents why
+        # the exact search is still needed.
+        one = undirected_cycle(6)
+        two = disjoint_cycles([3, 3])
+        left_colors, right_colors = joint_refine_colors(one, two)
+        assert Counter(left_colors.values()) == Counter(right_colors.values())
+
+
+class TestColorClasses:
+    def test_classes_partition_universe(self):
+        structure = star_graph(5)
+        classes = color_classes(structure)
+        flattened = [element for cls in classes for element in cls]
+        assert sorted(flattened) == sorted(structure.universe)
+
+
+class TestFingerprint:
+    def test_memoized(self):
+        structure = directed_cycle(4)
+        assert structure_fingerprint(structure) is structure_fingerprint(structure)
+
+    def test_distinguishes_edge_counts(self):
+        assert structure_fingerprint(directed_chain(4)) != structure_fingerprint(directed_cycle(4))
+
+    @given(fmt_st.graphs(max_size=5))
+    def test_invariant_under_relabeling(self, graph):
+        relabeled = graph.relabel(lambda element: element * 7 + 3)
+        assert structure_fingerprint(graph) == structure_fingerprint(relabeled)

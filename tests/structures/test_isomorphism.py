@@ -1,0 +1,157 @@
+"""Tests for isomorphism and partial isomorphism."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+import strategies as fmt_st
+from repro.errors import StructureError
+from repro.structures.builders import (
+    bare_set,
+    directed_chain,
+    directed_cycle,
+    linear_order,
+    random_graph,
+    undirected_chain,
+    undirected_cycle,
+)
+from repro.structures.isomorphism import (
+    are_isomorphic,
+    count_automorphisms,
+    find_isomorphism,
+    is_partial_isomorphism,
+    isomorphism_classes,
+)
+
+
+class TestPartialIsomorphism:
+    def test_empty_map_is_partial_iso(self):
+        left, right = directed_cycle(3), directed_cycle(4)
+        assert is_partial_isomorphism(left, right, [])
+
+    def test_edge_preserved(self):
+        cycle = directed_cycle(4)
+        assert is_partial_isomorphism(cycle, cycle, [(0, 1), (1, 2)])
+
+    def test_edge_not_preserved(self):
+        cycle = directed_cycle(4)
+        # (0,1) is an edge but (0,2) is not.
+        assert not is_partial_isomorphism(cycle, cycle, [(0, 0), (1, 2)])
+
+    def test_injectivity_required(self):
+        cycle = directed_cycle(4)
+        assert not is_partial_isomorphism(cycle, cycle, [(0, 0), (1, 0)])
+
+    def test_well_definedness_required(self):
+        cycle = directed_cycle(4)
+        assert not is_partial_isomorphism(cycle, cycle, [(0, 0), (0, 1)])
+
+    def test_repeated_consistent_pair_allowed(self):
+        cycle = directed_cycle(4)
+        assert is_partial_isomorphism(cycle, cycle, [(0, 0), (0, 0)])
+
+    def test_different_signatures_rejected(self):
+        assert not is_partial_isomorphism(bare_set(2), directed_cycle(3), [])
+
+    def test_elements_must_exist(self):
+        with pytest.raises(StructureError):
+            is_partial_isomorphism(bare_set(2), bare_set(2), [(7, 0)])
+
+    def test_equality_pattern_on_orders(self):
+        # Map preserving < is a partial iso; map inverting < is not.
+        order = linear_order(4)
+        assert is_partial_isomorphism(order, order, [(0, 1), (2, 3)])
+        assert not is_partial_isomorphism(order, order, [(0, 3), (2, 1)])
+
+
+class TestFindIsomorphism:
+    def test_identical_structures(self):
+        cycle = directed_cycle(5)
+        mapping = find_isomorphism(cycle, cycle)
+        assert mapping is not None
+        assert is_partial_isomorphism(cycle, cycle, list(mapping.items()))
+
+    def test_relabeled_structures(self):
+        graph = random_graph(6, 0.5, seed=9)
+        shuffled = graph.relabel(lambda element: (element * 3 + 1) % 7)
+        mapping = find_isomorphism(graph, shuffled)
+        assert mapping is not None
+        assert is_partial_isomorphism(graph, shuffled, list(mapping.items()))
+
+    def test_different_sizes_rejected(self):
+        assert find_isomorphism(directed_cycle(4), directed_cycle(5)) is None
+
+    def test_different_edge_counts_rejected(self):
+        assert find_isomorphism(directed_chain(4), directed_cycle(4)) is None
+
+    def test_chain_vs_cycle_same_size(self):
+        # Same node count; chain has one fewer edge.
+        assert not are_isomorphic(directed_chain(5), directed_cycle(5))
+
+    def test_cospectral_like_wl_equal_graphs(self):
+        # Two 2-regular graphs with the same size but different cycle
+        # structure: C6 vs two triangles — WL colors agree, exact search
+        # must still distinguish them.
+        from repro.structures.builders import disjoint_cycles
+
+        one = undirected_cycle(6)
+        two = disjoint_cycles([3, 3])
+        two = two.relabel(lambda element: element[0] * 3 + element[1])
+        assert not are_isomorphic(one, two)
+
+    def test_constants_must_correspond(self):
+        from repro.logic.signature import Signature
+        from repro.structures.structure import Structure
+
+        sig = Signature({"E": 2}, constants={"c"})
+        left = Structure(sig, [0, 1], {"E": [(0, 1)]}, {"c": 0})
+        right_same = Structure(sig, [0, 1], {"E": [(0, 1)]}, {"c": 0})
+        right_flipped = Structure(sig, [0, 1], {"E": [(0, 1)]}, {"c": 1})
+        assert are_isomorphic(left, right_same)
+        assert not are_isomorphic(left, right_flipped)
+
+
+class TestAutomorphisms:
+    def test_directed_cycle_has_n(self):
+        assert count_automorphisms(directed_cycle(5)) == 5
+
+    def test_undirected_cycle_has_2n(self):
+        assert count_automorphisms(undirected_cycle(5)) == 10
+
+    def test_bare_set_has_factorial(self):
+        assert count_automorphisms(bare_set(4)) == 24
+
+    def test_linear_order_rigid(self):
+        assert count_automorphisms(linear_order(5)) == 1
+
+    def test_undirected_chain_has_two(self):
+        assert count_automorphisms(undirected_chain(4)) == 2
+
+
+class TestIsomorphismClasses:
+    def test_partitions_by_isomorphism(self):
+        structures = [
+            directed_cycle(4),
+            directed_cycle(4).relabel(lambda element: element + 10),
+            directed_chain(4),
+            bare_set(4),
+        ]
+        classes = isomorphism_classes(structures)
+        assert len(classes) == 3
+        sizes = sorted(len(cls) for cls in classes)
+        assert sizes == [1, 1, 2]
+
+
+class TestIsomorphismProperties:
+    @given(fmt_st.graphs(max_size=5), st.integers(min_value=0, max_value=10**6))
+    def test_relabeling_preserves_isomorphism(self, graph, offset):
+        relabeled = graph.relabel(lambda element: element + offset + 100)
+        assert are_isomorphic(graph, relabeled)
+
+    @given(fmt_st.graphs(max_size=4), fmt_st.graphs(max_size=4))
+    def test_symmetry(self, left, right):
+        assert are_isomorphic(left, right) == are_isomorphic(right, left)
+
+    @given(fmt_st.graphs(max_size=4))
+    def test_reflexive(self, graph):
+        assert are_isomorphic(graph, graph)

@@ -1,0 +1,87 @@
+"""Tests for direct products and the product composition lemma."""
+
+import pytest
+
+from repro.errors import SignatureError, StructureError
+from repro.games.ef import ef_equivalent, optimal_spoiler, play_ef_game
+from repro.games.strategies import product_duplicator, set_duplicator
+from repro.structures.builders import (
+    bare_set,
+    directed_cycle,
+    empty_graph,
+    linear_order,
+    random_graph,
+)
+
+
+class TestDirectProduct:
+    def test_universe_is_cartesian(self):
+        product = directed_cycle(3).direct_product(directed_cycle(4))
+        assert product.size == 12
+        assert (0, 2) in product
+
+    def test_relations_coordinatewise(self):
+        product = directed_cycle(3).direct_product(directed_cycle(4))
+        assert product.holds("E", ((0, 0), (1, 1)))
+        assert not product.holds("E", ((0, 0), (1, 2)))
+
+    def test_edge_count_multiplies(self):
+        left, right = directed_cycle(3), directed_cycle(5)
+        product = left.direct_product(right)
+        assert len(product.tuples("E")) == 15
+
+    def test_product_with_empty_relation_is_empty(self):
+        product = directed_cycle(3).direct_product(empty_graph(2))
+        assert product.tuples("E") == frozenset()
+
+    def test_signature_mismatch_rejected(self):
+        with pytest.raises(SignatureError):
+            directed_cycle(3).direct_product(bare_set(2))
+
+    def test_constants_rejected(self):
+        from repro.logic.signature import Signature
+        from repro.structures.structure import Structure
+
+        sig = Signature({}, constants={"c"})
+        pointed = Structure(sig, [0], constants={"c": 0})
+        with pytest.raises(StructureError):
+            pointed.direct_product(pointed)
+
+
+class TestProductCompositionLemma:
+    def test_solver_confirms_lemma_on_small_cases(self):
+        # A₁ ≡₂ B₁ and A₂ ≡₂ B₂ ⇒ A₁×A₂ ≡₂ B₁×B₂.
+        cases = [
+            (directed_cycle(3), directed_cycle(3), directed_cycle(4), directed_cycle(4)),
+            (empty_graph(3), empty_graph(4), directed_cycle(3), directed_cycle(3)),
+        ]
+        for a1, b1, a2, b2 in cases:
+            assert ef_equivalent(a1, b1, 2)
+            assert ef_equivalent(a2, b2, 2)
+            assert ef_equivalent(a1.direct_product(a2), b1.direct_product(b2), 2)
+
+    def test_product_strategy_beats_optimal_spoiler(self):
+        # Bare-set products (over the graph signature with empty edges so
+        # products stay trivial): 3×3 vs 4×4 grids of non-edges.
+        a1, b1 = empty_graph(3), empty_graph(4)
+        a2, b2 = empty_graph(3), empty_graph(3)
+        left = a1.direct_product(a2)
+        right = b1.direct_product(b2)
+        strategy = product_duplicator(
+            set_duplicator(), set_duplicator(), ((a1, b1), (a2, b2))
+        )
+        winner, final = play_ef_game(left, right, 2, optimal_spoiler(), strategy)
+        assert winner == "duplicator", final
+
+    def test_lemma_failure_direction(self):
+        # If the components are separable, the products usually are too —
+        # sanity check on one case rather than a general claim.
+        a, b = directed_cycle(3), directed_cycle(4)
+        assert not ef_equivalent(a, b, 2)
+        product_a = a.direct_product(directed_cycle(3))
+        product_b = b.direct_product(directed_cycle(3))
+        # C3×C3 has loops-free 2-regular... just check the solver runs and
+        # gives a verdict consistent with monotonicity.
+        verdict_2 = ef_equivalent(product_a, product_b, 2)
+        verdict_1 = ef_equivalent(product_a, product_b, 1)
+        assert verdict_1 or not verdict_2

@@ -1,0 +1,33 @@
+"""Run the doctest examples embedded in the library's docstrings.
+
+Docstring examples are part of the documentation deliverable; this
+module keeps them honest.
+"""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.eval.algebra
+import repro.logic.parser
+import repro.logic.signature
+import repro.queries.conjunctive
+import repro.structures.structure
+
+MODULES = [
+    repro,
+    repro.logic.signature,
+    repro.logic.parser,
+    repro.structures.structure,
+    repro.eval.algebra,
+    repro.queries.conjunctive,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda module: module.__name__)
+def test_docstring_examples(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0, f"{result.failed} doctest failures in {module.__name__}"
+    # Each listed module is expected to actually contain examples.
+    assert result.attempted > 0, f"no doctests found in {module.__name__}"

@@ -1,0 +1,98 @@
+"""Tests for the exception hierarchy and the top-level public API."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    AutomatonError,
+    BudgetExceededError,
+    DatalogError,
+    EvaluationError,
+    FMTError,
+    FormulaError,
+    GameError,
+    LocalityError,
+    ParseError,
+    SignatureError,
+    StructureError,
+)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "error_type",
+        [
+            SignatureError,
+            FormulaError,
+            ParseError,
+            StructureError,
+            EvaluationError,
+            GameError,
+            LocalityError,
+            DatalogError,
+            AutomatonError,
+        ],
+    )
+    def test_all_errors_are_fmt_errors(self, error_type):
+        assert issubclass(error_type, FMTError)
+
+    def test_catching_fmt_error_catches_library_failures(self):
+        from repro.logic.parser import parse
+
+        with pytest.raises(FMTError):
+            parse("((")
+
+    def test_budget_error_carries_accounting(self):
+        error = BudgetExceededError("too much", spent=10, budget=5)
+        assert error.spent == 10
+        assert error.budget == 5
+        assert "10" in str(error)
+
+    def test_parse_error_carries_position(self):
+        error = ParseError("bad", position=7)
+        assert error.position == 7
+        assert "7" in str(error)
+
+
+class TestPublicAPI:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_subpackage_alls_resolve(self):
+        import repro.descriptive
+        import repro.eval
+        import repro.fixpoint
+        import repro.games
+        import repro.locality
+        import repro.logic
+        import repro.orders
+        import repro.queries
+        import repro.structures
+        import repro.zero_one
+
+        for module in (
+            repro.logic,
+            repro.structures,
+            repro.eval,
+            repro.games,
+            repro.locality,
+            repro.zero_one,
+            repro.fixpoint,
+            repro.descriptive,
+            repro.queries,
+            repro.orders,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), (module.__name__, name)
+
+    def test_quickstart_docstring_examples(self):
+        from repro import ef_equivalent, evaluate, linear_order, parse
+
+        assert evaluate(
+            linear_order(3), parse("forall x forall y (x < y | y < x | x = y)")
+        )
+        assert ef_equivalent(linear_order(4), linear_order(5), 2)

@@ -1,0 +1,107 @@
+"""Tests for extension axioms and witness search."""
+
+import pytest
+
+from repro.errors import FMTError
+from repro.eval.evaluator import evaluate
+from repro.logic.signature import GRAPH, Signature
+from repro.structures.builders import complete_graph, empty_graph, random_structure
+from repro.zero_one.extension_axioms import (
+    extension_atoms,
+    extension_axiom_counterexample,
+    extension_axiom_formula,
+    extension_conditions,
+    find_extension_witness,
+    satisfies_extension_axiom,
+)
+
+UNARY = Signature({"P": 1})
+
+
+class TestExtensionAtoms:
+    def test_directed_graph_level_one(self):
+        # Atoms involving z over {x1, z}: E(z,z), E(z,x1), E(x1,z).
+        assert len(extension_atoms(GRAPH, 1)) == 3
+
+    def test_directed_graph_level_two(self):
+        # E over {x1, x2, z} with z involved: 9 - 4 = 5.
+        assert len(extension_atoms(GRAPH, 2)) == 5
+
+    def test_unary_signature(self):
+        assert len(extension_atoms(UNARY, 3)) == 1
+
+    def test_level_zero(self):
+        assert len(extension_atoms(GRAPH, 0)) == 1  # E(z, z)
+
+    def test_negative_level_rejected(self):
+        with pytest.raises(FMTError):
+            extension_atoms(GRAPH, -1)
+
+
+class TestExtensionConditions:
+    def test_count_is_exponential(self):
+        assert len(list(extension_conditions(GRAPH, 1))) == 8
+        assert len(list(extension_conditions(UNARY, 2))) == 2
+
+
+class TestExtensionAxiomFormula:
+    def test_rank_is_k_plus_one(self):
+        from repro.logic.analysis import is_sentence, quantifier_rank
+
+        for condition in extension_conditions(UNARY, 2):
+            formula = extension_axiom_formula(UNARY, 2, condition)
+            assert is_sentence(formula)
+            assert quantifier_rank(formula) == 3
+
+    def test_semantic_agreement_with_checker(self):
+        # The FO rendering and the direct checker agree on small structures.
+        structures = [
+            random_structure(UNARY, 4, seed=seed) for seed in range(4)
+        ]
+        conditions = list(extension_conditions(UNARY, 1))
+        for structure in structures:
+            direct = satisfies_extension_axiom(structure, 1)
+            via_formulas = all(
+                evaluate(structure, extension_axiom_formula(UNARY, 1, condition))
+                for condition in conditions
+            )
+            assert direct == via_formulas
+
+
+class TestChecker:
+    def test_complete_graph_fails(self):
+        # No z non-adjacent to x1 exists in a complete graph (with the
+        # all-false condition).
+        assert not satisfies_extension_axiom(complete_graph(5, loops=True), 1)
+
+    def test_empty_graph_fails(self):
+        assert not satisfies_extension_axiom(empty_graph(5), 1)
+
+    def test_counterexample_is_reported(self):
+        result = extension_axiom_counterexample(empty_graph(4), 1)
+        assert result is not None
+        xs, condition = result
+        assert len(xs) == 1
+        assert any(condition.values())  # some positive atom is unwitnessable
+
+    def test_level_zero_on_mixed_graph(self):
+        # EA_0: some loop and some non-loop element must exist.
+        from repro.structures.structure import Structure
+
+        mixed = Structure(GRAPH, [0, 1], {"E": [(0, 0)]})
+        assert satisfies_extension_axiom(mixed, 0)
+        assert not satisfies_extension_axiom(empty_graph(2), 0)
+
+
+class TestWitnessSearch:
+    def test_unary_witness_small(self):
+        witness = find_extension_witness(UNARY, 2, seed=0)
+        assert satisfies_extension_axiom(witness, 2)
+
+    def test_graph_witness_level_one(self):
+        witness = find_extension_witness(GRAPH, 1, seed=0)
+        assert satisfies_extension_axiom(witness, 1)
+
+    def test_exhausted_search_raises(self):
+        with pytest.raises(FMTError):
+            find_extension_witness(GRAPH, 2, start_size=4, max_size=8, seed=0)

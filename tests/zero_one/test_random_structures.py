@@ -1,0 +1,80 @@
+"""Tests for μ_n estimation and the probability space STRUC(σ, n)."""
+
+import pytest
+
+from repro.errors import FMTError
+from repro.eval.evaluator import evaluate
+from repro.logic.parser import parse
+from repro.logic.signature import GRAPH, SET, Signature
+from repro.zero_one.random_structures import MuEstimate, count_structures, mu_curve, mu_estimate
+
+
+class TestCountStructures:
+    def test_empty_signature(self):
+        assert count_structures(SET, 5) == 1
+
+    def test_graphs(self):
+        # 2^(n^2) directed graphs with loops on [n].
+        assert count_structures(GRAPH, 2) == 16
+        assert count_structures(GRAPH, 3) == 512
+
+    def test_mixed_signature(self):
+        sig = Signature({"E": 2, "P": 1})
+        assert count_structures(sig, 2) == 16 * 4
+
+
+class TestMuEstimate:
+    def test_tautology_has_mu_one(self):
+        estimate = mu_estimate(lambda s: True, GRAPH, 4, samples=20)
+        assert estimate.value == 1.0
+
+    def test_contradiction_has_mu_zero(self):
+        estimate = mu_estimate(lambda s: False, GRAPH, 4, samples=20)
+        assert estimate.value == 0.0
+
+    def test_deterministic_by_seed(self):
+        query = lambda s: evaluate(s, parse("exists x E(x, x)"))  # noqa: E731
+        first = mu_estimate(query, GRAPH, 4, samples=30, seed=5)
+        second = mu_estimate(query, GRAPH, 4, samples=30, seed=5)
+        assert first.successes == second.successes
+
+    def test_loop_existence_probability_reasonable(self):
+        # P(no loop) = 2^-n per node... P(∃ loop) = 1 - 2^-n; for n=5
+        # that's ≈ 0.97.
+        query = lambda s: evaluate(s, parse("exists x E(x, x)"))  # noqa: E731
+        estimate = mu_estimate(query, GRAPH, 5, samples=100, seed=1)
+        assert estimate.value > 0.8
+
+    def test_half_width_shrinks_with_samples(self):
+        query = lambda s: evaluate(s, parse("exists x E(x, x)"))  # noqa: E731
+        small = mu_estimate(query, GRAPH, 3, samples=25, seed=2)
+        large = mu_estimate(query, GRAPH, 3, samples=200, seed=2)
+        assert large.half_width < small.half_width
+
+    def test_zero_samples_rejected(self):
+        with pytest.raises(FMTError):
+            mu_estimate(lambda s: True, GRAPH, 3, samples=0)
+
+    def test_repr_readable(self):
+        estimate = MuEstimate(n=5, samples=10, successes=5)
+        assert "μ_5" in repr(estimate)
+
+
+class TestMuCurve:
+    def test_curve_monotone_for_extension_query(self):
+        # Q2 (guarded): μ_n increases towards 1.
+        q2 = parse("forall x forall y (~(x = y) -> exists z (E(z, x) & ~E(z, y)))")
+        query = lambda s: evaluate(s, q2)  # noqa: E731
+        curve = mu_curve(query, GRAPH, [4, 16, 40], samples=30, seed=3)
+        values = [point.value for point in curve]
+        assert values[0] <= values[-1]
+        assert values[-1] > 0.5
+
+    def test_even_alternates_exactly(self):
+        # μ_n(EVEN) is exactly 0 or 1 per n — EVEN depends only on n, so
+        # the limit does not exist (the 0–1 law does not apply: EVEN is
+        # not FO).
+        from repro.queries.zoo import even_query
+
+        curve = mu_curve(even_query, GRAPH, [3, 4, 5, 6], samples=5, seed=0)
+        assert [point.value for point in curve] == [0.0, 1.0, 0.0, 1.0]
