@@ -1,0 +1,189 @@
+"""E16 — The query engine vs the naive evaluator.
+
+The engine (``repro.engine``) must beat the naive O(n^k) recursive
+checker on realistic workloads, or the whole planner/cache/locality
+stack is decoration. This bench measures wall-clock for both paths on
+
+* the E1 worst-case family (nested ∀ with a non-edge-chain matrix on the
+  empty graph — no short-circuiting anywhere), and
+* the query-zoo FO corpus on random graphs (open queries, where naive
+  ``answers`` pays n^free · n^quantifier),
+* a bounded-degree sentence family (directed cycles), where the engine's
+  Theorem 3.11 fast path amortizes across the family.
+
+It asserts the acceptance criterion — ≥ 5× on at least one workload —
+and records every row in machine-readable form in ``BENCH_engine.json``
+at the repo root, so future PRs can track the perf trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from conftest import print_table
+
+from repro.engine import Engine
+from repro.eval.evaluator import answers as naive_answers
+from repro.eval.evaluator import evaluate as naive_evaluate
+from repro.logic.parser import parse
+from repro.queries.zoo import fo_graph_corpus
+from repro.structures.builders import directed_cycle, empty_graph, random_graph
+
+BENCH_PATH = Path(__file__).parent.parent / "BENCH_engine.json"
+
+MUTUAL = parse("exists x exists y (E(x, y) & E(y, x))")
+
+
+def _timed(fn, *args, repeat: int = 1):
+    best = float("inf")
+    result = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = fn(*args)
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+def _e1_family_rows() -> list[dict]:
+    """Naive vs engine on the E1 worst-case ∀-prefix family."""
+    from bench_e1_combined_complexity import nested_query
+
+    rows = []
+    query = nested_query(3)
+    for n in (12, 20, 28):
+        graph = empty_graph(n)
+        engine = Engine()
+        naive_result, naive_s = _timed(naive_evaluate, graph, query)
+        engine_result, engine_s = _timed(engine.evaluate, graph, query)
+        assert naive_result == engine_result
+        rows.append(
+            {
+                "workload": "E1-forall-chain k=3",
+                "query": repr(query),
+                "n": n,
+                "naive_seconds": naive_s,
+                "engine_seconds": engine_s,
+                "speedup": naive_s / engine_s if engine_s else float("inf"),
+            }
+        )
+    return rows
+
+
+def _zoo_corpus_rows() -> list[dict]:
+    """Naive vs engine `answers` on the FO graph corpus."""
+    rows = []
+    for n, p, seed in ((30, 0.15, 1), (48, 0.1, 2)):
+        graph = random_graph(n, p, seed=seed)
+        engine = Engine()
+        for query in fo_graph_corpus():
+            naive_result, naive_s = _timed(
+                naive_answers, graph, query.formula, query.variables
+            )
+            engine_result, engine_s = _timed(
+                engine.answers, graph, query.formula, query.variables
+            )
+            assert naive_result == engine_result, query.name
+            rows.append(
+                {
+                    "workload": f"zoo corpus n={n}",
+                    "query": query.name,
+                    "n": n,
+                    "naive_seconds": naive_s,
+                    "engine_seconds": engine_s,
+                    "speedup": naive_s / engine_s if engine_s else float("inf"),
+                }
+            )
+    return rows
+
+
+def _bounded_degree_family_rows() -> list[dict]:
+    """One sentence across a bounded-degree family: the Thm 3.11 path.
+
+    The engine warms its census table on the first few cycles and then
+    answers by census + lookup; the naive evaluator pays O(n²) per
+    structure, every time. Reported per family, not per structure.
+    """
+    family = [directed_cycle(n) for n in range(20, 60, 2)]
+    engine = Engine(fast_path_threshold=4)
+
+    def run_naive():
+        return [naive_evaluate(s, MUTUAL) for s in family]
+
+    def run_engine():
+        return [engine.evaluate(s, MUTUAL) for s in family]
+
+    naive_result, naive_s = _timed(run_naive)
+    engine_result, engine_s = _timed(run_engine)
+    assert naive_result == engine_result
+    evaluator = engine._bounded_degree.get(MUTUAL)
+    return [
+        {
+            "workload": "bounded-degree family (directed cycles, Thm 3.11)",
+            "query": "has-mutual-pair",
+            "n": len(family),
+            "naive_seconds": naive_s,
+            "engine_seconds": engine_s,
+            "speedup": naive_s / engine_s if engine_s else float("inf"),
+            "census_table_hits": evaluator.stats.hits if evaluator else 0,
+        }
+    ]
+
+
+def collect_all_rows() -> list[dict]:
+    return _e1_family_rows() + _zoo_corpus_rows() + _bounded_degree_family_rows()
+
+
+class TestEngineSpeedup:
+    def test_engine_beats_naive_and_records_json(self):
+        rows = collect_all_rows()
+        table = [
+            (
+                row["workload"],
+                row["query"][:32],
+                row["n"],
+                f"{row['naive_seconds'] * 1000:.1f}",
+                f"{row['engine_seconds'] * 1000:.1f}",
+                f"{row['speedup']:.1f}x",
+            )
+            for row in rows
+        ]
+        print_table(
+            "E16: engine vs naive evaluator",
+            ["workload", "query", "n", "naive ms", "engine ms", "speedup"],
+            table,
+        )
+        best = max(row["speedup"] for row in rows)
+        # Acceptance criterion: ≥ 5× on at least one zoo/E1 workload.
+        assert best >= 5.0, f"best speedup only {best:.2f}x"
+        BENCH_PATH.write_text(
+            json.dumps(
+                {
+                    "benchmark": "engine-vs-naive",
+                    "unit": "seconds (best of runs)",
+                    "rows": rows,
+                    "best_speedup": best,
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+
+    def test_benchmark_engine_corpus(self, benchmark):
+        graph = random_graph(30, 0.15, seed=1)
+        engine = Engine()
+        corpus = fo_graph_corpus()
+
+        def run():
+            for query in corpus:
+                engine.invalidate(graph)
+                engine.answers(graph, query.formula, query.variables)
+
+        benchmark(run)
+
+
+if __name__ == "__main__":
+    rows = collect_all_rows()
+    for row in rows:
+        print(row)

@@ -17,6 +17,11 @@ Subpackages
 ``repro.eval``
     Three query evaluation back-ends: naive, relational algebra, AC⁰
     circuits (S3).
+``repro.engine``
+    The production query engine: normalization, catalog statistics, a
+    cost-based planner over the relational algebra, hash-join/antijoin
+    execution with plan + answer caches, and a bounded-degree fast path
+    (Theorem 3.11) — the default way to answer queries at scale.
 ``repro.games``
     Exact EF and pebble game solvers, a duplicator strategy library,
     separating sentences (S4).
@@ -55,6 +60,12 @@ from repro.errors import (
     ParseError,
     SignatureError,
     StructureError,
+)
+from repro.engine import (
+    Engine,
+    default_engine,
+    engine_answers,
+    engine_evaluate,
 )
 from repro.eval import (
     BooleanQuery,
@@ -114,6 +125,8 @@ __all__ = [
     # eval
     "evaluate", "answers", "algebra_answers", "compile_query",
     "evaluate_circuit", "Query", "BooleanQuery",
+    # engine
+    "Engine", "default_engine", "engine_answers", "engine_evaluate",
     # games
     "solve_ef_game", "ef_equivalent", "play_ef_game",
     "linear_order_duplicator", "distinguishing_sentence",

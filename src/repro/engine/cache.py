@@ -1,0 +1,78 @@
+"""A small LRU cache used for plans and answers.
+
+Both engine caches are bounded LRU maps with hit/miss counters; the
+answer cache additionally supports per-structure invalidation (structures
+are immutable, so this only matters when callers want to bound memory or
+drop results for structures they no longer hold).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Callable, Hashable
+from typing import Any
+
+__all__ = ["LRUCache"]
+
+_MISSING = object()
+
+
+class LRUCache:
+    """Bounded least-recently-used mapping with hit/miss counters."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return default
+        self.hits += 1
+        self._data.move_to_end(key)
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+
+    def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
+        value = self._data.get(key, _MISSING)
+        if value is not _MISSING:
+            self.hits += 1
+            self._data.move_to_end(key)
+            return value
+        self.misses += 1
+        value = compute()
+        self.put(key, value)
+        return value
+
+    def evict_where(self, predicate: Callable[[Hashable], bool]) -> int:
+        """Drop every entry whose key satisfies ``predicate``; return count."""
+        doomed = [key for key in self._data if predicate(key)]
+        for key in doomed:
+            del self._data[key]
+        return len(doomed)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __repr__(self) -> str:
+        return (
+            f"LRUCache({len(self._data)}/{self.capacity}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -1,0 +1,317 @@
+"""The engine facade: normalize → stats → plan → execute, with caches.
+
+:class:`Engine` is the default, set-at-a-time way to answer FO queries.
+Per call it (1) collects catalog statistics for the structure (memoized),
+(2) looks up or builds a costed relational-algebra plan (LRU plan cache,
+keyed by formula × signature × statistics profile), (3) executes the plan
+with hash joins, semijoin filtering, and antijoin negation, and (4)
+memoizes the answer per (structure, formula) in an LRU answer cache.
+
+For *sentences* over low-degree structures the engine additionally owns a
+locality fast path: it dispatches to
+:class:`repro.locality.bounded_degree.BoundedDegreeEvaluator`, realizing
+Theorem 3.11 (linear-time FO evaluation on bounded-degree classes) as a
+production code path rather than a standalone demo. Table misses inside
+the fast path fall back to the engine's own algebra pipeline, never to
+the naive O(n^k) evaluator.
+
+Default semantics is ``domain="universe"``, which agrees with the naive
+evaluator on *every* formula (the Hypothesis equivalence suite asserts
+this); ``domain="active"`` gives database-style active-domain semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import EvaluationError, LocalityError
+from repro.engine.cache import LRUCache
+from repro.engine.executor import ExecutionStats, Executor
+from repro.engine.normalize import normalize
+from repro.engine.plan import Plan, explain_plan
+from repro.engine.planner import Planner
+from repro.engine.stats import StructureStats, collect_stats
+from repro.eval.algebra import Relation
+from repro.eval.evaluator import answers as naive_answers
+from repro.locality.bounded_degree import BoundedDegreeEvaluator
+from repro.locality.hanf import hanf_locality_radius
+from repro.locality.neighborhoods import max_ball_size
+from repro.logic.analysis import free_variables, quantifier_rank, validate
+from repro.logic.syntax import Formula, Var
+from repro.structures.structure import Element, Structure
+
+__all__ = ["Engine", "EngineStats", "Explanation"]
+
+
+@dataclass
+class EngineStats:
+    """Counters across one engine's lifetime."""
+
+    plans_built: int = 0
+    executions: int = 0
+    fast_path_dispatches: int = 0
+    execution: ExecutionStats = field(default_factory=ExecutionStats)
+
+
+@dataclass(frozen=True)
+class Explanation:
+    """What the engine would do for one (structure, formula) pair."""
+
+    formula: Formula
+    normalized: Formula
+    plan: Plan
+    statistics: StructureStats
+    fast_path: bool
+    fast_path_reason: str
+
+    def __str__(self) -> str:
+        dispatch = "dispatched" if self.fast_path else "not dispatched"
+        return "\n".join(
+            [
+                f"query: {self.formula!r}",
+                f"normalized: {self.normalized!r}",
+                f"stats: {self.statistics!r}",
+                f"bounded-degree fast path: {dispatch} ({self.fast_path_reason})",
+                f"estimated plan cost: {self.plan.total_estimated_rows():.1f} rows",
+                explain_plan(self.plan),
+            ]
+        )
+
+
+class Engine:
+    """A planned, cached, locality-aware FO query engine.
+
+    Parameters
+    ----------
+    domain:
+        Quantification domain for negation/quantifiers: ``"universe"``
+        (default; agrees with the naive evaluator everywhere) or
+        ``"active"`` (active-domain semantics).
+    plan_cache_size / answer_cache_size:
+        LRU capacities for the two caches.
+    degree_threshold:
+        Maximal Gaifman degree for the bounded-degree fast path.
+    fast_path_ball_limit:
+        The fast path only engages when the worst-case Hanf-radius ball
+        (``max_ball_size(degree, (3^qr − 1)/2)``) stays below this bound,
+        keeping the linear-time census genuinely cheap.
+    fast_path_threshold:
+        Census-count truncation m for the fast path (Theorem 3.10).
+        ``None`` (default) keeps exact censuses, which is unconditionally
+        sound; a finite m lets structures of different sizes share table
+        entries (e.g. all large cycles), trading the formal guarantee for
+        the empirically validated cross-size reuse.
+    enable_fast_path:
+        Master switch for the Theorem 3.11 dispatch.
+    """
+
+    def __init__(
+        self,
+        domain: str = "universe",
+        plan_cache_size: int = 256,
+        answer_cache_size: int = 1024,
+        degree_threshold: int = 3,
+        fast_path_ball_limit: int = 64,
+        fast_path_threshold: int | None = None,
+        enable_fast_path: bool = True,
+    ) -> None:
+        if domain not in ("universe", "active"):
+            raise EvaluationError(f"domain must be 'universe' or 'active', got {domain!r}")
+        self.domain_mode = domain
+        self.degree_threshold = degree_threshold
+        self.fast_path_ball_limit = fast_path_ball_limit
+        self.fast_path_threshold = fast_path_threshold
+        self.enable_fast_path = enable_fast_path
+        self.plan_cache = LRUCache(plan_cache_size)
+        self.answer_cache = LRUCache(answer_cache_size)
+        self._bounded_degree = LRUCache(64)
+        self.stats = EngineStats()
+
+    # -- public API ----------------------------------------------------------
+
+    def answers(
+        self,
+        structure: Structure,
+        formula: Formula,
+        free_order: tuple[Var, ...] | None = None,
+    ) -> frozenset[tuple[Element, ...]]:
+        """ans(φ(x̄), A) through the planner — same contract as the naive
+        :func:`repro.eval.evaluator.answers`."""
+        free = free_variables(formula)
+        sorted_names = tuple(sorted(var.name for var in free))
+        if free_order is None:
+            order_names = sorted_names
+        else:
+            order_names = tuple(var.name for var in free_order)
+            missing = {var.name for var in free} - set(order_names)
+            if missing:
+                raise EvaluationError(f"free_order omits free variables {sorted(missing)}")
+            if len(set(order_names)) != len(order_names):
+                # Duplicated answer columns have bespoke naive semantics;
+                # defer to the reference implementation for this corner.
+                return naive_answers(structure, formula, free_order)
+
+        key = (structure, formula, self.domain_mode, order_names)
+        return self.answer_cache.get_or_compute(
+            key, lambda: self._compute_answers(structure, formula, sorted_names, order_names)
+        )
+
+    def evaluate(
+        self,
+        structure: Structure,
+        formula: Formula,
+        assignment: dict[Var, Element] | None = None,
+    ) -> bool:
+        """Decide A ⊨ φ[assignment] — same contract as the naive
+        :func:`repro.eval.evaluator.evaluate`."""
+        free = free_variables(formula)
+        if free:
+            env = dict(assignment or {})
+            missing = sorted(var.name for var in free if var not in env)
+            if missing:
+                raise EvaluationError(f"free variables {missing} have no binding")
+            for var in free:
+                if env[var] not in structure:
+                    raise EvaluationError(
+                        f"assignment binds {var.name!r} to {env[var]!r}, not in universe"
+                    )
+            order = tuple(sorted(free, key=lambda var: var.name))
+            values = tuple(env[var] for var in order)
+            return values in self.answers(structure, formula)
+
+        dispatch, _ = self.fast_path_decision(structure, formula)
+        if dispatch:
+            self.stats.fast_path_dispatches += 1
+            evaluator = self._bounded_degree_evaluator(formula)
+            try:
+                return evaluator.evaluate(structure)
+            except LocalityError:  # pragma: no cover - decision guards this
+                pass
+        return bool(self.answers(structure, formula))
+
+    def explain(self, structure: Structure, formula: Formula) -> Explanation:
+        """The chosen plan (with cost annotations) and the dispatch decision."""
+        plan, normalized = self._plan_for(structure, formula)
+        dispatch, reason = self.fast_path_decision(structure, formula)
+        return Explanation(
+            formula=formula,
+            normalized=normalized,
+            plan=plan,
+            statistics=collect_stats(structure),
+            fast_path=dispatch,
+            fast_path_reason=reason,
+        )
+
+    def invalidate(self, structure: Structure) -> int:
+        """Drop every cached answer for ``structure``; return the count."""
+        return self.answer_cache.evict_where(lambda key: key[0] == structure)
+
+    def clear_caches(self) -> None:
+        self.plan_cache.clear()
+        self.answer_cache.clear()
+        self._bounded_degree.clear()
+
+    # -- the locality fast path (Theorem 3.11) -------------------------------
+
+    def fast_path_decision(self, structure: Structure, formula: Formula) -> tuple[bool, str]:
+        """Whether a bounded-degree census dispatch is sound *and* cheap.
+
+        Sound: sentence, constant-free structure, Gaifman degree within
+        the configured class bound (the theorem is about bounded-degree
+        classes). Cheap: the Hanf-radius ball-size bound stays under
+        ``fast_path_ball_limit``, so the linear-time census has a small
+        constant.
+        """
+        if not self.enable_fast_path:
+            return False, "fast path disabled"
+        if self.domain_mode != "universe":
+            return False, "fast path requires universe semantics"
+        if free_variables(formula):
+            return False, "not a sentence"
+        if collect_stats(structure).has_constants:
+            return False, "structure interprets constants"
+        degree = collect_stats(structure).max_degree
+        if degree > self.degree_threshold:
+            return False, f"Gaifman degree {degree} exceeds bound {self.degree_threshold}"
+        radius = hanf_locality_radius(quantifier_rank(formula))
+        ball_bound = max_ball_size(self.degree_threshold, radius)
+        if ball_bound > self.fast_path_ball_limit:
+            return False, (
+                f"ball bound {ball_bound} at Hanf radius {radius} exceeds "
+                f"limit {self.fast_path_ball_limit}"
+            )
+        return True, (
+            f"degree {degree} ≤ {self.degree_threshold}, "
+            f"ball bound {ball_bound} ≤ {self.fast_path_ball_limit}"
+        )
+
+    def _bounded_degree_evaluator(self, sentence: Formula) -> BoundedDegreeEvaluator:
+        return self._bounded_degree.get_or_compute(
+            sentence,
+            lambda: BoundedDegreeEvaluator(
+                sentence,
+                degree_bound=self.degree_threshold,
+                threshold=self.fast_path_threshold,
+                fallback=self._fast_path_fallback,
+            ),
+        )
+
+    def _fast_path_fallback(self, structure: Structure, sentence: Formula) -> bool:
+        # Census-table miss: answer through the algebra pipeline (and its
+        # caches), not the naive evaluator.
+        return bool(self.answers(structure, sentence))
+
+    # -- plan + execute ------------------------------------------------------
+
+    def _plan_for(self, structure: Structure, formula: Formula) -> tuple[Plan, Formula]:
+        stats = collect_stats(structure)
+        key = (formula, structure.signature, self.domain_mode, stats.plan_key)
+
+        def build() -> tuple[Plan, Formula]:
+            validate(formula, structure.signature)
+            normalized = normalize(formula)
+            wanted = tuple(sorted(var.name for var in free_variables(formula)))
+            planner = Planner(stats, len(self._domain_values(structure)))
+            self.stats.plans_built += 1
+            return planner.plan(normalized, wanted), normalized
+
+        return self.plan_cache.get_or_compute(key, build)
+
+    def _domain_values(self, structure: Structure) -> tuple[Element, ...]:
+        if self.domain_mode == "universe":
+            return structure.universe
+        active = structure.active_domain()
+        if not active:
+            # Mirror the translate convention: keep quantifiers well
+            # defined on structures with all-empty relations.
+            return (structure.universe[0],)
+        return tuple(sorted(active, key=repr))
+
+    def _compute_answers(
+        self,
+        structure: Structure,
+        formula: Formula,
+        sorted_names: tuple[str, ...],
+        order_names: tuple[str, ...],
+    ) -> frozenset[tuple[Element, ...]]:
+        plan, _ = self._plan_for(structure, formula)
+        domain = self._domain_values(structure)
+        executor = Executor(structure, domain, self.stats.execution)
+        self.stats.executions += 1
+        relation = executor.run(plan)
+        extra = tuple(name for name in order_names if name not in sorted_names)
+        if extra:
+            # Naive `answers` ranges extra free_order columns over the
+            # full universe, independent of the domain mode.
+            relation = relation.extend_columns(extra, structure.universe)
+        if relation.attributes != order_names:
+            relation = relation.project(order_names)
+        return relation.rows
+
+
+def relation_answers(
+    engine: Engine, structure: Structure, formula: Formula
+) -> Relation:
+    """The answer set as a named-column :class:`Relation` (sorted columns)."""
+    free = tuple(sorted(var.name for var in free_variables(formula)))
+    return Relation(free, engine.answers(structure, formula))

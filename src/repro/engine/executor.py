@@ -1,0 +1,154 @@
+"""The plan executor: costed plans → :class:`Relation` values.
+
+Joins are hash-based (via :meth:`Relation.join`) with a semijoin
+pre-filter: when both inputs are large and share attributes, the bigger
+side is first reduced to the rows that can possibly match — the
+classical distributed-database trick, which here keeps the hash table
+and the output of skewed joins small. Negative conjuncts execute as hash
+antijoins, so safe negation never materializes a domain complement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import EvaluationError
+from repro.engine.plan import (
+    AntiJoin,
+    AtomScan,
+    Complement,
+    ConstEq,
+    ConstPair,
+    Diagonal,
+    DomainColumn,
+    Extend,
+    Join,
+    NullaryTruth,
+    Plan,
+    Project,
+    Union,
+)
+from repro.eval.algebra import Relation
+from repro.structures.structure import Element, Structure
+
+__all__ = ["Executor", "ExecutionStats"]
+
+#: Minimum input size before a join bothers with a semijoin pre-filter.
+SEMIJOIN_THRESHOLD = 64
+
+
+@dataclass
+class ExecutionStats:
+    """Row counters for one (or several) plan executions."""
+
+    rows_materialized: int = 0
+    joins: int = 0
+    semijoin_filters: int = 0
+    antijoins: int = 0
+
+    def _observe(self, relation: Relation) -> Relation:
+        self.rows_materialized += len(relation)
+        return relation
+
+
+class Executor:
+    """Execute plans against one structure and quantification domain."""
+
+    def __init__(
+        self,
+        structure: Structure,
+        domain: tuple[Element, ...],
+        stats: ExecutionStats | None = None,
+    ) -> None:
+        self.structure = structure
+        self.domain = domain
+        self._domain_set = frozenset(domain)
+        self.stats = stats if stats is not None else ExecutionStats()
+
+    def run(self, plan: Plan) -> Relation:
+        relation = self._run(plan)
+        if relation.attributes != plan.attributes:  # pragma: no cover - invariant
+            raise EvaluationError(
+                f"executor produced {relation.attributes}, plan promised {plan.attributes}"
+            )
+        return relation
+
+    def _run(self, plan: Plan) -> Relation:
+        observe = self.stats._observe
+        if isinstance(plan, AtomScan):
+            return observe(self._scan(plan))
+        if isinstance(plan, NullaryTruth):
+            return observe(Relation.nullary(plan.truth))
+        if isinstance(plan, DomainColumn):
+            return observe(
+                Relation(plan.attributes, frozenset((d,) for d in self.domain))
+            )
+        if isinstance(plan, Diagonal):
+            return observe(
+                Relation(plan.attributes, frozenset((d, d) for d in self.domain))
+            )
+        if isinstance(plan, ConstEq):
+            value = self.structure.constant(plan.constant)
+            rows = frozenset({(value,)} if value in self._domain_set else set())
+            return observe(Relation(plan.attributes, rows))
+        if isinstance(plan, ConstPair):
+            left = self.structure.constant(plan.left)
+            right = self.structure.constant(plan.right)
+            return observe(Relation.nullary(left == right))
+        if isinstance(plan, Join):
+            return observe(self._join(plan))
+        if isinstance(plan, AntiJoin):
+            self.stats.antijoins += 1
+            left = self._run(plan.left)
+            right = self._run(plan.right)
+            return observe(left.antijoin(right))
+        if isinstance(plan, Project):
+            return observe(self._run(plan.child).project(plan.attributes))
+        if isinstance(plan, Complement):
+            return observe(self._run(plan.child).complement(self.domain))
+        if isinstance(plan, Extend):
+            return observe(
+                self._run(plan.child).extend_columns(plan.new_attributes, self.domain)
+            )
+        if isinstance(plan, Union):
+            parts = [self._run(part) for part in plan.parts]
+            result = Relation.empty(plan.attributes)
+            for part in parts:
+                result = result.union(part)
+            return observe(result)
+        raise EvaluationError(f"unknown plan node {plan!r}")
+
+    def _scan(self, plan: AtomScan) -> Relation:
+        rows = self.structure.tuples(plan.relation)
+        if plan.const_selects:
+            pins = [
+                (position, self.structure.constant(name))
+                for position, name in plan.const_selects
+            ]
+            rows = {r for r in rows if all(r[i] == v for i, v in pins)}
+        if plan.equalities:
+            rows = {
+                r for r in rows if all(r[i] == r[j] for i, j in plan.equalities)
+            }
+        indices = [position for position, _ in plan.projection]
+        return Relation(
+            plan.attributes, frozenset(tuple(r[i] for i in indices) for r in rows)
+        )
+
+    def _join(self, plan: Join) -> Relation:
+        self.stats.joins += 1
+        left = self._run(plan.left)
+        right = self._run(plan.right)
+        shared = [a for a in left.attributes if a in right.attributes]
+        if shared and len(left) > SEMIJOIN_THRESHOLD and len(right) > SEMIJOIN_THRESHOLD:
+            # Reduce the bigger side to the rows that can find a partner
+            # before building the join output.
+            self.stats.semijoin_filters += 1
+            if len(left) >= len(right):
+                left = left.semijoin(right)
+            else:
+                right = right.semijoin(left)
+        joined = left.join(right)
+        if joined.attributes != plan.attributes:
+            joined = joined.project(plan.attributes)
+        return joined

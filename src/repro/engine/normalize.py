@@ -1,0 +1,88 @@
+"""Query normalization for the engine: NNF, simplification, miniscoping.
+
+The planner wants formulas in a shape where (a) negation sits as low as
+possible, so conjunctions expose their negative conjuncts for antijoin
+compilation, and (b) quantifiers sit as low as possible, so projections
+happen early and intermediate relations stay narrow. The pipeline reuses
+the semantics-preserving passes of :mod:`repro.logic.transform` and adds
+*miniscoping* — the classical push-quantifiers-down rewrite that is the
+syntactic half of every real planner's "project early" rule.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FormulaError
+from repro.logic.analysis import free_variables
+from repro.logic.syntax import (
+    And,
+    Atom,
+    Bottom,
+    Eq,
+    Exists,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    Top,
+    Var,
+)
+from repro.logic.transform import simplify, standardize_apart, to_nnf
+
+__all__ = ["normalize", "miniscope"]
+
+
+def normalize(formula: Formula) -> Formula:
+    """The engine's normal form: NNF, constant-folded, miniscoped.
+
+    Arrows are eliminated and negation pushed to atoms (NNF), trivial
+    subformulas are folded away, bound variables are standardized apart,
+    and quantifiers are pushed below the connectives they commute with.
+    The result is logically equivalent to the input (the equivalence
+    suite checks this against the naive evaluator on random formulas).
+    """
+    prepared = simplify(to_nnf(formula))
+    prepared = standardize_apart(prepared)
+    return miniscope(prepared)
+
+
+def miniscope(formula: Formula) -> Formula:
+    """Push quantifiers inward as far as they commute.
+
+    ``∃x (φ ∨ ψ)`` becomes ``∃x φ ∨ ∃x ψ``; ``∃x (φ ∧ ψ)`` with x not
+    free in ψ becomes ``(∃x φ) ∧ ψ`` (dually for ∀). A quantifier over a
+    body it does not occur in is dropped — sound because universes are
+    non-empty. The input should be standardized apart (no shadowing), as
+    :func:`normalize` guarantees.
+    """
+    if isinstance(formula, (Atom, Eq, Top, Bottom)):
+        return formula
+    if isinstance(formula, Not):
+        return Not(miniscope(formula.body))
+    if isinstance(formula, And):
+        return And(tuple(miniscope(child) for child in formula.children))
+    if isinstance(formula, Or):
+        return Or(tuple(miniscope(child) for child in formula.children))
+    if isinstance(formula, (Exists, Forall)):
+        return _push(type(formula), formula.var, miniscope(formula.body))
+    raise FormulaError(f"unknown formula node {formula!r}")
+
+
+def _push(kind: type, var: Var, body: Formula) -> Formula:
+    if var not in free_variables(body):
+        return body
+    # ∃ distributes over ∨, ∀ over ∧; the dual connective only lets the
+    # quantifier slide past children that do not mention the variable.
+    distributes = Or if kind is Exists else And
+    blocks = And if kind is Exists else Or
+    if isinstance(body, distributes):
+        return distributes(tuple(_push(kind, var, child) for child in body.children))
+    if isinstance(body, blocks):
+        inside = tuple(c for c in body.children if var in free_variables(c))
+        outside = tuple(c for c in body.children if var not in free_variables(c))
+        if outside:
+            narrowed = inside[0] if len(inside) == 1 else blocks(inside)
+            return blocks(outside + (_push(kind, var, narrowed),))
+        if len(inside) == 1:
+            return _push(kind, var, inside[0])
+        return kind(var, body)
+    return kind(var, body)

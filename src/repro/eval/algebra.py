@@ -2,10 +2,16 @@
 
 Relations are named-column sets of tuples; the operators are the
 classical six (selection, projection, rename, natural join, union,
-difference) plus intersection, product, and active-domain complement.
-The FO → algebra translation in :mod:`repro.eval.translate` targets this
-engine, making the textbook equivalence "relational algebra = first-order
-logic (active-domain semantics)" executable.
+difference) plus intersection, product, division, semijoin/antijoin, and
+active-domain complement. The FO → algebra translation in
+:mod:`repro.eval.translate` and the cost-based planner in
+:mod:`repro.engine` both target this engine, making the textbook
+equivalence "relational algebra = first-order logic (active-domain
+semantics)" executable.
+
+Every operator is a method on :class:`Relation`; the module also exports
+a functional spelling of each (``natural_join(r, s)`` ≡ ``r.join(s)``),
+which is the operator surface the planner consumes.
 """
 
 from __future__ import annotations
@@ -16,7 +22,25 @@ from dataclasses import dataclass
 from repro.errors import EvaluationError
 from repro.structures.structure import Element
 
-__all__ = ["Relation"]
+__all__ = [
+    "Relation",
+    # functional operator surface (one per Relation method)
+    "select",
+    "select_eq",
+    "select_attr_eq",
+    "project",
+    "rename",
+    "natural_join",
+    "semijoin",
+    "antijoin",
+    "product",
+    "union",
+    "difference",
+    "intersection",
+    "divide",
+    "complement",
+    "extend_columns",
+]
 
 
 @dataclass(frozen=True)
@@ -147,6 +171,40 @@ class Relation:
                 rows.add(row + tuple(match[index] for index in other_extra_idx))
         return Relation(result_attributes, frozenset(rows))
 
+    def semijoin(self, other: "Relation") -> "Relation":
+        """⋉: rows of this relation with a join partner in ``other``.
+
+        Equivalent to π_{self}(self ⋈ other), computed with one hash set
+        over the shared attributes. With no shared attributes this is
+        ``self`` when ``other`` is non-empty and the empty relation
+        otherwise (the projection of the cartesian product).
+        """
+        return self._half_join(other, keep_matching=True)
+
+    def antijoin(self, other: "Relation") -> "Relation":
+        """▷: rows of this relation with *no* join partner in ``other``.
+
+        The complement of :meth:`semijoin` within this relation — the
+        hash-based realization of safe negation, used by the engine for
+        negative conjuncts instead of a domain complement.
+        """
+        return self._half_join(other, keep_matching=False)
+
+    def _half_join(self, other: "Relation", keep_matching: bool) -> "Relation":
+        shared = [attribute for attribute in self.attributes if attribute in other.attributes]
+        if not shared:
+            nonempty = bool(other.rows) == keep_matching
+            return self if nonempty else Relation(self.attributes, frozenset())
+        self_key = [self._index_of(attribute) for attribute in shared]
+        other_key = [other._index_of(attribute) for attribute in shared]
+        keys = frozenset(tuple(row[index] for index in other_key) for row in other.rows)
+        rows = frozenset(
+            row
+            for row in self.rows
+            if (tuple(row[index] for index in self_key) in keys) == keep_matching
+        )
+        return Relation(self.attributes, rows)
+
     def product(self, other: "Relation") -> "Relation":
         """×: cartesian product (attribute sets must be disjoint)."""
         overlap = set(self.attributes) & set(other.attributes)
@@ -233,3 +291,89 @@ class Relation:
 
     def __repr__(self) -> str:
         return f"Relation({self.attributes}, {len(self.rows)} rows)"
+
+
+# ---------------------------------------------------------------------------
+# Functional operator surface
+# ---------------------------------------------------------------------------
+#
+# Thin module-level spellings of the Relation methods, so code that treats
+# the algebra as a set of operators (the planner, tests, teaching examples)
+# can import them by name.
+
+
+def select(relation: Relation, predicate: Callable[[Mapping[str, Element]], bool]) -> Relation:
+    """σ as a function: ``select(r, p)`` ≡ ``r.select(p)``."""
+    return relation.select(predicate)
+
+
+def select_eq(relation: Relation, attribute: str, value: Element) -> Relation:
+    """σ_{attribute = value} as a function."""
+    return relation.select_eq(attribute, value)
+
+
+def select_attr_eq(relation: Relation, first: str, second: str) -> Relation:
+    """σ_{first = second} as a function."""
+    return relation.select_attr_eq(first, second)
+
+
+def project(relation: Relation, attributes: Iterable[str]) -> Relation:
+    """π as a function: ``project(r, attrs)`` ≡ ``r.project(attrs)``."""
+    return relation.project(attributes)
+
+
+def rename(relation: Relation, mapping: Mapping[str, str]) -> Relation:
+    """ρ as a function: ``rename(r, m)`` ≡ ``r.rename(m)``."""
+    return relation.rename(mapping)
+
+
+def natural_join(left: Relation, right: Relation) -> Relation:
+    """⋈ as a function: ``natural_join(r, s)`` ≡ ``r.join(s)``."""
+    return left.join(right)
+
+
+def semijoin(left: Relation, right: Relation) -> Relation:
+    """⋉ as a function: ``semijoin(r, s)`` ≡ ``r.semijoin(s)``."""
+    return left.semijoin(right)
+
+
+def antijoin(left: Relation, right: Relation) -> Relation:
+    """▷ as a function: ``antijoin(r, s)`` ≡ ``r.antijoin(s)``."""
+    return left.antijoin(right)
+
+
+def product(left: Relation, right: Relation) -> Relation:
+    """× as a function: ``product(r, s)`` ≡ ``r.product(s)``."""
+    return left.product(right)
+
+
+def union(left: Relation, right: Relation) -> Relation:
+    """∪ as a function: ``union(r, s)`` ≡ ``r.union(s)``."""
+    return left.union(right)
+
+
+def difference(left: Relation, right: Relation) -> Relation:
+    """− as a function: ``difference(r, s)`` ≡ ``r.difference(s)``."""
+    return left.difference(right)
+
+
+def intersection(left: Relation, right: Relation) -> Relation:
+    """∩ as a function: ``intersection(r, s)`` ≡ ``r.intersection(s)``."""
+    return left.intersection(right)
+
+
+def divide(left: Relation, right: Relation) -> Relation:
+    """÷ as a function: ``divide(r, s)`` ≡ ``r.divide(s)``."""
+    return left.divide(right)
+
+
+def complement(relation: Relation, domain: Iterable[Element]) -> Relation:
+    """Active-domain complement as a function."""
+    return relation.complement(domain)
+
+
+def extend_columns(
+    relation: Relation, attributes: Iterable[str], domain: Iterable[Element]
+) -> Relation:
+    """Column padding as a function: ≡ ``r.extend_columns(attrs, domain)``."""
+    return relation.extend_columns(attributes, domain)

@@ -24,6 +24,7 @@ by the test suite.
 from __future__ import annotations
 
 from collections import Counter
+from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from repro.errors import LocalityError
@@ -75,6 +76,10 @@ class BoundedDegreeEvaluator:
     threshold:
         Optional census truncation m (Theorem 3.10). ``None`` uses exact
         censuses, which is unconditionally sound.
+    fallback:
+        How to evaluate the sentence on a census-table miss. Defaults to
+        the naive evaluator; the query engine passes its own algebra
+        pipeline here so misses stay polynomial-friendly.
 
     After a warm-up evaluation, any structure with a previously seen
     census is answered by a linear-time census computation plus a table
@@ -88,6 +93,7 @@ class BoundedDegreeEvaluator:
         degree_bound: int,
         radius: int | None = None,
         threshold: int | None = None,
+        fallback: Callable[[Structure, Formula], bool] | None = None,
     ) -> None:
         free = free_variables(sentence)
         if free:
@@ -103,6 +109,7 @@ class BoundedDegreeEvaluator:
         self.degree_bound = degree_bound
         self.radius = hanf_locality_radius(quantifier_rank(sentence)) if radius is None else radius
         self.threshold = threshold
+        self.fallback = fallback if fallback is not None else evaluate
         self.registry = TypeRegistry()
         self.table: dict[tuple, bool] = {}
         self.stats = EvaluatorStats()
@@ -125,7 +132,7 @@ class BoundedDegreeEvaluator:
             self.stats.hits += 1
             return cached
         self.stats.misses += 1
-        value = evaluate(structure, self.sentence)
+        value = bool(self.fallback(structure, self.sentence))
         self.table[key] = value
         self.stats.censuses_seen = len(self.table)
         return value

@@ -104,7 +104,7 @@ def order_to_connectivity_graph(order: Structure) -> Structure:
     the standard evaluator), and the resulting graph is connected iff
     the order has odd size — the reduction that kills CONN (E5).
     """
-    from repro.eval.evaluator import answers
+    from repro.engine import engine_answers as answers
     from repro.logic.signature import GRAPH
 
     x, y, z, u, v = V("x"), V("y"), V("z"), V("u"), V("v")
@@ -128,7 +128,7 @@ def order_to_acyclicity_graph(order: Structure) -> Structure:
     Edges to 2nd successors, plus last → first. Acyclic iff the order
     has even size — the reduction that kills ACYCL (E5).
     """
-    from repro.eval.evaluator import answers
+    from repro.engine import engine_answers as answers
     from repro.logic.signature import GRAPH
 
     x, y, z = V("x"), V("y"), V("z")

@@ -1,0 +1,164 @@
+"""Unit tests for the engine's caches and the bounded-degree dispatch."""
+
+import pytest
+
+from repro.engine import Engine, LRUCache
+from repro.eval.evaluator import evaluate
+from repro.logic.parser import parse
+from repro.structures.builders import (
+    complete_graph,
+    random_graph,
+    undirected_cycle,
+)
+
+TRIANGLE_FREE = parse("~(exists x exists y exists z (E(x, y) & E(y, z) & E(z, x)))")
+MUTUAL = parse("exists x exists y (E(x, y) & E(y, x))")
+
+
+class TestLRUCache:
+    def test_eviction_order_is_lru(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh a
+        cache.put("c", 3)  # evicts b
+        assert "b" not in cache and "a" in cache and "c" in cache
+
+    def test_counters(self):
+        cache = LRUCache(4)
+        cache.put("k", "v")
+        cache.get("k")
+        cache.get("absent")
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+    def test_evict_where(self):
+        cache = LRUCache(8)
+        for i in range(5):
+            cache.put(("s", i), i)
+        assert cache.evict_where(lambda key: key[1] % 2 == 0) == 3
+        assert len(cache) == 2
+
+
+class TestPlanCache:
+    def test_same_structure_and_formula_hits_plan_cache(self):
+        engine = Engine()
+        structure = random_graph(5, 0.5, seed=1)
+        formula = parse("exists y E(x, y)")
+        engine.answers(structure, formula)
+        built = engine.stats.plans_built
+        engine.invalidate(structure)  # force re-execution, not re-planning
+        engine.answers(structure, formula)
+        assert engine.stats.plans_built == built
+        assert engine.plan_cache.hits >= 1
+
+    def test_same_stats_profile_shares_one_plan(self):
+        engine = Engine()
+        formula = parse("E(x, y) & E(y, z)")
+        left = random_graph(6, 0.5, seed=2)
+        right = left.relabel(lambda element: element + 100)
+        engine.answers(left, formula)
+        engine.answers(right, formula)
+        # Identical cardinality profiles → one plan, two answer entries.
+        assert engine.stats.plans_built == 1
+        assert len(engine.answer_cache) == 2
+
+    def test_different_cardinalities_replan(self):
+        engine = Engine()
+        formula = parse("E(x, y) & E(y, z)")
+        engine.answers(random_graph(6, 0.2, seed=3), formula)
+        engine.answers(random_graph(6, 0.9, seed=4), formula)
+        assert engine.stats.plans_built == 2
+
+
+class TestAnswerCache:
+    def test_answer_cache_hit_skips_execution(self):
+        engine = Engine()
+        structure = random_graph(5, 0.4, seed=5)
+        formula = parse("E(x, y) & ~E(y, x)")
+        first = engine.answers(structure, formula)
+        executions = engine.stats.executions
+        second = engine.answers(structure, formula)
+        assert second == first
+        assert engine.stats.executions == executions
+        assert engine.answer_cache.hits >= 1
+
+    def test_invalidate_drops_only_that_structure(self):
+        engine = Engine()
+        formula = parse("exists y E(x, y)")
+        one = random_graph(4, 0.5, seed=6)
+        two = random_graph(5, 0.5, seed=7)
+        engine.answers(one, formula)
+        engine.answers(two, formula)
+        assert engine.invalidate(one) == 1
+        assert len(engine.answer_cache) == 1
+        engine.answers(two, formula)
+        assert engine.answer_cache.hits >= 1
+
+
+class TestBoundedDegreeDispatch:
+    def test_low_degree_sentence_dispatches(self):
+        engine = Engine()
+        dispatch, reason = engine.fast_path_decision(undirected_cycle(10), MUTUAL)
+        assert dispatch, reason
+
+    def test_high_degree_structure_does_not(self):
+        engine = Engine()
+        dispatch, reason = engine.fast_path_decision(complete_graph(10), MUTUAL)
+        assert not dispatch
+        assert "degree" in reason
+
+    def test_deep_sentence_does_not(self):
+        deep = parse(
+            "exists x exists y exists z exists u (E(x,y) & E(y,z) & E(z,u) & E(u,x))"
+        )
+        engine = Engine()
+        dispatch, reason = engine.fast_path_decision(undirected_cycle(10), deep)
+        assert not dispatch
+        assert "ball bound" in reason
+
+    def test_open_formula_does_not(self):
+        engine = Engine()
+        dispatch, reason = engine.fast_path_decision(
+            undirected_cycle(10), parse("exists y E(x, y)")
+        )
+        assert not dispatch
+        assert reason == "not a sentence"
+
+    def test_disabled_engine_does_not(self):
+        engine = Engine(enable_fast_path=False)
+        dispatch, _ = engine.fast_path_decision(undirected_cycle(10), MUTUAL)
+        assert not dispatch
+
+    def test_dispatch_agrees_with_naive_across_family(self):
+        engine = Engine()
+        for n in range(3, 10):
+            cycle = undirected_cycle(n)
+            assert engine.evaluate(cycle, MUTUAL) == evaluate(cycle, MUTUAL)
+            assert engine.evaluate(cycle, TRIANGLE_FREE) == evaluate(
+                cycle, TRIANGLE_FREE
+            )
+        assert engine.stats.fast_path_dispatches > 0
+
+    def test_threshold_enables_cross_size_table_reuse(self):
+        # Theorem 3.10: with a census threshold, all large directed
+        # cycles share one table entry, so later sizes skip evaluation.
+        from repro.structures.builders import directed_cycle
+
+        engine = Engine(fast_path_threshold=4)
+        for n in (12, 13, 14, 15, 16):
+            assert not engine.evaluate(directed_cycle(n), MUTUAL)
+        evaluator = engine._bounded_degree.get(MUTUAL)
+        assert evaluator is not None
+        assert evaluator.stats.hits >= 3
+
+    def test_fast_path_miss_uses_algebra_not_naive(self):
+        engine = Engine()
+        cycle = undirected_cycle(9)
+        assert engine.evaluate(cycle, MUTUAL) == evaluate(cycle, MUTUAL)
+        # The table miss must have routed through the engine's own
+        # answers pipeline (visible as a cached sentence answer).
+        assert engine.answer_cache.misses >= 1

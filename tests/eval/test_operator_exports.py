@@ -1,0 +1,77 @@
+"""The algebra module exports a complete functional operator surface."""
+
+import pytest
+
+from repro.eval import algebra
+from repro.eval.algebra import Relation, antijoin, natural_join, semijoin
+
+
+def rel(attributes, rows):
+    return Relation.from_tuples(attributes, rows)
+
+
+class TestSemijoinAntijoin:
+    R = rel(("a", "b"), [(1, 10), (2, 20), (3, 30)])
+    S = rel(("b", "c"), [(10, "x"), (30, "y"), (99, "z")])
+
+    def test_semijoin_keeps_matching_rows(self):
+        assert self.R.semijoin(self.S).rows == {(1, 10), (3, 30)}
+
+    def test_antijoin_keeps_the_rest(self):
+        assert self.R.antijoin(self.S).rows == {(2, 20)}
+
+    def test_semijoin_plus_antijoin_partition(self):
+        left = self.R.semijoin(self.S)
+        right = self.R.antijoin(self.S)
+        assert left.rows | right.rows == self.R.rows
+        assert not left.rows & right.rows
+
+    def test_semijoin_is_projected_join(self):
+        joined = self.R.join(self.S).project(("a", "b"))
+        assert self.R.semijoin(self.S).rows == joined.rows
+
+    def test_no_shared_attributes_degenerates_to_emptiness_test(self):
+        other = rel(("z",), [(5,)])
+        assert self.R.semijoin(other) == self.R
+        assert self.R.antijoin(other).rows == frozenset()
+        empty = Relation.empty(("z",))
+        assert self.R.semijoin(empty).rows == frozenset()
+        assert self.R.antijoin(empty) == self.R
+
+    def test_attributes_preserved(self):
+        assert self.R.semijoin(self.S).attributes == ("a", "b")
+        assert self.R.antijoin(self.S).attributes == ("a", "b")
+
+
+class TestFunctionalSurface:
+    def test_every_export_exists_and_is_callable(self):
+        for name in algebra.__all__:
+            exported = getattr(algebra, name)
+            assert callable(exported) or name == "Relation"
+
+    def test_functional_spellings_match_methods(self):
+        r = rel(("a", "b"), [(1, 2), (2, 3)])
+        s = rel(("b", "c"), [(2, 5)])
+        assert natural_join(r, s) == r.join(s)
+        assert semijoin(r, s) == r.semijoin(s)
+        assert antijoin(r, s) == r.antijoin(s)
+        assert algebra.project(r, ("b",)) == r.project(("b",))
+        assert algebra.rename(r, {"a": "x"}) == r.rename({"a": "x"})
+        assert algebra.union(r, r) == r
+        assert algebra.difference(r, r).rows == frozenset()
+        assert algebra.intersection(r, r) == r
+        assert algebra.complement(r, (1, 2)) == r.complement((1, 2))
+
+    def test_complement_explicitly(self):
+        r = rel(("a",), [(1,)])
+        assert algebra.complement(r, (1, 2, 3)).rows == {(2,), (3,)}
+
+    def test_select_wrappers(self):
+        r = rel(("a", "b"), [(1, 1), (1, 2)])
+        assert algebra.select_eq(r, "b", 2).rows == {(1, 2)}
+        assert algebra.select_attr_eq(r, "a", "b").rows == {(1, 1)}
+        assert algebra.select(r, lambda row: row["b"] > 1).rows == {(1, 2)}
+
+    def test_extend_columns_wrapper(self):
+        r = rel(("a",), [(1,)])
+        assert algebra.extend_columns(r, ("b",), (7, 8)).rows == {(1, 7), (1, 8)}
