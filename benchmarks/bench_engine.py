@@ -22,8 +22,9 @@ import json
 import time
 from pathlib import Path
 
-from conftest import print_table
+from conftest import engine_telemetry, print_table, telemetry_snapshot
 
+from repro import telemetry
 from repro.engine import Engine
 from repro.eval.evaluator import answers as naive_answers
 from repro.eval.evaluator import evaluate as naive_evaluate
@@ -46,11 +47,12 @@ def _timed(fn, *args, repeat: int = 1):
     return result, best
 
 
-def _e1_family_rows() -> list[dict]:
+def _e1_family_rows() -> tuple[list[dict], dict]:
     """Naive vs engine on the E1 worst-case ∀-prefix family."""
     from bench_e1_combined_complexity import nested_query
 
     rows = []
+    engines = {}
     query = nested_query(3)
     for n in (12, 20, 28):
         graph = empty_graph(n)
@@ -58,6 +60,7 @@ def _e1_family_rows() -> list[dict]:
         naive_result, naive_s = _timed(naive_evaluate, graph, query)
         engine_result, engine_s = _timed(engine.evaluate, graph, query)
         assert naive_result == engine_result
+        engines[f"n={n}"] = engine_telemetry(engine)
         rows.append(
             {
                 "workload": "E1-forall-chain k=3",
@@ -68,12 +71,13 @@ def _e1_family_rows() -> list[dict]:
                 "speedup": naive_s / engine_s if engine_s else float("inf"),
             }
         )
-    return rows
+    return rows, engines
 
 
-def _zoo_corpus_rows() -> list[dict]:
+def _zoo_corpus_rows() -> tuple[list[dict], dict]:
     """Naive vs engine `answers` on the FO graph corpus."""
     rows = []
+    engines = {}
     for n, p, seed in ((30, 0.15, 1), (48, 0.1, 2)):
         graph = random_graph(n, p, seed=seed)
         engine = Engine()
@@ -95,10 +99,11 @@ def _zoo_corpus_rows() -> list[dict]:
                     "speedup": naive_s / engine_s if engine_s else float("inf"),
                 }
             )
-    return rows
+        engines[f"n={n}"] = engine_telemetry(engine)
+    return rows, engines
 
 
-def _bounded_degree_family_rows() -> list[dict]:
+def _bounded_degree_family_rows() -> tuple[list[dict], dict]:
     """One sentence across a bounded-degree family: the Thm 3.11 path.
 
     The engine warms its census table on the first few cycles and then
@@ -118,7 +123,7 @@ def _bounded_degree_family_rows() -> list[dict]:
     engine_result, engine_s = _timed(run_engine)
     assert naive_result == engine_result
     evaluator = engine._bounded_degree.get(MUTUAL)
-    return [
+    rows = [
         {
             "workload": "bounded-degree family (directed cycles, Thm 3.11)",
             "query": "has-mutual-pair",
@@ -129,15 +134,39 @@ def _bounded_degree_family_rows() -> list[dict]:
             "census_table_hits": evaluator.stats.hits if evaluator else 0,
         }
     ]
+    return rows, {"family": engine_telemetry(engine)}
 
 
-def collect_all_rows() -> list[dict]:
-    return _e1_family_rows() + _zoo_corpus_rows() + _bounded_degree_family_rows()
+def collect_all_rows() -> tuple[list[dict], dict]:
+    """All workload rows plus a telemetry document for BENCH_engine.json.
+
+    The collection runs with telemetry enabled so the JSON records not
+    just the speedups but the *mechanism*: per-workload cache hit rates
+    and fast-path dispatch counts, and the global registry's operator
+    row counts and census accounting.
+    """
+    was_enabled = telemetry.is_enabled()
+    telemetry.reset()
+    telemetry.enable()
+    try:
+        e1_rows, e1_engines = _e1_family_rows()
+        zoo_rows, zoo_engines = _zoo_corpus_rows()
+        bd_rows, bd_engines = _bounded_degree_family_rows()
+        doc = telemetry_snapshot()
+    finally:
+        if not was_enabled:
+            telemetry.disable()
+    doc["workloads"] = {
+        "e1_forall_chain": {"engines": e1_engines},
+        "zoo_corpus": {"engines": zoo_engines},
+        "bounded_degree_family": {"engines": bd_engines},
+    }
+    return e1_rows + zoo_rows + bd_rows, doc
 
 
 class TestEngineSpeedup:
     def test_engine_beats_naive_and_records_json(self):
-        rows = collect_all_rows()
+        rows, telemetry_doc = collect_all_rows()
         table = [
             (
                 row["workload"],
@@ -157,6 +186,13 @@ class TestEngineSpeedup:
         best = max(row["speedup"] for row in rows)
         # Acceptance criterion: ≥ 5× on at least one zoo/E1 workload.
         assert best >= 5.0, f"best speedup only {best:.2f}x"
+        # The telemetry doc must explain the numbers: cache hit rates and
+        # fast-path dispatch counts per workload, operator rows globally.
+        zoo_engines = telemetry_doc["workloads"]["zoo_corpus"]["engines"]
+        assert all("cache_hit_rates" in snap for snap in zoo_engines.values())
+        bd = telemetry_doc["workloads"]["bounded_degree_family"]["engines"]["family"]
+        assert bd["fast_path_dispatches"] > 0
+        assert telemetry_doc["metrics"]["counters"]
         BENCH_PATH.write_text(
             json.dumps(
                 {
@@ -164,6 +200,7 @@ class TestEngineSpeedup:
                     "unit": "seconds (best of runs)",
                     "rows": rows,
                     "best_speedup": best,
+                    "telemetry": telemetry_doc,
                 },
                 indent=2,
             )
@@ -184,6 +221,7 @@ class TestEngineSpeedup:
 
 
 if __name__ == "__main__":
-    rows = collect_all_rows()
+    rows, telemetry_doc = collect_all_rows()
     for row in rows:
         print(row)
+    print(json.dumps(telemetry_doc, indent=2))

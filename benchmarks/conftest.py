@@ -5,6 +5,11 @@ DESIGN.md index: it computes the experiment's table, *asserts the
 paper's qualitative claim* about it, prints the rows (run with ``-s`` to
 see them), and registers a pytest-benchmark measurement of the
 experiment's core operation.
+
+Benches that record ``BENCH_*.json`` files attach telemetry snapshots
+(:func:`engine_telemetry` / :func:`telemetry_snapshot`) so the perf
+trajectory records *why* a number moved — cache hit rates, per-operator
+row counts, fast-path dispatch counts — not just that it moved.
 """
 
 from __future__ import annotations
@@ -13,6 +18,43 @@ import sys
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent.parent / "tests"))
+
+
+def engine_telemetry(engine) -> dict:
+    """One engine's observable state as a JSON-serializable dict.
+
+    Uses only public surface (``EngineStats.as_dict``,
+    ``LRUCache.snapshot``) so benches never reach into private fields.
+    """
+    caches = {
+        "plan": engine.plan_cache.snapshot(),
+        "answer": engine.answer_cache.snapshot(),
+        "bounded_degree": engine._bounded_degree.snapshot(),
+    }
+    return {
+        "stats": engine.stats.as_dict(),
+        "fast_path_dispatches": engine.stats.fast_path_dispatches,
+        "cache_hit_rates": {name: snap["hit_rate"] for name, snap in caches.items()},
+        "caches": caches,
+    }
+
+
+def telemetry_snapshot(engines: dict | None = None) -> dict:
+    """A full telemetry snapshot for a ``BENCH_*.json`` entry.
+
+    Combines the global metrics registry (operator rows/durations, cache
+    counters, census accounting) with per-engine summaries for the
+    engines the bench used.
+    """
+    from repro import telemetry
+
+    entry: dict = {
+        "enabled": telemetry.is_enabled(),
+        "metrics": telemetry.metrics_snapshot(),
+    }
+    if engines:
+        entry["engines"] = {name: engine_telemetry(e) for name, e in engines.items()}
+    return entry
 
 
 def print_table(title: str, columns: list[str], rows: list[tuple]) -> None:

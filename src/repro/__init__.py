@@ -39,6 +39,11 @@ Subpackages
     (S8).
 ``repro.queries``
     The canonical query zoo and the §3.3 reduction tricks (S9).
+``repro.telemetry``
+    Observability: span tracing, a counter/gauge/histogram metrics
+    registry, and the engine's EXPLAIN ANALYZE support. Off by default —
+    enable with ``repro.telemetry.enable()`` or ``REPRO_TELEMETRY=1``
+    (S14).
 
 Quickstart
 ----------
@@ -107,6 +112,7 @@ from repro.structures import (
     undirected_cycle,
 )
 from repro.zero_one import decide_almost_sure, mu_estimate
+from repro import telemetry
 
 __version__ = "1.0.0"
 
@@ -135,4 +141,6 @@ __all__ = [
     "BoundedDegreeEvaluator",
     # zero-one
     "decide_almost_sure", "mu_estimate",
+    # observability
+    "telemetry",
 ]

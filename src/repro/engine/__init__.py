@@ -15,8 +15,8 @@ True
 """
 
 from repro.engine.cache import LRUCache
-from repro.engine.engine import Engine, EngineStats, Explanation
-from repro.engine.executor import ExecutionStats, Executor
+from repro.engine.engine import Engine, EngineStats, Explanation, ProfiledExplanation
+from repro.engine.executor import ExecutionStats, Executor, NodeActuals
 from repro.engine.normalize import miniscope, normalize
 from repro.engine.plan import Plan, explain_plan
 from repro.engine.planner import Planner
@@ -29,8 +29,10 @@ __all__ = [
     "Executor",
     "ExecutionStats",
     "LRUCache",
+    "NodeActuals",
     "Plan",
     "Planner",
+    "ProfiledExplanation",
     "StructureStats",
     "collect_stats",
     "default_engine",

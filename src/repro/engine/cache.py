@@ -1,9 +1,16 @@
 """A small LRU cache used for plans and answers.
 
-Both engine caches are bounded LRU maps with hit/miss counters; the
-answer cache additionally supports per-structure invalidation (structures
-are immutable, so this only matters when callers want to bound memory or
-drop results for structures they no longer hold).
+Both engine caches are bounded LRU maps with hit/miss/eviction counters;
+the answer cache additionally supports per-structure invalidation
+(structures are immutable, so this only matters when callers want to
+bound memory or drop results for structures they no longer hold).
+
+Named caches double as telemetry sources: when the telemetry layer is
+enabled, every lookup and eviction also updates
+``cache.<name>.{hits,misses,evictions}`` counters and a
+``cache.<name>.size`` gauge in the default metrics registry, so cache
+behaviour shows up in benchmark snapshots without reaching into engine
+internals.
 """
 
 from __future__ import annotations
@@ -12,28 +19,41 @@ from collections import OrderedDict
 from collections.abc import Callable, Hashable
 from typing import Any
 
+from repro.telemetry.metrics import counter as _counter
+from repro.telemetry.metrics import gauge as _gauge
+from repro.telemetry.tracer import is_enabled as _telemetry_enabled
+
 __all__ = ["LRUCache"]
 
 _MISSING = object()
 
 
 class LRUCache:
-    """Bounded least-recently-used mapping with hit/miss counters."""
+    """Bounded least-recently-used mapping with hit/miss/eviction counters."""
 
-    def __init__(self, capacity: int) -> None:
+    def __init__(self, capacity: int, name: str | None = None) -> None:
         if capacity < 1:
             raise ValueError(f"cache capacity must be positive, got {capacity}")
         self.capacity = capacity
+        self.name = name
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self._data: OrderedDict[Hashable, Any] = OrderedDict()
+
+    def _record(self, event: str, amount: int = 1) -> None:
+        if amount and self.name is not None and _telemetry_enabled():
+            _counter(f"cache.{self.name}.{event}").inc(amount)
+            _gauge(f"cache.{self.name}.size").set(len(self._data))
 
     def get(self, key: Hashable, default: Any = None) -> Any:
         value = self._data.get(key, _MISSING)
         if value is _MISSING:
             self.misses += 1
+            self._record("misses")
             return default
         self.hits += 1
+        self._record("hits")
         self._data.move_to_end(key)
         return value
 
@@ -41,16 +61,22 @@ class LRUCache:
         if key in self._data:
             self._data.move_to_end(key)
         self._data[key] = value
+        evicted = 0
         while len(self._data) > self.capacity:
             self._data.popitem(last=False)
+            evicted += 1
+        self.evictions += evicted
+        self._record("evictions", evicted)
 
     def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
         value = self._data.get(key, _MISSING)
         if value is not _MISSING:
             self.hits += 1
+            self._record("hits")
             self._data.move_to_end(key)
             return value
         self.misses += 1
+        self._record("misses")
         value = compute()
         self.put(key, value)
         return value
@@ -60,10 +86,28 @@ class LRUCache:
         doomed = [key for key in self._data if predicate(key)]
         for key in doomed:
             del self._data[key]
+        self.evictions += len(doomed)
+        self._record("evictions", len(doomed))
         return len(doomed)
 
     def clear(self) -> None:
+        dropped = len(self._data)
         self._data.clear()
+        self.evictions += dropped
+        self._record("evictions", dropped)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Counters and occupancy as a JSON-serializable dict."""
+        lookups = self.hits + self.misses
+        return {
+            "name": self.name,
+            "capacity": self.capacity,
+            "size": len(self._data),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hits / lookups if lookups else 0.0,
+        }
 
     def __contains__(self, key: Hashable) -> bool:
         return key in self._data
@@ -72,7 +116,8 @@ class LRUCache:
         return len(self._data)
 
     def __repr__(self) -> str:
+        label = f"{self.name!r}, " if self.name else ""
         return (
-            f"LRUCache({len(self._data)}/{self.capacity}, "
-            f"hits={self.hits}, misses={self.misses})"
+            f"LRUCache({label}{len(self._data)}/{self.capacity}, "
+            f"hits={self.hits}, misses={self.misses}, evictions={self.evictions})"
         )

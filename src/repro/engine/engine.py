@@ -22,11 +22,13 @@ this); ``domain="active"`` gives database-style active-domain semantics.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.errors import EvaluationError, LocalityError
 from repro.engine.cache import LRUCache
-from repro.engine.executor import ExecutionStats, Executor
+from repro.engine.executor import ExecutionStats, Executor, NodeActuals
 from repro.engine.normalize import normalize
 from repro.engine.plan import Plan, explain_plan
 from repro.engine.planner import Planner
@@ -39,8 +41,11 @@ from repro.locality.neighborhoods import max_ball_size
 from repro.logic.analysis import free_variables, quantifier_rank, validate
 from repro.logic.syntax import Formula, Var
 from repro.structures.structure import Element, Structure
+from repro.telemetry.metrics import counter as _counter
+from repro.telemetry.tracer import is_enabled as _telemetry_enabled
+from repro.telemetry.tracer import span as _span
 
-__all__ = ["Engine", "EngineStats", "Explanation"]
+__all__ = ["Engine", "EngineStats", "Explanation", "ProfiledExplanation"]
 
 
 @dataclass
@@ -51,6 +56,15 @@ class EngineStats:
     executions: int = 0
     fast_path_dispatches: int = 0
     execution: ExecutionStats = field(default_factory=ExecutionStats)
+
+    def as_dict(self) -> dict[str, Any]:
+        """A JSON-serializable snapshot (for benchmarks and dashboards)."""
+        return {
+            "plans_built": self.plans_built,
+            "executions": self.executions,
+            "fast_path_dispatches": self.fast_path_dispatches,
+            "execution": self.execution.as_dict(),
+        }
 
 
 @dataclass(frozen=True)
@@ -74,6 +88,40 @@ class Explanation:
                 f"bounded-degree fast path: {dispatch} ({self.fast_path_reason})",
                 f"estimated plan cost: {self.plan.total_estimated_rows():.1f} rows",
                 explain_plan(self.plan),
+            ]
+        )
+
+
+@dataclass(frozen=True, eq=False)
+class ProfiledExplanation(Explanation):
+    """EXPLAIN ANALYZE: an :class:`Explanation` plus measured actuals.
+
+    ``actuals`` maps ``id(plan node)`` to the executor's
+    :class:`~repro.engine.executor.NodeActuals` (output rows, inclusive
+    seconds); ``answers`` is the executed result — identical to what
+    :meth:`Engine.answers` returns for the same call; ``seconds`` is the
+    end-to-end execution wall clock.
+    """
+
+    actuals: dict[int, NodeActuals] = field(default_factory=dict)
+    answers: frozenset[tuple[Element, ...]] = frozenset()
+    seconds: float = 0.0
+
+    def node_actuals(self, node: Plan) -> NodeActuals | None:
+        """Measured rows/duration for one node of :attr:`plan`, if recorded."""
+        return self.actuals.get(id(node))
+
+    def __str__(self) -> str:
+        dispatch = "dispatched" if self.fast_path else "not dispatched"
+        return "\n".join(
+            [
+                f"query: {self.formula!r}",
+                f"normalized: {self.normalized!r}",
+                f"stats: {self.statistics!r}",
+                f"bounded-degree fast path: {dispatch} ({self.fast_path_reason})",
+                f"estimated plan cost: {self.plan.total_estimated_rows():.1f} rows",
+                f"actual: {len(self.answers)} answer rows in {self.seconds * 1000.0:.3f}ms",
+                explain_plan(self.plan, actuals=self.actuals),
             ]
         )
 
@@ -122,9 +170,9 @@ class Engine:
         self.fast_path_ball_limit = fast_path_ball_limit
         self.fast_path_threshold = fast_path_threshold
         self.enable_fast_path = enable_fast_path
-        self.plan_cache = LRUCache(plan_cache_size)
-        self.answer_cache = LRUCache(answer_cache_size)
-        self._bounded_degree = LRUCache(64)
+        self.plan_cache = LRUCache(plan_cache_size, name="plan")
+        self.answer_cache = LRUCache(answer_cache_size, name="answer")
+        self._bounded_degree = LRUCache(64, name="bounded_degree")
         self.stats = EngineStats()
 
     # -- public API ----------------------------------------------------------
@@ -182,11 +230,14 @@ class Engine:
         dispatch, _ = self.fast_path_decision(structure, formula)
         if dispatch:
             self.stats.fast_path_dispatches += 1
+            if _telemetry_enabled():
+                _counter("engine.fast_path.dispatches").inc()
             evaluator = self._bounded_degree_evaluator(formula)
-            try:
-                return evaluator.evaluate(structure)
-            except LocalityError:  # pragma: no cover - decision guards this
-                pass
+            with _span("engine.fast_path"):
+                try:
+                    return evaluator.evaluate(structure)
+                except LocalityError:  # pragma: no cover - decision guards this
+                    pass
         return bool(self.answers(structure, formula))
 
     def explain(self, structure: Structure, formula: Formula) -> Explanation:
@@ -202,6 +253,57 @@ class Engine:
             fast_path_reason=reason,
         )
 
+    def profile(
+        self,
+        structure: Structure,
+        formula: Formula,
+        free_order: tuple[Var, ...] | None = None,
+    ) -> ProfiledExplanation:
+        """EXPLAIN ANALYZE: execute under tracing, return estimates + actuals.
+
+        Unlike :meth:`answers` this always executes (bypassing the
+        answer cache — actuals must be measured, not remembered), with a
+        per-node recorder attached to the executor. The returned
+        :class:`ProfiledExplanation` carries the executed answer set —
+        identical to :meth:`answers` on the same arguments — plus actual
+        rows and inclusive milliseconds per plan node next to the
+        planner's estimates, so estimate-vs-actual misplanning is
+        visible node by node.
+        """
+        free = free_variables(formula)
+        sorted_names = tuple(sorted(var.name for var in free))
+        if free_order is None:
+            order_names = sorted_names
+        else:
+            order_names = tuple(var.name for var in free_order)
+            missing = {var.name for var in free} - set(order_names)
+            if missing:
+                raise EvaluationError(f"free_order omits free variables {sorted(missing)}")
+            if len(set(order_names)) != len(order_names):
+                raise EvaluationError(
+                    "profile does not support duplicated free_order columns"
+                )
+        plan, normalized = self._plan_for(structure, formula)
+        dispatch, reason = self.fast_path_decision(structure, formula)
+        recorder: dict[int, NodeActuals] = {}
+        start = time.perf_counter()
+        with _span("engine.profile"):
+            rows = self._execute_plan(
+                structure, formula, sorted_names, order_names, recorder
+            )
+        elapsed = time.perf_counter() - start
+        return ProfiledExplanation(
+            formula=formula,
+            normalized=normalized,
+            plan=plan,
+            statistics=collect_stats(structure),
+            fast_path=dispatch,
+            fast_path_reason=reason,
+            actuals=recorder,
+            answers=rows,
+            seconds=elapsed,
+        )
+
     def invalidate(self, structure: Structure) -> int:
         """Drop every cached answer for ``structure``; return the count."""
         return self.answer_cache.evict_where(lambda key: key[0] == structure)
@@ -210,6 +312,10 @@ class Engine:
         self.plan_cache.clear()
         self.answer_cache.clear()
         self._bounded_degree.clear()
+
+    def reset_stats(self) -> None:
+        """Zero the lifetime counters (cache contents are untouched)."""
+        self.stats = EngineStats()
 
     # -- the locality fast path (Theorem 3.11) -------------------------------
 
@@ -264,16 +370,23 @@ class Engine:
     # -- plan + execute ------------------------------------------------------
 
     def _plan_for(self, structure: Structure, formula: Formula) -> tuple[Plan, Formula]:
-        stats = collect_stats(structure)
+        with _span("engine.collect_stats"):
+            stats = collect_stats(structure)
         key = (formula, structure.signature, self.domain_mode, stats.plan_key)
 
         def build() -> tuple[Plan, Formula]:
-            validate(formula, structure.signature)
-            normalized = normalize(formula)
-            wanted = tuple(sorted(var.name for var in free_variables(formula)))
-            planner = Planner(stats, len(self._domain_values(structure)))
-            self.stats.plans_built += 1
-            return planner.plan(normalized, wanted), normalized
+            with _span("engine.plan") as plan_span:
+                validate(formula, structure.signature)
+                with _span("engine.normalize"):
+                    normalized = normalize(formula)
+                wanted = tuple(sorted(var.name for var in free_variables(formula)))
+                planner = Planner(stats, len(self._domain_values(structure)))
+                self.stats.plans_built += 1
+                if _telemetry_enabled():
+                    _counter("engine.plans_built").inc()
+                plan = planner.plan(normalized, wanted)
+                plan_span.set("estimated_rows", plan.total_estimated_rows())
+                return plan, normalized
 
         return self.plan_cache.get_or_compute(key, build)
 
@@ -294,11 +407,27 @@ class Engine:
         sorted_names: tuple[str, ...],
         order_names: tuple[str, ...],
     ) -> frozenset[tuple[Element, ...]]:
+        with _span("engine.answers") as answers_span:
+            rows = self._execute_plan(structure, formula, sorted_names, order_names, None)
+            answers_span.set("rows", len(rows))
+            return rows
+
+    def _execute_plan(
+        self,
+        structure: Structure,
+        formula: Formula,
+        sorted_names: tuple[str, ...],
+        order_names: tuple[str, ...],
+        recorder: dict[int, NodeActuals] | None,
+    ) -> frozenset[tuple[Element, ...]]:
         plan, _ = self._plan_for(structure, formula)
         domain = self._domain_values(structure)
-        executor = Executor(structure, domain, self.stats.execution)
+        executor = Executor(structure, domain, self.stats.execution, recorder=recorder)
         self.stats.executions += 1
-        relation = executor.run(plan)
+        if _telemetry_enabled():
+            _counter("engine.executions").inc()
+        with _span("engine.execute"):
+            relation = executor.run(plan)
         extra = tuple(name for name in order_names if name not in sorted_names)
         if extra:
             # Naive `answers` ranges extra free_order columns over the

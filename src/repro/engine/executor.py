@@ -6,11 +6,23 @@ side is first reduced to the rows that can possibly match — the
 classical distributed-database trick, which here keeps the hash table
 and the output of skewed joins small. Negative conjuncts execute as hash
 antijoins, so safe negation never materializes a domain complement.
+
+Observability: with telemetry enabled, every plan-node execution feeds
+per-operator row counters and duration histograms
+(``executor.rows.<Op>`` / ``executor.ms.<Op>``) into the default metrics
+registry. Independently, passing a ``recorder`` dict gives EXPLAIN
+ANALYZE semantics: the executor stores a :class:`NodeActuals` (output
+rows, inclusive seconds) per plan node, keyed by ``id(node)``, which
+:meth:`repro.engine.engine.Engine.profile` renders next to the planner's
+estimates. With neither in play, node execution is dispatched directly
+with no timing calls at all.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
+from typing import MutableMapping
 
 from repro.errors import EvaluationError
 from repro.engine.plan import (
@@ -30,8 +42,11 @@ from repro.engine.plan import (
 )
 from repro.eval.algebra import Relation
 from repro.structures.structure import Element, Structure
+from repro.telemetry.metrics import counter as _counter
+from repro.telemetry.metrics import histogram as _histogram
+from repro.telemetry.tracer import is_enabled as _telemetry_enabled
 
-__all__ = ["Executor", "ExecutionStats"]
+__all__ = ["Executor", "ExecutionStats", "NodeActuals"]
 
 #: Minimum input size before a join bothers with a semijoin pre-filter.
 SEMIJOIN_THRESHOLD = 64
@@ -46,9 +61,34 @@ class ExecutionStats:
     semijoin_filters: int = 0
     antijoins: int = 0
 
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "rows_materialized": self.rows_materialized,
+            "joins": self.joins,
+            "semijoin_filters": self.semijoin_filters,
+            "antijoins": self.antijoins,
+        }
+
     def _observe(self, relation: Relation) -> Relation:
         self.rows_materialized += len(relation)
         return relation
+
+
+@dataclass(frozen=True)
+class NodeActuals:
+    """What one plan node actually did: output rows and inclusive seconds.
+
+    ``seconds`` covers the node *and* its children (EXPLAIN ANALYZE's
+    convention for tree rendering); subtract child times for exclusive
+    cost.
+    """
+
+    rows: int
+    seconds: float
+
+    @property
+    def milliseconds(self) -> float:
+        return self.seconds * 1000.0
 
 
 class Executor:
@@ -59,11 +99,13 @@ class Executor:
         structure: Structure,
         domain: tuple[Element, ...],
         stats: ExecutionStats | None = None,
+        recorder: MutableMapping[int, NodeActuals] | None = None,
     ) -> None:
         self.structure = structure
         self.domain = domain
         self._domain_set = frozenset(domain)
         self.stats = stats if stats is not None else ExecutionStats()
+        self.recorder = recorder
 
     def run(self, plan: Plan) -> Relation:
         relation = self._run(plan)
@@ -74,6 +116,22 @@ class Executor:
         return relation
 
     def _run(self, plan: Plan) -> Relation:
+        recorder = self.recorder
+        if recorder is None and not _telemetry_enabled():
+            return self._execute(plan)
+        start = time.perf_counter()
+        relation = self._execute(plan)
+        elapsed = time.perf_counter() - start
+        if _telemetry_enabled():
+            kind = plan.__class__.__name__
+            _counter(f"executor.ops.{kind}").inc()
+            _counter(f"executor.rows.{kind}").inc(len(relation))
+            _histogram(f"executor.ms.{kind}").observe(elapsed * 1000.0)
+        if recorder is not None:
+            recorder[id(plan)] = NodeActuals(rows=len(relation), seconds=elapsed)
+        return relation
+
+    def _execute(self, plan: Plan) -> Relation:
         observe = self.stats._observe
         if isinstance(plan, AtomScan):
             return observe(self._scan(plan))
@@ -144,10 +202,16 @@ class Executor:
             # Reduce the bigger side to the rows that can find a partner
             # before building the join output.
             self.stats.semijoin_filters += 1
+            before = max(len(left), len(right))
             if len(left) >= len(right):
                 left = left.semijoin(right)
+                after = len(left)
             else:
                 right = right.semijoin(left)
+                after = len(right)
+            if _telemetry_enabled():
+                _counter("executor.semijoin.filters").inc()
+                _counter("executor.semijoin.rows_filtered").inc(before - after)
         joined = left.join(right)
         if joined.attributes != plan.attributes:
             joined = joined.project(plan.attributes)

@@ -215,14 +215,25 @@ class Union(Plan):
         return f"Union[{len(self.parts)}]"
 
 
-def explain_plan(plan: Plan, indent: int = 0) -> str:
-    """Render a plan as an indented tree with cost annotations."""
+def explain_plan(plan: Plan, indent: int = 0, actuals: dict | None = None) -> str:
+    """Render a plan as an indented tree with cost annotations.
+
+    ``actuals`` is an optional EXPLAIN ANALYZE overlay: a mapping from
+    ``id(node)`` to an object with ``rows`` and ``milliseconds``
+    attributes (the executor's :class:`~repro.engine.executor.NodeActuals`).
+    Nodes present in the mapping render ``actual=... rows in ...ms``
+    next to the planner's estimate; durations are inclusive of children.
+    """
     pad = "  " * indent
     line = (
         f"{pad}{plan.label()}  "
         f"attrs=({', '.join(plan.attributes)})  est={plan.estimated_rows:.1f}"
     )
+    if actuals is not None:
+        recorded = actuals.get(id(plan))
+        if recorded is not None:
+            line += f"  actual={recorded.rows} rows in {recorded.milliseconds:.3f}ms"
     lines = [line]
     for child in plan.children():
-        lines.append(explain_plan(child, indent + 1))
+        lines.append(explain_plan(child, indent + 1, actuals))
     return "\n".join(lines)

@@ -29,6 +29,10 @@ from typing import Callable, Literal
 from repro.errors import BudgetExceededError, GameError
 from repro.structures.isomorphism import extends_partial_isomorphism
 from repro.structures.structure import Element, Structure
+from repro.telemetry.metrics import counter as _counter
+from repro.telemetry.metrics import histogram as _histogram
+from repro.telemetry.tracer import is_enabled as _telemetry_enabled
+from repro.telemetry.tracer import span as _span
 
 __all__ = [
     "GamePosition",
@@ -197,13 +201,23 @@ def solve_ef_game(
     for a, b in start.pairs:
         if not extends_partial_isomorphism(left, right, start_mapping, start_inverse, a, b):
             # The starting position is already lost for the duplicator.
+            if _telemetry_enabled():
+                _counter("games.ef.solves").inc()
             return GameResult(False, rounds, 0, _value=lambda *_: False)
         start_mapping[a] = b
         start_inverse[b] = a
 
-    wins = duplicator_wins(
-        frozenset(start.pairs), start_mapping, start_inverse, start.rounds_left
-    )
+    with _span("games.ef.solve") as solve_span:
+        wins = duplicator_wins(
+            frozenset(start.pairs), start_mapping, start_inverse, start.rounds_left
+        )
+        solve_span.set("rounds", rounds).set("explored", explored).set(
+            "duplicator_wins", wins
+        )
+    if _telemetry_enabled():
+        _counter("games.ef.solves").inc()
+        _counter("games.ef.positions_explored").inc(explored)
+        _histogram("games.ef.explored_per_solve").observe(explored)
 
     def value(pairs: frozenset[tuple[Element, Element]], rounds_left: int) -> bool:
         mapping = dict(pairs)
@@ -246,10 +260,14 @@ def play_ef_game(
     """
     if left.signature != right.signature:
         raise GameError("EF games require structures over the same signature")
+    if _telemetry_enabled():
+        _counter("games.ef.plays").inc()
     pairs: list[tuple[Element, Element]] = []
     mapping: dict[Element, Element] = {}
     inverse: dict[Element, Element] = {}
     for round_index in range(rounds):
+        if _telemetry_enabled():
+            _counter("games.ef.rounds_played").inc()
         position = GamePosition(tuple(pairs), rounds - round_index)
         move = spoiler(left, right, position)
         if move.side not in ("left", "right"):

@@ -34,6 +34,9 @@ from repro.locality.neighborhoods import TypeRegistry, neighborhood_census
 from repro.logic.analysis import free_variables, quantifier_rank
 from repro.logic.syntax import Formula
 from repro.structures.structure import Structure
+from repro.telemetry.metrics import counter as _counter
+from repro.telemetry.tracer import is_enabled as _telemetry_enabled
+from repro.telemetry.tracer import span as _span
 
 __all__ = ["BoundedDegreeEvaluator", "census_key"]
 
@@ -116,7 +119,10 @@ class BoundedDegreeEvaluator:
 
     def census_of(self, structure: Structure) -> Counter:
         """The structure's r-neighborhood census (linear time for fixed k, r)."""
-        return neighborhood_census(structure, self.radius, self.registry)
+        with _span("locality.census") as census_span:
+            census = neighborhood_census(structure, self.radius, self.registry)
+            census_span.set("radius", self.radius).set("types", len(census))
+            return census
 
     def evaluate(self, structure: Structure) -> bool:
         """Decide structure ⊨ φ via the census table."""
@@ -130,9 +136,14 @@ class BoundedDegreeEvaluator:
         cached = self.table.get(key)
         if cached is not None:
             self.stats.hits += 1
+            if _telemetry_enabled():
+                _counter("locality.census_table.hits").inc()
             return cached
         self.stats.misses += 1
-        value = bool(self.fallback(structure, self.sentence))
+        if _telemetry_enabled():
+            _counter("locality.census_table.misses").inc()
+        with _span("locality.census_table.fill"):
+            value = bool(self.fallback(structure, self.sentence))
         self.table[key] = value
         self.stats.censuses_seen = len(self.table)
         return value

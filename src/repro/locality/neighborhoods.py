@@ -21,6 +21,9 @@ from repro.structures.gaifman import neighborhood
 from repro.structures.invariants import structure_fingerprint
 from repro.structures.isomorphism import are_isomorphic
 from repro.structures.structure import Element, Structure
+from repro.telemetry.metrics import counter as _counter
+from repro.telemetry.tracer import is_enabled as _telemetry_enabled
+from repro.telemetry.tracer import span as _span
 
 __all__ = [
     "TypeRegistry",
@@ -50,13 +53,18 @@ class TypeRegistry:
 
     def type_of(self, structure: Structure) -> int:
         fingerprint = structure_fingerprint(structure) if self._use_fingerprint else ()
+        telemetry_on = _telemetry_enabled()
         for representative, type_id in self._buckets[fingerprint]:
             self.isomorphism_tests += 1
+            if telemetry_on:
+                _counter("locality.iso_tests").inc()
             if are_isomorphic(representative, structure):
                 return type_id
         type_id = self._next_id
         self._next_id += 1
         self._buckets[fingerprint].append((structure, type_id))
+        if telemetry_on:
+            _counter("locality.types_registered").inc()
         return type_id
 
     def representative(self, type_id: int) -> Structure:
@@ -91,10 +99,15 @@ def neighborhood_census(
     "a realizes τ" in the paper's words — the census is the function
     τ ↦ #{a : N_r(a) has type τ} restricted to realized types.
     """
-    census: Counter = Counter()
-    for element in structure.universe:
-        census[neighborhood_type(structure, element, radius, registry)] += 1
-    return census
+    with _span("locality.neighborhood_census") as census_span:
+        census: Counter = Counter()
+        for element in structure.universe:
+            census[neighborhood_type(structure, element, radius, registry)] += 1
+        if _telemetry_enabled():
+            _counter("locality.censuses_computed").inc()
+            _counter("locality.balls_computed").inc(len(structure.universe))
+        census_span.set("radius", radius).set("types", len(census))
+        return census
 
 
 def tuple_type_classes(

@@ -1,0 +1,109 @@
+"""Observability for the toolbox: span tracing + a metrics registry.
+
+The telemetry layer (S14) makes the engine's normalize→stats→plan→
+execute pipeline, the Theorem 3.11 census fast path, and the EF game
+search *visible*, the way Kazana–Segoufin and Kuske–Schweikardt report
+per-phase costs instead of one opaque total:
+
+* :mod:`repro.telemetry.tracer` — nested, timed spans with attributes,
+  thread-local stacks, a context-manager/decorator API;
+* :mod:`repro.telemetry.metrics` — named counters, gauges, and
+  histograms with JSON snapshot and text report exports.
+
+**Off by default.** While disabled, :func:`span` returns a shared no-op
+singleton (no allocation) and instrumented call sites skip their metric
+updates entirely, so the production path pays one boolean check per
+instrumentation point. Enable with :func:`enable`, the
+``REPRO_TELEMETRY=1`` environment variable, or the scoped
+:func:`capture` helper:
+
+>>> from repro import telemetry
+>>> with telemetry.capture() as registry:
+...     telemetry.counter("demo.events").inc(3)
+...     with telemetry.span("demo.work") as sp:
+...         _ = sp.set("items", 3)
+>>> registry.snapshot()["counters"]["demo.events"]
+3
+>>> telemetry.is_enabled()
+False
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.telemetry.metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    gauge,
+    histogram,
+    metrics_report,
+    metrics_snapshot,
+    reset_metrics,
+)
+from repro.telemetry.tracer import (
+    Span,
+    current_span,
+    disable,
+    drain_spans,
+    enable,
+    finished_spans,
+    is_enabled,
+    reset_tracer,
+    span,
+    traced,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "Span",
+    "capture",
+    "counter",
+    "current_span",
+    "disable",
+    "drain_spans",
+    "enable",
+    "finished_spans",
+    "gauge",
+    "histogram",
+    "is_enabled",
+    "metrics_report",
+    "metrics_snapshot",
+    "reset",
+    "reset_metrics",
+    "reset_tracer",
+    "span",
+    "traced",
+]
+
+
+def reset() -> None:
+    """Clear all recorded telemetry: metrics and finished spans."""
+    reset_metrics()
+    reset_tracer()
+
+
+@contextmanager
+def capture():
+    """Enable telemetry for a block, starting from a clean registry.
+
+    Yields the default :data:`REGISTRY`; on exit the previous
+    enabled/disabled state is restored (recorded data is kept for
+    inspection).
+    """
+    was_enabled = is_enabled()
+    reset()
+    enable()
+    try:
+        yield REGISTRY
+    finally:
+        if not was_enabled:
+            disable()

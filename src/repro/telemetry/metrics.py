@@ -1,0 +1,250 @@
+"""Named counters, gauges, and histograms with snapshot/report export.
+
+The registry is the aggregation side of the telemetry layer: span
+tracing (:mod:`repro.telemetry.tracer`) answers *where did this one call
+spend its time*, the metrics registry answers *how much work happened
+overall* — rows per operator, cache hits, census computations, EF
+positions explored. Metrics are cheap enough to update unconditionally,
+but instrumented call sites still guard with
+:func:`repro.telemetry.tracer.is_enabled` so the disabled path does no
+dictionary lookups at all.
+
+Counter/gauge updates are single bytecode-level ``+=``/assignments and
+histogram observation appends to a list, so concurrent use from multiple
+threads is safe under CPython's GIL for the accuracy telemetry needs;
+metric *creation* is guarded by a lock.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "counter",
+    "gauge",
+    "histogram",
+    "metrics_report",
+    "metrics_snapshot",
+    "reset_metrics",
+]
+
+
+class Counter:
+    """A monotonically increasing named count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """A named value that can move both ways (e.g. current cache size)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, {self.value})"
+
+
+class Histogram:
+    """A named distribution: exact count/sum/min/max plus a sample.
+
+    The first :data:`SAMPLE_LIMIT` observations are retained verbatim
+    for percentile queries; beyond that the aggregate moments stay exact
+    while percentiles come from the retained prefix. Percentiles use the
+    nearest-rank definition, so e.g. ``percentile(50)`` of 1..100 is 50.
+    """
+
+    SAMPLE_LIMIT = 65536
+
+    __slots__ = ("name", "count", "total", "min", "max", "_sample")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._sample: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if len(self._sample) < self.SAMPLE_LIMIT:
+            self._sample.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile over the retained sample."""
+        if not 0 < p <= 100:
+            raise ValueError(f"percentile must be in (0, 100], got {p}")
+        if not self._sample:
+            return 0.0
+        ordered = sorted(self._sample)
+        rank = math.ceil(p / 100.0 * len(ordered))
+        return ordered[rank - 1]
+
+    def summary(self) -> dict[str, float]:
+        if not self.count:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, count={self.count}, mean={self.mean:.3g})"
+
+
+class MetricsRegistry:
+    """A namespace of metrics, created on first use.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create; asking for an
+    existing name with a different kind raises ``TypeError`` (one name,
+    one meaning).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, name: str, kind: type):
+        metric = self._metrics.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.get(name)
+                if metric is None:
+                    metric = kind(name)
+                    self._metrics[name] = metric
+        if not isinstance(metric, kind):
+            raise TypeError(
+                f"metric {name!r} already registered as {type(metric).__name__}, "
+                f"not {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get_or_create(name, Histogram)
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """Everything as a JSON-serializable dict, names sorted."""
+        counters: dict[str, int] = {}
+        gauges: dict[str, float] = {}
+        histograms: dict[str, dict[str, float]] = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                counters[name] = metric.value
+            elif isinstance(metric, Gauge):
+                gauges[name] = metric.value
+            else:
+                histograms[name] = metric.summary()
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+    def report(self) -> str:
+        """A human-readable text report of every registered metric."""
+        snap = self.snapshot()
+        lines = ["=== telemetry metrics ==="]
+        if snap["counters"]:
+            lines.append("counters:")
+            width = max(len(name) for name in snap["counters"])
+            for name, value in snap["counters"].items():
+                lines.append(f"  {name.ljust(width)}  {value}")
+        if snap["gauges"]:
+            lines.append("gauges:")
+            width = max(len(name) for name in snap["gauges"])
+            for name, value in snap["gauges"].items():
+                lines.append(f"  {name.ljust(width)}  {value}")
+        if snap["histograms"]:
+            lines.append("histograms:")
+            for name, summary in snap["histograms"].items():
+                if summary["count"]:
+                    lines.append(
+                        f"  {name}  count={summary['count']} mean={summary['mean']:.3f} "
+                        f"p50={summary['p50']:.3f} p95={summary['p95']:.3f} "
+                        f"max={summary['max']:.3f}"
+                    )
+                else:
+                    lines.append(f"  {name}  count=0")
+        if len(lines) == 1:
+            lines.append("(no metrics recorded)")
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+
+#: The process-wide default registry used by all built-in instrumentation.
+REGISTRY = MetricsRegistry()
+
+
+def counter(name: str) -> Counter:
+    return REGISTRY.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    return REGISTRY.gauge(name)
+
+
+def histogram(name: str) -> Histogram:
+    return REGISTRY.histogram(name)
+
+
+def metrics_snapshot() -> dict[str, dict[str, Any]]:
+    return REGISTRY.snapshot()
+
+
+def metrics_report() -> str:
+    return REGISTRY.report()
+
+
+def reset_metrics() -> None:
+    REGISTRY.reset()

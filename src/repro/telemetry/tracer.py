@@ -1,0 +1,228 @@
+"""A lightweight span tracer: nested, timed, attributed spans.
+
+Tracing is **off by default** and costs almost nothing while off:
+:func:`span` returns a shared no-op singleton (no allocation, no
+timestamp), so instrumentation can stay inline in hot paths. Turn it on
+with :func:`enable` (or by exporting ``REPRO_TELEMETRY=1`` before
+import) and every ``with span(...)`` block becomes a real
+:class:`Span` — pushed on a *thread-local* stack, timed with
+``perf_counter``, nested under its parent, and collected into a bounded
+buffer of finished root spans once the outermost block exits.
+
+The tracer records structure and durations; scalar context goes into
+span attributes via :meth:`Span.set` (a no-op while disabled, so call
+sites never need their own enabled checks just to attach attributes —
+though they should guard *expensive* attribute computation with
+:func:`is_enabled`).
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import threading
+import time
+from collections import deque
+from collections.abc import Callable
+from typing import Any
+
+__all__ = [
+    "Span",
+    "current_span",
+    "disable",
+    "drain_spans",
+    "enable",
+    "finished_spans",
+    "is_enabled",
+    "reset_tracer",
+    "span",
+    "traced",
+]
+
+#: How many finished *root* spans the tracer retains (oldest dropped).
+TRACE_BUFFER_SIZE = 1024
+
+_enabled = False
+_local = threading.local()
+_finished: deque[Span] = deque(maxlen=TRACE_BUFFER_SIZE)
+_finished_lock = threading.Lock()
+
+
+def enable() -> None:
+    """Turn tracing on process-wide (thread stacks stay per-thread)."""
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    """Turn tracing off; in-flight spans still finish cleanly."""
+    global _enabled
+    _enabled = False
+
+
+def is_enabled() -> bool:
+    """Whether telemetry is currently on (shared with the metrics layer)."""
+    return _enabled
+
+
+def _stack() -> list[Span]:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = []
+        _local.stack = stack
+    return stack
+
+
+class Span:
+    """One timed region: a name, key/value attributes, and child spans.
+
+    Spans are their own context managers; entering pushes onto the
+    calling thread's span stack, exiting pops and attaches the span to
+    its parent (or to the finished-roots buffer if it has none).
+    """
+
+    __slots__ = ("name", "attributes", "children", "start_s", "end_s")
+
+    def __init__(self, name: str, attributes: dict[str, Any] | None = None) -> None:
+        self.name = name
+        self.attributes: dict[str, Any] = dict(attributes) if attributes else {}
+        self.children: list[Span] = []
+        self.start_s = 0.0
+        self.end_s = 0.0
+
+    # -- context manager ----------------------------------------------------
+
+    def __enter__(self) -> "Span":
+        _stack().append(self)
+        self.start_s = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.end_s = time.perf_counter()
+        stack = _stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        if stack:
+            stack[-1].children.append(self)
+        else:
+            with _finished_lock:
+                _finished.append(self)
+        return False
+
+    # -- data access --------------------------------------------------------
+
+    def set(self, key: str, value: Any) -> "Span":
+        """Attach one attribute; returns ``self`` for chaining."""
+        self.attributes[key] = value
+        return self
+
+    @property
+    def duration_s(self) -> float:
+        return max(self.end_s - self.start_s, 0.0)
+
+    @property
+    def duration_ms(self) -> float:
+        return self.duration_s * 1000.0
+
+    def walk(self):
+        """Yield this span and every descendant, pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def render(self, indent: int = 0) -> str:
+        """The span subtree as an indented text block."""
+        pad = "  " * indent
+        attrs = "".join(f" {k}={v}" for k, v in self.attributes.items())
+        lines = [f"{pad}{self.name}  {self.duration_ms:.3f}ms{attrs}"]
+        for child in self.children:
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, {self.duration_ms:.3f}ms, "
+            f"children={len(self.children)}, attrs={self.attributes!r})"
+        )
+
+
+class _NoopSpan:
+    """The shared disabled-mode span: every operation is a no-op."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, key: str, value: Any) -> "_NoopSpan":
+        return self
+
+    def __repr__(self) -> str:
+        return "NoopSpan()"
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+def span(name: str, **attributes: Any) -> Span | _NoopSpan:
+    """A context-managed span, or the shared no-op when tracing is off.
+
+    Hot call sites should avoid keyword attributes (the kwargs dict is
+    built even while disabled) and use :meth:`Span.set` inside the block
+    instead.
+    """
+    if not _enabled:
+        return NOOP_SPAN
+    return Span(name, attributes)
+
+
+def traced(name: str | None = None) -> Callable:
+    """Decorator form: trace every call of the function as one span."""
+
+    def decorate(fn: Callable) -> Callable:
+        label = name if name is not None else fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            if not _enabled:
+                return fn(*args, **kwargs)
+            with Span(label):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate
+
+
+def current_span() -> Span | None:
+    """The innermost open span on this thread, if any."""
+    stack = _stack()
+    return stack[-1] if stack else None
+
+
+def finished_spans() -> tuple[Span, ...]:
+    """Finished root spans, oldest first (bounded buffer)."""
+    with _finished_lock:
+        return tuple(_finished)
+
+
+def drain_spans() -> tuple[Span, ...]:
+    """Return finished root spans and clear the buffer."""
+    with _finished_lock:
+        spans = tuple(_finished)
+        _finished.clear()
+    return spans
+
+
+def reset_tracer() -> None:
+    """Drop finished spans and this thread's open-span stack."""
+    with _finished_lock:
+        _finished.clear()
+    _local.stack = []
+
+
+if os.environ.get("REPRO_TELEMETRY", "").strip().lower() in ("1", "true", "yes", "on"):
+    _enabled = True

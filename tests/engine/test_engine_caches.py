@@ -42,6 +42,45 @@ class TestLRUCache:
         assert cache.evict_where(lambda key: key[1] % 2 == 0) == 3
         assert len(cache) == 2
 
+    def test_capacity_pressure_counts_evictions(self):
+        cache = LRUCache(2)
+        for i in range(5):
+            cache.put(i, i)
+        assert cache.evictions == 3
+        assert len(cache) == 2
+
+    def test_evict_where_and_clear_count_evictions(self):
+        cache = LRUCache(8)
+        for i in range(6):
+            cache.put(i, i)
+        cache.evict_where(lambda key: key < 2)
+        assert cache.evictions == 2
+        cache.clear()
+        assert cache.evictions == 6
+        assert len(cache) == 0
+
+    def test_overwrite_is_not_an_eviction(self):
+        cache = LRUCache(2)
+        cache.put("k", 1)
+        cache.put("k", 2)
+        assert cache.evictions == 0
+        assert cache.get("k") == 2
+
+    def test_snapshot_reports_counters_and_hit_rate(self):
+        cache = LRUCache(2, name="demo")
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("absent")
+        cache.put("b", 2)
+        cache.put("c", 3)  # evicts the LRU entry
+        snap = cache.snapshot()
+        assert snap["name"] == "demo"
+        assert snap["capacity"] == 2 and snap["size"] == 2
+        assert snap["hits"] == 1 and snap["misses"] == 1
+        assert snap["evictions"] == 1
+        assert snap["hit_rate"] == 0.5
+        assert "evictions=1" in repr(cache)
+
 
 class TestPlanCache:
     def test_same_structure_and_formula_hits_plan_cache(self):

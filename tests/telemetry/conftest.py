@@ -1,0 +1,17 @@
+"""Telemetry tests toggle global state; always restore it."""
+
+import pytest
+
+from repro import telemetry
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    was_enabled = telemetry.is_enabled()
+    telemetry.reset()
+    yield
+    if was_enabled:
+        telemetry.enable()
+    else:
+        telemetry.disable()
+    telemetry.reset()

@@ -1,0 +1,129 @@
+"""Integration tests: the instrumented engine, locality, and game layers.
+
+These run the real code paths with telemetry enabled and check that the
+spans and counters the observability layer promises actually appear —
+the same paths CI exercises suite-wide via ``REPRO_TELEMETRY=1``.
+"""
+
+from repro import telemetry
+from repro.engine import Engine
+from repro.games.ef import ef_equivalent, solve_ef_game
+from repro.locality.bounded_degree import BoundedDegreeEvaluator
+from repro.logic.parser import parse
+from repro.structures.builders import directed_cycle, linear_order, random_graph
+
+MUTUAL = parse("exists x exists y (E(x, y) & E(y, x))")
+DISTANCE_TWO = parse("exists z (E(x, z) & E(z, y)) & ~E(x, y)")
+
+
+class TestEngineInstrumentation:
+    def test_answers_emits_phase_spans(self):
+        telemetry.enable()
+        engine = Engine()
+        engine.answers(random_graph(10, 0.3, seed=1), DISTANCE_TWO)
+        roots = telemetry.finished_spans()
+        answer_roots = [s for s in roots if s.name == "engine.answers"]
+        assert answer_roots, [s.name for s in roots]
+        names = {s.name for s in answer_roots[-1].walk()}
+        # One fresh call covers the whole pipeline: plan (with normalize
+        # inside), stats collection, execution.
+        assert {"engine.plan", "engine.normalize", "engine.execute"} <= names
+
+    def test_operator_and_cache_metrics_appear(self):
+        telemetry.enable()
+        engine = Engine()
+        graph = random_graph(10, 0.3, seed=1)
+        engine.answers(graph, DISTANCE_TWO)
+        engine.answers(graph, DISTANCE_TWO)  # answer-cache hit
+        snap = telemetry.metrics_snapshot()
+        assert snap["counters"]["executor.rows.AtomScan"] > 0
+        assert snap["counters"]["cache.answer.hits"] >= 1
+        assert snap["counters"]["cache.answer.misses"] >= 1
+        assert "executor.ms.AtomScan" in snap["histograms"]
+
+    def test_fast_path_dispatch_and_census_counters(self):
+        telemetry.enable()
+        engine = Engine(fast_path_threshold=4)
+        for n in (12, 13, 14, 15):
+            engine.evaluate(directed_cycle(n), MUTUAL)
+        snap = telemetry.metrics_snapshot()
+        assert snap["counters"]["engine.fast_path.dispatches"] == 4
+        assert snap["counters"]["locality.censuses_computed"] >= 4
+        assert snap["counters"]["locality.balls_computed"] >= 12 + 13 + 14 + 15
+        assert snap["counters"]["locality.census_table.hits"] >= 1
+        assert snap["counters"]["locality.census_table.misses"] >= 1
+
+    def test_disabled_engine_run_emits_nothing(self):
+        telemetry.disable()
+        engine = Engine()
+        engine.answers(random_graph(10, 0.3, seed=1), DISTANCE_TWO)
+        assert telemetry.finished_spans() == ()
+        assert telemetry.metrics_snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+
+class TestLocalityInstrumentation:
+    def test_bounded_degree_evaluator_census_span(self):
+        telemetry.enable()
+        evaluator = BoundedDegreeEvaluator(MUTUAL, degree_bound=2)
+        evaluator.evaluate(directed_cycle(8))
+        roots = telemetry.finished_spans()
+        census = [s for s in roots if s.name == "locality.census"]
+        assert census
+        assert census[-1].attributes["types"] >= 1
+        snap = telemetry.metrics_snapshot()
+        assert snap["counters"]["locality.types_registered"] >= 1
+
+
+class TestGameInstrumentation:
+    def test_ef_solver_counters_and_span(self):
+        telemetry.enable()
+        result = solve_ef_game(linear_order(3), linear_order(4), 2)
+        snap = telemetry.metrics_snapshot()
+        assert snap["counters"]["games.ef.solves"] == 1
+        assert snap["counters"]["games.ef.positions_explored"] == result.explored
+        assert snap["histograms"]["games.ef.explored_per_solve"]["count"] == 1
+        solve_spans = [
+            s for s in telemetry.finished_spans() if s.name == "games.ef.solve"
+        ]
+        assert solve_spans
+        assert solve_spans[-1].attributes["explored"] == result.explored
+
+    def test_ef_equivalent_still_correct_under_telemetry(self):
+        telemetry.enable()
+        assert ef_equivalent(linear_order(4), linear_order(5), 2)
+        assert not ef_equivalent(linear_order(2), linear_order(3), 2)
+
+
+class TestEngineStatsSatellites:
+    def test_engine_stats_as_dict(self):
+        engine = Engine()
+        engine.answers(random_graph(8, 0.3, seed=2), DISTANCE_TWO)
+        snapshot = engine.stats.as_dict()
+        assert snapshot["plans_built"] == 1
+        assert snapshot["executions"] == 1
+        assert snapshot["execution"]["rows_materialized"] > 0
+        assert set(snapshot["execution"]) == {
+            "rows_materialized",
+            "joins",
+            "semijoin_filters",
+            "antijoins",
+        }
+
+    def test_reset_stats_zeroes_counters_but_keeps_caches(self):
+        engine = Engine()
+        graph = random_graph(8, 0.3, seed=2)
+        engine.answers(graph, DISTANCE_TWO)
+        assert engine.stats.executions == 1
+        cached = len(engine.answer_cache)
+        engine.reset_stats()
+        assert engine.stats.as_dict()["executions"] == 0
+        assert engine.stats.as_dict()["execution"]["rows_materialized"] == 0
+        assert len(engine.answer_cache) == cached
+        # Counters accumulate again after the reset.
+        engine.invalidate(graph)
+        engine.answers(graph, DISTANCE_TWO)
+        assert engine.stats.executions == 1

@@ -1,0 +1,116 @@
+"""Metrics registry unit tests: counters, gauges, histogram percentiles."""
+
+import json
+import threading
+
+import pytest
+
+from repro.telemetry.metrics import Histogram, MetricsRegistry
+
+
+class TestCountersAndGauges:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("events").inc()
+        registry.counter("events").inc(4)
+        assert registry.counter("events").value == 5
+
+    def test_gauge_holds_last_value(self):
+        registry = MetricsRegistry()
+        registry.gauge("size").set(10)
+        registry.gauge("size").set(3)
+        assert registry.gauge("size").value == 3
+
+    def test_one_name_one_kind(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_concurrent_increments_from_two_threads(self):
+        registry = MetricsRegistry()
+
+        def bump():
+            for _ in range(10_000):
+                registry.counter("shared").inc()
+
+        threads = [threading.Thread(target=bump) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert registry.counter("shared").value == 20_000
+
+
+class TestHistogram:
+    def test_percentiles_nearest_rank(self):
+        h = Histogram("latency")
+        for value in range(1, 101):
+            h.observe(float(value))
+        assert h.percentile(50) == 50.0
+        assert h.percentile(95) == 95.0
+        assert h.percentile(99) == 99.0
+        assert h.percentile(100) == 100.0
+        assert h.count == 100
+        assert h.mean == pytest.approx(50.5)
+        assert h.min == 1.0 and h.max == 100.0
+
+    def test_percentile_validates_range(self):
+        h = Histogram("latency")
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.percentile(0)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_empty_histogram_summary(self):
+        h = Histogram("empty")
+        assert h.summary() == {"count": 0}
+        assert h.percentile(50) == 0.0
+
+    def test_moments_stay_exact_past_the_sample_limit(self):
+        original = Histogram.SAMPLE_LIMIT
+        try:
+            Histogram.SAMPLE_LIMIT = 10
+            h = Histogram("big")
+            for value in range(1, 101):
+                h.observe(float(value))
+            assert h.count == 100
+            assert h.max == 100.0
+            assert len(h._sample) == 10
+        finally:
+            Histogram.SAMPLE_LIMIT = original
+
+
+class TestSnapshotAndReport:
+    def test_snapshot_is_json_serializable_and_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b.count").inc(2)
+        registry.counter("a.count").inc(1)
+        registry.gauge("cache.size").set(7)
+        registry.histogram("ms").observe(1.5)
+        snap = registry.snapshot()
+        json.dumps(snap)  # must not raise
+        assert list(snap["counters"]) == ["a.count", "b.count"]
+        assert snap["gauges"]["cache.size"] == 7
+        assert snap["histograms"]["ms"]["count"] == 1
+
+    def test_report_mentions_every_metric(self):
+        registry = MetricsRegistry()
+        registry.counter("engine.executions").inc(3)
+        registry.gauge("cache.plan.size").set(2)
+        registry.histogram("executor.ms.Join").observe(0.5)
+        text = registry.report()
+        assert "engine.executions" in text
+        assert "cache.plan.size" in text
+        assert "executor.ms.Join" in text
+
+    def test_empty_report(self):
+        assert "no metrics recorded" in MetricsRegistry().report()
+
+    def test_reset_clears_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        registry.reset()
+        assert len(registry) == 0
+        assert "x" not in registry
