@@ -151,6 +151,15 @@ class Engine:
         the empirically validated cross-size reuse.
     enable_fast_path:
         Master switch for the Theorem 3.11 dispatch.
+    small_plan_rows:
+        Plans whose total estimated row count stays at or under this
+        bound execute with the semijoin pre-filter switched off — for
+        trivially small plans the filter's extra hash sets cost more
+        than they save. Set to 0 to always filter.
+    max_workers:
+        Default worker count for the batch APIs (:meth:`answers_batch`,
+        :meth:`evaluate_batch`, :meth:`evaluate_many`). ``None`` defers
+        to ``REPRO_PARALLEL``; single calls are always serial.
     """
 
     def __init__(
@@ -162,6 +171,8 @@ class Engine:
         fast_path_ball_limit: int = 64,
         fast_path_threshold: int | None = None,
         enable_fast_path: bool = True,
+        small_plan_rows: int = 2048,
+        max_workers: int | None = None,
     ) -> None:
         if domain not in ("universe", "active"):
             raise EvaluationError(f"domain must be 'universe' or 'active', got {domain!r}")
@@ -170,6 +181,8 @@ class Engine:
         self.fast_path_ball_limit = fast_path_ball_limit
         self.fast_path_threshold = fast_path_threshold
         self.enable_fast_path = enable_fast_path
+        self.small_plan_rows = small_plan_rows
+        self.max_workers = max_workers
         self.plan_cache = LRUCache(plan_cache_size, name="plan")
         self.answer_cache = LRUCache(answer_cache_size, name="answer")
         self._bounded_degree = LRUCache(64, name="bounded_degree")
@@ -202,6 +215,137 @@ class Engine:
         key = (structure, formula, self.domain_mode, order_names)
         return self.answer_cache.get_or_compute(
             key, lambda: self._compute_answers(structure, formula, sorted_names, order_names)
+        )
+
+    def answers_batch(
+        self,
+        requests: list[tuple[Structure, Formula]],
+        *,
+        max_workers: int | None = None,
+    ) -> list[frozenset[tuple[Element, ...]]]:
+        """:meth:`answers` for many (structure, formula) pairs at once.
+
+        Normalization and planning happen once per distinct (formula,
+        signature, statistics) combination in the calling process (the
+        shared plan cache does the deduplication); only plan *execution*
+        fans out across workers. Answer-cache hits skip execution
+        entirely, duplicate requests execute once, and every computed
+        answer set is merged back into the answer cache — a later
+        :meth:`answers` call sees exactly the state a serial loop would
+        have left. Results are ordered like ``requests``.
+        """
+        from repro.parallel import parallel_map
+
+        requests = [(structure, formula) for structure, formula in requests]
+        results: list = [None] * len(requests)
+        pending: dict[tuple, list[int]] = {}
+        for position, (structure, formula) in enumerate(requests):
+            sorted_names = tuple(sorted(var.name for var in free_variables(formula)))
+            key = (structure, formula, self.domain_mode, sorted_names)
+            if key not in pending:
+                cached = self.answer_cache.get(key)
+                if cached is not None:
+                    results[position] = cached
+                    continue
+            pending.setdefault(key, []).append(position)
+
+        keys = list(pending)
+        payloads = []
+        for structure, formula, _, sorted_names in keys:
+            plan, _ = self._plan_for(structure, formula)
+            payloads.append(
+                (
+                    plan,
+                    structure,
+                    self._domain_values(structure),
+                    sorted_names,
+                    sorted_names,
+                    plan.total_estimated_rows() > self.small_plan_rows,
+                )
+            )
+        workers = max_workers if max_workers is not None else self.max_workers
+        with _span("engine.answers_batch") as batch_span:
+            batch_span.set("requests", len(requests)).set("executions", len(payloads))
+            outcomes = parallel_map(_execute_payload, payloads, max_workers=workers)
+        for key, (rows, run_stats) in zip(keys, outcomes):
+            self.answer_cache.put(key, rows)
+            self.stats.executions += 1
+            execution = self.stats.execution
+            execution.rows_materialized += run_stats["rows_materialized"]
+            execution.joins += run_stats["joins"]
+            execution.semijoin_filters += run_stats["semijoin_filters"]
+            execution.antijoins += run_stats["antijoins"]
+            for position in pending[key]:
+                results[position] = rows
+        if _telemetry_enabled():
+            _counter("engine.batch.requests").inc(len(requests))
+            _counter("engine.executions").inc(len(payloads))
+        return results
+
+    def evaluate_batch(
+        self,
+        requests: list[tuple[Structure, Formula]],
+        *,
+        max_workers: int | None = None,
+    ) -> list[bool]:
+        """:meth:`evaluate` for many (structure, sentence) pairs at once.
+
+        Sentences eligible for the bounded-degree fast path are grouped
+        per formula and decided through one batched census
+        (:meth:`repro.locality.bounded_degree.BoundedDegreeEvaluator.evaluate_many`);
+        the rest go through :meth:`answers_batch`. Results match a
+        serial :meth:`evaluate` loop, in request order.
+        """
+        requests = [(structure, formula) for structure, formula in requests]
+        for _, formula in requests:
+            if free_variables(formula):
+                raise EvaluationError(
+                    "evaluate_batch expects sentences; use answers_batch for queries"
+                )
+        results: list = [None] * len(requests)
+        fast_groups: dict[Formula, list[int]] = {}
+        slow: list[int] = []
+        for position, (structure, formula) in enumerate(requests):
+            dispatch, _ = self.fast_path_decision(structure, formula)
+            if dispatch:
+                fast_groups.setdefault(formula, []).append(position)
+            else:
+                slow.append(position)
+        workers = max_workers if max_workers is not None else self.max_workers
+        for formula, positions in fast_groups.items():
+            evaluator = self._bounded_degree_evaluator(formula)
+            structures = [requests[position][0] for position in positions]
+            self.stats.fast_path_dispatches += len(positions)
+            if _telemetry_enabled():
+                _counter("engine.fast_path.dispatches").inc(len(positions))
+            with _span("engine.fast_path"):
+                try:
+                    values = evaluator.evaluate_many(structures, max_workers=workers)
+                except LocalityError:  # pragma: no cover - decision guards this
+                    slow.extend(positions)
+                    continue
+            for position, value in zip(positions, values):
+                results[position] = value
+        if slow:
+            slow.sort()
+            answer_sets = self.answers_batch(
+                [requests[position] for position in slow], max_workers=workers
+            )
+            for position, rows in zip(slow, answer_sets):
+                results[position] = bool(rows)
+        return results
+
+    def evaluate_many(
+        self,
+        structures: list[Structure],
+        formula: Formula,
+        *,
+        max_workers: int | None = None,
+    ) -> list[bool]:
+        """Decide one sentence on many structures (batched evaluation)."""
+        return self.evaluate_batch(
+            [(structure, formula) for structure in structures],
+            max_workers=max_workers,
         )
 
     def evaluate(
@@ -422,7 +566,13 @@ class Engine:
     ) -> frozenset[tuple[Element, ...]]:
         plan, _ = self._plan_for(structure, formula)
         domain = self._domain_values(structure)
-        executor = Executor(structure, domain, self.stats.execution, recorder=recorder)
+        executor = Executor(
+            structure,
+            domain,
+            self.stats.execution,
+            recorder=recorder,
+            semijoin_filtering=plan.total_estimated_rows() > self.small_plan_rows,
+        )
         self.stats.executions += 1
         if _telemetry_enabled():
             _counter("engine.executions").inc()
@@ -436,6 +586,28 @@ class Engine:
         if relation.attributes != order_names:
             relation = relation.project(order_names)
         return relation.rows
+
+
+def _execute_payload(payload: tuple) -> tuple[frozenset, dict[str, int]]:
+    """Worker body for one :meth:`Engine.answers_batch` execution.
+
+    Takes a pre-built plan (planning stays in the calling process) plus
+    everything the executor needs, and returns the shaped answer rows
+    together with the execution counters, so the parent can merge both
+    back into its caches and stats.
+    """
+    plan, structure, domain, sorted_names, order_names, semijoin_filtering = payload
+    run_stats = ExecutionStats()
+    executor = Executor(
+        structure, domain, run_stats, semijoin_filtering=semijoin_filtering
+    )
+    relation = executor.run(plan)
+    extra = tuple(name for name in order_names if name not in sorted_names)
+    if extra:
+        relation = relation.extend_columns(extra, structure.universe)
+    if relation.attributes != order_names:
+        relation = relation.project(order_names)
+    return relation.rows, run_stats.as_dict()
 
 
 def relation_answers(

@@ -100,12 +100,16 @@ class Executor:
         domain: tuple[Element, ...],
         stats: ExecutionStats | None = None,
         recorder: MutableMapping[int, NodeActuals] | None = None,
+        semijoin_filtering: bool = True,
     ) -> None:
         self.structure = structure
         self.domain = domain
         self._domain_set = frozenset(domain)
         self.stats = stats if stats is not None else ExecutionStats()
         self.recorder = recorder
+        # The engine turns the pre-filter off for trivially small plans,
+        # where building the extra hash sets costs more than it saves.
+        self.semijoin_filtering = semijoin_filtering
 
     def run(self, plan: Plan) -> Relation:
         relation = self._run(plan)
@@ -198,7 +202,12 @@ class Executor:
         left = self._run(plan.left)
         right = self._run(plan.right)
         shared = [a for a in left.attributes if a in right.attributes]
-        if shared and len(left) > SEMIJOIN_THRESHOLD and len(right) > SEMIJOIN_THRESHOLD:
+        if (
+            shared
+            and self.semijoin_filtering
+            and len(left) > SEMIJOIN_THRESHOLD
+            and len(right) > SEMIJOIN_THRESHOLD
+        ):
             # Reduce the bigger side to the rows that can find a partner
             # before building the join output.
             self.stats.semijoin_filters += 1

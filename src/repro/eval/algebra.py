@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from collections.abc import Callable, Iterable, Mapping
 from dataclasses import dataclass
+from operator import itemgetter
 
 from repro.errors import EvaluationError
 from repro.structures.structure import Element
@@ -41,6 +42,21 @@ __all__ = [
     "complement",
     "extend_columns",
 ]
+
+
+def _key_getter(indices: list[int]) -> Callable[[tuple], object]:
+    """A fast per-row key extractor for the given column indices.
+
+    Both sides of a join use extractors built from *aligned* index lists,
+    so the single-column scalar key and the multi-column tuple key are
+    each consistent across the two sides.
+    """
+    if len(indices) == 1:
+        index = indices[0]
+        return lambda row: row[index]
+    if not indices:
+        return lambda row: ()
+    return itemgetter(*indices)
 
 
 @dataclass(frozen=True)
@@ -69,6 +85,21 @@ class Relation:
         object.__setattr__(self, "rows", rows)
 
     # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def _make(
+        cls, attributes: tuple[str, ...], rows: frozenset[tuple[Element, ...]]
+    ) -> "Relation":
+        """Trusted constructor: skip ``__post_init__`` validation.
+
+        For operator internals only — the caller guarantees ``attributes``
+        is a duplicate-free tuple and every row is a tuple of matching
+        width (which every algebra operator preserves by construction).
+        """
+        relation = object.__new__(cls)
+        object.__setattr__(relation, "attributes", attributes)
+        object.__setattr__(relation, "rows", rows)
+        return relation
 
     @staticmethod
     def from_tuples(attributes: Iterable[str], rows: Iterable[tuple]) -> "Relation":
@@ -124,23 +155,27 @@ class Relation:
     def select_eq(self, attribute: str, value: Element) -> "Relation":
         """σ_{attribute = value}."""
         index = self._index_of(attribute)
-        return Relation(
+        return Relation._make(
             self.attributes, frozenset(row for row in self.rows if row[index] == value)
         )
 
     def select_attr_eq(self, first: str, second: str) -> "Relation":
         """σ_{first = second} for two attributes."""
         i, j = self._index_of(first), self._index_of(second)
-        return Relation(
+        return Relation._make(
             self.attributes, frozenset(row for row in self.rows if row[i] == row[j])
         )
 
     def project(self, attributes: Iterable[str]) -> "Relation":
         """π: keep (and reorder to) the given attributes, dropping duplicates."""
         attributes = tuple(attributes)
+        if attributes == self.attributes:
+            return self
         indices = [self._index_of(attribute) for attribute in attributes]
+        if len(set(attributes)) != len(attributes):
+            raise EvaluationError(f"duplicate attribute names: {attributes}")
         rows = frozenset(tuple(row[index] for index in indices) for row in self.rows)
-        return Relation(attributes, rows)
+        return Relation._make(attributes, rows)
 
     def rename(self, mapping: Mapping[str, str]) -> "Relation":
         """ρ: rename attributes according to ``mapping``."""
@@ -150,26 +185,44 @@ class Relation:
     def join(self, other: "Relation") -> "Relation":
         """⋈: natural join on the shared attributes (hash join).
 
-        With no shared attributes this is the cartesian product.
+        With no shared attributes this is the cartesian product. The hash
+        table is always built on the *smaller* input, so memory and build
+        time track min(|r|, |s|) rather than whichever operand happens to
+        be on the right.
         """
         shared = [attribute for attribute in self.attributes if attribute in other.attributes]
         other_extra = [attribute for attribute in other.attributes if attribute not in shared]
         result_attributes = self.attributes + tuple(other_extra)
 
-        self_key = [self._index_of(attribute) for attribute in shared]
-        other_key = [other._index_of(attribute) for attribute in shared]
-        other_extra_idx = [other._index_of(attribute) for attribute in other_extra]
+        self_key = _key_getter([self._index_of(attribute) for attribute in shared])
+        other_key = _key_getter([other._index_of(attribute) for attribute in shared])
+        extra_indices = [other._index_of(attribute) for attribute in other_extra]
 
-        buckets: dict[tuple, list[tuple]] = {}
-        for row in other.rows:
-            buckets.setdefault(tuple(row[index] for index in other_key), []).append(row)
-
-        rows = set()
-        for row in self.rows:
-            key = tuple(row[index] for index in self_key)
-            for match in buckets.get(key, ()):
-                rows.add(row + tuple(match[index] for index in other_extra_idx))
-        return Relation(result_attributes, frozenset(rows))
+        rows: set[tuple] = set()
+        buckets: dict[object, list[tuple]] = {}
+        if len(self.rows) < len(other.rows):
+            # Hash the smaller (left) side, probe with the right.
+            for row in self.rows:
+                buckets.setdefault(self_key(row), []).append(row)
+            for row in other.rows:
+                matches = buckets.get(other_key(row))
+                if matches:
+                    extras = tuple(row[index] for index in extra_indices)
+                    for mine in matches:
+                        rows.add(mine + extras)
+        else:
+            # Hash the smaller (right) side, storing only the extra
+            # columns each probe needs to append.
+            for row in other.rows:
+                buckets.setdefault(other_key(row), []).append(
+                    tuple(row[index] for index in extra_indices)
+                )
+            for row in self.rows:
+                matches = buckets.get(self_key(row))
+                if matches:
+                    for extras in matches:
+                        rows.add(row + extras)
+        return Relation._make(result_attributes, frozenset(rows))
 
     def semijoin(self, other: "Relation") -> "Relation":
         """⋉: rows of this relation with a join partner in ``other``.
@@ -194,16 +247,14 @@ class Relation:
         shared = [attribute for attribute in self.attributes if attribute in other.attributes]
         if not shared:
             nonempty = bool(other.rows) == keep_matching
-            return self if nonempty else Relation(self.attributes, frozenset())
-        self_key = [self._index_of(attribute) for attribute in shared]
-        other_key = [other._index_of(attribute) for attribute in shared]
-        keys = frozenset(tuple(row[index] for index in other_key) for row in other.rows)
+            return self if nonempty else Relation._make(self.attributes, frozenset())
+        self_key = _key_getter([self._index_of(attribute) for attribute in shared])
+        other_key = _key_getter([other._index_of(attribute) for attribute in shared])
+        keys = {other_key(row) for row in other.rows}
         rows = frozenset(
-            row
-            for row in self.rows
-            if (tuple(row[index] for index in self_key) in keys) == keep_matching
+            row for row in self.rows if (self_key(row) in keys) == keep_matching
         )
-        return Relation(self.attributes, rows)
+        return Relation._make(self.attributes, rows)
 
     def product(self, other: "Relation") -> "Relation":
         """×: cartesian product (attribute sets must be disjoint)."""
@@ -222,17 +273,17 @@ class Relation:
     def union(self, other: "Relation") -> "Relation":
         """∪ (requires identical attribute lists)."""
         self._require_compatible(other, "union")
-        return Relation(self.attributes, self.rows | other.rows)
+        return Relation._make(self.attributes, self.rows | other.rows)
 
     def difference(self, other: "Relation") -> "Relation":
         """− (requires identical attribute lists)."""
         self._require_compatible(other, "difference")
-        return Relation(self.attributes, self.rows - other.rows)
+        return Relation._make(self.attributes, self.rows - other.rows)
 
     def intersection(self, other: "Relation") -> "Relation":
         """∩ (requires identical attribute lists)."""
         self._require_compatible(other, "intersection")
-        return Relation(self.attributes, self.rows & other.rows)
+        return Relation._make(self.attributes, self.rows & other.rows)
 
     def divide(self, divisor: "Relation") -> "Relation":
         """÷: relational division (the "for all" of the algebra).

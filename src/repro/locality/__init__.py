@@ -34,8 +34,11 @@ from repro.locality.hanf import (
 )
 from repro.locality.neighborhoods import (
     TypeRegistry,
+    ball_key,
     max_ball_size,
     neighborhood_census,
+    neighborhood_census_baseline,
+    neighborhood_census_many,
     neighborhood_type,
     tuple_type_classes,
 )
@@ -43,7 +46,8 @@ from repro.locality.neighborhoods import (
 __all__ = [
     # neighborhoods
     "TypeRegistry", "neighborhood_type", "neighborhood_census",
-    "tuple_type_classes", "max_ball_size",
+    "neighborhood_census_baseline", "neighborhood_census_many",
+    "tuple_type_classes", "max_ball_size", "ball_key",
     # hanf
     "hanf_equivalent", "threshold_hanf_equivalent",
     "hanf_locality_counterexample", "hanf_locality_radius",

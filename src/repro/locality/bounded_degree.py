@@ -30,7 +30,12 @@ from dataclasses import dataclass, field
 from repro.errors import LocalityError
 from repro.eval.evaluator import evaluate
 from repro.locality.hanf import hanf_locality_radius
-from repro.locality.neighborhoods import TypeRegistry, neighborhood_census
+from repro.locality.neighborhoods import (
+    TypeRegistry,
+    neighborhood_census,
+    neighborhood_census_baseline,
+    neighborhood_census_many,
+)
 from repro.logic.analysis import free_variables, quantifier_rank
 from repro.logic.syntax import Formula
 from repro.structures.structure import Structure
@@ -83,11 +88,20 @@ class BoundedDegreeEvaluator:
         How to evaluate the sentence on a census-table miss. Defaults to
         the naive evaluator; the query engine passes its own algebra
         pipeline here so misses stay polynomial-friendly.
+    census_mode:
+        ``"fast"`` (default) uses the ball-key census pipeline of
+        :func:`repro.locality.neighborhoods.neighborhood_census`;
+        ``"baseline"`` forces the per-element reference implementation
+        (ablation and determinism testing).
+    max_workers:
+        Worker count for the census pipeline. ``None`` defers to
+        ``REPRO_PARALLEL``; 1 forces serial.
 
     After a warm-up evaluation, any structure with a previously seen
     census is answered by a linear-time census computation plus a table
     lookup — no formula evaluation at all. Experiment E10 measures the
-    crossover against the naive O(n^qr) evaluator.
+    crossover against the naive O(n^qr) evaluator; E18 measures the
+    census pipeline's scaling.
     """
 
     def __init__(
@@ -97,6 +111,8 @@ class BoundedDegreeEvaluator:
         radius: int | None = None,
         threshold: int | None = None,
         fallback: Callable[[Structure, Formula], bool] | None = None,
+        census_mode: str = "fast",
+        max_workers: int | None = None,
     ) -> None:
         free = free_variables(sentence)
         if free:
@@ -108,31 +124,73 @@ class BoundedDegreeEvaluator:
             raise LocalityError(f"radius must be non-negative, got {radius}")
         if threshold is not None and threshold < 1:
             raise LocalityError(f"threshold must be at least 1, got {threshold}")
+        if census_mode not in ("fast", "baseline"):
+            raise LocalityError(
+                f"census_mode must be 'fast' or 'baseline', got {census_mode!r}"
+            )
         self.sentence = sentence
         self.degree_bound = degree_bound
         self.radius = hanf_locality_radius(quantifier_rank(sentence)) if radius is None else radius
         self.threshold = threshold
         self.fallback = fallback if fallback is not None else evaluate
+        self.census_mode = census_mode
+        self.max_workers = max_workers
         self.registry = TypeRegistry()
         self.table: dict[tuple, bool] = {}
         self.stats = EvaluatorStats()
 
     def census_of(self, structure: Structure) -> Counter:
         """The structure's r-neighborhood census (linear time for fixed k, r)."""
-        with _span("locality.census") as census_span:
-            census = neighborhood_census(structure, self.radius, self.registry)
-            census_span.set("radius", self.radius).set("types", len(census))
-            return census
+        if self.census_mode == "baseline":
+            return neighborhood_census_baseline(structure, self.radius, self.registry)
+        return neighborhood_census(
+            structure, self.radius, self.registry, max_workers=self.max_workers
+        )
+
+    def censuses_of(
+        self, structures: list[Structure], max_workers: int | None = None
+    ) -> list[Counter]:
+        """Censuses of a whole family, ball work shared across one pool."""
+        workers = max_workers if max_workers is not None else self.max_workers
+        if self.census_mode == "baseline":
+            return [self.census_of(structure) for structure in structures]
+        return neighborhood_census_many(
+            structures, self.radius, self.registry, max_workers=workers
+        )
 
     def evaluate(self, structure: Structure) -> bool:
         """Decide structure ⊨ φ via the census table."""
+        self._check_degree(structure)
+        return self._decide(structure, self.census_of(structure))
+
+    def evaluate_many(
+        self, structures: list[Structure], max_workers: int | None = None
+    ) -> list[bool]:
+        """Decide φ on every structure, census work fanned out together.
+
+        Results are identical (and identically ordered) to calling
+        :meth:`evaluate` one structure at a time — the census pipeline
+        batches, the truth-table logic stays serial and deterministic.
+        """
+        structures = list(structures)
+        for structure in structures:
+            self._check_degree(structure)
+        censuses = self.censuses_of(structures, max_workers=max_workers)
+        return [
+            self._decide(structure, census)
+            for structure, census in zip(structures, censuses)
+        ]
+
+    def _check_degree(self, structure: Structure) -> None:
         degree = structure.max_degree()
         if degree > self.degree_bound:
             raise LocalityError(
                 f"structure has Gaifman degree {degree} > bound {self.degree_bound}; "
                 "Theorem 3.11 applies to bounded-degree classes only"
             )
-        key = census_key(self.census_of(structure), self.threshold)
+
+    def _decide(self, structure: Structure, census: Counter) -> bool:
+        key = census_key(census, self.threshold)
         cached = self.table.get(key)
         if cached is not None:
             self.stats.hits += 1

@@ -9,18 +9,37 @@ up to isomorphism. This module provides:
 * :func:`neighborhood_type` / :func:`tuple_type_classes` — the type of a
   point or tuple, and the partition of all tuples by type;
 * :func:`neighborhood_census` — the multiset {type: count} of point
-  types, the object Hanf equivalence compares.
+  types, the object Hanf equivalence compares;
+* :func:`neighborhood_census_many` — censuses of a whole family, with
+  the ball work for *all* structures fanned out over one worker pool.
+
+**The fast census pipeline.**  The naive algorithm (kept as
+:func:`neighborhood_census_baseline`) materializes one neighborhood
+:class:`~repro.structures.structure.Structure` per element and runs it
+through the registry — O(n) structure constructions, WL refinements, and
+isomorphism probes.  The fast pipeline instead computes a cheap *ball
+key* per element — the ball relabeled into BFS-layer order, a concrete
+presentation of N_r(ā) — in parallel chunks.  Equal keys *certify*
+isomorphic neighborhoods (the index-aligned map is an isomorphism), so
+only the first element realizing each distinct key ever builds a real
+neighborhood; every other element is a dictionary hit.  Isomorphic balls
+with different presentations merely fall through to the registry's
+fingerprint bucket, where exact isomorphism merges them as before —
+exactness is never traded away.  Censuses are additionally memoized per
+(structure, radius) in an LRU on the registry, so re-censusing a
+structure (the bounded-degree evaluator's common case) is one lookup.
 """
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
-from collections.abc import Iterable
+from collections import Counter, defaultdict, deque
+from collections.abc import Iterable, Sequence
 
-from repro.structures.gaifman import neighborhood
+from repro.engine.cache import LRUCache
+from repro.structures.gaifman import gaifman_adjacency, neighborhood
 from repro.structures.invariants import structure_fingerprint
 from repro.structures.isomorphism import are_isomorphic
-from repro.structures.structure import Element, Structure
+from repro.structures.structure import Element, Structure, _sort_key
 from repro.telemetry.metrics import counter as _counter
 from repro.telemetry.tracer import is_enabled as _telemetry_enabled
 from repro.telemetry.tracer import span as _span
@@ -29,27 +48,46 @@ __all__ = [
     "TypeRegistry",
     "neighborhood_type",
     "neighborhood_census",
+    "neighborhood_census_baseline",
+    "neighborhood_census_many",
     "tuple_type_classes",
     "max_ball_size",
+    "ball_key",
 ]
+
+#: Below this many balls the key pipeline stays serial — pool dispatch
+#: would cost more than the work.
+PARALLEL_MIN_BALLS = 64
 
 
 class TypeRegistry:
     """Stable ids for isomorphism classes of structures.
 
     ``type_of(S)`` returns the id of S's isomorphism class, creating a
-    new id on first sight. Candidates are pre-bucketed by an invariant
-    fingerprint so most lookups do a single dictionary probe and zero
-    exact isomorphism tests. ``use_fingerprint=False`` disables the
-    bucketing (every lookup compares against every known class) — only
-    useful for ablation experiments.
+    new id on first sight. Candidates are pre-bucketed by the canonical
+    invariant fingerprint (degree sequence + WL color histogram,
+    :func:`repro.structures.invariants.structure_fingerprint`), so most
+    lookups do a single dictionary probe and zero exact isomorphism
+    tests. ``use_fingerprint=False`` disables the bucketing (every
+    lookup compares against every known class) — only useful for
+    ablation experiments.
+
+    ``type_of_keyed(key, build)`` is the census fast path: a concrete
+    *presentation key* whose equality certifies isomorphism maps
+    straight to a type id; only the first sighting of a key pays for
+    structure construction and registration.  The registry also owns the
+    per-(structure, radius) census memo used by
+    :func:`neighborhood_census`.
     """
 
-    def __init__(self, use_fingerprint: bool = True) -> None:
+    def __init__(self, use_fingerprint: bool = True, census_memo_size: int = 256) -> None:
         self._buckets: dict[tuple, list[tuple[Structure, int]]] = defaultdict(list)
         self._next_id = 0
         self._use_fingerprint = use_fingerprint
+        self._key_ids: dict[tuple, int] = {}
         self.isomorphism_tests = 0
+        self.key_hits = 0
+        self.census_memo = LRUCache(census_memo_size, name="census_memo")
 
     def type_of(self, structure: Structure) -> int:
         fingerprint = structure_fingerprint(structure) if self._use_fingerprint else ()
@@ -67,6 +105,24 @@ class TypeRegistry:
             _counter("locality.types_registered").inc()
         return type_id
 
+    def type_of_keyed(self, key: tuple, build) -> int:
+        """The type id for a presentation key, building a structure on miss.
+
+        ``key`` must satisfy: equal keys imply isomorphic structures
+        (:func:`ball_key` guarantees this).  On a hit no structure is
+        constructed and no isomorphism is attempted — the near-O(n)
+        dictionary path of the census.
+        """
+        type_id = self._key_ids.get(key)
+        if type_id is not None:
+            self.key_hits += 1
+            if _telemetry_enabled():
+                _counter("locality.key_hits").inc()
+            return type_id
+        type_id = self.type_of(build())
+        self._key_ids[key] = type_id
+        return type_id
+
     def representative(self, type_id: int) -> Structure:
         """The first structure registered with this id."""
         for bucket in self._buckets.values():
@@ -79,6 +135,125 @@ class TypeRegistry:
         return self._next_id
 
 
+# -- ball keys (the parallelizable per-element work) -------------------------
+
+
+def _row_incidence(
+    structure: Structure,
+) -> dict[Element, tuple[tuple[str, tuple], ...]]:
+    """Element → the (relation, row) pairs it occurs in (memoized).
+
+    The per-element index that makes :func:`ball_key` O(|ball| · degree)
+    instead of O(|structure|): a ball only ever needs the rows incident
+    to its own members.
+    """
+
+    def compute() -> dict[Element, tuple[tuple[str, tuple], ...]]:
+        incidence: dict[Element, list[tuple[str, tuple]]] = {
+            element: [] for element in structure.universe
+        }
+        for name in structure.signature.relation_names():
+            for row in structure.relations[name]:
+                for element in set(row):
+                    incidence[element].append((name, row))
+        return {element: tuple(pairs) for element, pairs in incidence.items()}
+
+    return structure.cached(("row-incidence",), compute)  # type: ignore[return-value]
+
+
+def ball_key(
+    structure: Structure, centers: tuple[Element, ...], radius: int
+) -> tuple:
+    """A concrete presentation key for N_r(centers).
+
+    The ball's elements are relabeled ``0..m-1`` in (BFS-distance,
+    element-sort-order) order and the induced relations, constants, and
+    distinguished centers are encoded under that relabeling.  **Equal
+    keys certify isomorphic neighborhoods**: aligning the i-th element
+    of one presentation with the i-th of the other is an isomorphism
+    respecting the distinguished tuple.  The converse may fail —
+    isomorphic balls presented differently get different keys — which
+    costs a duplicate registry probe, never a wrong merge.
+
+    This is a pure function of (structure, centers, radius), touching
+    only the ball's own rows — O(|ball| · degree) per call, cheap enough
+    to fan out over worker processes by the thousands.
+    """
+    adjacency = gaifman_adjacency(structure)
+    incidence = _row_incidence(structure)
+    distances: dict[Element, int] = {}
+    queue: deque[Element] = deque()
+    for center in centers:
+        if center not in distances:
+            distances[center] = 0
+            queue.append(center)
+    while queue:
+        current = queue.popleft()
+        depth = distances[current]
+        if depth >= radius:
+            continue
+        for neighbor in adjacency[current]:
+            if neighbor not in distances:
+                distances[neighbor] = depth + 1
+                queue.append(neighbor)
+    order = sorted(distances, key=lambda element: (distances[element], _sort_key(element)))
+    index = {element: position for position, element in enumerate(order)}
+    rows_by_name: dict[str, set[tuple[int, ...]]] = {}
+    for element in order:
+        for name, row in incidence[element]:
+            if all(value in index for value in row):
+                rows_by_name.setdefault(name, set()).add(
+                    tuple(index[value] for value in row)
+                )
+    rows = tuple(
+        (name, tuple(sorted(rows_by_name.get(name, ()))))
+        for name in structure.signature.relation_names()
+    )
+    constants = tuple(
+        sorted(
+            (name, index[value])
+            for name, value in structure.constants.items()
+            if value in index
+        )
+    )
+    marks = tuple(index[center] for center in centers)
+    return (radius, len(order), marks, rows, constants)
+
+
+def _ball_key_chunk(payload: tuple) -> list[tuple]:
+    """Worker task: ball keys for one chunk of center tuples."""
+    structure, centers_chunk, radius = payload
+    return [ball_key(structure, centers, radius) for centers in centers_chunk]
+
+
+def _ball_keys(
+    structure: Structure,
+    centers_list: Sequence[tuple[Element, ...]],
+    radius: int,
+    max_workers: int | None,
+) -> list[tuple]:
+    """Ball keys for many center tuples, fanned out when it pays."""
+    from repro.parallel import CHUNKS_PER_WORKER, parallel_map, resolve_workers
+
+    workers = resolve_workers(max_workers)
+    if workers <= 1 or len(centers_list) < PARALLEL_MIN_BALLS:
+        return [ball_key(structure, centers, radius) for centers in centers_list]
+    chunk = max(1, -(-len(centers_list) // (workers * CHUNKS_PER_WORKER)))
+    payloads = [
+        (structure, tuple(centers_list[start : start + chunk]), radius)
+        for start in range(0, len(centers_list), chunk)
+    ]
+    with _span("locality.ball_keys") as keys_span:
+        keys_span.set("balls", len(centers_list)).set("workers", workers)
+        chunks = parallel_map(
+            _ball_key_chunk, payloads, max_workers=workers, chunk_size=1
+        )
+    return [key for chunk_keys in chunks for key in chunk_keys]
+
+
+# -- types and censuses ------------------------------------------------------
+
+
 def neighborhood_type(
     structure: Structure,
     center: Element | tuple[Element, ...],
@@ -89,20 +264,70 @@ def neighborhood_type(
     return registry.type_of(neighborhood(structure, center, radius))
 
 
+def _census_via_keys(
+    structure: Structure,
+    radius: int,
+    registry: TypeRegistry,
+    max_workers: int | None,
+    keys: list[tuple] | None = None,
+) -> Counter:
+    centers_list = [(element,) for element in structure.universe]
+    if keys is None:
+        keys = _ball_keys(structure, centers_list, radius, max_workers)
+    census: Counter = Counter()
+    for centers, key in zip(centers_list, keys):
+        type_id = registry.type_of_keyed(
+            key, lambda centers=centers: neighborhood(structure, centers, radius)
+        )
+        census[type_id] += 1
+    return census
+
+
+def neighborhood_census_baseline(
+    structure: Structure,
+    radius: int,
+    registry: TypeRegistry,
+) -> Counter:
+    """The pre-pipeline census: one materialized neighborhood per element.
+
+    Kept as the reference implementation — ablation benchmarks and the
+    determinism suite compare the fast pipeline against it, and
+    structures that interpret constants still take this path (a constant
+    outside some ball must raise, exactly as :func:`neighborhood` does).
+    """
+    census: Counter = Counter()
+    for element in structure.universe:
+        census[registry.type_of(neighborhood(structure, element, radius))] += 1
+    return census
+
+
 def neighborhood_census(
     structure: Structure,
     radius: int,
     registry: TypeRegistry,
+    *,
+    max_workers: int | None = None,
 ) -> Counter:
     """The census {type id: number of points realizing it}.
 
     "a realizes τ" in the paper's words — the census is the function
     τ ↦ #{a : N_r(a) has type τ} restricted to realized types.
+
+    Runs the fast ball-key pipeline (parallel when ``max_workers`` or
+    ``REPRO_PARALLEL`` says so), memoized per (structure, radius) on the
+    registry.  Serial and parallel runs produce identical censuses.
     """
-    with _span("locality.neighborhood_census") as census_span:
-        census: Counter = Counter()
-        for element in structure.universe:
-            census[neighborhood_type(structure, element, radius, registry)] += 1
+    with _span("locality.census") as census_span:
+        memo_key = (structure, radius)
+        cached = registry.census_memo.get(memo_key)
+        if cached is not None:
+            census_span.set("radius", radius).set("types", len(cached)).set("memo_hit", 1)
+            return Counter(cached)
+        if structure.constants:
+            census = neighborhood_census_baseline(structure, radius, registry)
+        else:
+            census = _census_via_keys(structure, radius, registry, max_workers)
+        registry.census_memo.put(memo_key, Counter(census))
         if _telemetry_enabled():
             _counter("locality.censuses_computed").inc()
             _counter("locality.balls_computed").inc(len(structure.universe))
@@ -110,25 +335,97 @@ def neighborhood_census(
         return census
 
 
+def neighborhood_census_many(
+    structures: Sequence[Structure],
+    radius: int,
+    registry: TypeRegistry,
+    *,
+    max_workers: int | None = None,
+) -> list[Counter]:
+    """Censuses of a whole family, ball keys fanned out across structures.
+
+    One :func:`repro.parallel.parallel_map` covers the ball work of
+    every structure in the family, so a family of a thousand small
+    structures parallelizes as well as one structure with a thousand
+    elements.  Type ids are assigned serially in family order —
+    identical to calling :func:`neighborhood_census` one by one.
+    """
+    from repro.parallel import parallel_map, resolve_workers
+
+    structures = list(structures)
+    workers = resolve_workers(max_workers)
+    pending: list[Structure] = []
+    seen: set[Structure] = set()
+    for structure in structures:
+        if structure in seen or structure.constants:
+            continue
+        if (structure, radius) in registry.census_memo:
+            continue
+        seen.add(structure)
+        pending.append(structure)
+
+    total_balls = sum(structure.size for structure in pending)
+    keys_by_structure: dict[Structure, list[tuple]] = {}
+    if workers > 1 and total_balls >= PARALLEL_MIN_BALLS and pending:
+        payloads = [
+            (structure, tuple((element,) for element in structure.universe), radius)
+            for structure in pending
+        ]
+        with _span("locality.ball_keys") as keys_span:
+            keys_span.set("balls", total_balls).set("workers", workers)
+            all_keys = parallel_map(
+                _ball_key_chunk, payloads, max_workers=workers, chunk_size=1
+            )
+        keys_by_structure = dict(zip(pending, all_keys))
+
+    censuses: list[Counter] = []
+    for structure in structures:
+        keys = keys_by_structure.pop(structure, None)
+        if keys is not None:
+            census = _census_via_keys(structure, radius, registry, 1, keys=keys)
+            registry.census_memo.put((structure, radius), Counter(census))
+            if _telemetry_enabled():
+                _counter("locality.censuses_computed").inc()
+                _counter("locality.balls_computed").inc(structure.size)
+            censuses.append(census)
+        else:
+            censuses.append(
+                neighborhood_census(structure, radius, registry, max_workers=workers)
+            )
+    return censuses
+
+
 def tuple_type_classes(
     structure: Structure,
     tuples: Iterable[tuple[Element, ...]],
     radius: int,
     registry: TypeRegistry | None = None,
+    *,
+    max_workers: int | None = None,
 ) -> dict[int, list[tuple[Element, ...]]]:
     """Partition tuples of elements by the iso type of their r-neighborhood.
 
     Gaifman locality says an FO query must be constant on every class of
     this partition — which is exactly how
     :func:`repro.locality.gaifman_locality.gaifman_locality_counterexample`
-    checks it.
+    checks it.  Ball keys for the tuples run through the same (optionally
+    parallel) pipeline as the point census.
     """
     if registry is None:
         registry = TypeRegistry()
+    tuples = [tuple(tuple_) for tuple_ in tuples]
     classes: dict[int, list[tuple[Element, ...]]] = defaultdict(list)
-    for tuple_ in tuples:
-        type_id = neighborhood_type(structure, tuple(tuple_), radius, registry)
-        classes[type_id].append(tuple(tuple_))
+    if structure.constants:
+        for tuple_ in tuples:
+            type_id = neighborhood_type(structure, tuple_, radius, registry)
+            classes[type_id].append(tuple_)
+        return dict(classes)
+    keys = _ball_keys(structure, tuples, radius, max_workers)
+    for tuple_, key in zip(tuples, keys):
+        type_id = registry.type_of_keyed(
+            key, lambda centers=tuple_: neighborhood(structure, centers, radius)
+        )
+        classes[type_id].append(tuple_)
     return dict(classes)
 
 

@@ -139,6 +139,11 @@ class _FrozenDict(dict):
     def __hash__(self) -> int:  # type: ignore[override]
         return hash(frozenset(self.items()))
 
+    def __reduce__(self) -> tuple:
+        # Default dict-subclass pickling repopulates via the (blocked)
+        # __setitem__; rebuild through the constructor instead.
+        return (_FrozenDict, (dict(self),))
+
     def _blocked(self, *args: object, **kwargs: object) -> None:
         raise TypeError("Signature.relations is immutable")
 

@@ -1,0 +1,27 @@
+"""Multicore fan-out for the toolbox's hot paths (S15).
+
+``repro.parallel`` is the work-scheduling layer behind the parallel
+locality census, the engine's batch API, and the 0–1 law sampler:
+deterministic chunked :func:`parallel_map` over a shared process or
+thread pool, configured by ``REPRO_PARALLEL`` (serial by default).
+"""
+
+from repro.parallel.pool import (
+    CHUNKS_PER_WORKER,
+    ParallelConfig,
+    config_from_env,
+    cpu_count,
+    parallel_map,
+    resolve_workers,
+    shutdown,
+)
+
+__all__ = [
+    "CHUNKS_PER_WORKER",
+    "ParallelConfig",
+    "config_from_env",
+    "cpu_count",
+    "parallel_map",
+    "resolve_workers",
+    "shutdown",
+]

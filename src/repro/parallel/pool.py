@@ -1,0 +1,235 @@
+"""Chunked fan-out over a shared worker pool, with a serial fallback.
+
+The locality census, the batch engine API, and the 0–1 law sampler are
+all embarrassingly parallel per item (per element, per query, per
+sample).  This module gives them one shared scheduling layer:
+
+* :func:`parallel_map` — apply a function to every item of a sequence,
+  fanning chunks out over a process (or thread) pool, and reassemble the
+  results **in input order**, so parallel and serial runs are
+  byte-identical;
+* :class:`ParallelConfig` / :func:`config_from_env` — configuration from
+  the ``REPRO_PARALLEL`` / ``REPRO_PARALLEL_WORKERS`` /
+  ``REPRO_PARALLEL_BACKEND`` environment variables;
+* a lazily created, **shared** executor per backend, so repeated calls
+  reuse warm workers instead of paying pool start-up per call.
+
+**Serial is the default.**  With ``REPRO_PARALLEL`` unset (or ``0``) and
+no explicit ``max_workers``, :func:`parallel_map` is a plain list
+comprehension — zero scheduling overhead, no worker processes, identical
+results.  The process backend additionally pre-checks that the payload
+pickles; un-picklable work degrades to the serial path instead of
+crashing, so callers can pass closures without caring about the backend.
+
+Telemetry (when enabled): ``parallel.tasks`` and ``parallel.chunks``
+counters, a ``parallel.chunk_ms`` histogram of per-chunk worker time,
+``parallel.serial_fallbacks`` for degraded calls, and a
+``parallel.workers`` gauge recording the pool width in use.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import pickle
+import threading
+import time
+from collections.abc import Callable, Iterable, Mapping
+from concurrent.futures import Executor as _FuturesExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ParallelError
+from repro.telemetry.metrics import counter as _counter
+from repro.telemetry.metrics import gauge as _gauge
+from repro.telemetry.metrics import histogram as _histogram
+from repro.telemetry.tracer import is_enabled as _telemetry_enabled
+
+__all__ = [
+    "ParallelConfig",
+    "config_from_env",
+    "cpu_count",
+    "resolve_workers",
+    "parallel_map",
+    "shutdown",
+]
+
+#: Chunks per worker when no explicit chunk size is given: small enough
+#: to balance uneven chunks, large enough to amortize submission cost.
+CHUNKS_PER_WORKER = 4
+
+_BACKENDS = ("process", "thread")
+
+_OFF_VALUES = ("", "0", "false", "off", "no")
+_AUTO_VALUES = ("1", "true", "on", "yes", "auto")
+
+
+def cpu_count() -> int:
+    """The number of CPUs the pool may use (at least 1)."""
+    return os.cpu_count() or 1
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """How :func:`parallel_map` should run when the caller does not say.
+
+    ``max_workers=1`` means serial; the backend then never engages.
+    """
+
+    max_workers: int = 1
+    backend: str = "process"
+    chunk_size: int | None = None
+
+
+def config_from_env(env: Mapping[str, str] | None = None) -> ParallelConfig:
+    """Parse ``REPRO_PARALLEL*`` into a :class:`ParallelConfig`.
+
+    ``REPRO_PARALLEL`` — unset/``0`` → serial (the default); ``1`` →
+    one worker per CPU; an integer ≥ 2 → exactly that many workers.
+    ``REPRO_PARALLEL_WORKERS`` — overrides the worker count.
+    ``REPRO_PARALLEL_BACKEND`` — ``process`` (default) or ``thread``.
+    """
+    env = os.environ if env is None else env
+    raw = str(env.get("REPRO_PARALLEL", "")).strip().lower()
+    if raw in _OFF_VALUES:
+        workers = 1
+    elif raw in _AUTO_VALUES:
+        workers = cpu_count()
+    else:
+        try:
+            workers = int(raw)
+        except ValueError:
+            raise ParallelError(
+                f"REPRO_PARALLEL must be 0, 1, or a worker count, got {raw!r}"
+            ) from None
+        if workers < 0:
+            raise ParallelError(f"REPRO_PARALLEL must be non-negative, got {workers}")
+        workers = max(workers, 1)
+    override = str(env.get("REPRO_PARALLEL_WORKERS", "")).strip()
+    if override:
+        try:
+            workers = max(int(override), 1)
+        except ValueError:
+            raise ParallelError(
+                f"REPRO_PARALLEL_WORKERS must be an integer, got {override!r}"
+            ) from None
+    backend = str(env.get("REPRO_PARALLEL_BACKEND", "")).strip().lower() or "process"
+    if backend not in _BACKENDS:
+        raise ParallelError(
+            f"REPRO_PARALLEL_BACKEND must be one of {_BACKENDS}, got {backend!r}"
+        )
+    return ParallelConfig(max_workers=workers, backend=backend)
+
+
+def resolve_workers(max_workers: int | None) -> int:
+    """An explicit worker count if given, else the environment's."""
+    if max_workers is not None:
+        if max_workers < 0:
+            raise ParallelError(f"max_workers must be non-negative, got {max_workers}")
+        return max(max_workers, 1)
+    return config_from_env().max_workers
+
+
+# -- the shared executors ----------------------------------------------------
+
+_lock = threading.Lock()
+_executors: dict[str, tuple[int, _FuturesExecutor]] = {}
+
+
+def _shared_executor(backend: str, workers: int) -> _FuturesExecutor:
+    """The (lazily created) shared pool for one backend, resized on demand."""
+    with _lock:
+        current = _executors.get(backend)
+        if current is not None and current[0] == workers:
+            return current[1]
+        if current is not None:
+            current[1].shutdown(wait=False)
+        executor: _FuturesExecutor
+        if backend == "process":
+            executor = ProcessPoolExecutor(max_workers=workers)
+        elif backend == "thread":
+            executor = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-parallel"
+            )
+        else:
+            raise ParallelError(f"unknown parallel backend {backend!r}")
+        _executors[backend] = (workers, executor)
+        return executor
+
+
+def shutdown() -> None:
+    """Shut down every shared pool (used by tests and at-exit cleanup)."""
+    with _lock:
+        for _, executor in _executors.values():
+            executor.shutdown(wait=True)
+        _executors.clear()
+
+
+# -- the map -----------------------------------------------------------------
+
+
+def _run_chunk(fn: Callable[[Any], Any], chunk: list) -> tuple[list, float]:
+    """Worker-side body: apply ``fn`` item-wise, timing the whole chunk."""
+    start = time.perf_counter()
+    results = [fn(item) for item in chunk]
+    return results, time.perf_counter() - start
+
+
+def _payload_pickles(fn: Callable, probe: Any) -> bool:
+    try:
+        pickle.dumps((fn, probe))
+        return True
+    except Exception:
+        return False
+
+
+def parallel_map(
+    fn: Callable[[Any], Any],
+    items: Iterable[Any],
+    *,
+    max_workers: int | None = None,
+    backend: str | None = None,
+    chunk_size: int | None = None,
+) -> list:
+    """``[fn(item) for item in items]``, possibly across workers.
+
+    Results are always returned in input order, so a parallel run is
+    indistinguishable from a serial one (the determinism contract the
+    census and batch-API tests assert).  The serial path is taken when
+    the resolved worker count is 1, when there are fewer than two items,
+    or when the process backend cannot pickle the payload.
+    """
+    items = list(items)
+    config = config_from_env()
+    workers = resolve_workers(max_workers) if max_workers is not None else config.max_workers
+    chosen_backend = backend if backend is not None else config.backend
+    if chosen_backend not in _BACKENDS:
+        raise ParallelError(f"backend must be one of {_BACKENDS}, got {chosen_backend!r}")
+
+    telemetry_on = _telemetry_enabled()
+    if workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    if chosen_backend == "process" and not _payload_pickles(fn, items[0]):
+        if telemetry_on:
+            _counter("parallel.serial_fallbacks").inc()
+        return [fn(item) for item in items]
+
+    size = chunk_size if chunk_size is not None else (config.chunk_size or 0)
+    if size < 1:
+        size = max(1, math.ceil(len(items) / (workers * CHUNKS_PER_WORKER)))
+    chunks = [items[start : start + size] for start in range(0, len(items), size)]
+
+    executor = _shared_executor(chosen_backend, workers)
+    futures = [executor.submit(_run_chunk, fn, chunk) for chunk in chunks]
+    results: list = []
+    for future in futures:
+        chunk_results, seconds = future.result()
+        results.extend(chunk_results)
+        if telemetry_on:
+            _histogram("parallel.chunk_ms").observe(seconds * 1000.0)
+    if telemetry_on:
+        _counter("parallel.tasks").inc(len(items))
+        _counter("parallel.chunks").inc(len(chunks))
+        _gauge("parallel.workers").set(workers)
+    return results

@@ -124,17 +124,29 @@ def structure_fingerprint(structure: Structure) -> tuple:
     """An isomorphism-invariant fingerprint of a structure.
 
     Two isomorphic structures have equal fingerprints; unequal
-    fingerprints certify non-isomorphism. Used to bucket neighborhoods
-    before exact isomorphism tests when computing Hanf types.
+    fingerprints certify non-isomorphism. The fingerprint combines the
+    Gaifman degree sequence with the iterated color-refinement (WL)
+    histogram, and is the first-class hash key of the type registry:
+    exact isomorphism is only ever attempted between structures whose
+    fingerprints collide.
     """
 
     def compute() -> tuple:
+        from repro.structures.gaifman import gaifman_adjacency
+
         colors = refine_colors(structure)
         histogram = tuple(sorted(Counter(colors.values()).items()))
         relation_counts = tuple(
             (name, len(structure.relations[name]))
             for name in structure.signature.relation_names()
         )
-        return (structure.size, relation_counts, histogram)
+        degrees = tuple(
+            sorted(
+                Counter(
+                    len(neighbors) for neighbors in gaifman_adjacency(structure).values()
+                ).items()
+            )
+        )
+        return (structure.size, relation_counts, degrees, histogram)
 
     return structure.cached(("fingerprint",), compute)  # type: ignore[return-value]

@@ -161,6 +161,27 @@ class Structure:
         )
         return f"Structure(|A|={self.size}, {rels or 'no relations'})"
 
+    # -- pickling (worker payloads) -------------------------------------------
+
+    def __getstate__(self) -> tuple:
+        """Pickle the mathematical content only, not the memo caches.
+
+        Worker payloads (parallel census chunks, batch plan executions)
+        stay small, and each worker rebuilds Gaifman graphs / WL colors
+        on demand — those are cheaper to recompute than to ship.
+        """
+        return (self.signature, self.universe, self.relations, self.constants)
+
+    def __setstate__(self, state: tuple) -> None:
+        signature, universe, relations, constants = state
+        self.signature = signature
+        self.universe = universe
+        self._universe_set = frozenset(universe)
+        self.relations = relations
+        self.constants = constants
+        self._hash = None
+        self._cache = {}
+
     # -- membership ----------------------------------------------------------
 
     def holds(self, relation: str, row: tuple) -> bool:

@@ -4,7 +4,13 @@ Uniform random structures, extension axioms, and exact almost-sure
 decisions μ(φ) ∈ {0, 1}.
 """
 
-from repro.zero_one.asymptotic import decide_almost_sure, decide_via_witness, mu_limit
+from repro.zero_one.asymptotic import (
+    SentenceQuery,
+    decide_almost_sure,
+    decide_via_witness,
+    mu_estimate_sentence,
+    mu_limit,
+)
 from repro.zero_one.extension_axioms import (
     extension_atoms,
     extension_axiom_counterexample,
@@ -26,4 +32,5 @@ __all__ = [
     "satisfies_extension_axiom", "extension_axiom_counterexample",
     "find_extension_witness",
     "decide_almost_sure", "mu_limit", "decide_via_witness",
+    "SentenceQuery", "mu_estimate_sentence",
 ]

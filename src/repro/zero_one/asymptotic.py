@@ -24,6 +24,7 @@ the EF solver) makes this agree with the symbolic route.
 from __future__ import annotations
 
 import itertools
+from dataclasses import dataclass
 
 from repro.errors import FMTError, FormulaError
 from repro.eval.evaluator import evaluate
@@ -46,8 +47,58 @@ from repro.logic.syntax import (
 )
 from repro.structures.structure import Structure
 from repro.zero_one.extension_axioms import find_extension_witness
+from repro.zero_one.random_structures import MuEstimate, mu_estimate
 
-__all__ = ["decide_almost_sure", "mu_limit", "decide_via_witness"]
+__all__ = [
+    "decide_almost_sure",
+    "mu_limit",
+    "decide_via_witness",
+    "SentenceQuery",
+    "mu_estimate_sentence",
+]
+
+
+@dataclass(frozen=True)
+class SentenceQuery:
+    """A picklable "does A ⊨ φ?" query for the Monte-Carlo sampler.
+
+    :func:`repro.zero_one.random_structures.mu_estimate` accepts any
+    callable, but only a *picklable* one can cross a process boundary;
+    lambdas and closures silently keep the sampler serial. Formulas are
+    frozen dataclasses and pickle fine, so this wrapper is all the 0–1
+    law experiments need to fan sampling out over worker processes.
+    """
+
+    sentence: Formula
+
+    def __call__(self, structure: Structure) -> bool:
+        return evaluate(structure, self.sentence)
+
+
+def mu_estimate_sentence(
+    sentence: Formula,
+    signature: Signature,
+    n: int,
+    samples: int = 200,
+    seed: int = 0,
+    *,
+    max_workers: int | None = None,
+) -> MuEstimate:
+    """Monte-Carlo μ_n(φ) for an FO sentence, sampled across workers.
+
+    The empirical companion to :func:`decide_almost_sure` (E12/E18): the
+    estimates converge to the almost-sure truth value as n grows. Seeds
+    are per sample index, so the estimate is identical at any worker
+    count.
+    """
+    free = free_variables(sentence)
+    if free:
+        names = sorted(var.name for var in free)
+        raise FormulaError(f"μ is defined for sentences; free variables: {names}")
+    validate(sentence, signature)
+    return mu_estimate(
+        SentenceQuery(sentence), signature, n, samples, seed, max_workers=max_workers
+    )
 
 
 def decide_almost_sure(sentence: Formula, signature: Signature) -> bool:

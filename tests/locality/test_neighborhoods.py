@@ -4,14 +4,18 @@ import pytest
 
 from repro.locality.neighborhoods import (
     TypeRegistry,
+    ball_key,
     max_ball_size,
     neighborhood_census,
+    neighborhood_census_baseline,
+    neighborhood_census_many,
     neighborhood_type,
     tuple_type_classes,
 )
 from repro.structures.builders import (
     directed_chain,
     disjoint_cycles,
+    random_graph,
     undirected_chain,
     undirected_cycle,
 )
@@ -88,6 +92,99 @@ class TestTupleTypeClasses:
         chain = directed_chain(13)
         classes = tuple_type_classes(chain, [(4, 8), (8, 4)], 1)
         assert len(classes) == 1
+
+
+class TestBallKeys:
+    def test_equal_keys_certify_isomorphic_neighborhoods(self):
+        cycle = undirected_cycle(9)
+        keys = {ball_key(cycle, (node,), 2) for node in cycle.universe}
+        # Isomorphic balls may present differently (that only costs a
+        # duplicate probe), but far fewer presentations than nodes —
+        # and the registry still merges them into a single type.
+        assert len(keys) < cycle.size
+        registry = TypeRegistry()
+        assert len(neighborhood_census(cycle, 2, registry)) == 1
+        assert len(registry) == 1
+
+    def test_chain_endpoints_and_interior_differ(self):
+        chain = undirected_chain(6)
+        keys = [ball_key(chain, (node,), 1) for node in chain.universe]
+        assert keys[0] == keys[5]
+        assert keys[1] == keys[2] == keys[3] == keys[4]
+        assert keys[0] != keys[1]
+
+    def test_key_reflects_distinguished_tuple_order(self):
+        chain = directed_chain(7)
+        assert ball_key(chain, (2, 4), 1) != ball_key(chain, (4, 2), 1)
+
+
+class TestCensusPipeline:
+    def test_fast_census_matches_baseline(self):
+        graph = random_graph(60, 0.05, seed=11)
+        fast = neighborhood_census(graph, 1, TypeRegistry())
+        base = neighborhood_census_baseline(graph, 1, TypeRegistry())
+        assert fast == base
+
+    def test_key_dedup_skips_registry_work(self):
+        cycle = undirected_cycle(40)
+        registry = TypeRegistry()
+        neighborhood_census(cycle, 2, registry)
+        # 40 nodes collapse to a handful of presentations; all but the
+        # first sighting of each are dictionary hits, and the handful of
+        # misses needs at most a few isomorphism probes in the bucket.
+        assert registry.key_hits >= 35
+        assert registry.isomorphism_tests <= 5
+        assert len(registry) == 1
+
+    def test_census_memoized_per_structure_and_radius(self):
+        graph = random_graph(30, 0.1, seed=5)
+        registry = TypeRegistry()
+        first = neighborhood_census(graph, 1, registry)
+        hits_before = registry.key_hits
+        second = neighborhood_census(graph, 1, registry)
+        assert first == second
+        assert registry.key_hits == hits_before  # served from the memo
+        # Returned counters are copies: mutation must not poison the memo.
+        second[999] = 123
+        assert neighborhood_census(graph, 1, registry) == first
+
+    def test_census_many_matches_sequential(self):
+        family = [undirected_cycle(n) for n in (6, 7, 8, 6)]
+        batched = neighborhood_census_many(family, 2, TypeRegistry())
+        sequential_registry = TypeRegistry()
+        sequential = [
+            neighborhood_census(structure, 2, sequential_registry)
+            for structure in family
+        ]
+        assert batched == sequential
+
+    def test_parallel_census_identical_to_serial(self):
+        graph = random_graph(80, 0.04, seed=3)
+        serial = neighborhood_census(graph, 1, TypeRegistry(), max_workers=1)
+        parallel = neighborhood_census(graph, 1, TypeRegistry(), max_workers=3)
+        assert serial == parallel
+
+    def test_constants_take_the_baseline_path(self):
+        from repro.logic.signature import Signature
+        from repro.structures.structure import Structure
+
+        signature = Signature({"E": 2}, constants=frozenset({"c"}))
+        # A star centered on the constant: every radius-1 ball contains it.
+        structure = Structure(
+            signature, range(5), {"E": [(0, 1), (0, 2), (0, 3), (0, 4)]}, {"c": 0}
+        )
+        registry = TypeRegistry()
+        census = neighborhood_census(structure, 1, registry)
+        assert sum(census.values()) == 5
+        assert registry.key_hits == 0  # keyed path must not engage
+
+    def test_tuple_type_classes_accepts_workers(self):
+        chain = directed_chain(13)
+        serial = tuple_type_classes(chain, [(4, 8), (8, 4)], 1, max_workers=1)
+        parallel = tuple_type_classes(chain, [(4, 8), (8, 4)], 1, max_workers=3)
+        assert {k: sorted(v) for k, v in serial.items()} == {
+            k: sorted(v) for k, v in parallel.items()
+        }
 
 
 class TestMaxBallSize:

@@ -1,0 +1,127 @@
+"""Parallel and serial runs must be byte-identical.
+
+The contract of the whole parallel layer: turning ``REPRO_PARALLEL`` on
+changes wall-clock, never answers. These tests run the corpus and the
+hot paths both ways and compare exactly, plus a Hypothesis property
+pinning the fast census to the baseline implementation, and pickling
+tests for everything that crosses a process boundary.
+"""
+
+import pickle
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import tests.strategies as fmt_st
+from repro.engine import Engine
+from repro.locality.bounded_degree import BoundedDegreeEvaluator
+from repro.locality.neighborhoods import (
+    TypeRegistry,
+    neighborhood_census,
+    neighborhood_census_baseline,
+)
+from repro.logic.parser import parse
+from repro.queries.zoo import fo_boolean_corpus, fo_graph_corpus
+from repro.structures.builders import directed_cycle, random_graph
+from repro.zero_one.asymptotic import SentenceQuery
+
+
+def _zoo_graphs():
+    return [random_graph(n, 0.15, seed=n) for n in (7, 9, 11)]
+
+
+class TestZooCorpusDeterminism:
+    def test_graph_corpus_answers_identical(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_BACKEND", "thread")
+        monkeypatch.delenv("REPRO_PARALLEL_WORKERS", raising=False)
+        graphs = _zoo_graphs()
+        requests = [
+            (graph, query.formula)
+            for query in fo_graph_corpus()
+            for graph in graphs
+        ]
+        monkeypatch.setenv("REPRO_PARALLEL", "0")
+        serial = Engine().answers_batch(requests)
+        monkeypatch.setenv("REPRO_PARALLEL", "3")
+        parallel = Engine().answers_batch(requests)
+        assert serial == parallel
+
+    def test_boolean_corpus_evaluations_identical(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_BACKEND", "thread")
+        monkeypatch.delenv("REPRO_PARALLEL_WORKERS", raising=False)
+        graphs = _zoo_graphs()
+        requests = [
+            (graph, query.formula)
+            for query in fo_boolean_corpus()
+            for graph in graphs
+        ]
+        monkeypatch.setenv("REPRO_PARALLEL", "0")
+        serial = Engine().evaluate_batch(requests)
+        monkeypatch.setenv("REPRO_PARALLEL", "3")
+        parallel = Engine().evaluate_batch(requests)
+        assert serial == parallel
+
+    def test_batch_matches_single_calls(self):
+        engine = Engine()
+        reference = Engine()
+        graphs = _zoo_graphs()
+        for query in fo_graph_corpus():
+            batched = engine.answers_batch(
+                [(graph, query.formula) for graph in graphs], max_workers=2
+            )
+            singles = [reference.answers(graph, query.formula) for graph in graphs]
+            assert batched == singles, query.name
+
+
+class TestCensusDeterminism:
+    @settings(max_examples=30, deadline=None)
+    @given(fmt_st.graphs(max_size=6), st.integers(min_value=0, max_value=2))
+    def test_fast_census_equals_baseline(self, graph, radius):
+        fast = neighborhood_census(graph, radius, TypeRegistry())
+        base = neighborhood_census_baseline(graph, radius, TypeRegistry())
+        assert fast == base
+
+    def test_evaluator_batch_equals_serial_baseline(self):
+        sentence = parse("exists x exists y (E(x, y) & E(y, x))")
+        cycles = [directed_cycle(n) for n in (6, 7, 8, 9, 6)]
+        fast = BoundedDegreeEvaluator(sentence, degree_bound=2)
+        baseline = BoundedDegreeEvaluator(
+            sentence, degree_bound=2, census_mode="baseline"
+        )
+        assert fast.evaluate_many(cycles, max_workers=3) == [
+            baseline.evaluate(cycle) for cycle in cycles
+        ]
+
+
+class TestWorkerPayloadsPickle:
+    def test_structure_roundtrip_drops_caches_keeps_content(self):
+        graph = random_graph(12, 0.3, seed=2)
+        graph.cached(("probe",), lambda: "cached-value")
+        clone = pickle.loads(pickle.dumps(graph))
+        # Memo slots arrive empty (the caches are per-process)...
+        assert clone._cache == {}
+        assert clone._hash is None
+        # ...but the mathematical content survives exactly.
+        assert clone == graph
+        assert hash(clone) == hash(graph)
+
+    def test_formula_and_sentence_query_roundtrip(self):
+        sentence = parse("exists x exists y (E(x, y) & ~E(y, x))")
+        assert pickle.loads(pickle.dumps(sentence)) == sentence
+        query = SentenceQuery(sentence)
+        clone = pickle.loads(pickle.dumps(query))
+        graph = random_graph(6, 0.4, seed=1)
+        assert clone(graph) == query(graph)
+
+    def test_plan_roundtrips(self):
+        engine = Engine()
+        graph = random_graph(8, 0.3, seed=4)
+        formula = parse("exists z (E(x, z) & E(z, y))")
+        plan, _ = engine._plan_for(graph, formula)
+        assert pickle.loads(pickle.dumps(plan)) is not None
+
+    def test_signature_with_frozen_relations_roundtrips(self):
+        graph = random_graph(5, 0.5, seed=9)
+        clone = pickle.loads(pickle.dumps(graph.signature))
+        assert clone == graph.signature
+        assert hash(clone) == hash(graph.signature)

@@ -1,0 +1,172 @@
+"""Tests for the repro.parallel scheduling layer (S15)."""
+
+import pickle
+
+import pytest
+
+from repro.errors import ParallelError
+from repro.parallel import (
+    ParallelConfig,
+    config_from_env,
+    cpu_count,
+    parallel_map,
+    resolve_workers,
+    shutdown,
+)
+from repro.parallel.pool import _shared_executor
+
+
+def _square(value):
+    return value * value
+
+
+def _raise(value):
+    raise RuntimeError(f"boom on {value}")
+
+
+class TestConfigFromEnv:
+    def test_default_is_serial(self):
+        config = config_from_env({})
+        assert config == ParallelConfig(max_workers=1, backend="process")
+
+    @pytest.mark.parametrize("value", ["", "0", "false", "off", "no", "OFF"])
+    def test_off_values(self, value):
+        assert config_from_env({"REPRO_PARALLEL": value}).max_workers == 1
+
+    @pytest.mark.parametrize("value", ["1", "true", "on", "yes", "auto"])
+    def test_auto_uses_cpu_count(self, value):
+        assert config_from_env({"REPRO_PARALLEL": value}).max_workers == cpu_count()
+
+    def test_explicit_worker_count(self):
+        assert config_from_env({"REPRO_PARALLEL": "3"}).max_workers == 3
+
+    def test_workers_override_wins(self):
+        env = {"REPRO_PARALLEL": "1", "REPRO_PARALLEL_WORKERS": "2"}
+        assert config_from_env(env).max_workers == 2
+
+    def test_thread_backend(self):
+        env = {"REPRO_PARALLEL_BACKEND": "thread"}
+        assert config_from_env(env).backend == "thread"
+
+    def test_garbage_switch_rejected(self):
+        with pytest.raises(ParallelError):
+            config_from_env({"REPRO_PARALLEL": "banana"})
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ParallelError):
+            config_from_env({"REPRO_PARALLEL": "-2"})
+
+    def test_garbage_workers_rejected(self):
+        with pytest.raises(ParallelError):
+            config_from_env({"REPRO_PARALLEL_WORKERS": "many"})
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ParallelError):
+            config_from_env({"REPRO_PARALLEL_BACKEND": "gpu"})
+
+
+class TestResolveWorkers:
+    def test_explicit_value_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "4")
+        assert resolve_workers(2) == 2
+
+    def test_none_defers_to_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "3")
+        monkeypatch.delenv("REPRO_PARALLEL_WORKERS", raising=False)
+        assert resolve_workers(None) == 3
+
+    def test_default_env_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PARALLEL", raising=False)
+        monkeypatch.delenv("REPRO_PARALLEL_WORKERS", raising=False)
+        assert resolve_workers(None) == 1
+
+    def test_zero_clamps_to_one(self):
+        assert resolve_workers(0) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ParallelError):
+            resolve_workers(-1)
+
+
+class TestParallelMap:
+    def test_serial_when_one_worker(self):
+        assert parallel_map(_square, range(10), max_workers=1) == [
+            n * n for n in range(10)
+        ]
+
+    def test_preserves_input_order_threads(self):
+        items = list(range(101))
+        result = parallel_map(_square, items, max_workers=3, backend="thread")
+        assert result == [n * n for n in items]
+
+    def test_preserves_input_order_processes(self):
+        items = list(range(25))
+        result = parallel_map(_square, items, max_workers=2, backend="process")
+        assert result == [n * n for n in items]
+
+    def test_empty_input(self):
+        assert parallel_map(_square, [], max_workers=4) == []
+
+    def test_single_item_stays_serial(self):
+        assert parallel_map(_square, [7], max_workers=4) == [49]
+
+    def test_explicit_chunk_size(self):
+        result = parallel_map(
+            _square, range(10), max_workers=2, backend="thread", chunk_size=3
+        )
+        assert result == [n * n for n in range(10)]
+
+    def test_unpicklable_payload_degrades_to_serial(self):
+        closures_cannot_pickle = lambda n: n + 1  # noqa: E731
+        with pytest.raises(Exception):
+            pickle.dumps(closures_cannot_pickle)
+        result = parallel_map(
+            closures_cannot_pickle, range(5), max_workers=3, backend="process"
+        )
+        assert result == [1, 2, 3, 4, 5]
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(RuntimeError):
+            parallel_map(_raise, range(4), max_workers=2, backend="thread")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ParallelError):
+            parallel_map(_square, range(4), max_workers=2, backend="quantum")
+
+
+class TestSharedExecutor:
+    def test_same_width_pool_is_reused(self):
+        first = _shared_executor("thread", 2)
+        second = _shared_executor("thread", 2)
+        assert first is second
+        shutdown()
+
+    def test_resize_recreates_pool(self):
+        first = _shared_executor("thread", 2)
+        second = _shared_executor("thread", 3)
+        assert first is not second
+        shutdown()
+
+    def test_shutdown_then_fresh_pool(self):
+        first = _shared_executor("thread", 2)
+        shutdown()
+        second = _shared_executor("thread", 2)
+        assert first is not second
+        shutdown()
+
+
+class TestTelemetry:
+    def test_counters_and_gauge_recorded(self):
+        from repro import telemetry
+
+        telemetry.enable()
+        try:
+            parallel_map(_square, range(32), max_workers=2, backend="thread")
+            snap = telemetry.metrics_snapshot()
+            assert snap["counters"]["parallel.tasks"] == 32
+            assert snap["counters"]["parallel.chunks"] >= 2
+            assert snap["gauges"]["parallel.workers"] == 2
+            assert snap["histograms"]["parallel.chunk_ms"]["count"] >= 2
+        finally:
+            telemetry.disable()
+        shutdown()

@@ -1,0 +1,64 @@
+"""Tests for the parallel Monte-Carlo sampler of the 0–1 law machinery."""
+
+import pytest
+
+from repro.errors import FormulaError
+from repro.logic.parser import parse
+from repro.logic.signature import GRAPH
+from repro.zero_one import SentenceQuery, mu_curve, mu_estimate, mu_estimate_sentence
+
+HAS_EDGE = parse("exists x exists y E(x, y)")
+HAS_LOOP = parse("exists x E(x, x)")
+
+
+class TestParallelMuEstimate:
+    def test_worker_count_does_not_change_the_estimate(self):
+        query = SentenceQuery(HAS_LOOP)
+        serial = mu_estimate(query, GRAPH, 5, samples=60, seed=7, max_workers=1)
+        parallel = mu_estimate(query, GRAPH, 5, samples=60, seed=7, max_workers=4)
+        assert serial == parallel
+
+    def test_chunking_boundaries_do_not_change_the_estimate(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_BACKEND", "thread")
+        query = SentenceQuery(HAS_EDGE)
+        estimates = {
+            mu_estimate(query, GRAPH, 4, samples=37, seed=3, max_workers=w).successes
+            for w in (1, 2, 3, 5)
+        }
+        assert len(estimates) == 1
+
+    def test_lambda_queries_still_work(self):
+        # Closures cannot cross a process boundary; the map must degrade
+        # to the serial path rather than fail.
+        estimate = mu_estimate(
+            lambda s: bool(s.tuples("E")), GRAPH, 4, samples=20, seed=1, max_workers=4
+        )
+        assert 0 <= estimate.successes <= 20
+
+    def test_mu_curve_passes_workers_through(self):
+        query = SentenceQuery(HAS_LOOP)
+        serial = mu_curve(query, GRAPH, [3, 5], samples=30, seed=2, max_workers=1)
+        parallel = mu_curve(query, GRAPH, [3, 5], samples=30, seed=2, max_workers=3)
+        assert serial == parallel
+
+
+class TestMuEstimateSentence:
+    def test_converges_toward_almost_sure_value(self):
+        # μ(∃x∃y E(x,y)) = 1: at n = 8 nearly every sample satisfies it.
+        estimate = mu_estimate_sentence(HAS_EDGE, GRAPH, 8, samples=50, seed=0)
+        assert estimate.value > 0.9
+
+    def test_rejects_open_formulas(self):
+        with pytest.raises(FormulaError):
+            mu_estimate_sentence(parse("E(x, y)"), GRAPH, 4)
+
+    def test_sentence_query_is_the_picklable_spelling(self):
+        import pickle
+
+        query = pickle.loads(pickle.dumps(SentenceQuery(HAS_LOOP)))
+        from repro.structures.builders import random_graph
+
+        graph = random_graph(5, 0.5, seed=4)
+        assert query(graph) == bool(
+            {(a, a) for a in graph.universe} & graph.tuples("E")
+        )
