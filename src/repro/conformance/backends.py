@@ -1,0 +1,240 @@
+"""Every evaluation path in the library behind one answers() interface.
+
+The library can answer ``ans(φ, A)`` five independent ways:
+
+====================  =====================================================
+``naive``             the recursive model checker (PSPACE upper bound, §3.1)
+``algebra``           the FO → relational algebra compiler (FO = RA)
+``engine``            the planned/cached engine, fast path included
+``engine-batch``      the engine's batched APIs (parallel execution path)
+``circuit``           the AC⁰ circuit family (FO ⊆ AC⁰ construction)
+``bounded-degree``    the census evaluator (Thms 3.10/3.11), table shared
+                      across structures so the Hanf memoization itself is
+                      under differential test
+====================  =====================================================
+
+Each is wrapped as a :class:`Backend` with an *applicability predicate*
+(circuits need constant-free sentences, the census evaluator needs the
+degree bound, ...).  The differential runner cross-checks all applicable
+backends pairwise on every generated case.
+
+Backends hold caches on purpose (the engine's plan/answer caches, the
+census truth table): a cache that leaks a wrong answer across cases is a
+bug this suite exists to catch.  Call :meth:`BackendRegistry.reset` for
+a cold start.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.conformance.generate import Case
+from repro.errors import FMTError
+from repro.eval.circuits import compile_query, evaluate_circuit
+from repro.eval.evaluator import answers as naive_answers
+from repro.eval.translate import algebra_answers
+from repro.engine.engine import Engine
+from repro.locality.bounded_degree import BoundedDegreeEvaluator
+from repro.logic.analysis import constants_of, free_variables, quantifier_rank
+from repro.logic.syntax import Formula
+from repro.structures.structure import Element, Structure
+
+__all__ = ["Backend", "BackendRegistry", "default_registry", "DEFAULT_BACKENDS"]
+
+Answers = frozenset[tuple[Element, ...]]
+
+#: Quantifier-rank ceiling for the census evaluator: the sound Hanf
+#: radius is (3^qr − 1)/2, and past this rank the census of even a tiny
+#: structure degenerates to "the whole structure per ball" — legal but
+#: pointless, and slow once the fuzz budget climbs.
+_CENSUS_MAX_RANK = 4
+
+TRUE_ANSWER: Answers = frozenset({()})
+FALSE_ANSWER: Answers = frozenset()
+
+
+@dataclass
+class Backend:
+    """One evaluation path: a name, an answer function, an applicability
+    predicate, and a reset hook for cache-holding backends."""
+
+    name: str
+    answer_fn: Callable[[Structure, Formula], Answers]
+    applicable_fn: Callable[[Structure, Formula], tuple[bool, str]] | None = None
+    reset_fn: Callable[[], None] | None = None
+
+    def applicable(self, structure: Structure, formula: Formula) -> tuple[bool, str]:
+        if self.applicable_fn is None:
+            return True, "always applicable"
+        return self.applicable_fn(structure, formula)
+
+    def answers(self, structure: Structure, formula: Formula) -> Answers:
+        """ans(φ, A) with columns in sorted free-variable-name order.
+
+        Sentences return ``{()}`` (true) or ``∅`` (false), matching
+        :func:`repro.eval.evaluator.answers`.
+        """
+        return self.answer_fn(structure, formula)
+
+    def reset(self) -> None:
+        if self.reset_fn is not None:
+            self.reset_fn()
+
+    def __repr__(self) -> str:
+        return f"Backend({self.name})"
+
+
+@dataclass
+class BackendRegistry:
+    """A named collection of backends with selection helpers."""
+
+    backends: dict[str, Backend] = field(default_factory=dict)
+
+    def register(self, backend: Backend) -> Backend:
+        if backend.name in self.backends:
+            raise FMTError(f"backend {backend.name!r} registered twice")
+        self.backends[backend.name] = backend
+        return backend
+
+    def get(self, name: str) -> Backend:
+        try:
+            return self.backends[name]
+        except KeyError:
+            raise FMTError(
+                f"unknown backend {name!r}; registered: {sorted(self.backends)}"
+            ) from None
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(self.backends)
+
+    def select(self, names: list[str] | None) -> list[Backend]:
+        if names is None:
+            return list(self.backends.values())
+        return [self.get(name) for name in names]
+
+    def applicable(self, case: Case, names: list[str] | None = None) -> list[Backend]:
+        return [
+            backend
+            for backend in self.select(names)
+            if backend.applicable(case.structure, case.formula)[0]
+        ]
+
+    def reset(self) -> None:
+        for backend in self.backends.values():
+            backend.reset()
+
+
+# -- the default backends ----------------------------------------------------
+
+
+def _sentence_answers(value: bool) -> Answers:
+    return TRUE_ANSWER if value else FALSE_ANSWER
+
+
+def _constant_free(structure: Structure, formula: Formula) -> tuple[bool, str]:
+    if structure.constants or constants_of(formula):
+        return False, "constants present"
+    return True, ""
+
+
+def _engine_backend(name: str, batched: bool) -> Backend:
+    engine = Engine(domain="universe")
+
+    def compute(structure: Structure, formula: Formula) -> Answers:
+        if batched:
+            if free_variables(formula):
+                return engine.answers_batch([(structure, formula)])[0]
+            return _sentence_answers(
+                engine.evaluate_batch([(structure, formula)])[0]
+            )
+        if free_variables(formula):
+            return engine.answers(structure, formula)
+        # evaluate() (not answers()) so the Theorem 3.11 fast-path
+        # dispatch is part of the differential surface.
+        return _sentence_answers(engine.evaluate(structure, formula))
+
+    def reset() -> None:
+        engine.clear_caches()
+        engine.reset_stats()
+
+    backend = Backend(name, compute, reset_fn=reset)
+    backend.engine = engine  # type: ignore[attr-defined] — introspection for tests
+    return backend
+
+
+def _circuit_backend() -> Backend:
+    compiled: dict[tuple, object] = {}
+
+    def applicable(structure: Structure, formula: Formula) -> tuple[bool, str]:
+        if free_variables(formula):
+            return False, "not a sentence"
+        if structure.signature.constants or constants_of(formula):
+            return False, "constants present"
+        return True, ""
+
+    def compute(structure: Structure, formula: Formula) -> Answers:
+        n = structure.size
+        key = (formula, structure.signature, n)
+        circuit = compiled.get(key)
+        if circuit is None:
+            circuit = compile_query(formula, structure.signature, n)
+            compiled[key] = circuit
+        # The construction fixes the universe to [n]; relabel through the
+        # structure's canonical element order.
+        position = {element: index for index, element in enumerate(structure.universe)}
+        relabeled = structure.relabel(position)
+        return _sentence_answers(evaluate_circuit(circuit, relabeled))
+
+    return Backend("circuit", compute, applicable, reset_fn=compiled.clear)
+
+
+def _bounded_degree_backend(degree_bound: int) -> Backend:
+    evaluators: dict[Formula, BoundedDegreeEvaluator] = {}
+
+    def applicable(structure: Structure, formula: Formula) -> tuple[bool, str]:
+        if free_variables(formula):
+            return False, "not a sentence"
+        ok, reason = _constant_free(structure, formula)
+        if not ok:
+            return False, reason
+        rank = quantifier_rank(formula)
+        if rank > _CENSUS_MAX_RANK:
+            return False, f"quantifier rank {rank} > census cap {_CENSUS_MAX_RANK}"
+        degree = structure.max_degree()
+        if degree > degree_bound:
+            return False, f"Gaifman degree {degree} > bound {degree_bound}"
+        return True, ""
+
+    def compute(structure: Structure, formula: Formula) -> Answers:
+        evaluator = evaluators.get(formula)
+        if evaluator is None:
+            evaluator = BoundedDegreeEvaluator(formula, degree_bound=degree_bound)
+            evaluators[formula] = evaluator
+        return _sentence_answers(evaluator.evaluate(structure))
+
+    return Backend("bounded-degree", compute, applicable, reset_fn=evaluators.clear)
+
+
+DEFAULT_BACKENDS = (
+    "naive",
+    "algebra",
+    "engine",
+    "engine-batch",
+    "circuit",
+    "bounded-degree",
+)
+
+
+def default_registry(degree_bound: int = 3) -> BackendRegistry:
+    """All evaluation paths the library ships, freshly instantiated."""
+    registry = BackendRegistry()
+    registry.register(Backend("naive", naive_answers))
+    registry.register(
+        Backend("algebra", lambda structure, formula: algebra_answers(structure, formula))
+    )
+    registry.register(_engine_backend("engine", batched=False))
+    registry.register(_engine_backend("engine-batch", batched=True))
+    registry.register(_circuit_backend())
+    registry.register(_bounded_degree_backend(degree_bound))
+    return registry

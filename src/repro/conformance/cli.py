@@ -1,0 +1,158 @@
+"""``python -m repro.conformance`` — the conformance fuzzing CLI.
+
+Modes
+-----
+fuzz (default)
+    Generate ``--budget`` cases from ``--seed``, cross-check every
+    applicable backend pairwise plus the metamorphic oracles, shrink any
+    failures, and (with ``--promote``) write the shrunk cases into the
+    corpus directory for replay.
+
+replay (``--replay``)
+    Re-run every serialized case in the corpus directory through the
+    same checks — the standalone version of what tier-1 runs via
+    ``tests/conformance/test_corpus_replay.py``.
+
+Exit status is 0 iff no failure was observed.
+
+Examples
+--------
+::
+
+    python -m repro.conformance --seed 0 --budget 200
+    python -m repro.conformance --backends naive,engine --budget 50 --json
+    python -m repro.conformance --replay
+    python -m repro.conformance --seed 7 --budget 1000 --promote --corpus-dir /tmp/corpus
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.conformance.backends import DEFAULT_BACKENDS, default_registry
+from repro.conformance.corpus import default_corpus_dir, load_corpus, save_case
+from repro.conformance.generate import CaseGenerator
+from repro.conformance.runner import Runner
+from repro.conformance.serialize import case_to_json, format_formula
+from repro.conformance.shrink import shrink_case
+from repro.errors import FMTError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.conformance",
+        description="Differential & metamorphic conformance fuzzing across "
+        "every FO evaluation path.",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="stream seed (default 0)")
+    parser.add_argument(
+        "--budget", type=int, default=200, help="number of generated cases (default 200)"
+    )
+    parser.add_argument(
+        "--backends",
+        type=str,
+        default=None,
+        help=f"comma-separated backend subset (default: all of {', '.join(DEFAULT_BACKENDS)})",
+    )
+    parser.add_argument(
+        "--replay",
+        action="store_true",
+        help="replay the serialized corpus instead of fuzzing",
+    )
+    parser.add_argument(
+        "--corpus-dir",
+        type=Path,
+        default=None,
+        help="corpus directory (default: tests/corpus of the source checkout)",
+    )
+    parser.add_argument(
+        "--max-size", type=int, default=6, help="max universe size of generated structures"
+    )
+    parser.add_argument(
+        "--formula-budget", type=int, default=6, help="max atomic leaves per formula"
+    )
+    parser.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report failures unshrunk (faster triage of big batches)",
+    )
+    parser.add_argument(
+        "--promote",
+        action="store_true",
+        help="write shrunk failing cases into the corpus directory",
+    )
+    parser.add_argument(
+        "--no-oracles",
+        action="store_true",
+        help="pairwise differential checks only",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the report as JSON on stdout"
+    )
+    parser.add_argument(
+        "--list-backends",
+        action="store_true",
+        help="list registered backends and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    registry = default_registry()
+    if args.list_backends:
+        for name in registry.names():
+            print(name)
+        return 0
+    backend_names = args.backends.split(",") if args.backends else None
+    try:
+        runner = Runner(
+            registry=registry,
+            backends=backend_names,
+            oracles=[] if args.no_oracles else None,
+        )
+    except FMTError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.replay:
+        corpus_dir = args.corpus_dir if args.corpus_dir else default_corpus_dir()
+        cases = load_corpus(corpus_dir)
+        if not cases:
+            print(f"error: no corpus cases under {corpus_dir}", file=sys.stderr)
+            return 2
+        report = runner.replay(cases)
+    else:
+        generator = CaseGenerator(
+            seed=args.seed,
+            max_size=args.max_size,
+            formula_budget=args.formula_budget,
+        )
+        report = runner.run(args.budget, seed=args.seed, generator=generator)
+
+    for failure in report.failures:
+        if not args.no_shrink:
+            failure.shrunk = shrink_case(
+                failure.case, runner.failure_predicate(failure)
+            )
+        if args.promote:
+            promoted = failure.shrunk if failure.shrunk is not None else failure.case
+            path = save_case(promoted, args.corpus_dir)
+            print(f"promoted {promoted.name} -> {path}", file=sys.stderr)
+
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.summary())
+        for failure in report.failures:
+            case = failure.shrunk if failure.shrunk is not None else failure.case
+            print(f"\n--- {failure.kind} [{', '.join(failure.backends)}] ---")
+            print(f"detail: {failure.detail}")
+            print(f"formula: {format_formula(case.formula)}")
+            print(case_to_json(case), end="")
+    return 0 if report.ok else 1

@@ -1,0 +1,58 @@
+"""The replayable regression corpus: ``tests/corpus/*.json``.
+
+Every file is one serialized case (see
+:mod:`repro.conformance.serialize`).  The corpus is append-only in
+spirit: hand-picked tricky cases are seeded by this PR, and every shrunk
+fuzzer failure that exposes a real bug lands here as a named regression,
+re-run on every applicable backend inside tier-1
+(``tests/conformance/test_corpus_replay.py``).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.conformance.generate import Case
+from repro.conformance.serialize import case_from_json, case_to_json
+from repro.errors import FMTError
+
+__all__ = ["default_corpus_dir", "load_corpus", "save_case"]
+
+
+def default_corpus_dir() -> Path:
+    """``tests/corpus`` relative to the repository root, if findable.
+
+    Resolved from this file's location (``src/repro/conformance``), so
+    it works from a source checkout; installed copies should pass an
+    explicit directory to the CLI instead.
+    """
+    return Path(__file__).resolve().parents[3] / "tests" / "corpus"
+
+
+def load_corpus(directory: Path | str | None = None) -> list[Case]:
+    """All cases in the corpus directory, sorted by file name."""
+    directory = Path(directory) if directory is not None else default_corpus_dir()
+    if not directory.is_dir():
+        return []
+    cases = []
+    for path in sorted(directory.glob("*.json")):
+        try:
+            cases.append(case_from_json(path.read_text()))
+        except (FMTError, KeyError, ValueError) as error:
+            raise FMTError(f"corpus file {path.name} is unreadable: {error}") from error
+    return cases
+
+
+def save_case(case: Case, directory: Path | str | None = None) -> Path:
+    """Serialize ``case`` into the corpus; returns the file written."""
+    directory = Path(directory) if directory is not None else default_corpus_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    stem = re.sub(r"[^A-Za-z0-9_-]+", "-", case.name) or "case"
+    path = directory / f"{stem}.json"
+    suffix = 1
+    while path.exists():
+        suffix += 1
+        path = directory / f"{stem}-{suffix}.json"
+    path.write_text(case_to_json(case))
+    return path

@@ -1,0 +1,301 @@
+"""Seeded random generators for conformance cases.
+
+Everything here is driven by :class:`random.Random` with explicitly
+derived integer seeds, so a case stream is a pure function of its seed:
+same seed, same platform-independent bytes (the determinism test
+serializes two streams and compares them byte for byte).  The
+``tests/strategies.py`` hypothesis strategies delegate structure/formula
+construction to these generators, so the property suite and the fuzzer
+draw from one distribution.
+
+The distribution is tuned for differential testing, not realism: small
+universes (backends diverge on corner cases, not on scale), signatures
+that cover every arity the library supports, and deliberate inclusion of
+the classically nasty shapes — empty relations, single-element
+universes, disconnected unions, formulas whose quantifier rank exceeds
+the domain size, vacuous quantifiers, and constants.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+import random
+
+from repro.logic.analysis import free_variables
+from repro.logic.signature import GRAPH, ORDER, SET, Signature
+from repro.logic.syntax import (
+    And,
+    Atom,
+    Const,
+    Eq,
+    Exists,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Term,
+    Top,
+    Bottom,
+    Var,
+)
+from repro.structures.structure import Structure
+
+__all__ = [
+    "Case",
+    "CaseGenerator",
+    "FormulaGenerator",
+    "StructureGenerator",
+    "SIGNATURES",
+]
+
+#: Signatures the fuzzer rotates through: every arity in the library's
+#: comfort zone, plus one signature with a constant symbol.
+COLORED = Signature({"E": 2, "P": 1, "Q": 1})
+TERNARY = Signature({"E": 2, "R": 3, "P": 1})
+POINTED = Signature({"E": 2}, frozenset({"c"}))
+
+SIGNATURES: tuple[Signature, ...] = (GRAPH, ORDER, COLORED, TERNARY, SET, POINTED)
+
+#: Variable pool for generated formulas.
+VARS = (Var("x"), Var("y"), Var("z"))
+
+#: Multiplier decorrelating per-case seeds derived from one stream seed.
+_SEED_STRIDE = 1_000_003
+
+
+@dataclass(frozen=True)
+class Case:
+    """One conformance case: a structure and a formula to answer on it."""
+
+    name: str
+    structure: Structure
+    formula: Formula
+    seed: int | None = None
+    description: str = ""
+
+    @property
+    def is_sentence(self) -> bool:
+        return not free_variables(self.formula)
+
+
+class StructureGenerator:
+    """Random finite structures over a fixed signature.
+
+    ``draw(rng, max_size)`` picks one of several families; all of them
+    honor the signature (colored graphs only make sense when the
+    signature has the symbols, so family selection is signature-aware).
+    """
+
+    def __init__(self, signature: Signature) -> None:
+        self.signature = signature
+
+    def draw(self, rng: random.Random, max_size: int = 6) -> Structure:
+        size = rng.randint(1, max_size)
+        family = rng.choice(("uniform", "sparse", "dense", "structured", "union"))
+        if family == "union" and size >= 2 and not self.signature.constants:
+            left = self._uniform(rng, rng.randint(1, size - 1), p=0.4)
+            right = self._uniform(rng, rng.randint(1, size - 1), p=0.4)
+            return left.disjoint_union(right)
+        if family == "structured":
+            return self._structured(rng, size)
+        p = {"uniform": 0.5, "sparse": 0.15, "dense": 0.85}.get(family, 0.5)
+        return self._uniform(rng, size, p)
+
+    def draw_bounded_degree(
+        self, rng: random.Random, max_size: int = 6, degree_bound: int = 3
+    ) -> Structure:
+        """A structure whose Gaifman degree stays at or under the bound.
+
+        Tuples are sampled one at a time and kept only while no element's
+        incidence count exceeds ``degree_bound`` — a simple rejection
+        builder that is exact (``max_degree`` is checked at the end of
+        the worst case by the caller's applicability predicate anyway).
+        """
+        size = rng.randint(1, max_size)
+        universe = list(range(size))
+        incident: dict[int, set[int]] = {element: set() for element in universe}
+        relations: dict[str, list[tuple]] = {}
+        for name in self.signature.relation_names():
+            arity = self.signature.arity(name)
+            relations[name] = []
+            for _ in range(rng.randint(0, 2 * size)):
+                row = tuple(rng.choice(universe) for _ in range(arity))
+                touched = set(row)
+                if any(
+                    len(incident[element] | (touched - {element})) > degree_bound
+                    for element in touched
+                ):
+                    continue
+                relations[name].append(row)
+                for element in touched:
+                    incident[element] |= touched - {element}
+        return Structure(self.signature, universe, relations, self._constants(rng, universe))
+
+    def _uniform(self, rng: random.Random, size: int, p: float) -> Structure:
+        universe = list(range(size))
+        relations = {}
+        for name in self.signature.relation_names():
+            arity = self.signature.arity(name)
+            relations[name] = [
+                row for row in _all_rows(universe, arity) if rng.random() < p
+            ]
+        return Structure(self.signature, universe, relations, self._constants(rng, universe))
+
+    def _structured(self, rng: random.Random, size: int) -> Structure:
+        """Named families: chains, cycles, linear orders, empty/complete."""
+        universe = list(range(size))
+        shape = rng.choice(("chain", "cycle", "order", "empty", "complete"))
+        relations: dict[str, list[tuple]] = {}
+        for name in self.signature.relation_names():
+            arity = self.signature.arity(name)
+            if arity != 2 or shape == "empty":
+                relations[name] = (
+                    []
+                    if shape in ("empty", "chain", "cycle", "order")
+                    else [row for row in _all_rows(universe, arity)]
+                )
+                if arity == 1 and shape not in ("empty", "complete"):
+                    relations[name] = [(e,) for e in universe if rng.random() < 0.5]
+                continue
+            if shape == "chain":
+                relations[name] = [(i, i + 1) for i in range(size - 1)]
+            elif shape == "cycle":
+                relations[name] = [(i, (i + 1) % size) for i in range(size)]
+            elif shape == "order":
+                relations[name] = [(i, j) for i in universe for j in universe if i < j]
+            else:  # complete
+                relations[name] = [(i, j) for i in universe for j in universe]
+        return Structure(self.signature, universe, relations, self._constants(rng, universe))
+
+    def _constants(self, rng: random.Random, universe: list) -> dict[str, object]:
+        return {name: rng.choice(universe) for name in sorted(self.signature.constants)}
+
+
+class FormulaGenerator:
+    """Random FO formulas over a signature, bounded by a leaf budget.
+
+    ``draw(rng, budget)`` returns a formula with at most ``budget``
+    atomic leaves; ``draw_sentence`` closes every free variable with a
+    random mix of quantifiers.  Constants of the signature appear as
+    terms with small probability, so the pointed-signature paths get
+    exercised too.
+    """
+
+    def __init__(self, signature: Signature, num_vars: int = 3) -> None:
+        self.signature = signature
+        self.vars = VARS[:num_vars]
+
+    def draw(self, rng: random.Random, budget: int = 6) -> Formula:
+        if budget <= 1:
+            return self._atom(rng)
+        kind = rng.choice(
+            ("atom", "not", "and", "or", "implies", "iff", "exists", "forall")
+        )
+        if kind == "atom":
+            return self._atom(rng)
+        if kind == "not":
+            return Not(self.draw(rng, budget - 1))
+        if kind in ("exists", "forall"):
+            var = rng.choice(self.vars)
+            body = self.draw(rng, budget - 1)
+            return Exists(var, body) if kind == "exists" else Forall(var, body)
+        split = rng.randint(1, budget - 1)
+        left = self.draw(rng, split)
+        right = self.draw(rng, budget - split)
+        if kind == "and":
+            return And((left, right))
+        if kind == "or":
+            return Or((left, right))
+        if kind == "implies":
+            return Implies(left, right)
+        return Iff(left, right)
+
+    def draw_sentence(self, rng: random.Random, budget: int = 6) -> Formula:
+        formula = self.draw(rng, budget)
+        for var in sorted(free_variables(formula), key=lambda v: v.name):
+            formula = (
+                Exists(var, formula) if rng.random() < 0.5 else Forall(var, formula)
+            )
+        return formula
+
+    def _term(self, rng: random.Random) -> Term:
+        constants = sorted(self.signature.constants)
+        if constants and rng.random() < 0.2:
+            return Const(rng.choice(constants))
+        return rng.choice(self.vars)
+
+    def _atom(self, rng: random.Random) -> Formula:
+        choices: list[str] = ["eq"]
+        choices.extend(self.signature.relation_names())
+        if rng.random() < 0.05:
+            return Top() if rng.random() < 0.5 else Bottom()
+        name = rng.choice(choices)
+        if name == "eq":
+            return Eq(self._term(rng), self._term(rng))
+        arity = self.signature.arity(name)
+        return Atom(name, tuple(self._term(rng) for _ in range(arity)))
+
+
+@dataclass
+class CaseGenerator:
+    """A deterministic stream of conformance cases.
+
+    Case ``i`` of stream ``seed`` is generated by an rng seeded with
+    ``seed * stride + i`` — cases are independent of each other and of
+    the budget, so replaying case 37 does not require regenerating cases
+    0–36, and :meth:`case_from_seed` can re-derive any case from the
+    derived seed stored on it.
+    """
+
+    seed: int = 0
+    max_size: int = 6
+    formula_budget: int = 6
+    sentence_bias: float = 0.6
+    signatures: tuple[Signature, ...] = field(default=SIGNATURES)
+
+    def case(self, index: int) -> Case:
+        rng = random.Random(self.seed * _SEED_STRIDE + index)
+        signature = rng.choice(list(self.signatures))
+        structures = StructureGenerator(signature)
+        formulas = FormulaGenerator(signature)
+        if rng.random() < 0.25:
+            structure = structures.draw_bounded_degree(rng, self.max_size)
+        else:
+            structure = structures.draw(rng, self.max_size)
+        if rng.random() < self.sentence_bias:
+            formula = formulas.draw_sentence(rng, self.formula_budget)
+        else:
+            formula = formulas.draw(rng, self.formula_budget)
+        return Case(
+            name=f"fuzz-{self.seed}-{index}",
+            structure=structure,
+            formula=formula,
+            seed=self.seed * _SEED_STRIDE + index,
+        )
+
+    def case_from_seed(self, case_seed: int) -> Case:
+        """Re-derive a case from its :attr:`Case.seed`, independent of
+        this generator's stream seed (stream seed 0 places derived seed
+        ``s`` at index ``s``)."""
+        clone = CaseGenerator(
+            seed=0,
+            max_size=self.max_size,
+            formula_budget=self.formula_budget,
+            sentence_bias=self.sentence_bias,
+            signatures=self.signatures,
+        )
+        return clone.case(case_seed)
+
+    def stream(self, budget: int) -> Iterator[Case]:
+        for index in range(budget):
+            yield self.case(index)
+
+
+def _all_rows(universe: list, arity: int) -> list[tuple]:
+    import itertools
+
+    return [tuple(row) for row in itertools.product(universe, repeat=arity)]

@@ -1,0 +1,253 @@
+"""Metamorphic oracles: the paper's theorems as executable cross-checks.
+
+Differential testing compares backends against each other; metamorphic
+testing compares a backend against *itself* on transformed inputs whose
+correct relationship is known a priori.  Here every relation is a
+theorem of the survey:
+
+=====================  ====================================================
+``isomorphism``        Isomorphism invariance of queries (§2): for an
+                       isomorphism h : A → B, ans(φ, B) = h(ans(φ, A)).
+``negation``           Negation duality (FO = RA complement): ans(¬φ, A)
+                       is the complement of ans(φ, A) in universe^k.
+``disjoint-union``     Hanf composition (§3.3): A ⊕ B ≅ B ⊕ A, so every
+                       sentence agrees on the two union orders; and if
+                       A ≡_r B (EF) then A ⊕ C and B ⊕ C agree on every
+                       sentence of quantifier rank ≤ r.
+``ef-transfer``        The EF theorem (Thm 3.5): A ≡_r B implies A and B
+                       agree on all sentences of quantifier rank ≤ r.
+=====================  ====================================================
+
+Each oracle takes a case plus the backends applicable to it and returns
+a list of violation messages (empty = pass).  Derived inputs (partner
+structures, permutations) are drawn from an rng seeded by the case seed,
+so a violation replays byte-identically and survives shrinking.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.conformance.generate import Case, StructureGenerator
+from repro.errors import BudgetExceededError
+from repro.games.ef import ef_equivalent
+from repro.logic.analysis import constants_of, free_variables, quantifier_rank
+from repro.logic.syntax import Not
+from repro.structures.structure import Structure
+
+__all__ = ["Oracle", "default_oracles"]
+
+#: Ceilings keeping the EF-based oracles affordable inside a fuzz budget
+#: (the exact EF solver is exponential; these bounds keep it well under
+#: a millisecond per case).
+_EF_MAX_SIZE = 5
+_EF_MAX_RANK = 3
+_EF_BUDGET = 200_000
+
+
+@dataclass
+class Oracle:
+    """One metamorphic relation with the theorem that justifies it."""
+
+    name: str
+    theorem: str
+    check_fn: Callable[[Case, Sequence], list[str]]
+
+    def check(self, case: Case, backends: Sequence) -> list[str]:
+        """Violation messages for ``case`` across ``backends`` (empty = pass)."""
+        return self.check_fn(case, backends)
+
+    def __repr__(self) -> str:
+        return f"Oracle({self.name})"
+
+
+def _case_rng(case: Case, salt: int) -> random.Random:
+    return random.Random(((case.seed or 0) + 1) * 7919 + salt)
+
+
+def _applicable(backend, structure: Structure, formula) -> bool:
+    return backend.applicable(structure, formula)[0]
+
+
+# -- isomorphism invariance --------------------------------------------------
+
+
+def _check_isomorphism(case: Case, backends: Sequence) -> list[str]:
+    structure, formula = case.structure, case.formula
+    rng = _case_rng(case, 1)
+    images = list(range(structure.size))
+    rng.shuffle(images)
+    mapping = dict(zip(structure.universe, images))
+    relabeled = structure.relabel(mapping)
+    violations = []
+    for backend in backends:
+        if not _applicable(backend, relabeled, formula):
+            continue
+        base = backend.answers(structure, formula)
+        image = backend.answers(relabeled, formula)
+        expected = frozenset(tuple(mapping[value] for value in row) for row in base)
+        if image != expected:
+            violations.append(
+                f"{backend.name}: ans(φ, h(A)) ≠ h(ans(φ, A)) under relabeling "
+                f"{mapping}: got {sorted(image)}, expected {sorted(expected)}"
+            )
+    return violations
+
+
+# -- negation duality --------------------------------------------------------
+
+
+def _check_negation(case: Case, backends: Sequence) -> list[str]:
+    structure, formula = case.structure, case.formula
+    negated = Not(formula)
+    arity = len(free_variables(formula))
+    full = frozenset(itertools.product(structure.universe, repeat=arity))
+    violations = []
+    for backend in backends:
+        if not _applicable(backend, structure, negated):
+            continue
+        positive = backend.answers(structure, formula)
+        negative = backend.answers(structure, negated)
+        if positive & negative:
+            violations.append(
+                f"{backend.name}: ans(φ) ∩ ans(¬φ) ≠ ∅: {sorted(positive & negative)}"
+            )
+        elif positive | negative != full:
+            missing = sorted(full - (positive | negative))
+            violations.append(
+                f"{backend.name}: ans(φ) ∪ ans(¬φ) misses tuples {missing}"
+            )
+    return violations
+
+
+# -- disjoint-union composition ----------------------------------------------
+
+
+def _union_eligible(case: Case) -> bool:
+    return (
+        case.is_sentence
+        and not case.structure.constants
+        and not constants_of(case.formula)
+    )
+
+
+def _check_disjoint_union(case: Case, backends: Sequence) -> list[str]:
+    if not _union_eligible(case):
+        return []
+    structure, formula = case.structure, case.formula
+    rng = _case_rng(case, 2)
+    partner = StructureGenerator(structure.signature).draw(rng, max_size=4)
+    if partner.constants:  # pragma: no cover - signature is constant-free here
+        return []
+    left = structure.disjoint_union(partner)
+    right = partner.disjoint_union(structure)
+    violations = []
+    for backend in backends:
+        if not (
+            _applicable(backend, left, formula) and _applicable(backend, right, formula)
+        ):
+            continue
+        if backend.answers(left, formula) != backend.answers(right, formula):
+            violations.append(
+                f"{backend.name}: φ distinguishes A ⊕ B from B ⊕ A "
+                f"(|A|={structure.size}, |B|={partner.size})"
+            )
+    violations.extend(_check_union_transfer(case, backends, partner, rng))
+    return violations
+
+
+def _check_union_transfer(
+    case: Case, backends: Sequence, partner: Structure, rng: random.Random
+) -> list[str]:
+    """If A ≡_r B then A ⊕ C ≡_r B ⊕ C: union preserves EF equivalence."""
+    structure, formula = case.structure, case.formula
+    rank = quantifier_rank(formula)
+    twin = StructureGenerator(structure.signature).draw(rng, max_size=_EF_MAX_SIZE)
+    if (
+        rank > _EF_MAX_RANK
+        or structure.size > _EF_MAX_SIZE
+        or twin.size > _EF_MAX_SIZE
+        or twin.constants
+    ):
+        return []
+    try:
+        if not ef_equivalent(structure, twin, rank, budget=_EF_BUDGET):
+            return []
+    except BudgetExceededError:
+        return []
+    left = structure.disjoint_union(partner)
+    right = twin.disjoint_union(partner)
+    violations = []
+    for backend in backends:
+        if not (
+            _applicable(backend, left, formula) and _applicable(backend, right, formula)
+        ):
+            continue
+        if backend.answers(left, formula) != backend.answers(right, formula):
+            violations.append(
+                f"{backend.name}: A ≡_{rank} B but φ (rank {rank}) distinguishes "
+                f"A ⊕ C from B ⊕ C"
+            )
+    return violations
+
+
+# -- EF rank-r transfer ------------------------------------------------------
+
+
+def _check_ef_transfer(case: Case, backends: Sequence) -> list[str]:
+    structure, formula = case.structure, case.formula
+    if not case.is_sentence or structure.constants or constants_of(formula):
+        return []
+    rank = quantifier_rank(formula)
+    if rank > _EF_MAX_RANK or structure.size > _EF_MAX_SIZE:
+        return []
+    rng = _case_rng(case, 3)
+    twin = StructureGenerator(structure.signature).draw(rng, max_size=_EF_MAX_SIZE)
+    if twin.constants:
+        return []
+    try:
+        if not ef_equivalent(structure, twin, rank, budget=_EF_BUDGET):
+            return []
+    except BudgetExceededError:
+        return []
+    violations = []
+    for backend in backends:
+        if not (
+            _applicable(backend, structure, formula)
+            and _applicable(backend, twin, formula)
+        ):
+            continue
+        if backend.answers(structure, formula) != backend.answers(twin, formula):
+            violations.append(
+                f"{backend.name}: A ≡_{rank} B (EF) but φ of rank {rank} "
+                f"distinguishes them"
+            )
+    return violations
+
+
+def default_oracles() -> list[Oracle]:
+    return [
+        Oracle(
+            "isomorphism",
+            "isomorphism invariance of queries (§2)",
+            _check_isomorphism,
+        ),
+        Oracle(
+            "negation",
+            "negation = complement in universe^k (FO = RA)",
+            _check_negation,
+        ),
+        Oracle(
+            "disjoint-union",
+            "Hanf composition: ⊕ commutes and preserves ≡_r (§3.3)",
+            _check_disjoint_union,
+        ),
+        Oracle(
+            "ef-transfer",
+            "EF theorem: A ≡_r B ⇒ agreement on rank-≤r sentences (Thm 3.5)",
+            _check_ef_transfer,
+        ),
+    ]

@@ -1,0 +1,167 @@
+"""Delta-debugging minimizer for failing conformance cases.
+
+Given a failing case and a predicate ("does this candidate still exhibit
+the failure?" — built by :meth:`Runner.failure_predicate`), the shrinker
+greedily applies structure- and formula-level reductions until a fixed
+point, in the spirit of ddmin / Hypothesis shrinking:
+
+* drop a universe element (induced substructure);
+* drop one relation tuple;
+* replace the formula by one of its immediate subformulas (repeated
+  passes walk arbitrarily deep) or by ⊤/⊥;
+* finally, relabel the universe to the canonical ``0..n-1`` (this is
+  what turns disjoint-union tag tuples back into small ints, so the
+  serialized regression is readable).
+
+Every candidate is re-validated through the predicate, so reductions
+that change applicability (freeing a variable, raising the degree) are
+simply rejected.  The number of predicate evaluations is capped; the
+minimum found so far is returned when the budget runs out.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+
+from repro.conformance.generate import Case
+from repro.errors import StructureError
+from repro.logic.analysis import formula_size
+from repro.logic.syntax import (
+    FALSE,
+    TRUE,
+    And,
+    Exists,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+)
+from repro.structures.structure import Structure
+
+__all__ = ["shrink_case"]
+
+
+def _subformula_candidates(formula: Formula) -> Iterator[Formula]:
+    if isinstance(formula, Not):
+        yield formula.body
+    elif isinstance(formula, (Exists, Forall)):
+        yield formula.body
+    elif isinstance(formula, (And, Or)):
+        for child in formula.children:
+            yield child
+        if len(formula.children) > 2:
+            kind = type(formula)
+            for index in range(len(formula.children)):
+                rest = formula.children[:index] + formula.children[index + 1 :]
+                yield kind(rest)
+    elif isinstance(formula, Implies):
+        yield formula.premise
+        yield formula.conclusion
+    elif isinstance(formula, Iff):
+        yield formula.left
+        yield formula.right
+    if not isinstance(formula, (type(TRUE), type(FALSE))):
+        yield TRUE
+        yield FALSE
+
+
+def _element_removals(structure: Structure) -> Iterator[Structure]:
+    if structure.size <= 1:
+        return
+    protected = set(structure.constants.values())
+    for element in structure.universe:
+        if element in protected:
+            continue
+        keep = [other for other in structure.universe if other != element]
+        try:
+            yield structure.induced(keep)
+        except StructureError:  # pragma: no cover - guarded by `protected`
+            continue
+
+
+def _tuple_removals(structure: Structure) -> Iterator[Structure]:
+    for name, tuples in sorted(structure.relations.items()):
+        for row in sorted(tuples, key=repr):
+            relations = {
+                other: (values - {row} if other == name else values)
+                for other, values in structure.relations.items()
+            }
+            yield Structure(
+                structure.signature, structure.universe, relations, structure.constants
+            )
+
+
+def _canonical_relabel(structure: Structure) -> Structure:
+    mapping = {element: index for index, element in enumerate(structure.universe)}
+    return structure.relabel(mapping)
+
+
+def shrink_case(
+    case: Case,
+    still_fails: Callable[[Case], bool],
+    max_checks: int = 2000,
+) -> Case:
+    """Minimize ``case`` while ``still_fails`` holds; returns the minimum.
+
+    The returned case keeps the original seed (oracle-derived inputs are
+    functions of it) and gets a ``-shrunk`` name suffix when any
+    reduction landed.
+    """
+    checks = 0
+
+    def attempt(candidate: Case) -> bool:
+        nonlocal checks
+        if checks >= max_checks:
+            return False
+        checks += 1
+        return still_fails(candidate)
+
+    def with_parts(structure: Structure, formula: Formula) -> Case:
+        return Case(
+            name=f"{case.name}-shrunk",
+            structure=structure,
+            formula=formula,
+            seed=case.seed,
+            description=case.description,
+        )
+
+    current = case
+    improved = True
+    while improved and checks < max_checks:
+        improved = False
+        for smaller in _element_removals(current.structure):
+            candidate = with_parts(smaller, current.formula)
+            if attempt(candidate):
+                current = candidate
+                improved = True
+                break
+        if improved:
+            continue
+        replacements = sorted(
+            _subformula_candidates(current.formula), key=formula_size
+        )
+        for replacement in replacements:
+            if replacement == current.formula:
+                continue
+            candidate = with_parts(current.structure, replacement)
+            if attempt(candidate):
+                current = candidate
+                improved = True
+                break
+        if improved:
+            continue
+        for smaller in _tuple_removals(current.structure):
+            candidate = with_parts(smaller, current.formula)
+            if attempt(candidate):
+                current = candidate
+                improved = True
+                break
+
+    relabeled = with_parts(_canonical_relabel(current.structure), current.formula)
+    if current is not case and attempt(relabeled):
+        current = relabeled
+    if current is case:
+        return case
+    return current

@@ -1,0 +1,137 @@
+"""The ``python -m repro.conformance`` command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.conformance.cli as cli
+from repro.conformance.backends import DEFAULT_BACKENDS, Backend, default_registry
+from repro.conformance.corpus import save_case
+from repro.conformance.generate import CaseGenerator
+from repro.eval.evaluator import answers as naive_answers
+from repro.logic.analysis import free_variables
+
+
+def run_cli(capsys, *argv):
+    code = cli.main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def test_fuzz_smoke_ok(capsys):
+    code, out, _ = run_cli(capsys, "--seed", "0", "--budget", "15")
+    assert code == 0
+    assert "conformance: OK" in out
+    assert "15 cases" in out
+
+
+def test_list_backends(capsys):
+    code, out, _ = run_cli(capsys, "--list-backends")
+    assert code == 0
+    assert tuple(out.split()) == DEFAULT_BACKENDS
+
+
+def test_backend_subset_and_json(capsys):
+    code, out, _ = run_cli(
+        capsys, "--budget", "10", "--backends", "naive,algebra", "--json"
+    )
+    assert code == 0
+    report = json.loads(out)
+    assert report["ok"] is True
+    assert set(report["backend_cases"]) == {"naive", "algebra"}
+    assert report["cases"] == 10
+
+
+def test_unknown_backend_exits_2(capsys):
+    code, _, err = run_cli(capsys, "--backends", "sql")
+    assert code == 2
+    assert "unknown backend" in err
+
+
+def test_replay_corpus(capsys, tmp_path):
+    for index in range(3):
+        save_case(CaseGenerator(seed=9).case(index), tmp_path)
+    code, out, _ = run_cli(capsys, "--replay", "--corpus-dir", str(tmp_path))
+    assert code == 0
+    assert "3 cases" in out
+
+
+def test_replay_empty_corpus_exits_2(capsys, tmp_path):
+    code, _, err = run_cli(capsys, "--replay", "--corpus-dir", str(tmp_path))
+    assert code == 2
+    assert "no corpus cases" in err
+
+
+def test_failures_shrink_and_promote(capsys, tmp_path, monkeypatch):
+    """With a buggy backend injected, the CLI exits 1, prints the shrunk
+    case, and --promote writes it into the corpus directory."""
+
+    def buggy(structure, formula):
+        rows = naive_answers(structure, formula)
+        if structure.size >= 3 and rows and free_variables(formula):
+            return frozenset(sorted(rows, key=repr)[1:])
+        return rows
+
+    def rigged_registry():
+        registry = default_registry()
+        registry.register(Backend("buggy", buggy))
+        return registry
+
+    monkeypatch.setattr(cli, "default_registry", rigged_registry)
+    code, out, err = run_cli(
+        capsys,
+        "--budget",
+        "40",
+        "--backends",
+        "naive,buggy",
+        "--no-oracles",
+        "--promote",
+        "--corpus-dir",
+        str(tmp_path),
+    )
+    assert code == 1
+    assert "FAILURE" in out
+    assert "pairwise" in out
+    assert "promoted" in err
+    written = list(tmp_path.glob("*.json"))
+    assert written, "--promote must write shrunk cases"
+    # Promoted cases replay as failures through the same CLI.
+    code, out, _ = run_cli(
+        capsys,
+        "--replay",
+        "--backends",
+        "naive,buggy",
+        "--no-oracles",
+        "--no-shrink",
+        "--corpus-dir",
+        str(tmp_path),
+    )
+    assert code == 1
+
+
+def test_no_shrink_keeps_original(capsys, monkeypatch):
+    def buggy(structure, formula):
+        rows = naive_answers(structure, formula)
+        if structure.size >= 3 and rows and free_variables(formula):
+            return frozenset(sorted(rows, key=repr)[1:])
+        return rows
+
+    def rigged_registry():
+        registry = default_registry()
+        registry.register(Backend("buggy", buggy))
+        return registry
+
+    monkeypatch.setattr(cli, "default_registry", rigged_registry)
+    code, out, _ = run_cli(
+        capsys,
+        "--budget",
+        "40",
+        "--backends",
+        "naive,buggy",
+        "--no-oracles",
+        "--no-shrink",
+    )
+    assert code == 1
+    assert "-shrunk" not in out

@@ -1,0 +1,67 @@
+"""Tier-1 replay of the serialized regression corpus.
+
+Every case under ``tests/corpus/`` runs through every applicable backend
+(pairwise differential) plus every metamorphic oracle.  A case lands in
+the corpus either hand-picked (the tricky shapes seeded with the
+conformance PR) or as the shrunk form of a real fuzzer-found
+disagreement — both must stay green forever.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.conformance.backends import default_registry
+from repro.conformance.corpus import default_corpus_dir, load_corpus
+from repro.conformance.runner import Runner
+
+CORPUS_DIR = Path(__file__).resolve().parents[1] / "corpus"
+
+
+def test_corpus_dir_resolves_to_checkout():
+    assert default_corpus_dir() == CORPUS_DIR
+
+
+def test_corpus_is_seeded():
+    cases = load_corpus(CORPUS_DIR)
+    assert len(cases) >= 10, "the corpus must keep its hand-picked seed cases"
+    names = {case.name for case in cases}
+    # Spot-check the tricky shapes the ISSUE calls out.
+    for expected in (
+        "tricky-single-node",
+        "tricky-empty-relations",
+        "tricky-disconnected",
+        "tricky-free-variables",
+        "tricky-rank-exceeds-domain",
+    ):
+        assert expected in names
+
+
+@pytest.mark.parametrize(
+    "case",
+    load_corpus(CORPUS_DIR),
+    ids=lambda case: case.name,
+)
+def test_corpus_case_replays_clean(case):
+    runner = Runner()
+    report = runner.replay([case])
+    assert report.ok, "\n".join(
+        f"{failure.kind} [{', '.join(failure.backends)}]: {failure.detail}"
+        for failure in report.failures
+    )
+    # Differential testing needs at least two opinions per case.
+    assert len(runner.registry.applicable(case)) >= 2
+
+
+def test_every_backend_covered_by_corpus():
+    """Each registered backend is applicable to at least one corpus case."""
+    registry = default_registry()
+    cases = load_corpus(CORPUS_DIR)
+    covered = {
+        backend.name
+        for case in cases
+        for backend in registry.applicable(case)
+    }
+    assert covered == set(registry.names())

@@ -1,0 +1,167 @@
+"""Metamorphic oracles: pass on honest backends, fire on dishonest ones."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conformance.backends import Backend, default_registry
+from repro.conformance.generate import Case, CaseGenerator
+from repro.conformance.oracles import default_oracles
+from repro.conformance.runner import Runner
+from repro.eval.evaluator import answers as naive_answers, evaluate
+from repro.logic.analysis import free_variables
+
+
+def oracle(name):
+    return next(o for o in default_oracles() if o.name == name)
+
+
+def test_oracle_names_and_theorems():
+    oracles = default_oracles()
+    assert [o.name for o in oracles] == [
+        "isomorphism",
+        "negation",
+        "disjoint-union",
+        "ef-transfer",
+    ]
+    for o in oracles:
+        assert o.theorem  # every oracle cites its justification
+
+
+def test_oracles_pass_on_honest_backends():
+    report = Runner().run(40, seed=11)
+    assert report.ok
+    # Every oracle actually ran.
+    assert set(report.oracle_checks) == {
+        "isomorphism",
+        "negation",
+        "disjoint-union",
+        "ef-transfer",
+    }
+
+
+def test_isomorphism_oracle_catches_label_dependence():
+    """A backend whose answers depend on concrete element labels violates
+    isomorphism invariance (§2) and must be flagged."""
+
+    def label_biased(structure, formula):
+        rows = naive_answers(structure, formula)
+        if free_variables(formula):
+            return frozenset(row for row in rows if row[0] == structure.universe[0])
+        return rows
+
+    backend = Backend("label-biased", label_biased)
+    violations = []
+    for case in CaseGenerator(seed=0, sentence_bias=0.0).stream(40):
+        violations += oracle("isomorphism").check(case, [backend])
+    assert violations
+    assert any("label-biased" in message for message in violations)
+
+
+def test_negation_oracle_catches_constant_true_backend():
+    def always_true(structure, formula):
+        return frozenset({()}) if not free_variables(formula) else naive_answers(structure, formula)
+
+    backend = Backend("always-true", always_true)
+    violations = []
+    for case in CaseGenerator(seed=0).stream(40):
+        if case.is_sentence:
+            violations += oracle("negation").check(case, [backend])
+    assert violations
+    assert any("∩" in message or "misses" in message for message in violations)
+
+
+def test_union_oracle_catches_order_dependence():
+    """A backend that keys on the union's tag layout distinguishes A ⊕ B
+    from B ⊕ A, two isomorphic structures — Hanf composition violated."""
+
+    def tag_biased(structure, formula):
+        tagged = [
+            element
+            for element in structure.universe
+            if isinstance(element, tuple) and element and element[0] == 0
+        ]
+        touched = {
+            value
+            for rows in structure.relations.values()
+            for row in rows
+            for value in row
+        }
+        if tagged and not free_variables(formula):
+            return (
+                frozenset({()})
+                if any(element in touched for element in tagged)
+                else frozenset()
+            )
+        return naive_answers(structure, formula)
+
+    backend = Backend("tag-biased", tag_biased)
+    violations = []
+    for case in CaseGenerator(seed=2).stream(120):
+        violations += oracle("disjoint-union").check(case, [backend])
+    assert any("distinguishes A ⊕ B from B ⊕ A" in message for message in violations)
+
+
+def test_ef_transfer_oracle_catches_size_dependence():
+    """A backend answering by universe-size parity distinguishes
+    EF-equivalent structures — the EF theorem (Thm 3.5) violated."""
+
+    def size_parity(structure, formula):
+        if not free_variables(formula):
+            return frozenset({()}) if structure.size % 2 == 0 else frozenset()
+        return naive_answers(structure, formula)
+
+    backend = Backend("size-parity", size_parity)
+    violations = []
+    for case in CaseGenerator(seed=1).stream(150):
+        violations += oracle("ef-transfer").check(case, [backend])
+    assert violations
+    assert any("size-parity" in message for message in violations)
+
+
+def test_oracles_skip_inapplicable_shapes():
+    """Open formulas and constant-bearing cases short-circuit the
+    sentence-only oracles instead of crashing."""
+    from repro.logic.builder import V, atom
+    from repro.logic.signature import Signature
+    from repro.structures.structure import Structure
+
+    pointed = Signature({"E": 2}, frozenset({"c"}))
+    structure = Structure(pointed, [0, 1], {"E": [(0, 1)]}, {"c": 0})
+    x = V("x")
+    case = Case("open-pointed", structure, atom("E", x, x), seed=9)
+    registry = default_registry()
+    backends = registry.applicable(case)
+    assert oracle("disjoint-union").check(case, backends) == []
+    assert oracle("ef-transfer").check(case, backends) == []
+    # The always-applicable oracles still run.
+    assert oracle("isomorphism").check(case, backends) == []
+    assert oracle("negation").check(case, backends) == []
+
+
+def test_oracle_derivations_are_seed_deterministic():
+    """Derived partners/permutations are functions of the case seed, so a
+    violation found once replays forever (shrinking depends on this)."""
+    case = CaseGenerator(seed=4).case(7)
+    registry = default_registry()
+    backends = registry.applicable(case)
+    for o in default_oracles():
+        assert o.check(case, backends) == o.check(case, backends)
+
+
+def test_negation_duality_against_reference():
+    """Sanity-check the oracle's own math: ans(φ) and ans(¬φ) partition
+    universe^k under the naive reference."""
+    import itertools
+
+    from repro.logic.syntax import Not
+
+    registry = default_registry()
+    naive = registry.get("naive")
+    for case in CaseGenerator(seed=6, sentence_bias=0.3).stream(25):
+        arity = len(free_variables(case.formula))
+        full = set(itertools.product(case.structure.universe, repeat=arity))
+        positive = naive.answers(case.structure, case.formula)
+        negative = naive.answers(case.structure, Not(case.formula))
+        assert positive | negative == full
+        assert not positive & negative

@@ -1,0 +1,103 @@
+"""Serialization round trips: formulas, structures, whole cases."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.conformance.generate import Case, CaseGenerator
+from repro.conformance.serialize import (
+    case_from_json,
+    case_to_json,
+    format_formula,
+    structure_from_dict,
+    structure_to_dict,
+)
+from repro.errors import StructureError
+from repro.eval.evaluator import answers as naive_answers
+from repro.logic.parser import parse
+from repro.logic.signature import GRAPH
+from repro.structures.builders import undirected_cycle
+from repro.structures.structure import Structure
+
+
+def test_formula_round_trip_is_semantics_preserving():
+    """parse(format(φ)) answers identically to φ, and one more round trip
+    is a syntactic fixpoint (the parser flattens ∧/∨ chains once)."""
+    for case in CaseGenerator(seed=0).stream(50):
+        text = format_formula(case.formula)
+        reparsed = parse(text, constants=case.structure.signature)
+        assert naive_answers(case.structure, reparsed) == naive_answers(
+            case.structure, case.formula
+        )
+        assert parse(format_formula(reparsed), constants=case.structure.signature) == reparsed
+
+
+def test_format_examples():
+    assert format_formula(parse("exists x. (E(x, y))")) == "exists x. (E(x, y))"
+    assert format_formula(parse("x < y | x = y")) == "(x < y | x = y)"
+    assert format_formula(parse("~(true -> false)")) == "~((true -> false))"
+    assert (
+        format_formula(parse("E(c, x)", constants={"c"})) == "E(c, x)"
+    )  # constants print bare; the signature re-types them on parse
+
+
+def test_structure_round_trip_exact():
+    for case in CaseGenerator(seed=1).stream(40):
+        rebuilt = structure_from_dict(structure_to_dict(case.structure))
+        assert rebuilt == case.structure
+
+
+def test_tuple_elements_round_trip():
+    union = undirected_cycle(3).disjoint_union(Structure(GRAPH, ["a", "b"], {"E": []}))
+    rebuilt = structure_from_dict(structure_to_dict(union))
+    assert rebuilt == union
+    assert (1, "a") in rebuilt.universe
+
+
+def test_case_round_trip_preserves_metadata():
+    case = CaseGenerator(seed=2).case(5)
+    described = Case(
+        name=case.name,
+        structure=case.structure,
+        formula=case.formula,
+        seed=case.seed,
+        description="a descriptive note",
+    )
+    rebuilt = case_from_json(case_to_json(described))
+    assert rebuilt.name == described.name
+    assert rebuilt.seed == described.seed
+    assert rebuilt.description == "a descriptive note"
+    assert rebuilt.structure == described.structure
+
+
+def test_json_is_stable_bytes():
+    case = CaseGenerator(seed=3).case(0)
+    assert case_to_json(case) == case_to_json(case)
+    payload = json.loads(case_to_json(case))
+    assert sorted(payload) == ["description", "formula", "name", "seed", "structure"]
+
+
+def test_unserializable_elements_rejected():
+    structure = Structure(GRAPH, [frozenset({1})], {"E": []})
+    with pytest.raises(StructureError, match="cannot serialize"):
+        structure_to_dict(structure)
+
+
+def test_bool_elements_rejected():
+    structure = Structure(GRAPH, [True, 0], {"E": []})
+    with pytest.raises(StructureError, match="cannot serialize"):
+        structure_to_dict(structure)
+
+
+def test_bad_element_decode_rejected():
+    with pytest.raises(StructureError, match="cannot deserialize"):
+        structure_from_dict(
+            {
+                "signature": {"relations": {"E": 2}, "constants": []},
+                "universe": [{"bogus": 1}],
+                "relations": {},
+                "constants": {},
+            }
+        )

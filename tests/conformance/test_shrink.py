@@ -1,0 +1,108 @@
+"""The delta-debugging shrinker: smaller, still-failing, canonical."""
+
+from __future__ import annotations
+
+from repro.conformance.backends import Backend, default_registry
+from repro.conformance.generate import Case, CaseGenerator
+from repro.conformance.runner import Runner
+from repro.conformance.shrink import shrink_case
+from repro.eval.evaluator import answers as naive_answers
+from repro.logic.analysis import formula_size, free_variables
+from repro.logic.parser import parse
+from repro.logic.signature import GRAPH
+from repro.structures.builders import undirected_cycle
+from repro.structures.structure import Structure
+
+
+def buggy_registry():
+    """naive + a backend that drops one row on structures of size ≥ 3."""
+
+    def buggy(structure, formula):
+        rows = naive_answers(structure, formula)
+        if structure.size >= 3 and rows and free_variables(formula):
+            return frozenset(sorted(rows, key=repr)[1:])
+        return rows
+
+    registry = default_registry()
+    registry.register(Backend("buggy", buggy))
+    return registry
+
+
+def first_pairwise_failure(runner, budget=120, seed=0):
+    report = runner.run(budget, seed=seed)
+    return next(f for f in report.failures if f.kind == "pairwise")
+
+
+def test_shrink_minimizes_and_still_fails():
+    runner = Runner(registry=buggy_registry(), backends=["naive", "buggy"], oracles=[])
+    failure = first_pairwise_failure(runner)
+    predicate = runner.failure_predicate(failure)
+    assert predicate(failure.case)
+    shrunk = shrink_case(failure.case, predicate)
+    assert predicate(shrunk)
+    assert shrunk.structure.size <= failure.case.structure.size
+    assert formula_size(shrunk.formula) <= formula_size(failure.case.formula)
+    # The injected bug needs exactly 3 elements and a non-empty answer set;
+    # the shrinker must find that floor.
+    assert shrunk.structure.size == 3
+    assert shrunk.name.endswith("-shrunk")
+    assert shrunk.seed == failure.case.seed
+
+
+def test_shrink_canonicalizes_union_tags():
+    """Tuple-tagged union elements relabel back to 0..n-1 when possible."""
+    tagged = undirected_cycle(3).disjoint_union(
+        Structure(GRAPH, [0], {"E": []})
+    )
+    case = Case("tagged", tagged, parse("exists x. (E(x, x))"), seed=1)
+    shrunk = shrink_case(case, lambda candidate: True)
+    assert all(isinstance(element, int) for element in shrunk.structure.universe)
+    assert shrunk.structure.size == 1
+
+
+def test_shrink_noop_when_nothing_smaller_fails():
+    structure = Structure(GRAPH, [0], {"E": [(0, 0)]})
+    case = Case("minimal", structure, parse("exists x. (E(x, x))"), seed=2)
+    original = case
+    shrunk = shrink_case(case, lambda candidate: candidate is original)
+    assert shrunk is original
+
+
+def test_shrink_respects_check_budget():
+    calls = 0
+
+    def counting(candidate):
+        nonlocal calls
+        calls += 1
+        return True
+
+    case = CaseGenerator(seed=3).case(0)
+    shrink_case(case, counting, max_checks=10)
+    assert calls <= 10
+
+
+def test_shrink_protects_constant_elements():
+    from repro.logic.signature import Signature
+
+    pointed = Signature({"E": 2}, frozenset({"c"}))
+    structure = Structure(pointed, [0, 1, 2], {"E": [(0, 1)]}, {"c": 2})
+    case = Case("pointed", structure, parse("E(c, c)", constants={"c"}), seed=4)
+    shrunk = shrink_case(case, lambda candidate: True)
+    # Elements 0 and 1 are removable; the constant's element never is, so
+    # exactly one element survives and still interprets c (possibly
+    # renamed by the final canonical relabel).
+    assert shrunk.structure.size == 1
+    assert shrunk.structure.constants["c"] in shrunk.structure.universe
+
+
+def test_end_to_end_failure_to_corpus(tmp_path):
+    """Fuzz → failure → shrink → serialize → reload → still failing."""
+    from repro.conformance.corpus import load_corpus, save_case
+
+    runner = Runner(registry=buggy_registry(), backends=["naive", "buggy"], oracles=[])
+    failure = first_pairwise_failure(runner)
+    predicate = runner.failure_predicate(failure)
+    shrunk = shrink_case(failure.case, predicate)
+    save_case(shrunk, tmp_path)
+    [reloaded] = load_corpus(tmp_path)
+    assert predicate(reloaded)

@@ -102,3 +102,48 @@ def _all_rows(universe, arity):
     import itertools
 
     return itertools.product(universe, repeat=arity)
+
+
+# -- conformance-fuzzer-backed strategies ------------------------------------
+#
+# The conformance package (src/repro/conformance) ships seeded,
+# index-addressable generators used by ``python -m repro.conformance``.
+# These wrappers expose the exact same case distribution to hypothesis,
+# so property-based tests and the differential fuzzer explore one shared
+# input space: a case that hypothesis shrinks can be replayed by seed
+# through the CLI, and vice versa.
+
+
+@st.composite
+def conformance_cases(
+    draw,
+    max_size: int = 6,
+    formula_budget: int = 6,
+    sentence_bias: float = 0.6,
+):
+    """Whole conformance cases (structure + formula + replay seed)."""
+    from repro.conformance.generate import CaseGenerator
+
+    stream_seed = draw(st.integers(min_value=0, max_value=2**16))
+    index = draw(st.integers(min_value=0, max_value=2**10))
+    generator = CaseGenerator(
+        seed=stream_seed,
+        max_size=max_size,
+        formula_budget=formula_budget,
+        sentence_bias=sentence_bias,
+    )
+    return generator.case(index)
+
+
+def conformance_structures(max_size: int = 6):
+    """Structures drawn from the conformance fuzzer's distribution
+    (all six signatures, sparse/dense/structured/union families)."""
+    return conformance_cases(max_size=max_size).map(lambda case: case.structure)
+
+
+def conformance_formulas(formula_budget: int = 6):
+    """Formulas drawn from the conformance fuzzer's distribution,
+    paired signatures included (``<``-atoms, constants, ternary R)."""
+    return conformance_cases(formula_budget=formula_budget).map(
+        lambda case: case.formula
+    )
