@@ -13,10 +13,20 @@ The library can answer ``ans(φ, A)`` five independent ways:
                       under differential test
 ====================  =====================================================
 
+``resilient``         the :class:`~repro.resilience.fallback.FallbackChain`
+                      (engine → census → naive), under whatever fault
+                      injection and budgets the run configures
+
 Each is wrapped as a :class:`Backend` with an *applicability predicate*
 (circuits need constant-free sentences, the census evaluator needs the
 degree bound, ...).  The differential runner cross-checks all applicable
 backends pairwise on every generated case.
+
+Backends that can honor a budget also carry a ``budget_fn``; the runner
+hands each call a fresh :class:`~repro.resilience.budget.CancelToken`
+when the run has a deadline (``--deadline-ms``), and treats a resulting
+:class:`~repro.errors.BudgetExceededError` as an *allowed* outcome — a
+typed refusal, never a wrong answer.
 
 Backends hold caches on purpose (the engine's plan/answer caches, the
 census truth table): a cache that leaks a wrong answer across cases is a
@@ -38,6 +48,8 @@ from repro.engine.engine import Engine
 from repro.locality.bounded_degree import BoundedDegreeEvaluator
 from repro.logic.analysis import constants_of, free_variables, quantifier_rank
 from repro.logic.syntax import Formula
+from repro.resilience.budget import CancelToken
+from repro.resilience.fallback import default_chain
 from repro.structures.structure import Element, Structure
 
 __all__ = ["Backend", "BackendRegistry", "default_registry", "DEFAULT_BACKENDS"]
@@ -63,18 +75,30 @@ class Backend:
     answer_fn: Callable[[Structure, Formula], Answers]
     applicable_fn: Callable[[Structure, Formula], tuple[bool, str]] | None = None
     reset_fn: Callable[[], None] | None = None
+    budget_fn: Callable[[Structure, Formula, CancelToken], Answers] | None = None
 
     def applicable(self, structure: Structure, formula: Formula) -> tuple[bool, str]:
         if self.applicable_fn is None:
             return True, "always applicable"
         return self.applicable_fn(structure, formula)
 
-    def answers(self, structure: Structure, formula: Formula) -> Answers:
+    def answers(
+        self,
+        structure: Structure,
+        formula: Formula,
+        budget: CancelToken | None = None,
+    ) -> Answers:
         """ans(φ, A) with columns in sorted free-variable-name order.
 
         Sentences return ``{()}`` (true) or ``∅`` (false), matching
-        :func:`repro.eval.evaluator.answers`.
+        :func:`repro.eval.evaluator.answers`.  When a ``budget`` token is
+        supplied and this backend knows how to honor one (``budget_fn``),
+        the call may raise :class:`~repro.errors.BudgetExceededError`
+        instead of running long; backends without a ``budget_fn`` ignore
+        the token (they simply run unbudgeted).
         """
+        if budget is not None and self.budget_fn is not None:
+            return self.budget_fn(structure, formula, budget)
         return self.answer_fn(structure, formula)
 
     def reset(self) -> None:
@@ -141,24 +165,26 @@ def _constant_free(structure: Structure, formula: Formula) -> tuple[bool, str]:
 def _engine_backend(name: str, batched: bool) -> Backend:
     engine = Engine(domain="universe")
 
-    def compute(structure: Structure, formula: Formula) -> Answers:
+    def compute(
+        structure: Structure, formula: Formula, token: CancelToken | None = None
+    ) -> Answers:
         if batched:
             if free_variables(formula):
-                return engine.answers_batch([(structure, formula)])[0]
+                return engine.answers_batch([(structure, formula)], budget=token)[0]
             return _sentence_answers(
-                engine.evaluate_batch([(structure, formula)])[0]
+                engine.evaluate_batch([(structure, formula)], budget=token)[0]
             )
         if free_variables(formula):
-            return engine.answers(structure, formula)
+            return engine.answers(structure, formula, budget=token)
         # evaluate() (not answers()) so the Theorem 3.11 fast-path
         # dispatch is part of the differential surface.
-        return _sentence_answers(engine.evaluate(structure, formula))
+        return _sentence_answers(engine.evaluate(structure, formula, budget=token))
 
     def reset() -> None:
         engine.clear_caches()
         engine.reset_stats()
 
-    backend = Backend(name, compute, reset_fn=reset)
+    backend = Backend(name, compute, reset_fn=reset, budget_fn=compute)
     backend.engine = engine  # type: ignore[attr-defined] — introspection for tests
     return backend
 
@@ -206,14 +232,36 @@ def _bounded_degree_backend(degree_bound: int) -> Backend:
             return False, f"Gaifman degree {degree} > bound {degree_bound}"
         return True, ""
 
-    def compute(structure: Structure, formula: Formula) -> Answers:
+    def compute(
+        structure: Structure, formula: Formula, token: CancelToken | None = None
+    ) -> Answers:
         evaluator = evaluators.get(formula)
         if evaluator is None:
             evaluator = BoundedDegreeEvaluator(formula, degree_bound=degree_bound)
             evaluators[formula] = evaluator
-        return _sentence_answers(evaluator.evaluate(structure))
+        return _sentence_answers(evaluator.evaluate(structure, cancel_token=token))
 
-    return Backend("bounded-degree", compute, applicable, reset_fn=evaluators.clear)
+    return Backend(
+        "bounded-degree", compute, applicable, reset_fn=evaluators.clear, budget_fn=compute
+    )
+
+
+def _resilient_backend(degree_bound: int) -> Backend:
+    holder: dict[str, object] = {}
+
+    def chain():
+        existing = holder.get("chain")
+        if existing is None:
+            existing = default_chain(degree_bound=degree_bound)
+            holder["chain"] = existing
+        return existing
+
+    def compute(
+        structure: Structure, formula: Formula, token: CancelToken | None = None
+    ) -> Answers:
+        return chain().answers(structure, formula, budget=token)
+
+    return Backend("resilient", compute, reset_fn=holder.clear, budget_fn=compute)
 
 
 DEFAULT_BACKENDS = (
@@ -223,13 +271,22 @@ DEFAULT_BACKENDS = (
     "engine-batch",
     "circuit",
     "bounded-degree",
+    "resilient",
 )
 
 
 def default_registry(degree_bound: int = 3) -> BackendRegistry:
     """All evaluation paths the library ships, freshly instantiated."""
     registry = BackendRegistry()
-    registry.register(Backend("naive", naive_answers))
+    registry.register(
+        Backend(
+            "naive",
+            naive_answers,
+            budget_fn=lambda structure, formula, token: naive_answers(
+                structure, formula, cancel_token=token
+            ),
+        )
+    )
     registry.register(
         Backend("algebra", lambda structure, formula: algebra_answers(structure, formula))
     )
@@ -237,4 +294,5 @@ def default_registry(degree_bound: int = 3) -> BackendRegistry:
     registry.register(_engine_backend("engine-batch", batched=True))
     registry.register(_circuit_backend())
     registry.register(_bounded_degree_backend(degree_bound))
+    registry.register(_resilient_backend(degree_bound))
     return registry

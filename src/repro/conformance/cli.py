@@ -39,6 +39,7 @@ from repro.conformance.runner import Runner
 from repro.conformance.serialize import case_to_json, format_formula
 from repro.conformance.shrink import shrink_case
 from repro.errors import FMTError
+from repro.resilience.budget import Budget
 
 __all__ = ["main", "build_parser"]
 
@@ -92,6 +93,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="pairwise differential checks only",
     )
     parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-backend-call deadline in milliseconds; backends that "
+        "exceed it refuse with a typed BudgetExceededError (counted, "
+        "not a failure) — exit status still reflects wrong answers only",
+    )
+    parser.add_argument(
         "--json", action="store_true", help="emit the report as JSON on stdout"
     )
     parser.add_argument(
@@ -110,11 +119,18 @@ def main(argv: list[str] | None = None) -> int:
             print(name)
         return 0
     backend_names = args.backends.split(",") if args.backends else None
+    case_budget = None
+    if args.deadline_ms is not None:
+        if args.deadline_ms <= 0:
+            print(f"error: --deadline-ms must be positive, got {args.deadline_ms}", file=sys.stderr)
+            return 2
+        case_budget = Budget(deadline_ms=args.deadline_ms)
     try:
         runner = Runner(
             registry=registry,
             backends=backend_names,
             oracles=[] if args.no_oracles else None,
+            case_budget=case_budget,
         )
     except FMTError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -24,7 +24,9 @@ from repro.conformance.backends import BackendRegistry, default_registry
 from repro.conformance.generate import Case, CaseGenerator
 from repro.conformance.oracles import Oracle, default_oracles
 from repro.conformance.serialize import case_to_json
-from repro.errors import FMTError
+from repro.errors import BudgetExceededError, FMTError
+from repro.resilience.budget import Budget
+from repro.resilience.faults import get_injector
 
 __all__ = ["Failure", "ConformanceReport", "Runner"]
 
@@ -59,10 +61,13 @@ class ConformanceReport:
     failures: list[Failure] = field(default_factory=list)
     backend_cases: dict[str, int] = field(default_factory=dict)
     oracle_checks: dict[str, int] = field(default_factory=dict)
+    budgets_exceeded: dict[str, int] = field(default_factory=dict)
+    faults_injected: int = 0
     stream_digest: str = ""
 
     @property
     def ok(self) -> bool:
+        """No *wrong* answers — budget refusals are allowed outcomes."""
         return not self.failures
 
     def to_dict(self) -> dict[str, Any]:
@@ -74,6 +79,8 @@ class ConformanceReport:
             "failures": [failure.to_dict() for failure in self.failures],
             "backend_cases": dict(sorted(self.backend_cases.items())),
             "oracle_checks": dict(sorted(self.oracle_checks.items())),
+            "budgets_exceeded": dict(sorted(self.budgets_exceeded.items())),
+            "faults_injected": self.faults_injected,
             "stream_digest": self.stream_digest,
         }
 
@@ -82,9 +89,15 @@ class ConformanceReport:
         backends = ", ".join(
             f"{name}×{count}" for name, count in sorted(self.backend_cases.items())
         )
+        extra = ""
+        exceeded = sum(self.budgets_exceeded.values())
+        if exceeded:
+            extra += f"; {exceeded} budget refusal(s)"
+        if self.faults_injected:
+            extra += f"; {self.faults_injected} fault(s) injected"
         return (
             f"conformance: {status} — {self.cases} cases, {self.checks} checks "
-            f"(backends: {backends or 'none'}; digest {self.stream_digest[:12]})"
+            f"(backends: {backends or 'none'}{extra}; digest {self.stream_digest[:12]})"
         )
 
 
@@ -100,6 +113,15 @@ class Runner:
     oracles:
         Metamorphic oracles to apply; default all. Pass ``[]`` for
         pairwise-only runs.
+    case_budget:
+        Optional per-call :class:`~repro.resilience.budget.Budget`
+        (CLI ``--deadline-ms``). Each backend invocation gets a fresh
+        token started from this spec, so one slow backend cannot starve
+        the others. A backend that raises
+        :class:`~repro.errors.BudgetExceededError` under its budget is
+        recorded in :attr:`ConformanceReport.budgets_exceeded` and
+        excluded from that case's pairwise comparison — a typed refusal
+        is an allowed outcome; only *wrong answers* fail the run.
     """
 
     def __init__(
@@ -107,6 +129,7 @@ class Runner:
         registry: BackendRegistry | None = None,
         backends: list[str] | None = None,
         oracles: list[Oracle] | None = None,
+        case_budget: Budget | None = None,
     ) -> None:
         self.registry = registry if registry is not None else default_registry()
         self.backend_names = backends
@@ -114,6 +137,7 @@ class Runner:
             for name in backends:
                 self.registry.get(name)  # fail fast on typos
         self.oracles = oracles if oracles is not None else default_oracles()
+        self.case_budget = case_budget
 
     # -- running -------------------------------------------------------------
 
@@ -127,21 +151,30 @@ class Runner:
         generator = generator if generator is not None else CaseGenerator(seed=seed)
         report = ConformanceReport(seed=seed)
         digest = hashlib.sha256()
+        fired_before = self._faults_fired()
         for case in generator.stream(budget):
             digest.update(case_to_json(case).encode())
             self._check_case(case, report)
         report.stream_digest = digest.hexdigest()
+        report.faults_injected = self._faults_fired() - fired_before
         return report
 
     def replay(self, cases: Iterable[Case]) -> ConformanceReport:
         """Re-check explicit cases (the corpus replay path)."""
         report = ConformanceReport(seed=None)
         digest = hashlib.sha256()
+        fired_before = self._faults_fired()
         for case in cases:
             digest.update(case_to_json(case).encode())
             self._check_case(case, report)
         report.stream_digest = digest.hexdigest()
+        report.faults_injected = self._faults_fired() - fired_before
         return report
+
+    @staticmethod
+    def _faults_fired() -> int:
+        injector = get_injector()
+        return injector.fired if injector is not None else 0
 
     def _check_case(self, case: Case, report: ConformanceReport) -> None:
         report.cases += 1
@@ -152,8 +185,18 @@ class Runner:
             report.backend_cases[backend.name] = (
                 report.backend_cases.get(backend.name, 0) + 1
             )
+            token = self.case_budget.start() if self.case_budget is not None else None
             try:
-                answers[backend.name] = backend.answers(case.structure, case.formula)
+                answers[backend.name] = backend.answers(
+                    case.structure, case.formula, budget=token
+                )
+            except BudgetExceededError:
+                # A typed refusal under budget pressure: the backend said
+                # "can't afford it", which is exactly the contract. Count
+                # it and leave the backend out of this case's comparison.
+                report.budgets_exceeded[backend.name] = (
+                    report.budgets_exceeded.get(backend.name, 0) + 1
+                )
             except FMTError as error:
                 report.failures.append(
                     Failure(

@@ -5,6 +5,19 @@ the answer cache additionally supports per-structure invalidation
 (structures are immutable, so this only matters when callers want to
 bound memory or drop results for structures they no longer hold).
 
+The cache is **thread-safe**: under ``REPRO_PARALLEL_BACKEND=thread``
+the engine's caches are hit by pool workers concurrently, and an
+unguarded ``OrderedDict`` corrupts under concurrent ``move_to_end`` /
+``popitem`` (and double-counts hit/miss stats). Every mutating path —
+including the counter updates — runs under one internal lock, and
+:meth:`snapshot` takes the same lock so its counters and occupancy are a
+consistent cut. :meth:`get_or_compute` runs ``compute`` *outside* the
+lock (a slow compute must not serialize unrelated lookups, and a
+re-entrant compute — the engine's census fallback calls back into the
+answer cache — must not deadlock); two threads racing the same missing
+key may therefore both compute it, and the last ``put`` wins, which is
+harmless for the engine's pure, deterministic values.
+
 Named caches double as telemetry sources: when the telemetry layer is
 enabled, every lookup and eviction also updates
 ``cache.<name>.{hits,misses,evictions}`` counters and a
@@ -15,6 +28,7 @@ internals.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from collections.abc import Callable, Hashable
 from typing import Any
@@ -40,6 +54,7 @@ class LRUCache:
         self.misses = 0
         self.evictions = 0
         self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.RLock()
 
     def _record(self, event: str, amount: int = 1) -> None:
         if amount and self.name is not None and _telemetry_enabled():
@@ -47,77 +62,89 @@ class LRUCache:
             _gauge(f"cache.{self.name}.size").set(len(self._data))
 
     def get(self, key: Hashable, default: Any = None) -> Any:
-        value = self._data.get(key, _MISSING)
-        if value is _MISSING:
-            self.misses += 1
-            self._record("misses")
-            return default
-        self.hits += 1
-        self._record("hits")
-        self._data.move_to_end(key)
-        return value
-
-    def put(self, key: Hashable, value: Any) -> None:
-        if key in self._data:
-            self._data.move_to_end(key)
-        self._data[key] = value
-        evicted = 0
-        while len(self._data) > self.capacity:
-            self._data.popitem(last=False)
-            evicted += 1
-        self.evictions += evicted
-        self._record("evictions", evicted)
-
-    def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
-        value = self._data.get(key, _MISSING)
-        if value is not _MISSING:
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            if value is _MISSING:
+                self.misses += 1
+                self._record("misses")
+                return default
             self.hits += 1
             self._record("hits")
             self._data.move_to_end(key)
             return value
-        self.misses += 1
-        self._record("misses")
+
+    def put(self, key: Hashable, value: Any) -> None:
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            evicted = 0
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                evicted += 1
+            self.evictions += evicted
+            self._record("evictions", evicted)
+
+    def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            if value is not _MISSING:
+                self.hits += 1
+                self._record("hits")
+                self._data.move_to_end(key)
+                return value
+            self.misses += 1
+            self._record("misses")
+        # Compute outside the lock: a slow (or re-entrant) compute must
+        # not block other threads' lookups. Racing threads may duplicate
+        # the work; the last put wins.
         value = compute()
         self.put(key, value)
         return value
 
     def evict_where(self, predicate: Callable[[Hashable], bool]) -> int:
         """Drop every entry whose key satisfies ``predicate``; return count."""
-        doomed = [key for key in self._data if predicate(key)]
-        for key in doomed:
-            del self._data[key]
-        self.evictions += len(doomed)
-        self._record("evictions", len(doomed))
-        return len(doomed)
+        with self._lock:
+            doomed = [key for key in self._data if predicate(key)]
+            for key in doomed:
+                del self._data[key]
+            self.evictions += len(doomed)
+            self._record("evictions", len(doomed))
+            return len(doomed)
 
     def clear(self) -> None:
-        dropped = len(self._data)
-        self._data.clear()
-        self.evictions += dropped
-        self._record("evictions", dropped)
+        with self._lock:
+            dropped = len(self._data)
+            self._data.clear()
+            self.evictions += dropped
+            self._record("evictions", dropped)
 
     def snapshot(self) -> dict[str, Any]:
-        """Counters and occupancy as a JSON-serializable dict."""
-        lookups = self.hits + self.misses
-        return {
-            "name": self.name,
-            "capacity": self.capacity,
-            "size": len(self._data),
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "hit_rate": self.hits / lookups if lookups else 0.0,
-        }
+        """Counters and occupancy as a consistent, JSON-serializable dict."""
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "name": self.name,
+                "capacity": self.capacity,
+                "size": len(self._data),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": self.hits / lookups if lookups else 0.0,
+            }
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._data
+        with self._lock:
+            return key in self._data
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def __repr__(self) -> str:
-        label = f"{self.name!r}, " if self.name else ""
-        return (
-            f"LRUCache({label}{len(self._data)}/{self.capacity}, "
-            f"hits={self.hits}, misses={self.misses}, evictions={self.evictions})"
-        )
+        with self._lock:
+            return (
+                f"LRUCache({f'{self.name!r}, ' if self.name else ''}"
+                f"{len(self._data)}/{self.capacity}, "
+                f"hits={self.hits}, misses={self.misses}, evictions={self.evictions})"
+            )

@@ -27,6 +27,8 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.errors import EvaluationError, LocalityError
+from repro.resilience.budget import Budget, CancelToken, as_token
+from repro.resilience.faults import fault_point
 from repro.engine.cache import LRUCache
 from repro.engine.executor import ExecutionStats, Executor, NodeActuals
 from repro.engine.normalize import normalize
@@ -195,9 +197,21 @@ class Engine:
         structure: Structure,
         formula: Formula,
         free_order: tuple[Var, ...] | None = None,
+        *,
+        budget: "Budget | CancelToken | None" = None,
     ) -> frozenset[tuple[Element, ...]]:
         """ans(φ(x̄), A) through the planner — same contract as the naive
-        :func:`repro.eval.evaluator.answers`."""
+        :func:`repro.eval.evaluator.answers`.
+
+        ``budget`` (a :class:`~repro.resilience.budget.Budget`, an already
+        started :class:`~repro.resilience.budget.CancelToken`, or ``None``)
+        bounds execution: the executor checks the deadline per operator
+        batch and charges materialized rows against the row budget,
+        raising :class:`~repro.errors.BudgetExceededError` instead of
+        running long. Exhausted runs cache nothing; answer-cache hits
+        return without consuming budget.
+        """
+        token = as_token(budget)
         free = free_variables(formula)
         sorted_names = tuple(sorted(var.name for var in free))
         if free_order is None:
@@ -210,11 +224,14 @@ class Engine:
             if len(set(order_names)) != len(order_names):
                 # Duplicated answer columns have bespoke naive semantics;
                 # defer to the reference implementation for this corner.
-                return naive_answers(structure, formula, free_order)
+                return naive_answers(structure, formula, free_order, cancel_token=token)
 
         key = (structure, formula, self.domain_mode, order_names)
         return self.answer_cache.get_or_compute(
-            key, lambda: self._compute_answers(structure, formula, sorted_names, order_names)
+            key,
+            lambda: self._compute_answers(
+                structure, formula, sorted_names, order_names, token
+            ),
         )
 
     def answers_batch(
@@ -222,6 +239,7 @@ class Engine:
         requests: list[tuple[Structure, Formula]],
         *,
         max_workers: int | None = None,
+        budget: "Budget | CancelToken | None" = None,
     ) -> list[frozenset[tuple[Element, ...]]]:
         """:meth:`answers` for many (structure, formula) pairs at once.
 
@@ -233,9 +251,15 @@ class Engine:
         answer set is merged back into the answer cache — a later
         :meth:`answers` call sees exactly the state a serial loop would
         have left. Results are ordered like ``requests``.
+
+        ``budget`` bounds the whole batch: workers inherit the remaining
+        allowance (thread workers share the live token, process workers
+        get a snapshot), and the parent additionally bounds its wait on
+        stragglers by the remaining deadline.
         """
         from repro.parallel import parallel_map
 
+        token = as_token(budget)
         requests = [(structure, formula) for structure, formula in requests]
         results: list = [None] * len(requests)
         pending: dict[tuple, list[int]] = {}
@@ -261,12 +285,15 @@ class Engine:
                     sorted_names,
                     sorted_names,
                     plan.total_estimated_rows() > self.small_plan_rows,
+                    token.to_payload() if token is not None else None,
                 )
             )
         workers = max_workers if max_workers is not None else self.max_workers
         with _span("engine.answers_batch") as batch_span:
             batch_span.set("requests", len(requests)).set("executions", len(payloads))
-            outcomes = parallel_map(_execute_payload, payloads, max_workers=workers)
+            outcomes = parallel_map(
+                _execute_payload, payloads, max_workers=workers, cancel_token=token
+            )
         for key, (rows, run_stats) in zip(keys, outcomes):
             self.answer_cache.put(key, rows)
             self.stats.executions += 1
@@ -287,6 +314,7 @@ class Engine:
         requests: list[tuple[Structure, Formula]],
         *,
         max_workers: int | None = None,
+        budget: "Budget | CancelToken | None" = None,
     ) -> list[bool]:
         """:meth:`evaluate` for many (structure, sentence) pairs at once.
 
@@ -294,8 +322,10 @@ class Engine:
         per formula and decided through one batched census
         (:meth:`repro.locality.bounded_degree.BoundedDegreeEvaluator.evaluate_many`);
         the rest go through :meth:`answers_batch`. Results match a
-        serial :meth:`evaluate` loop, in request order.
+        serial :meth:`evaluate` loop, in request order. ``budget``
+        bounds the whole batch (census loops and plan execution alike).
         """
+        token = as_token(budget)
         requests = [(structure, formula) for structure, formula in requests]
         for _, formula in requests:
             if free_variables(formula):
@@ -320,7 +350,9 @@ class Engine:
                 _counter("engine.fast_path.dispatches").inc(len(positions))
             with _span("engine.fast_path"):
                 try:
-                    values = evaluator.evaluate_many(structures, max_workers=workers)
+                    values = evaluator.evaluate_many(
+                        structures, max_workers=workers, cancel_token=token
+                    )
                 except LocalityError:  # pragma: no cover - decision guards this
                     slow.extend(positions)
                     continue
@@ -329,7 +361,9 @@ class Engine:
         if slow:
             slow.sort()
             answer_sets = self.answers_batch(
-                [requests[position] for position in slow], max_workers=workers
+                [requests[position] for position in slow],
+                max_workers=workers,
+                budget=token,
             )
             for position, rows in zip(slow, answer_sets):
                 results[position] = bool(rows)
@@ -341,11 +375,13 @@ class Engine:
         formula: Formula,
         *,
         max_workers: int | None = None,
+        budget: "Budget | CancelToken | None" = None,
     ) -> list[bool]:
         """Decide one sentence on many structures (batched evaluation)."""
         return self.evaluate_batch(
             [(structure, formula) for structure in structures],
             max_workers=max_workers,
+            budget=budget,
         )
 
     def evaluate(
@@ -353,9 +389,12 @@ class Engine:
         structure: Structure,
         formula: Formula,
         assignment: dict[Var, Element] | None = None,
+        *,
+        budget: "Budget | CancelToken | None" = None,
     ) -> bool:
         """Decide A ⊨ φ[assignment] — same contract as the naive
         :func:`repro.eval.evaluator.evaluate`."""
+        token = as_token(budget)
         free = free_variables(formula)
         if free:
             env = dict(assignment or {})
@@ -369,7 +408,7 @@ class Engine:
                     )
             order = tuple(sorted(free, key=lambda var: var.name))
             values = tuple(env[var] for var in order)
-            return values in self.answers(structure, formula)
+            return values in self.answers(structure, formula, budget=token)
 
         dispatch, _ = self.fast_path_decision(structure, formula)
         if dispatch:
@@ -379,10 +418,10 @@ class Engine:
             evaluator = self._bounded_degree_evaluator(formula)
             with _span("engine.fast_path"):
                 try:
-                    return evaluator.evaluate(structure)
+                    return evaluator.evaluate(structure, cancel_token=token)
                 except LocalityError:  # pragma: no cover - decision guards this
                     pass
-        return bool(self.answers(structure, formula))
+        return bool(self.answers(structure, formula, budget=token))
 
     def explain(self, structure: Structure, formula: Formula) -> Explanation:
         """The chosen plan (with cost annotations) and the dispatch decision."""
@@ -402,6 +441,8 @@ class Engine:
         structure: Structure,
         formula: Formula,
         free_order: tuple[Var, ...] | None = None,
+        *,
+        budget: "Budget | CancelToken | None" = None,
     ) -> ProfiledExplanation:
         """EXPLAIN ANALYZE: execute under tracing, return estimates + actuals.
 
@@ -433,7 +474,8 @@ class Engine:
         start = time.perf_counter()
         with _span("engine.profile"):
             rows = self._execute_plan(
-                structure, formula, sorted_names, order_names, recorder
+                structure, formula, sorted_names, order_names, recorder,
+                cancel_token=as_token(budget),
             )
         elapsed = time.perf_counter() - start
         return ProfiledExplanation(
@@ -506,10 +548,15 @@ class Engine:
             ),
         )
 
-    def _fast_path_fallback(self, structure: Structure, sentence: Formula) -> bool:
+    def _fast_path_fallback(
+        self,
+        structure: Structure,
+        sentence: Formula,
+        cancel_token: CancelToken | None = None,
+    ) -> bool:
         # Census-table miss: answer through the algebra pipeline (and its
         # caches), not the naive evaluator.
-        return bool(self.answers(structure, sentence))
+        return bool(self.answers(structure, sentence, budget=cancel_token))
 
     # -- plan + execute ------------------------------------------------------
 
@@ -550,9 +597,13 @@ class Engine:
         formula: Formula,
         sorted_names: tuple[str, ...],
         order_names: tuple[str, ...],
+        cancel_token: CancelToken | None = None,
     ) -> frozenset[tuple[Element, ...]]:
         with _span("engine.answers") as answers_span:
-            rows = self._execute_plan(structure, formula, sorted_names, order_names, None)
+            rows = self._execute_plan(
+                structure, formula, sorted_names, order_names, None,
+                cancel_token=cancel_token,
+            )
             answers_span.set("rows", len(rows))
             return rows
 
@@ -563,15 +614,18 @@ class Engine:
         sorted_names: tuple[str, ...],
         order_names: tuple[str, ...],
         recorder: dict[int, NodeActuals] | None,
+        cancel_token: CancelToken | None = None,
     ) -> frozenset[tuple[Element, ...]]:
         plan, _ = self._plan_for(structure, formula)
         domain = self._domain_values(structure)
+        fault_point("engine.execute")
         executor = Executor(
             structure,
             domain,
             self.stats.execution,
             recorder=recorder,
             semijoin_filtering=plan.total_estimated_rows() > self.small_plan_rows,
+            cancel_token=cancel_token,
         )
         self.stats.executions += 1
         if _telemetry_enabled():
@@ -596,10 +650,15 @@ def _execute_payload(payload: tuple) -> tuple[frozenset, dict[str, int]]:
     together with the execution counters, so the parent can merge both
     back into its caches and stats.
     """
-    plan, structure, domain, sorted_names, order_names, semijoin_filtering = payload
+    plan, structure, domain, sorted_names, order_names, semijoin_filtering, token_payload = payload
+    token = CancelToken.from_payload(token_payload) if token_payload is not None else None
     run_stats = ExecutionStats()
     executor = Executor(
-        structure, domain, run_stats, semijoin_filtering=semijoin_filtering
+        structure,
+        domain,
+        run_stats,
+        semijoin_filtering=semijoin_filtering,
+        cancel_token=token,
     )
     relation = executor.run(plan)
     extra = tuple(name for name in order_names if name not in sorted_names)

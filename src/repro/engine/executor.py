@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import MutableMapping
 
 from repro.errors import EvaluationError
+from repro.resilience.budget import CancelToken
 from repro.engine.plan import (
     AntiJoin,
     AtomScan,
@@ -101,6 +102,7 @@ class Executor:
         stats: ExecutionStats | None = None,
         recorder: MutableMapping[int, NodeActuals] | None = None,
         semijoin_filtering: bool = True,
+        cancel_token: CancelToken | None = None,
     ) -> None:
         self.structure = structure
         self.domain = domain
@@ -110,6 +112,11 @@ class Executor:
         # The engine turns the pre-filter off for trivially small plans,
         # where building the extra hash sets costs more than it saves.
         self.semijoin_filtering = semijoin_filtering
+        # Budget enforcement: checked once per operator batch (every plan
+        # node), with materialized rows charged against the row budget —
+        # a join that blows up trips the budget at the operator that
+        # produced it, not after the fact.
+        self.cancel_token = cancel_token
 
     def run(self, plan: Plan) -> Relation:
         relation = self._run(plan)
@@ -120,12 +127,18 @@ class Executor:
         return relation
 
     def _run(self, plan: Plan) -> Relation:
+        token = self.cancel_token
         recorder = self.recorder
         if recorder is None and not _telemetry_enabled():
-            return self._execute(plan)
+            relation = self._execute(plan)
+            if token is not None:
+                token.consume_rows(len(relation), plan.__class__.__name__)
+            return relation
         start = time.perf_counter()
         relation = self._execute(plan)
         elapsed = time.perf_counter() - start
+        if token is not None:
+            token.consume_rows(len(relation), plan.__class__.__name__)
         if _telemetry_enabled():
             kind = plan.__class__.__name__
             _counter(f"executor.ops.{kind}").inc()

@@ -81,14 +81,40 @@ class AutomatonError(FMTError):
 
 
 class BudgetExceededError(FMTError):
-    """A solver exceeded an explicit work budget supplied by the caller.
+    """A computation exceeded an explicit resource budget supplied by the caller.
 
     Exact solvers in this library (EF games, isomorphism, ∃SO checking) run
     exponential-time algorithms; callers may bound the work and receive this
-    error instead of an unbounded computation.
+    error instead of an unbounded computation.  The resilience layer
+    (:mod:`repro.resilience`) raises the same type for wall-clock deadlines,
+    row budgets, and cooperative cancellation, so "ran out of resources" is
+    one catchable condition across every evaluation path.
+
+    ``spent``/``budget`` quantify the overrun when the overrun is countable
+    (solver nodes, rows, elapsed milliseconds); both default to 0 for purely
+    qualitative exhaustion such as an external ``CancelToken.cancel()``.
     """
 
-    def __init__(self, message: str, *, spent: int, budget: int) -> None:
+    def __init__(self, message: str, *, spent: int = 0, budget: int = 0) -> None:
         self.spent = spent
         self.budget = budget
-        super().__init__(f"{message}: spent {spent} of budget {budget}")
+        if spent or budget:
+            message = f"{message}: spent {spent} of budget {budget}"
+        super().__init__(message)
+
+
+#: The name the resilience layer uses for the same condition.
+BudgetExceeded = BudgetExceededError
+
+
+class InjectedFaultError(BudgetExceededError):
+    """A deliberately injected fault (``REPRO_FAULT_INJECT``).
+
+    Subclasses :class:`BudgetExceededError` so the fallback chain and the
+    conformance runner treat an injected failure exactly like a genuine
+    resource exhaustion: degrade or report, never return a wrong answer.
+    """
+
+    def __init__(self, site: str) -> None:
+        self.site = site
+        super().__init__(f"injected fault at {site}")

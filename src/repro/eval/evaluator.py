@@ -5,6 +5,14 @@ bound: atoms are looked up in the structure, Boolean connectives apply
 their truth tables, and ``∃x φ`` tries every element of the universe. Its
 running time is O(n^k) for structure size n and formula size k, and it
 uses O(k·log n) space — experiment E1 measures both scalings.
+
+That exponential combined complexity is also why evaluation accepts an
+optional ``cancel_token``: the recursion ticks the token once per
+quantifier binding (amortized deadline checks), so even the reference
+evaluator — the last rung of the resilience fallback chain — stops with
+a typed :class:`~repro.errors.BudgetExceededError` instead of hanging.
+With ``cancel_token=None`` (the default) the hot path pays a single
+``is None`` test per binding.
 """
 
 from __future__ import annotations
@@ -12,8 +20,12 @@ from __future__ import annotations
 import itertools
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.errors import EvaluationError, FormulaError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.resilience.budget import CancelToken
 from repro.logic.analysis import free_variables, validate
 from repro.logic.syntax import (
     And,
@@ -70,6 +82,7 @@ def evaluate(
     formula: Formula,
     assignment: Mapping[Var, Element] | None = None,
     stats: EvaluationStats | None = None,
+    cancel_token: "CancelToken | None" = None,
 ) -> bool:
     """Decide A ⊨ φ[assignment].
 
@@ -82,7 +95,7 @@ def evaluate(
     for var, value in env.items():
         if value not in structure:
             raise EvaluationError(f"assignment binds {var.name!r} to {value!r}, not in universe")
-    return _eval(structure, formula, env, stats)
+    return _eval(structure, formula, env, stats, cancel_token)
 
 
 def _eval(
@@ -90,6 +103,7 @@ def _eval(
     formula: Formula,
     env: dict[Var, Element],
     stats: EvaluationStats | None,
+    token: "CancelToken | None" = None,
 ) -> bool:
     if isinstance(formula, Atom):
         if stats is not None:
@@ -107,18 +121,18 @@ def _eval(
     if isinstance(formula, Bottom):
         return False
     if isinstance(formula, Not):
-        return not _eval(structure, formula.body, env, stats)
+        return not _eval(structure, formula.body, env, stats, token)
     if isinstance(formula, And):
-        return all(_eval(structure, child, env, stats) for child in formula.children)
+        return all(_eval(structure, child, env, stats, token) for child in formula.children)
     if isinstance(formula, Or):
-        return any(_eval(structure, child, env, stats) for child in formula.children)
+        return any(_eval(structure, child, env, stats, token) for child in formula.children)
     if isinstance(formula, Implies):
-        return (not _eval(structure, formula.premise, env, stats)) or _eval(
-            structure, formula.conclusion, env, stats
+        return (not _eval(structure, formula.premise, env, stats, token)) or _eval(
+            structure, formula.conclusion, env, stats, token
         )
     if isinstance(formula, Iff):
-        return _eval(structure, formula.left, env, stats) == _eval(
-            structure, formula.right, env, stats
+        return _eval(structure, formula.left, env, stats, token) == _eval(
+            structure, formula.right, env, stats, token
         )
     if isinstance(formula, (Exists, Forall)):
         want = isinstance(formula, Exists)
@@ -126,10 +140,12 @@ def _eval(
         had_binding = formula.var in env
         result = not want
         for value in structure.universe:
+            if token is not None:
+                token.tick("eval.binding")
             if stats is not None:
                 stats.bindings += 1
             env[formula.var] = value
-            if _eval(structure, formula.body, env, stats) == want:
+            if _eval(structure, formula.body, env, stats, token) == want:
                 result = want
                 break
         if had_binding:
@@ -145,6 +161,7 @@ def answers(
     formula: Formula,
     free_order: Sequence[Var] | None = None,
     stats: EvaluationStats | None = None,
+    cancel_token: "CancelToken | None" = None,
 ) -> frozenset[tuple[Element, ...]]:
     """ans(φ(x̄), A): all tuples d̄ with A ⊨ φ[x̄ ↦ d̄].
 
@@ -165,8 +182,10 @@ def answers(
             raise EvaluationError(f"free_order omits free variables {names}")
     result = []
     for values in itertools.product(structure.universe, repeat=len(order)):
+        if cancel_token is not None:
+            cancel_token.tick("eval.answers")
         env = dict(zip(order, values))
-        if _eval(structure, formula, env, stats):
+        if _eval(structure, formula, env, stats, cancel_token):
             result.append(values)
     return frozenset(result)
 

@@ -27,6 +27,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Literal
 
 from repro.errors import BudgetExceededError, GameError
+from repro.resilience.budget import CancelToken
+from repro.resilience.faults import fault_point
 from repro.structures.isomorphism import extends_partial_isomorphism
 from repro.structures.structure import Element, Structure
 from repro.telemetry.metrics import counter as _counter
@@ -103,6 +105,7 @@ def solve_ef_game(
     start: GamePosition | None = None,
     budget: int = 5_000_000,
     memoize: bool = True,
+    cancel_token: CancelToken | None = None,
 ) -> GameResult:
     """Decide who wins G_rounds(left, right), exactly.
 
@@ -118,12 +121,19 @@ def solve_ef_game(
         Disable only for ablation experiments: without the position
         table the search revisits permutations of the same position,
         multiplying the work by up to rounds!.
+    cancel_token:
+        Optional live budget: each position expansion charges one solver
+        node against it (``max_solver_nodes``) and its deadline is
+        checked on the amortized tick schedule, so a wall-clock deadline
+        interrupts the minimax mid-search. Complements the per-call
+        ``budget`` integer, which survives unchanged.
     """
     if left.signature != right.signature:
         raise GameError("EF games require structures over the same signature")
     if start is None:
         start = GamePosition((), rounds)
     _check_position(left, right, start)
+    fault_point("games.ef.solve")
 
     memo: dict[tuple[frozenset[tuple[Element, Element]], int], bool] = {}
     explored = 0
@@ -148,6 +158,8 @@ def solve_ef_game(
         explored += 1
         if explored > budget:
             raise BudgetExceededError("EF solver budget exceeded", spent=explored, budget=budget)
+        if cancel_token is not None:
+            cancel_token.consume_nodes(1, "games.ef")
 
         result = True
         # Spoiler tries fresh elements on the left...
@@ -227,9 +239,17 @@ def solve_ef_game(
     return GameResult(wins, rounds, explored, _value=value)
 
 
-def ef_equivalent(left: Structure, right: Structure, rounds: int, budget: int = 5_000_000) -> bool:
+def ef_equivalent(
+    left: Structure,
+    right: Structure,
+    rounds: int,
+    budget: int = 5_000_000,
+    cancel_token: CancelToken | None = None,
+) -> bool:
     """Whether A ∼_{G_n} B — equivalently (EF theorem) A ≡_n B."""
-    return solve_ef_game(left, right, rounds, budget=budget).duplicator_wins
+    return solve_ef_game(
+        left, right, rounds, budget=budget, cancel_token=cancel_token
+    ).duplicator_wins
 
 
 # ---------------------------------------------------------------------------

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import LocalityError
 from repro.eval.evaluator import evaluate
+from repro.resilience.budget import CancelToken
 from repro.locality.hanf import hanf_locality_radius
 from repro.locality.neighborhoods import (
     TypeRegistry,
@@ -139,32 +140,63 @@ class BoundedDegreeEvaluator:
         self.table: dict[tuple, bool] = {}
         self.stats = EvaluatorStats()
 
-    def census_of(self, structure: Structure) -> Counter:
+    def census_of(
+        self, structure: Structure, cancel_token: CancelToken | None = None
+    ) -> Counter:
         """The structure's r-neighborhood census (linear time for fixed k, r)."""
         if self.census_mode == "baseline":
-            return neighborhood_census_baseline(structure, self.radius, self.registry)
+            return neighborhood_census_baseline(
+                structure, self.radius, self.registry, cancel_token=cancel_token
+            )
         return neighborhood_census(
-            structure, self.radius, self.registry, max_workers=self.max_workers
+            structure,
+            self.radius,
+            self.registry,
+            max_workers=self.max_workers,
+            cancel_token=cancel_token,
         )
 
     def censuses_of(
-        self, structures: list[Structure], max_workers: int | None = None
+        self,
+        structures: list[Structure],
+        max_workers: int | None = None,
+        cancel_token: CancelToken | None = None,
     ) -> list[Counter]:
         """Censuses of a whole family, ball work shared across one pool."""
         workers = max_workers if max_workers is not None else self.max_workers
         if self.census_mode == "baseline":
-            return [self.census_of(structure) for structure in structures]
+            return [
+                self.census_of(structure, cancel_token=cancel_token)
+                for structure in structures
+            ]
         return neighborhood_census_many(
-            structures, self.radius, self.registry, max_workers=workers
+            structures,
+            self.radius,
+            self.registry,
+            max_workers=workers,
+            cancel_token=cancel_token,
         )
 
-    def evaluate(self, structure: Structure) -> bool:
-        """Decide structure ⊨ φ via the census table."""
+    def evaluate(
+        self, structure: Structure, cancel_token: CancelToken | None = None
+    ) -> bool:
+        """Decide structure ⊨ φ via the census table.
+
+        ``cancel_token`` bounds the census loop and the table-miss
+        fallback; census-table hits are effectively free.
+        """
         self._check_degree(structure)
-        return self._decide(structure, self.census_of(structure))
+        return self._decide(
+            structure,
+            self.census_of(structure, cancel_token=cancel_token),
+            cancel_token=cancel_token,
+        )
 
     def evaluate_many(
-        self, structures: list[Structure], max_workers: int | None = None
+        self,
+        structures: list[Structure],
+        max_workers: int | None = None,
+        cancel_token: CancelToken | None = None,
     ) -> list[bool]:
         """Decide φ on every structure, census work fanned out together.
 
@@ -175,9 +207,11 @@ class BoundedDegreeEvaluator:
         structures = list(structures)
         for structure in structures:
             self._check_degree(structure)
-        censuses = self.censuses_of(structures, max_workers=max_workers)
+        censuses = self.censuses_of(
+            structures, max_workers=max_workers, cancel_token=cancel_token
+        )
         return [
-            self._decide(structure, census)
+            self._decide(structure, census, cancel_token=cancel_token)
             for structure, census in zip(structures, censuses)
         ]
 
@@ -189,7 +223,12 @@ class BoundedDegreeEvaluator:
                 "Theorem 3.11 applies to bounded-degree classes only"
             )
 
-    def _decide(self, structure: Structure, census: Counter) -> bool:
+    def _decide(
+        self,
+        structure: Structure,
+        census: Counter,
+        cancel_token: CancelToken | None = None,
+    ) -> bool:
         key = census_key(census, self.threshold)
         cached = self.table.get(key)
         if cached is not None:
@@ -201,7 +240,14 @@ class BoundedDegreeEvaluator:
         if _telemetry_enabled():
             _counter("locality.census_table.misses").inc()
         with _span("locality.census_table.fill"):
-            value = bool(self.fallback(structure, self.sentence))
+            # Older fallbacks are two-argument callables; only budgeted
+            # calls pass the keyword, so those keep working unchanged.
+            if cancel_token is None:
+                value = bool(self.fallback(structure, self.sentence))
+            else:
+                value = bool(
+                    self.fallback(structure, self.sentence, cancel_token=cancel_token)
+                )
         self.table[key] = value
         self.stats.censuses_seen = len(self.table)
         return value

@@ -36,6 +36,8 @@ from collections import Counter, defaultdict, deque
 from collections.abc import Iterable, Sequence
 
 from repro.engine.cache import LRUCache
+from repro.resilience.budget import CancelToken
+from repro.resilience.faults import fault_point
 from repro.structures.gaifman import gaifman_adjacency, neighborhood
 from repro.structures.invariants import structure_fingerprint
 from repro.structures.isomorphism import are_isomorphic
@@ -231,13 +233,19 @@ def _ball_keys(
     centers_list: Sequence[tuple[Element, ...]],
     radius: int,
     max_workers: int | None,
+    cancel_token: CancelToken | None = None,
 ) -> list[tuple]:
     """Ball keys for many center tuples, fanned out when it pays."""
     from repro.parallel import CHUNKS_PER_WORKER, parallel_map, resolve_workers
 
     workers = resolve_workers(max_workers)
     if workers <= 1 or len(centers_list) < PARALLEL_MIN_BALLS:
-        return [ball_key(structure, centers, radius) for centers in centers_list]
+        keys = []
+        for centers in centers_list:
+            if cancel_token is not None:
+                cancel_token.tick("locality.ball_keys")
+            keys.append(ball_key(structure, centers, radius))
+        return keys
     chunk = max(1, -(-len(centers_list) // (workers * CHUNKS_PER_WORKER)))
     payloads = [
         (structure, tuple(centers_list[start : start + chunk]), radius)
@@ -246,7 +254,11 @@ def _ball_keys(
     with _span("locality.ball_keys") as keys_span:
         keys_span.set("balls", len(centers_list)).set("workers", workers)
         chunks = parallel_map(
-            _ball_key_chunk, payloads, max_workers=workers, chunk_size=1
+            _ball_key_chunk,
+            payloads,
+            max_workers=workers,
+            chunk_size=1,
+            cancel_token=cancel_token,
         )
     return [key for chunk_keys in chunks for key in chunk_keys]
 
@@ -270,12 +282,17 @@ def _census_via_keys(
     registry: TypeRegistry,
     max_workers: int | None,
     keys: list[tuple] | None = None,
+    cancel_token: CancelToken | None = None,
 ) -> Counter:
     centers_list = [(element,) for element in structure.universe]
     if keys is None:
-        keys = _ball_keys(structure, centers_list, radius, max_workers)
+        keys = _ball_keys(
+            structure, centers_list, radius, max_workers, cancel_token=cancel_token
+        )
     census: Counter = Counter()
     for centers, key in zip(centers_list, keys):
+        if cancel_token is not None:
+            cancel_token.tick("locality.census")
         type_id = registry.type_of_keyed(
             key, lambda centers=centers: neighborhood(structure, centers, radius)
         )
@@ -287,6 +304,7 @@ def neighborhood_census_baseline(
     structure: Structure,
     radius: int,
     registry: TypeRegistry,
+    cancel_token: CancelToken | None = None,
 ) -> Counter:
     """The pre-pipeline census: one materialized neighborhood per element.
 
@@ -297,6 +315,8 @@ def neighborhood_census_baseline(
     """
     census: Counter = Counter()
     for element in structure.universe:
+        if cancel_token is not None:
+            cancel_token.tick("locality.census")
         census[registry.type_of(neighborhood(structure, element, radius))] += 1
     return census
 
@@ -307,6 +327,7 @@ def neighborhood_census(
     registry: TypeRegistry,
     *,
     max_workers: int | None = None,
+    cancel_token: CancelToken | None = None,
 ) -> Counter:
     """The census {type id: number of points realizing it}.
 
@@ -316,6 +337,8 @@ def neighborhood_census(
     Runs the fast ball-key pipeline (parallel when ``max_workers`` or
     ``REPRO_PARALLEL`` says so), memoized per (structure, radius) on the
     registry.  Serial and parallel runs produce identical censuses.
+    ``cancel_token`` is ticked per ball, so a deadline interrupts the
+    census mid-structure; memo hits never consume budget.
     """
     with _span("locality.census") as census_span:
         memo_key = (structure, radius)
@@ -323,10 +346,15 @@ def neighborhood_census(
         if cached is not None:
             census_span.set("radius", radius).set("types", len(cached)).set("memo_hit", 1)
             return Counter(cached)
+        fault_point("locality.census")
         if structure.constants:
-            census = neighborhood_census_baseline(structure, radius, registry)
+            census = neighborhood_census_baseline(
+                structure, radius, registry, cancel_token=cancel_token
+            )
         else:
-            census = _census_via_keys(structure, radius, registry, max_workers)
+            census = _census_via_keys(
+                structure, radius, registry, max_workers, cancel_token=cancel_token
+            )
         registry.census_memo.put(memo_key, Counter(census))
         if _telemetry_enabled():
             _counter("locality.censuses_computed").inc()
@@ -341,6 +369,7 @@ def neighborhood_census_many(
     registry: TypeRegistry,
     *,
     max_workers: int | None = None,
+    cancel_token: CancelToken | None = None,
 ) -> list[Counter]:
     """Censuses of a whole family, ball keys fanned out across structures.
 
@@ -374,7 +403,11 @@ def neighborhood_census_many(
         with _span("locality.ball_keys") as keys_span:
             keys_span.set("balls", total_balls).set("workers", workers)
             all_keys = parallel_map(
-                _ball_key_chunk, payloads, max_workers=workers, chunk_size=1
+                _ball_key_chunk,
+                payloads,
+                max_workers=workers,
+                chunk_size=1,
+                cancel_token=cancel_token,
             )
         keys_by_structure = dict(zip(pending, all_keys))
 
@@ -382,7 +415,9 @@ def neighborhood_census_many(
     for structure in structures:
         keys = keys_by_structure.pop(structure, None)
         if keys is not None:
-            census = _census_via_keys(structure, radius, registry, 1, keys=keys)
+            census = _census_via_keys(
+                structure, radius, registry, 1, keys=keys, cancel_token=cancel_token
+            )
             registry.census_memo.put((structure, radius), Counter(census))
             if _telemetry_enabled():
                 _counter("locality.censuses_computed").inc()
@@ -390,7 +425,13 @@ def neighborhood_census_many(
             censuses.append(census)
         else:
             censuses.append(
-                neighborhood_census(structure, radius, registry, max_workers=workers)
+                neighborhood_census(
+                    structure,
+                    radius,
+                    registry,
+                    max_workers=workers,
+                    cancel_token=cancel_token,
+                )
             )
     return censuses
 

@@ -20,10 +20,26 @@ comprehension — zero scheduling overhead, no worker processes, identical
 results.  The process backend additionally pre-checks that the payload
 pickles; un-picklable work degrades to the serial path instead of
 crashing, so callers can pass closures without caring about the backend.
+The pre-check only swallows *pickling* failures
+(``pickle.PicklingError``/``TypeError``/``AttributeError``); any other
+exception raised while reducing the payload is a real bug and
+propagates, and worker exceptions always re-raise in the caller with the
+original traceback chained — the serial fallback never masks a failure.
+
+**Cancellation.**  ``cancel_token=`` (a
+:class:`repro.resilience.budget.CancelToken`) makes the fan-out
+deadline-aware at chunk granularity: the serial path checks between
+items, the parallel path checks before submission and bounds every
+``future.result`` wait by the remaining allowance, cancelling the
+not-yet-started chunks when the budget trips.  Thread workers share the
+token object; process workers get the remaining allowance shipped as a
+payload and rebuild a local token, so in-flight chunks also stop
+cooperatively instead of running to completion.
 
 Telemetry (when enabled): ``parallel.tasks`` and ``parallel.chunks``
 counters, a ``parallel.chunk_ms`` histogram of per-chunk worker time,
-``parallel.serial_fallbacks`` for degraded calls, and a
+``parallel.serial_fallbacks`` for degraded calls,
+``parallel.cancelled_chunks`` for budget-cancelled work, and a
 ``parallel.workers`` gauge recording the pool width in use.
 """
 
@@ -37,10 +53,13 @@ import time
 from collections.abc import Callable, Iterable, Mapping
 from concurrent.futures import Executor as _FuturesExecutor
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeoutError
 from dataclasses import dataclass
 from typing import Any
 
-from repro.errors import ParallelError
+from repro.errors import BudgetExceededError, ParallelError
+from repro.resilience.budget import CancelToken
+from repro.resilience.faults import fault_point
 from repro.telemetry.metrics import counter as _counter
 from repro.telemetry.metrics import gauge as _gauge
 from repro.telemetry.metrics import histogram as _histogram
@@ -159,29 +178,78 @@ def _shared_executor(backend: str, workers: int) -> _FuturesExecutor:
 
 
 def shutdown() -> None:
-    """Shut down every shared pool (used by tests and at-exit cleanup)."""
+    """Shut down every shared pool (used by tests and at-exit cleanup).
+
+    Idempotent and safe to interleave with in-flight :func:`parallel_map`
+    calls: the executors are unhooked from the shared table *under* the
+    lock but shut down *outside* it, so a concurrent caller never blocks
+    on a dying pool's drain — it simply creates a fresh pool (and a
+    caller whose pool dies between its submits resubmits or degrades to
+    serial; see :func:`parallel_map`). No stale executor stays reachable
+    from the module after this returns.
+    """
     with _lock:
-        for _, executor in _executors.values():
-            executor.shutdown(wait=True)
+        doomed = list(_executors.values())
         _executors.clear()
+    for _, executor in doomed:
+        executor.shutdown(wait=True)
 
 
 # -- the map -----------------------------------------------------------------
 
 
-def _run_chunk(fn: Callable[[Any], Any], chunk: list) -> tuple[list, float]:
-    """Worker-side body: apply ``fn`` item-wise, timing the whole chunk."""
+def _run_chunk(
+    fn: Callable[[Any], Any], chunk: list, token_arg: Any = None
+) -> tuple[list, float]:
+    """Worker-side body: apply ``fn`` item-wise, timing the whole chunk.
+
+    ``token_arg`` is either a live :class:`CancelToken` (thread backend —
+    shared memory), a :meth:`CancelToken.to_payload` tuple (process
+    backend), or ``None``. A cancelled/expired token stops the chunk
+    between items with :class:`BudgetExceededError`.
+    """
+    if token_arg is None:
+        token = None
+    elif isinstance(token_arg, CancelToken):
+        token = token_arg
+    else:
+        token = CancelToken.from_payload(token_arg)
     start = time.perf_counter()
-    results = [fn(item) for item in chunk]
+    if token is None:
+        results = [fn(item) for item in chunk]
+    else:
+        results = []
+        for item in chunk:
+            token.tick("parallel.chunk")
+            results.append(fn(item))
     return results, time.perf_counter() - start
+
+
+#: Exceptions that mean "this payload does not pickle" — and nothing
+#: else. ``pickle.dumps`` runs arbitrary ``__reduce__``/``__getstate__``
+#: code, so a broader catch would silently swallow real bugs in the
+#: payload and degrade to serial, masking the failure.
+_PICKLE_FAILURES = (pickle.PicklingError, TypeError, AttributeError)
 
 
 def _payload_pickles(fn: Callable, probe: Any) -> bool:
     try:
         pickle.dumps((fn, probe))
         return True
-    except Exception:
+    except _PICKLE_FAILURES:
         return False
+
+
+def _serial_map(
+    fn: Callable[[Any], Any], items: list, cancel_token: CancelToken | None
+) -> list:
+    if cancel_token is None:
+        return [fn(item) for item in items]
+    results = []
+    for item in items:
+        cancel_token.tick("parallel.map")
+        results.append(fn(item))
+    return results
 
 
 def parallel_map(
@@ -191,6 +259,7 @@ def parallel_map(
     max_workers: int | None = None,
     backend: str | None = None,
     chunk_size: int | None = None,
+    cancel_token: CancelToken | None = None,
 ) -> list:
     """``[fn(item) for item in items]``, possibly across workers.
 
@@ -199,6 +268,13 @@ def parallel_map(
     census and batch-API tests assert).  The serial path is taken when
     the resolved worker count is 1, when there are fewer than two items,
     or when the process backend cannot pickle the payload.
+
+    ``cancel_token`` bounds the call: cancellation and deadlines are
+    enforced between items (serial), at submission, inside worker chunks,
+    and on every wait for an outstanding future, raising
+    :class:`~repro.errors.BudgetExceededError` with not-yet-started
+    chunks cancelled. Worker exceptions re-raise here with the original
+    traceback chained.
     """
     items = list(items)
     config = config_from_env()
@@ -208,28 +284,89 @@ def parallel_map(
         raise ParallelError(f"backend must be one of {_BACKENDS}, got {chosen_backend!r}")
 
     telemetry_on = _telemetry_enabled()
+    if cancel_token is not None:
+        cancel_token.check("parallel.map")
+        fault_point("parallel.map")
     if workers <= 1 or len(items) <= 1:
-        return [fn(item) for item in items]
+        return _serial_map(fn, items, cancel_token)
     if chosen_backend == "process" and not _payload_pickles(fn, items[0]):
         if telemetry_on:
             _counter("parallel.serial_fallbacks").inc()
-        return [fn(item) for item in items]
+        return _serial_map(fn, items, cancel_token)
 
     size = chunk_size if chunk_size is not None else (config.chunk_size or 0)
     if size < 1:
         size = max(1, math.ceil(len(items) / (workers * CHUNKS_PER_WORKER)))
     chunks = [items[start : start + size] for start in range(0, len(items), size)]
 
+    if cancel_token is None:
+        token_arg = None
+    elif chosen_backend == "thread":
+        token_arg = cancel_token  # shared memory: workers see cancel() live
+    else:
+        token_arg = cancel_token.to_payload()
+
     executor = _shared_executor(chosen_backend, workers)
-    futures = [executor.submit(_run_chunk, fn, chunk) for chunk in chunks]
+    futures = []
+    for chunk in chunks:
+        try:
+            futures.append(executor.submit(_run_chunk, fn, chunk, token_arg))
+        except RuntimeError:
+            # The shared pool was shut down between our lookup and this
+            # submit (shutdown() is allowed to interleave). Get a fresh
+            # pool once; if that one dies too, finish the chunk serially
+            # rather than fail a correct computation.
+            executor = _shared_executor(chosen_backend, workers)
+            try:
+                futures.append(executor.submit(_run_chunk, fn, chunk, token_arg))
+            except RuntimeError:
+                futures.append(_CompletedChunk(_run_chunk(fn, chunk, token_arg)))
+
     results: list = []
-    for future in futures:
-        chunk_results, seconds = future.result()
+    failure: BaseException | None = None
+    for index, future in enumerate(futures):
+        if failure is not None:
+            future.cancel()
+            continue
+        timeout = cancel_token.remaining_seconds() if cancel_token is not None else None
+        try:
+            if cancel_token is not None and cancel_token.cancelled:
+                cancel_token.check("parallel.collect")
+            chunk_results, seconds = future.result(timeout=timeout)
+        except _FuturesTimeoutError:
+            failure = BudgetExceededError(
+                f"deadline exceeded at parallel.collect "
+                f"({len(futures) - index} of {len(futures)} chunks outstanding)"
+            )
+            future.cancel()
+            if telemetry_on:
+                _counter("parallel.cancelled_chunks").inc()
+            continue
+        except BaseException as error:
+            # Worker (or budget) failure: stop waiting, cancel the rest,
+            # and re-raise below with the original traceback intact.
+            failure = error
+            continue
         results.extend(chunk_results)
         if telemetry_on:
             _histogram("parallel.chunk_ms").observe(seconds * 1000.0)
+    if failure is not None:
+        raise failure
     if telemetry_on:
         _counter("parallel.tasks").inc(len(items))
         _counter("parallel.chunks").inc(len(chunks))
         _gauge("parallel.workers").set(workers)
     return results
+
+
+class _CompletedChunk:
+    """A future-shaped wrapper for a chunk that had to run in the caller."""
+
+    def __init__(self, value: tuple[list, float]) -> None:
+        self._value = value
+
+    def result(self, timeout: float | None = None) -> tuple[list, float]:
+        return self._value
+
+    def cancel(self) -> bool:
+        return False

@@ -1,0 +1,103 @@
+"""Conformance × resilience: budgets and faults as first-class outcomes.
+
+The runner's contract under pressure: a backend over budget refuses with
+a typed error (counted, excluded from that case's comparison, never a
+failure); an injected fault is absorbed by the resilient backend's
+chain; exit status still reflects wrong answers only.
+"""
+
+import pytest
+
+from repro.conformance import cli
+from repro.conformance.backends import DEFAULT_BACKENDS, default_registry
+from repro.conformance.corpus import load_corpus
+from repro.conformance.runner import Runner
+from repro.resilience import Budget, FaultInjector, reset_injector, set_injector
+
+
+def run_cli(capsys, *argv):
+    code = cli.main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+@pytest.fixture(autouse=True)
+def _clean_injector():
+    yield
+    reset_injector()
+
+
+class TestResilientBackend:
+    def test_registered_last_and_always_applicable(self):
+        registry = default_registry()
+        assert registry.names() == DEFAULT_BACKENDS
+        backend = registry.get("resilient")
+        for case in load_corpus():
+            assert backend.applicable(case.structure, case.formula)[0]
+
+    def test_agrees_with_naive_on_corpus(self):
+        registry = default_registry()
+        resilient = registry.get("resilient")
+        naive = registry.get("naive")
+        for case in load_corpus():
+            assert resilient.answers(case.structure, case.formula) == naive.answers(
+                case.structure, case.formula
+            ), case.name
+
+
+class TestBudgetedRunner:
+    def test_expired_budget_counts_refusals_not_failures(self):
+        # stride=1 + a microscopic deadline: every budget-aware backend
+        # refuses immediately; the unbudgeted ones still answer, so the
+        # run stays OK with a nonzero refusal count.
+        runner = Runner(case_budget=Budget(deadline_ms=0.001, stride=1))
+        report = runner.replay(load_corpus())
+        assert report.ok
+        assert sum(report.budgets_exceeded.values()) > 0
+        assert "budget refusal(s)" in report.summary()
+
+    def test_generous_budget_changes_nothing(self):
+        cases = load_corpus()
+        unbudgeted = Runner().replay(cases)
+        budgeted = Runner(case_budget=Budget(deadline_ms=60_000)).replay(cases)
+        assert budgeted.ok and unbudgeted.ok
+        assert budgeted.budgets_exceeded == {}
+        assert budgeted.checks == unbudgeted.checks
+        assert budgeted.stream_digest == unbudgeted.stream_digest
+
+    def test_faults_injected_is_accounted(self):
+        set_injector(FaultInjector(period=2))
+        report = Runner(backends=["naive", "resilient"]).replay(load_corpus())
+        assert report.ok, [failure.to_dict() for failure in report.failures]
+        assert report.faults_injected > 0
+        assert "fault(s) injected" in report.summary()
+        assert report.to_dict()["faults_injected"] == report.faults_injected
+
+
+class TestDeadlineCli:
+    def test_deadline_run_exits_zero(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "--seed", "0", "--budget", "5", "--deadline-ms", "10000"
+        )
+        assert code == 0
+        assert "conformance: OK" in out
+
+    def test_tight_deadline_still_exits_zero(self, capsys):
+        # Refusals are allowed outcomes; only wrong answers flip the exit
+        # status. JSON mode exposes the refusal accounting.
+        code, out, _ = run_cli(
+            capsys,
+            "--seed", "0", "--budget", "5", "--deadline-ms", "10000", "--json",
+        )
+        assert code == 0
+        import json
+
+        payload = json.loads(out)
+        assert payload["ok"] is True
+        assert "budgets_exceeded" in payload
+
+    @pytest.mark.parametrize("value", ["0", "-50"])
+    def test_non_positive_deadline_is_a_usage_error(self, capsys, value):
+        code, _, err = run_cli(capsys, "--deadline-ms", value, "--budget", "1")
+        assert code == 2
+        assert "--deadline-ms must be positive" in err

@@ -1,10 +1,12 @@
 """Tests for the repro.parallel scheduling layer (S15)."""
 
 import pickle
+import threading
+import traceback
 
 import pytest
 
-from repro.errors import ParallelError
+from repro.errors import BudgetExceededError, ParallelError
 from repro.parallel import (
     ParallelConfig,
     config_from_env,
@@ -13,7 +15,8 @@ from repro.parallel import (
     resolve_workers,
     shutdown,
 )
-from repro.parallel.pool import _shared_executor
+from repro.parallel.pool import _run_chunk, _shared_executor
+from repro.resilience.budget import CancelToken
 
 
 def _square(value):
@@ -22,6 +25,14 @@ def _square(value):
 
 def _raise(value):
     raise RuntimeError(f"boom on {value}")
+
+
+class _ReduceBomb:
+    """Pickles neither cleanly nor with a pickling-shaped error: its
+    ``__reduce__`` raises ``ValueError``, i.e. a genuine payload bug."""
+
+    def __reduce__(self):
+        raise ValueError("broken __reduce__, not a pickling limitation")
 
 
 class TestConfigFromEnv:
@@ -129,9 +140,38 @@ class TestParallelMap:
         with pytest.raises(RuntimeError):
             parallel_map(_raise, range(4), max_workers=2, backend="thread")
 
+    def test_worker_traceback_is_chained(self):
+        """The re-raise in the caller must keep the worker-side frames —
+        a bare ``raise RuntimeError(str(e))`` would lose ``_raise``."""
+        with pytest.raises(RuntimeError) as info:
+            parallel_map(_raise, range(4), max_workers=2, backend="thread")
+        frames = traceback.extract_tb(info.value.__traceback__)
+        assert any(frame.name == "_raise" for frame in frames)
+
+    def test_broken_reduce_propagates_not_degrades(self):
+        """Only pickling-shaped failures may fall back to serial; a
+        ``ValueError`` out of ``__reduce__`` is a real bug and must not
+        be masked by silently running the map serially."""
+        with pytest.raises(ValueError, match="broken __reduce__"):
+            parallel_map(
+                _square, [_ReduceBomb(), _ReduceBomb()], max_workers=2, backend="process"
+            )
+
     def test_unknown_backend_rejected(self):
         with pytest.raises(ParallelError):
             parallel_map(_square, range(4), max_workers=2, backend="quantum")
+
+    def test_run_chunk_accepts_token_payload(self):
+        token = CancelToken(max_rows=100)
+        results, seconds = _run_chunk(_square, [1, 2, 3], token.to_payload())
+        assert results == [1, 4, 9]
+        assert seconds >= 0.0
+
+    def test_run_chunk_stops_on_cancelled_live_token(self):
+        token = CancelToken(stride=1)
+        token.cancel("stop the chunk")
+        with pytest.raises(BudgetExceededError, match="stop the chunk"):
+            _run_chunk(_square, [1, 2, 3], token)
 
 
 class TestSharedExecutor:
@@ -154,6 +194,51 @@ class TestSharedExecutor:
         assert first is not second
         shutdown()
 
+    def test_shutdown_is_idempotent(self):
+        _shared_executor("thread", 2)
+        shutdown()
+        shutdown()  # nothing left to drain: must not raise or hang
+        shutdown()
+
+    def test_shutdown_interleaved_with_inflight_maps(self):
+        """shutdown() racing parallel_map loops must never lose results
+        or raise — the map resubmits on a fresh pool (or finishes the
+        chunk serially) when its executor dies mid-call."""
+        stop = threading.Event()
+        errors = []
+
+        def mapper():
+            while not stop.is_set():
+                try:
+                    result = parallel_map(
+                        _square, range(20), max_workers=2, backend="thread"
+                    )
+                    assert result == [n * n for n in range(20)]
+                except BaseException as error:  # noqa: BLE001 — the test is the catch
+                    errors.append(error)
+                    return
+
+        def cycler():
+            while not stop.is_set():
+                shutdown()
+
+        workers = [threading.Thread(target=mapper) for _ in range(3)]
+        churner = threading.Thread(target=cycler)
+        for thread in workers:
+            thread.start()
+        churner.start()
+        try:
+            import time as _time
+
+            _time.sleep(0.5)
+        finally:
+            stop.set()
+            for thread in workers:
+                thread.join()
+            churner.join()
+            shutdown()
+        assert errors == []
+
 
 class TestTelemetry:
     def test_counters_and_gauge_recorded(self):
@@ -167,6 +252,23 @@ class TestTelemetry:
             assert snap["counters"]["parallel.chunks"] >= 2
             assert snap["gauges"]["parallel.workers"] == 2
             assert snap["histograms"]["parallel.chunk_ms"]["count"] >= 2
+        finally:
+            telemetry.disable()
+        shutdown()
+
+    def test_serial_fallbacks_counts_only_pickling_degradations(self):
+        from repro import telemetry
+
+        telemetry.enable()
+        try:
+            # Picklable payloads never count as fallbacks...
+            parallel_map(_square, range(8), max_workers=2, backend="process")
+            snap = telemetry.metrics_snapshot()
+            assert snap["counters"].get("parallel.serial_fallbacks", 0) == 0
+            # ...a closure on the process backend counts exactly once.
+            parallel_map(lambda n: n + 1, range(8), max_workers=2, backend="process")
+            snap = telemetry.metrics_snapshot()
+            assert snap["counters"]["parallel.serial_fallbacks"] == 1
         finally:
             telemetry.disable()
         shutdown()

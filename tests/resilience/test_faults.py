@@ -1,0 +1,97 @@
+"""Fault-injection plumbing: the dual enable/arm gate and determinism."""
+
+import pytest
+
+from repro.errors import BudgetExceededError, FMTError, InjectedFaultError
+from repro.resilience import (
+    FaultInjector,
+    arm_faults,
+    fault_point,
+    faults_armed,
+    injector_from_env,
+    reset_injector,
+    set_injector,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_injector():
+    """Leave the process-wide injector as the env-resolved default."""
+    yield
+    reset_injector()
+
+
+class TestFaultInjector:
+    def test_fires_every_period_th_visit_per_site(self):
+        injector = FaultInjector(period=3)
+        pattern = [injector.should_fire("a") for _ in range(6)]
+        assert pattern == [False, False, True, False, False, True]
+        assert injector.fired == 2
+        assert injector.visits == 6
+
+    def test_sites_count_independently(self):
+        injector = FaultInjector(period=2)
+        assert not injector.should_fire("a")
+        assert not injector.should_fire("b")
+        assert injector.should_fire("a")
+        assert injector.should_fire("b")
+        assert injector.counts() == {"a": 2, "b": 2}
+
+    def test_period_below_two_rejected(self):
+        with pytest.raises(FMTError):
+            FaultInjector(period=1)
+
+
+class TestEnvParsing:
+    @pytest.mark.parametrize("raw", ["", "0", "false", "off", "no"])
+    def test_off_values(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_FAULT_INJECT", raw)
+        assert injector_from_env() is None
+
+    @pytest.mark.parametrize("raw", ["1", "true", "on", "yes"])
+    def test_on_values_use_default_period(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_FAULT_INJECT", raw)
+        injector = injector_from_env()
+        assert injector is not None and injector.period == 3
+
+    def test_explicit_period(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_INJECT", "7")
+        injector = injector_from_env()
+        assert injector is not None and injector.period == 7
+
+    def test_garbage_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_INJECT", "sometimes")
+        with pytest.raises(FMTError):
+            injector_from_env()
+
+
+class TestDualGate:
+    def test_enabled_but_not_armed_is_a_noop(self):
+        set_injector(FaultInjector(period=2))
+        for _ in range(10):
+            fault_point("site")  # never raises outside arm_faults
+
+    def test_armed_but_not_enabled_is_a_noop(self):
+        set_injector(None)
+        with arm_faults():
+            for _ in range(10):
+                fault_point("site")
+
+    def test_enabled_and_armed_fires_on_schedule(self):
+        set_injector(FaultInjector(period=2))
+        with arm_faults():
+            fault_point("site")
+            with pytest.raises(InjectedFaultError) as info:
+                fault_point("site")
+        assert info.value.site == "site"
+        # An injected fault is budget-shaped: the chain degrades on it.
+        assert isinstance(info.value, BudgetExceededError)
+
+    def test_arm_faults_is_reentrant(self):
+        assert not faults_armed()
+        with arm_faults():
+            assert faults_armed()
+            with arm_faults():
+                assert faults_armed()
+            assert faults_armed()
+        assert not faults_armed()
