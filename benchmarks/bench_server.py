@@ -1,0 +1,276 @@
+"""E21 — Serving throughput: prepared vs cold plans, batched vs unbatched.
+
+The server's contract is that *preparation pays off*: a prepared query
+(parsed + validated once, plan warmed, answer cache admitted) must beat
+the cold path (ad-hoc text: re-parse per request, answer cache bypassed)
+by ≥ 5× aggregate on the query-zoo corpus — the acceptance criterion.
+
+Two layers are measured separately:
+
+* **service level** — direct :class:`QueryService` calls, no sockets, so
+  the speedup assertion measures engine work, not loopback overhead;
+* **HTTP level** — a closed-loop client against a live
+  ``ThreadingHTTPServer`` on localhost, reporting per-request latency
+  percentiles (p50/p95/p99) and the batched-vs-unbatched ratio for the
+  same work through ``POST /v1/answers``.
+
+Rows land in ``BENCH_server.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.request
+from pathlib import Path
+
+from conftest import print_table
+
+from repro.queries.zoo import fo_graph_corpus
+from repro.server import wire
+from repro.server.http import serve
+from repro.server.service import QueryService
+from repro.structures.builders import random_graph
+
+BENCH_PATH = Path(__file__).parent.parent / "BENCH_server.json"
+
+#: Acceptance criterion: prepared ≥ 5× cold, aggregate over the zoo corpus.
+PREPARED_SPEEDUP_FLOOR = 5.0
+
+SERVICE_ROUNDS = 30
+HTTP_ROUNDS = 10
+BATCH_ROUNDS = 10
+
+
+def _percentiles(samples: list[float]) -> dict[str, float]:
+    ordered = sorted(samples)
+
+    def at(q: float) -> float:
+        index = min(int(q * len(ordered)), len(ordered) - 1)
+        return ordered[index]
+
+    return {"p50": at(0.50), "p95": at(0.95), "p99": at(0.99)}
+
+
+def _zoo_texts() -> list[str]:
+    return [wire.format_formula(query.formula) for query in fo_graph_corpus()]
+
+
+# -- service level: the 5x criterion ----------------------------------------
+
+
+def bench_service_prepared_vs_cold() -> dict:
+    """Direct QueryService calls: total seconds for SERVICE_ROUNDS sweeps
+    of the zoo corpus, prepared vs cold, plus a correctness cross-check."""
+    service = QueryService()
+    graph = random_graph(30, 0.15, seed=1)
+    structure_id = service.add_structure(graph)
+    texts = _zoo_texts()
+    names = [
+        service.prepare("bench", text, structure_id=structure_id).name
+        for text in texts
+    ]
+
+    # Warm both paths once (plan cache is shared; the comparison is
+    # steady-state serving, not first-request compilation).
+    for text, name in zip(texts, names):
+        cold = service.answers("bench", structure_id, formula=text)
+        prepared = service.answers("bench", structure_id, query=name)
+        assert frozenset(cold.rows) == frozenset(prepared.rows), text
+
+    start = time.perf_counter()
+    for _ in range(SERVICE_ROUNDS):
+        for text in texts:
+            service.answers("bench", structure_id, formula=text)
+    cold_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for _ in range(SERVICE_ROUNDS):
+        for name in names:
+            service.answers("bench", structure_id, query=name)
+    prepared_s = time.perf_counter() - start
+
+    return {
+        "layer": "service",
+        "workload": f"zoo corpus x{SERVICE_ROUNDS} on random_graph(30, 0.15)",
+        "queries": len(texts),
+        "requests": SERVICE_ROUNDS * len(texts),
+        "cold_seconds": cold_s,
+        "prepared_seconds": prepared_s,
+        "speedup": cold_s / prepared_s if prepared_s else float("inf"),
+    }
+
+
+# -- HTTP level: closed-loop latency + batching ------------------------------
+
+
+def _post(url: str, payload: dict) -> dict:
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=60) as response:
+        return json.loads(response.read())
+
+
+def bench_http() -> list[dict]:
+    """Closed-loop requests against a live localhost server."""
+    server, thread = serve(QueryService())
+    try:
+        url = server.url + "/v1/answers"
+        graph = random_graph(30, 0.15, seed=1)
+        body = _post(
+            server.url + "/v1/structures",
+            {"tenant": "bench", "structure": wire.structure_to_dict(graph)},
+        )
+        structure_id = body["structure_id"]
+        texts = _zoo_texts()
+        names = [
+            _post(
+                server.url + "/v1/queries",
+                {"tenant": "bench", "formula": text, "structure_id": structure_id},
+            )["query"]
+            for text in texts
+        ]
+
+        def closed_loop(payloads: list[dict]) -> tuple[float, list[float]]:
+            latencies = []
+            start = time.perf_counter()
+            for payload in payloads:
+                t0 = time.perf_counter()
+                _post(url, payload)
+                latencies.append(time.perf_counter() - t0)
+            return time.perf_counter() - start, latencies
+
+        prepared_payloads = [
+            {"tenant": "bench", "structure_id": structure_id, "query": name}
+            for _ in range(HTTP_ROUNDS)
+            for name in names
+        ]
+        cold_payloads = [
+            {"tenant": "bench", "structure_id": structure_id, "formula": text}
+            for _ in range(HTTP_ROUNDS)
+            for text in texts
+        ]
+        closed_loop(prepared_payloads[: len(names)])  # warm
+        prepared_s, prepared_lat = closed_loop(prepared_payloads)
+        cold_s, cold_lat = closed_loop(cold_payloads)
+
+        # Batched: every zoo query in one request body vs one-by-one.
+        batch_payload = {
+            "tenant": "bench",
+            "requests": [
+                {"structure_id": structure_id, "query": name} for name in names
+            ],
+        }
+        start = time.perf_counter()
+        for _ in range(BATCH_ROUNDS):
+            _post(url, batch_payload)
+        batched_s = time.perf_counter() - start
+        start = time.perf_counter()
+        for _ in range(BATCH_ROUNDS):
+            for name in names:
+                _post(
+                    url,
+                    {"tenant": "bench", "structure_id": structure_id, "query": name},
+                )
+        unbatched_s = time.perf_counter() - start
+
+        requests = HTTP_ROUNDS * len(names)
+        return [
+            {
+                "layer": "http",
+                "workload": "prepared, closed loop",
+                "requests": requests,
+                "total_seconds": prepared_s,
+                "throughput_rps": requests / prepared_s,
+                "latency_s": _percentiles(prepared_lat),
+            },
+            {
+                "layer": "http",
+                "workload": "cold (ad-hoc formula), closed loop",
+                "requests": requests,
+                "total_seconds": cold_s,
+                "throughput_rps": requests / cold_s,
+                "latency_s": _percentiles(cold_lat),
+            },
+            {
+                "layer": "http",
+                "workload": f"batched ({len(names)} queries/request)",
+                "requests": BATCH_ROUNDS,
+                "total_seconds": batched_s,
+                "throughput_rps": BATCH_ROUNDS * len(names) / batched_s,
+                "batch_vs_unbatched_speedup": unbatched_s / batched_s,
+                "unbatched_seconds": unbatched_s,
+            },
+        ]
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+def collect_all_rows() -> list[dict]:
+    return [bench_service_prepared_vs_cold()] + bench_http()
+
+
+class TestServerThroughput:
+    def test_prepared_beats_cold_and_records_json(self):
+        rows = collect_all_rows()
+        service_row = rows[0]
+        table = []
+        for row in rows:
+            latency = row.get("latency_s")
+            table.append(
+                (
+                    row["layer"],
+                    row["workload"][:44],
+                    row["requests"],
+                    f"{row.get('throughput_rps', row['requests'] / row.get('cold_seconds', 1)):.0f}"
+                    if "throughput_rps" in row
+                    else "-",
+                    f"{latency['p50'] * 1000:.2f}/{latency['p95'] * 1000:.2f}/{latency['p99'] * 1000:.2f}"
+                    if latency
+                    else "-",
+                )
+            )
+        print_table(
+            "E21: serving throughput",
+            ["layer", "workload", "requests", "rps", "p50/p95/p99 ms"],
+            table,
+        )
+        assert service_row["speedup"] >= PREPARED_SPEEDUP_FLOOR, (
+            f"prepared only {service_row['speedup']:.2f}x cold "
+            f"(floor {PREPARED_SPEEDUP_FLOOR}x)"
+        )
+        http_batched = rows[3]
+        assert http_batched["batch_vs_unbatched_speedup"] > 1.0, (
+            "batching must amortize HTTP round trips"
+        )
+        BENCH_PATH.write_text(
+            json.dumps(
+                {
+                    "benchmark": "server-throughput",
+                    "unit": "seconds (closed loop)",
+                    "prepared_speedup_floor": PREPARED_SPEEDUP_FLOOR,
+                    "rows": rows,
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+
+    def test_benchmark_prepared_request(self, benchmark):
+        service = QueryService()
+        graph = random_graph(30, 0.15, seed=1)
+        structure_id = service.add_structure(graph)
+        name = service.prepare(
+            "bench", "exists y. E(x, y)", structure_id=structure_id
+        ).name
+        benchmark(lambda: service.answers("bench", structure_id, query=name))
+
+
+if __name__ == "__main__":
+    for row in collect_all_rows():
+        print(json.dumps(row, indent=2))

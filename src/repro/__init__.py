@@ -44,6 +44,12 @@ Subpackages
     registry, and the engine's EXPLAIN ANALYZE support. Off by default —
     enable with ``repro.telemetry.enable()`` or ``REPRO_TELEMETRY=1``
     (S14).
+``repro.server``
+    The multi-tenant FO query service: stable HTTP/JSON wire format,
+    content-addressed structure store, prepared queries, per-tenant
+    budgets + fallback chains as admission control, and a stdlib
+    ``ThreadingHTTPServer`` transport — ``python -m repro.server``
+    (S18).
 
 Quickstart
 ----------

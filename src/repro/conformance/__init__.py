@@ -28,6 +28,7 @@ from repro.conformance.backends import (
     Backend,
     BackendRegistry,
     default_registry,
+    remote_backend,
 )
 from repro.conformance.corpus import load_corpus, save_case
 from repro.conformance.generate import (
@@ -62,6 +63,7 @@ __all__ = [
     "default_registry",
     "format_formula",
     "load_corpus",
+    "remote_backend",
     "save_case",
     "shrink_case",
 ]

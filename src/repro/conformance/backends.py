@@ -40,7 +40,7 @@ from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from repro.conformance.generate import Case
-from repro.errors import FMTError
+from repro.errors import BudgetExceededError, FMTError
 from repro.eval.circuits import compile_query, evaluate_circuit
 from repro.eval.evaluator import answers as naive_answers
 from repro.eval.translate import algebra_answers
@@ -52,7 +52,13 @@ from repro.resilience.budget import CancelToken
 from repro.resilience.fallback import default_chain
 from repro.structures.structure import Element, Structure
 
-__all__ = ["Backend", "BackendRegistry", "default_registry", "DEFAULT_BACKENDS"]
+__all__ = [
+    "Backend",
+    "BackendRegistry",
+    "default_registry",
+    "remote_backend",
+    "DEFAULT_BACKENDS",
+]
 
 Answers = frozenset[tuple[Element, ...]]
 
@@ -262,6 +268,151 @@ def _resilient_backend(degree_bound: int) -> Backend:
         return chain().answers(structure, formula, budget=token)
 
     return Backend("resilient", compute, reset_fn=holder.clear, budget_fn=compute)
+
+
+def remote_backend(base_url: str, tenant: str = "conformance") -> Backend:
+    """A backend that answers over a live ``repro.server`` socket.
+
+    This puts the *entire serving stack* under differential test: the
+    wire encoding both ways, prepared-query session state, the server's
+    shared caches, its admission control, and its fallback chain — all
+    cross-checked against the in-process backends on every case.
+
+    The backend keeps a client-side session: structures upload once
+    (content-addressed server-side, so re-uploads are idempotent anyway)
+    and each distinct formula is prepared once, then executed many times
+    — exactly the prepare-once/execute-many flow a real client uses.
+    Large answer sets stream back page by page.
+
+    A 429/503 with ``error.refusal`` re-raises as
+    :class:`~repro.errors.BudgetExceededError`, so the runner counts a
+    typed server refusal exactly like a local one.  Any other non-200 is
+    a conformance *failure* (kind ``error``) — the server is not allowed
+    to fail requests the in-process engines can answer.
+    """
+    import json
+    import urllib.error
+    import urllib.request
+
+    from repro.server import wire
+
+    base = base_url.rstrip("/")
+    structure_ids: dict[Structure, str] = {}
+    prepared_names: dict[tuple[Formula, frozenset], str] = {}
+
+    def call(path: str, payload: dict) -> tuple[int, dict]:
+        request = urllib.request.Request(
+            base + path,
+            data=json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=120) as response:
+                return response.status, json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            body = error.read()
+            try:
+                decoded = json.loads(body)
+            except json.JSONDecodeError:
+                decoded = {"error": {"type": "HTTPError", "message": body[:200].decode("utf-8", "replace")}}
+            return error.code, decoded
+        except (urllib.error.URLError, OSError) as error:
+            raise FMTError(f"remote backend cannot reach {base}: {error}") from error
+
+    def raise_for(status: int, body: dict) -> None:
+        error = body.get("error", {}) if isinstance(body, dict) else {}
+        message = f"remote {status}: {error.get('type', '?')}: {error.get('message', '')}"
+        if error.get("refusal"):
+            raise BudgetExceededError(
+                message,
+                spent=int(error.get("spent") or 0),
+                budget=int(error.get("budget") or 0),
+            )
+        raise FMTError(message)
+
+    def ensure_structure(structure: Structure) -> str:
+        structure_id = structure_ids.get(structure)
+        if structure_id is None:
+            status, body = call(
+                "/v1/structures",
+                {"tenant": tenant, "structure": wire.structure_to_dict(structure)},
+            )
+            if status != 200:
+                raise_for(status, body)
+            structure_id = body["structure_id"]
+            structure_ids[structure] = structure_id
+        return structure_id
+
+    def ensure_prepared(structure: Structure, formula: Formula, structure_id: str) -> str:
+        key = (formula, structure.signature.constants)
+        name = prepared_names.get(key)
+        if name is None:
+            status, body = call(
+                "/v1/queries",
+                {
+                    "tenant": tenant,
+                    "formula": wire.format_formula(formula),
+                    "structure_id": structure_id,
+                    "constants": sorted(structure.signature.constants),
+                    # Pin the answer schema to *this* AST's free variables:
+                    # concrete syntax can fold a free variable away (the
+                    # parser simplifies ``false & P(y)`` to ``false``), and
+                    # the in-process backends answer the unfolded AST.
+                    "free_variables": sorted(
+                        var.name for var in free_variables(formula)
+                    ),
+                },
+            )
+            if status != 200:
+                raise_for(status, body)
+            name = body["query"]
+            prepared_names[key] = name
+        return name
+
+    def compute(
+        structure: Structure, formula: Formula, token: CancelToken | None = None
+    ) -> Answers:
+        structure_id = ensure_structure(structure)
+        name = ensure_prepared(structure, formula, structure_id)
+        rows: list = []
+        page = 0
+        while True:
+            payload: dict = {
+                "tenant": tenant,
+                "structure_id": structure_id,
+                "query": name,
+                "page": page,
+            }
+            if token is not None:
+                # Ship the *remaining* allowance, like CancelToken.to_payload,
+                # so the server's admission control enforces this client's
+                # budget — deadline and row cap both.
+                remaining = token.remaining_seconds()
+                if remaining is not None:
+                    payload["deadline_ms"] = max(remaining * 1000.0, 1.0)
+                if token.max_rows is not None:
+                    rows_left = token.max_rows - token.rows - len(rows)
+                    if rows_left < 1:
+                        raise BudgetExceededError(
+                            "remote paging exhausted the row budget",
+                            spent=token.rows + len(rows),
+                            budget=token.max_rows,
+                        )
+                    payload["max_rows"] = rows_left
+            status, body = call("/v1/answers", payload)
+            if status != 200:
+                raise_for(status, body)
+            rows.extend(body["rows"])
+            if not body.get("has_more"):
+                break
+            page += 1
+        return wire.answers_from_wire(rows)
+
+    def reset() -> None:
+        structure_ids.clear()
+        prepared_names.clear()
+
+    return Backend("remote", compute, reset_fn=reset, budget_fn=compute)
 
 
 DEFAULT_BACKENDS = (

@@ -32,7 +32,7 @@ import json
 import sys
 from pathlib import Path
 
-from repro.conformance.backends import DEFAULT_BACKENDS, default_registry
+from repro.conformance.backends import DEFAULT_BACKENDS, default_registry, remote_backend
 from repro.conformance.corpus import default_corpus_dir, load_corpus, save_case
 from repro.conformance.generate import CaseGenerator
 from repro.conformance.runner import Runner
@@ -101,6 +101,16 @@ def build_parser() -> argparse.ArgumentParser:
         "not a failure) — exit status still reflects wrong answers only",
     )
     parser.add_argument(
+        "--remote",
+        type=str,
+        default=None,
+        metavar="URL",
+        help="register a `remote` backend that answers over a live "
+        "repro.server instance at URL (e.g. http://127.0.0.1:8035), "
+        "putting the wire format, session state, and admission control "
+        "under differential test against the in-process backends",
+    )
+    parser.add_argument(
         "--json", action="store_true", help="emit the report as JSON on stdout"
     )
     parser.add_argument(
@@ -118,6 +128,18 @@ def main(argv: list[str] | None = None) -> int:
         for name in registry.names():
             print(name)
         return 0
+    if args.remote:
+        import urllib.error
+        import urllib.request
+
+        health_url = args.remote.rstrip("/") + "/healthz"
+        try:
+            with urllib.request.urlopen(health_url, timeout=10) as response:
+                response.read()
+        except (urllib.error.URLError, OSError) as error:
+            print(f"error: remote server unreachable at {health_url}: {error}", file=sys.stderr)
+            return 2
+        registry.register(remote_backend(args.remote))
     backend_names = args.backends.split(",") if args.backends else None
     case_budget = None
     if args.deadline_ms is not None:

@@ -2,43 +2,27 @@
 
 A corpus entry must survive two trips: fuzzer → disk (when a shrunk
 failure is promoted to a regression) and disk → tier-1 test (the replay
-suite re-answers every stored case on every applicable backend).  The
-formula is stored as *concrete syntax* re-read by
-:func:`repro.logic.parser.parse` — human-diffable in review, and the
-round trip doubles as a parser/printer conformance check.
+suite re-answers every stored case on every applicable backend).
 
-Universe elements may be ints, strings, or (nested) tuples — the latter
-appear in disjoint unions, whose elements are tagged ``(0, a)`` /
-``(1, b)``.  Tuples are encoded as ``{"t": [...]}`` objects so decoding
-is injective.
+The structure/formula encoding itself lives in
+:mod:`repro.server.wire` — the service wire format and the corpus are
+deliberately the same bytes, so a corpus file is a valid structure
+upload and a fuzzer case replays against a live server unchanged.  This
+module keeps only the case envelope (name/description/seed around the
+wire-encoded structure and formula) and re-exports the wire helpers
+under their historical names.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any
 
-from repro.errors import StructureError
 from repro.logic.parser import parse
-from repro.logic.signature import Signature
-from repro.logic.syntax import (
-    And,
-    Atom,
-    Bottom,
-    Const,
-    Eq,
-    Exists,
-    Forall,
-    Formula,
-    Iff,
-    Implies,
-    Not,
-    Or,
-    Term,
-    Top,
-    Var,
+from repro.server.wire import (
+    format_formula,
+    structure_from_dict,
+    structure_to_dict,
 )
-from repro.structures.structure import Element, Structure
 
 __all__ = [
     "format_formula",
@@ -47,134 +31,6 @@ __all__ = [
     "structure_to_dict",
     "structure_from_dict",
 ]
-
-
-def format_formula(formula: Formula) -> str:
-    """Render a formula in the parser's concrete syntax.
-
-    ``parse(format_formula(φ), constants=...)`` is logically equivalent
-    to φ — identical up to the parser's flattening of nested ∧/∨ chains
-    (one more round trip is a fixpoint; the serialization tests assert
-    both).  Quantifiers always print with the scope-disambiguating dot,
-    constants print as bare identifiers (re-read as constants when the
-    signature is passed to :func:`parse`), and ``<``-atoms use the infix
-    sugar.
-    """
-    if isinstance(formula, Atom):
-        if formula.relation == "<" and len(formula.terms) == 2:
-            return f"{_term(formula.terms[0])} < {_term(formula.terms[1])}"
-        args = ", ".join(_term(term) for term in formula.terms)
-        return f"{formula.relation}({args})"
-    if isinstance(formula, Eq):
-        return f"{_term(formula.left)} = {_term(formula.right)}"
-    if isinstance(formula, Top):
-        return "true"
-    if isinstance(formula, Bottom):
-        return "false"
-    if isinstance(formula, Not):
-        return f"~({format_formula(formula.body)})"
-    if isinstance(formula, And):
-        if not formula.children:
-            return "true"
-        return "(" + " & ".join(_operand(child) for child in formula.children) + ")"
-    if isinstance(formula, Or):
-        if not formula.children:
-            return "false"
-        return "(" + " | ".join(_operand(child) for child in formula.children) + ")"
-    if isinstance(formula, Implies):
-        return f"({_operand(formula.premise)} -> {_operand(formula.conclusion)})"
-    if isinstance(formula, Iff):
-        return f"({_operand(formula.left)} <-> {_operand(formula.right)})"
-    if isinstance(formula, Exists):
-        return f"exists {formula.var.name}. ({format_formula(formula.body)})"
-    if isinstance(formula, Forall):
-        return f"forall {formula.var.name}. ({format_formula(formula.body)})"
-    raise StructureError(f"cannot serialize formula node {formula!r}")
-
-
-def _operand(formula: Formula) -> str:
-    # A quantifier's body extends as far right as possible, so a
-    # quantified operand of an infix connective must close its scope
-    # with explicit parentheses.
-    text = format_formula(formula)
-    if isinstance(formula, (Exists, Forall)):
-        return f"({text})"
-    return text
-
-
-def _term(term: Term) -> str:
-    if isinstance(term, (Var, Const)):
-        return term.name
-    raise StructureError(f"cannot serialize term {term!r}")
-
-
-# -- element encoding --------------------------------------------------------
-
-
-def _encode_element(element: Element) -> Any:
-    if isinstance(element, bool) or element is None:
-        raise StructureError(f"cannot serialize universe element {element!r}")
-    if isinstance(element, (int, str)):
-        return element
-    if isinstance(element, tuple):
-        return {"t": [_encode_element(part) for part in element]}
-    raise StructureError(f"cannot serialize universe element {element!r}")
-
-
-def _decode_element(value: Any) -> Element:
-    if isinstance(value, (int, str)):
-        return value
-    if isinstance(value, dict) and set(value) == {"t"}:
-        return tuple(_decode_element(part) for part in value["t"])
-    raise StructureError(f"cannot deserialize universe element {value!r}")
-
-
-# -- structures --------------------------------------------------------------
-
-
-def structure_to_dict(structure: Structure) -> dict:
-    """A JSON-ready dict capturing the structure exactly."""
-    return {
-        "signature": {
-            "relations": {
-                name: structure.signature.arity(name)
-                for name in structure.signature.relation_names()
-            },
-            "constants": sorted(structure.signature.constants),
-        },
-        "universe": [_encode_element(element) for element in structure.universe],
-        "relations": {
-            name: sorted(
-                ([_encode_element(value) for value in row] for row in tuples),
-                key=repr,
-            )
-            for name, tuples in sorted(structure.relations.items())
-        },
-        "constants": {
-            name: _encode_element(value)
-            for name, value in sorted(structure.constants.items())
-        },
-    }
-
-
-def structure_from_dict(data: dict) -> Structure:
-    signature = Signature(
-        dict(data["signature"]["relations"]),
-        frozenset(data["signature"].get("constants", ())),
-    )
-    universe = [_decode_element(value) for value in data["universe"]]
-    relations = {
-        name: [tuple(_decode_element(value) for value in row) for row in rows]
-        for name, rows in data.get("relations", {}).items()
-    }
-    constants = {
-        name: _decode_element(value)
-        for name, value in data.get("constants", {}).items()
-    }
-    return Structure(signature, universe, relations, constants)
-
-
-# -- cases -------------------------------------------------------------------
 
 
 def case_to_json(case: "Case", indent: int | None = 2) -> str:

@@ -129,6 +129,7 @@ class LRUCache:
                 "size": len(self._data),
                 "hits": self.hits,
                 "misses": self.misses,
+                "lookups": lookups,
                 "evictions": self.evictions,
                 "hit_rate": self.hits / lookups if lookups else 0.0,
             }

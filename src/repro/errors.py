@@ -80,6 +80,29 @@ class AutomatonError(FMTError):
     """An automaton is malformed (unknown states, bad alphabet, ...)."""
 
 
+class ServerError(FMTError):
+    """A request to the query service failed at the service layer.
+
+    Carries the HTTP ``status`` the wire layer should answer with: 404
+    for references to unknown tenants/structures/prepared queries, 409
+    for conflicting re-preparation, 400 for malformed requests.  Budget
+    refusals are *not* server errors — they raise
+    :class:`BudgetExceededError` and map to 429/503.
+    """
+
+    def __init__(self, message: str, *, status: int = 400) -> None:
+        self.status = status
+        super().__init__(message)
+
+
+class UnknownResourceError(ServerError):
+    """A request referenced a tenant, structure, or prepared query that
+    does not exist (HTTP 404)."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message, status=404)
+
+
 class BudgetExceededError(FMTError):
     """A computation exceeded an explicit resource budget supplied by the caller.
 

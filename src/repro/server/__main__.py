@@ -1,0 +1,8 @@
+"""Entry point: ``python -m repro.server``."""
+
+import sys
+
+from repro.server.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,218 @@
+"""The HTTP/JSON transport: stdlib ``ThreadingHTTPServer`` around
+:class:`~repro.server.service.QueryService`.
+
+Endpoints (all JSON, wire format v1 — see :mod:`repro.server.wire`):
+
+=========================  ==================================================
+``GET  /healthz``          liveness + wire version + occupancy
+``GET  /metrics``          telemetry snapshot, cache stats, per-tenant counters
+``POST /v1/structures``    upload a structure → content-addressed id
+``POST /v1/queries``       prepare a named query (parse + validate once)
+``POST /v1/answers``       answer pages: prepared or ad-hoc, single or batched
+=========================  ==================================================
+
+The handler is a pure codec: decode JSON → call the service → encode the
+result or the typed error payload.  Status codes come from
+:func:`repro.server.wire.status_for_error` — 429 for budget refusals,
+503 for injected faults, 404/409/400 for caller mistakes — so clients
+(including the conformance ``remote`` backend) can branch on status and
+``error.type`` without parsing message text.
+
+Concurrency: ``ThreadingHTTPServer`` gives one thread per in-flight
+request; everything those threads touch (service dicts, engine caches,
+tenant counters) takes its own lock, and the per-request admission token
+bounds how long any of them can run.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.errors import ServerError
+from repro.server import wire
+from repro.server.service import QueryService
+
+__all__ = ["QueryServer", "make_server", "serve"]
+
+_MAX_BODY_BYTES = 32 * 1024 * 1024
+
+
+class QueryServer(ThreadingHTTPServer):
+    """A :class:`ThreadingHTTPServer` carrying the service instance."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: tuple[str, int], service: QueryService, verbose: bool = False):
+        super().__init__(address, _Handler)
+        self.service = service
+        self.verbose = verbose
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "fmtoolbox/1"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: dict[str, Any]) -> None:
+        body = json.dumps(payload, sort_keys=True).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_payload(self, error: BaseException) -> None:
+        payload = wire.error_to_wire(error)
+        self._send_json(payload["status"], payload)
+
+    def _json_body(self) -> dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise ServerError("request body required")
+        if length > _MAX_BODY_BYTES:
+            raise ServerError(f"request body over {_MAX_BODY_BYTES} bytes", status=413)
+        raw = self.rfile.read(length)
+        try:
+            body = json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise ServerError(f"request body is not valid JSON: {error}") from None
+        if not isinstance(body, dict):
+            raise ServerError("request body must be a JSON object")
+        return body
+
+    @property
+    def _service(self) -> QueryService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    # -- routes --------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        try:
+            if self.path == "/healthz":
+                self._send_json(200, self._service.health())
+            elif self.path == "/metrics":
+                self._send_json(200, self._service.metrics())
+            else:
+                self._send_error_payload(
+                    ServerError(f"no route for GET {self.path}", status=404)
+                )
+        except Exception as error:  # noqa: BLE001 — boundary: encode, don't crash
+            self._send_error_payload(error)
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server API
+        try:
+            body = self._json_body()
+            if self.path == "/v1/structures":
+                self._send_json(200, self._post_structures(body))
+            elif self.path == "/v1/queries":
+                self._send_json(200, self._post_queries(body))
+            elif self.path == "/v1/answers":
+                self._send_json(200, self._post_answers(body))
+            else:
+                self._send_error_payload(
+                    ServerError(f"no route for POST {self.path}", status=404)
+                )
+        except Exception as error:  # noqa: BLE001 — boundary: encode, don't crash
+            self._send_error_payload(error)
+
+    # -- endpoint bodies -----------------------------------------------------
+
+    def _post_structures(self, body: dict[str, Any]) -> dict[str, Any]:
+        if "structure" not in body:
+            raise ServerError("'structure' is required")
+        structure_id = self._service.add_structure(
+            body["structure"], tenant=body.get("tenant")
+        )
+        structure = self._service.structure(structure_id)
+        return {
+            "structure_id": structure_id,
+            "size": structure.size,
+            "wire_version": wire.WIRE_VERSION,
+        }
+
+    def _post_queries(self, body: dict[str, Any]) -> dict[str, Any]:
+        tenant = _required_str(body, "tenant")
+        prepared = self._service.prepare(
+            tenant,
+            _required_str(body, "formula"),
+            name=body.get("name"),
+            structure_id=body.get("structure_id"),
+            constants=tuple(body.get("constants", ())),
+            free_variables=body.get("free_variables"),
+        )
+        return {
+            "query": prepared.name,
+            "formula": prepared.text,
+            "free_variables": list(prepared.free_names),
+            "is_sentence": prepared.is_sentence,
+        }
+
+    def _post_answers(self, body: dict[str, Any]) -> dict[str, Any]:
+        tenant = _required_str(body, "tenant")
+        if "requests" in body:
+            pages = self._service.answers_batch(
+                tenant,
+                body["requests"],
+                deadline_ms=body.get("deadline_ms"),
+                max_rows=body.get("max_rows"),
+                page_size=body.get("page_size"),
+            )
+            return {"results": [page.to_wire() for page in pages]}
+        page = self._service.answers(
+            tenant,
+            body.get("structure_id", ""),
+            query=body.get("query"),
+            formula=body.get("formula"),
+            page=int(body.get("page", 0)),
+            page_size=body.get("page_size"),
+            deadline_ms=body.get("deadline_ms"),
+            max_rows=body.get("max_rows"),
+            free_variables=body.get("free_variables"),
+        )
+        return page.to_wire()
+
+
+def _required_str(body: dict[str, Any], key: str) -> str:
+    value = body.get(key)
+    if not isinstance(value, str) or not value:
+        raise ServerError(f"{key!r} must be a non-empty string")
+    return value
+
+
+def make_server(
+    service: QueryService | None = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+) -> QueryServer:
+    """Bind (but do not start) a server; ``port=0`` picks an ephemeral
+    port, readable from ``server.server_address``."""
+    service = service if service is not None else QueryService()
+    return QueryServer((host, port), service, verbose=verbose)
+
+
+def serve(
+    service: QueryService | None = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> tuple[QueryServer, threading.Thread]:
+    """Start a server on a daemon thread (tests and notebooks); returns
+    the server (for ``.url`` / ``.shutdown()``) and its thread."""
+    server = make_server(service, host, port)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server, thread

@@ -1,0 +1,299 @@
+"""The stable wire format (v1): structures, formulas, answers, errors.
+
+Every byte that crosses the service boundary — HTTP request and response
+bodies, the serialized conformance corpus, answer pages — goes through
+this module, so the encoding is defined exactly once.  The format grew
+out of the conformance corpus serializer (PR 4) and is factored here so
+the server (S18) and the corpus share one set of bytes: a corpus file is
+a valid structure upload, and a fuzzer disagreement replays against a
+live server without re-encoding.
+
+Conventions
+-----------
+* **Formulas** travel as *concrete syntax* re-read by
+  :func:`repro.logic.parser.parse` — human-diffable, curl-able, and the
+  round trip doubles as a parser/printer conformance check.
+* **Universe elements** may be ints, strings, or (nested) tuples — the
+  latter appear in disjoint unions, whose elements are tagged ``(0, a)``
+  / ``(1, b)``.  Tuples are encoded as ``{"t": [...]}`` objects so
+  decoding is injective.
+* **Answer sets** are lists of encoded tuples in a canonical sort order
+  (`repr` of the decoded tuple), which is what makes server-side paging
+  deterministic: the same page of the same answer set is always the
+  same rows.
+* **Errors** are typed payloads — ``{"error": {"type", "message", ...}}``
+  — so a refusal (429/503 on :class:`~repro.errors.BudgetExceededError`)
+  is machine-distinguishable from a caller mistake (400/404) without
+  string matching.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+from repro.errors import (
+    BudgetExceededError,
+    FMTError,
+    InjectedFaultError,
+    ServerError,
+    StructureError,
+)
+from repro.logic.parser import parse
+from repro.logic.signature import Signature
+from repro.logic.syntax import (
+    And,
+    Atom,
+    Bottom,
+    Const,
+    Eq,
+    Exists,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Term,
+    Top,
+    Var,
+)
+from repro.structures.structure import Element, Structure
+
+__all__ = [
+    "WIRE_VERSION",
+    "format_formula",
+    "parse_formula",
+    "encode_element",
+    "decode_element",
+    "structure_to_dict",
+    "structure_from_dict",
+    "structure_digest",
+    "answers_to_wire",
+    "answers_from_wire",
+    "error_to_wire",
+    "status_for_error",
+]
+
+#: Version stamp carried by ``/healthz`` and ``/metrics``; bump on any
+#: change that is not backward-compatible with serialized corpora.
+WIRE_VERSION = 1
+
+
+# -- formulas ----------------------------------------------------------------
+
+
+def format_formula(formula: Formula) -> str:
+    """Render a formula in the parser's concrete syntax.
+
+    ``parse(format_formula(φ), constants=...)`` is logically equivalent
+    to φ — identical up to the parser's flattening of nested ∧/∨ chains
+    (one more round trip is a fixpoint; the serialization tests assert
+    both).  Quantifiers always print with the scope-disambiguating dot,
+    constants print as bare identifiers (re-read as constants when the
+    signature is passed to :func:`parse`), and ``<``-atoms use the infix
+    sugar.
+    """
+    if isinstance(formula, Atom):
+        if formula.relation == "<" and len(formula.terms) == 2:
+            return f"{_term(formula.terms[0])} < {_term(formula.terms[1])}"
+        args = ", ".join(_term(term) for term in formula.terms)
+        return f"{formula.relation}({args})"
+    if isinstance(formula, Eq):
+        return f"{_term(formula.left)} = {_term(formula.right)}"
+    if isinstance(formula, Top):
+        return "true"
+    if isinstance(formula, Bottom):
+        return "false"
+    if isinstance(formula, Not):
+        return f"~({format_formula(formula.body)})"
+    if isinstance(formula, And):
+        if not formula.children:
+            return "true"
+        return "(" + " & ".join(_operand(child) for child in formula.children) + ")"
+    if isinstance(formula, Or):
+        if not formula.children:
+            return "false"
+        return "(" + " | ".join(_operand(child) for child in formula.children) + ")"
+    if isinstance(formula, Implies):
+        return f"({_operand(formula.premise)} -> {_operand(formula.conclusion)})"
+    if isinstance(formula, Iff):
+        return f"({_operand(formula.left)} <-> {_operand(formula.right)})"
+    if isinstance(formula, Exists):
+        return f"exists {formula.var.name}. ({format_formula(formula.body)})"
+    if isinstance(formula, Forall):
+        return f"forall {formula.var.name}. ({format_formula(formula.body)})"
+    raise StructureError(f"cannot serialize formula node {formula!r}")
+
+
+def _operand(formula: Formula) -> str:
+    # A quantifier's body extends as far right as possible, so a
+    # quantified operand of an infix connective must close its scope
+    # with explicit parentheses.
+    text = format_formula(formula)
+    if isinstance(formula, (Exists, Forall)):
+        return f"({text})"
+    return text
+
+
+def _term(term: Term) -> str:
+    if isinstance(term, (Var, Const)):
+        return term.name
+    raise StructureError(f"cannot serialize term {term!r}")
+
+
+def parse_formula(text: str, constants: Signature | frozenset | None = None) -> Formula:
+    """Decode a wire formula: :func:`repro.logic.parser.parse` with the
+    signature (or constant set) deciding which identifiers are constants."""
+    return parse(text, constants=constants)
+
+
+# -- element encoding --------------------------------------------------------
+
+
+def encode_element(element: Element) -> Any:
+    """One universe element as a JSON value (injective; see module doc)."""
+    if isinstance(element, bool) or element is None:
+        raise StructureError(f"cannot serialize universe element {element!r}")
+    if isinstance(element, (int, str)):
+        return element
+    if isinstance(element, tuple):
+        return {"t": [encode_element(part) for part in element]}
+    raise StructureError(f"cannot serialize universe element {element!r}")
+
+
+def decode_element(value: Any) -> Element:
+    if isinstance(value, (int, str)):
+        return value
+    if isinstance(value, dict) and set(value) == {"t"}:
+        return tuple(decode_element(part) for part in value["t"])
+    raise StructureError(f"cannot deserialize universe element {value!r}")
+
+
+# -- structures --------------------------------------------------------------
+
+
+def structure_to_dict(structure: Structure) -> dict:
+    """A JSON-ready dict capturing the structure exactly."""
+    return {
+        "signature": {
+            "relations": {
+                name: structure.signature.arity(name)
+                for name in structure.signature.relation_names()
+            },
+            "constants": sorted(structure.signature.constants),
+        },
+        "universe": [encode_element(element) for element in structure.universe],
+        "relations": {
+            name: sorted(
+                ([encode_element(value) for value in row] for row in tuples),
+                key=repr,
+            )
+            for name, tuples in sorted(structure.relations.items())
+        },
+        "constants": {
+            name: encode_element(value)
+            for name, value in sorted(structure.constants.items())
+        },
+    }
+
+
+def structure_from_dict(data: dict) -> Structure:
+    if not isinstance(data, dict) or "signature" not in data or "universe" not in data:
+        raise StructureError(
+            "wire structure must be an object with 'signature' and 'universe'"
+        )
+    signature = Signature(
+        dict(data["signature"]["relations"]),
+        frozenset(data["signature"].get("constants", ())),
+    )
+    universe = [decode_element(value) for value in data["universe"]]
+    relations = {
+        name: [tuple(decode_element(value) for value in row) for row in rows]
+        for name, rows in data.get("relations", {}).items()
+    }
+    constants = {
+        name: decode_element(value)
+        for name, value in data.get("constants", {}).items()
+    }
+    return Structure(signature, universe, relations, constants)
+
+
+def structure_digest(structure: Structure) -> str:
+    """A content-addressed structure id: ``s-`` + SHA-256 prefix of the
+    canonical wire encoding.  Identical structures (however uploaded, by
+    whichever tenant) share an id, which is what lets the server share
+    plan- and answer-cache entries across tenants safely — structures
+    are immutable."""
+    canonical = json.dumps(structure_to_dict(structure), sort_keys=True)
+    return "s-" + hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+# -- answer sets -------------------------------------------------------------
+
+
+def answers_to_wire(rows: frozenset[tuple[Element, ...]]) -> list[list[Any]]:
+    """An answer set as a canonically ordered list of encoded tuples.
+
+    The sort key is ``repr`` of the decoded tuple — total over the mixed
+    int/str/tuple element universe — so paging a large answer set is
+    deterministic across requests and across server restarts.
+    """
+    return [
+        [encode_element(value) for value in row]
+        for row in sorted(rows, key=repr)
+    ]
+
+
+def answers_from_wire(rows: list[list[Any]]) -> frozenset[tuple[Element, ...]]:
+    return frozenset(
+        tuple(decode_element(value) for value in row) for row in rows
+    )
+
+
+# -- typed errors ------------------------------------------------------------
+
+
+def status_for_error(error: BaseException) -> int:
+    """The HTTP status an error maps to.
+
+    * :class:`~repro.errors.InjectedFaultError` → 503 — a server-side
+      (injected) fault; the client may retry.
+    * any other :class:`~repro.errors.BudgetExceededError` → 429 — the
+      request exceeded its admission budget; a typed refusal.
+    * :class:`~repro.errors.ServerError` → its own ``status`` (404 for
+      unknown tenants/structures/queries, 409 for prepare conflicts).
+    * any other :class:`~repro.errors.FMTError` → 400 — the request was
+      understood but invalid (parse errors, bad structures, ...).
+    """
+    if isinstance(error, InjectedFaultError):
+        return 503
+    if isinstance(error, BudgetExceededError):
+        return 429
+    if isinstance(error, ServerError):
+        return error.status
+    if isinstance(error, FMTError):
+        return 400
+    return 500
+
+
+def error_to_wire(error: BaseException, status: int | None = None) -> dict:
+    """The typed error payload for one failed request.
+
+    Budget refusals additionally carry ``refusal: true`` plus the
+    ``spent``/``budget`` accounting from
+    :class:`~repro.errors.BudgetExceededError`, so admission-control
+    outcomes are machine-countable (the conformance remote backend and
+    the CI smoke assert on these fields, not on message text).
+    """
+    status = status_for_error(error) if status is None else status
+    payload: dict[str, Any] = {
+        "type": type(error).__name__,
+        "message": str(error),
+    }
+    if isinstance(error, BudgetExceededError):
+        payload["refusal"] = True
+        payload["spent"] = error.spent
+        payload["budget"] = error.budget
+    return {"error": payload, "status": status}

@@ -109,6 +109,43 @@ class TestLRUCacheHammer:
             for thread in threads:
                 thread.join()
 
+    def test_snapshot_totals_exact_under_eviction_pressure(self):
+        """8 threads interleave snapshot() with puts that evict on every
+        batch: every snapshot's hit+miss total must be internally exact
+        (``lookups`` is computed under the same lock cut) and the totals
+        observed across snapshots must be monotone — a torn read of the
+        counters would show either a mismatched ``lookups`` or a total
+        that goes backwards."""
+        cache = LRUCache(capacity=8, name=None)
+        keyspace = 64  # 8× capacity: every put batch evicts
+        per_thread_lookups = OPS_PER_THREAD // 2
+
+        def worker(seed):
+            last_total = 0
+            for step in range(OPS_PER_THREAD):
+                key = (seed * 17 + step * 5) % keyspace
+                if step % 2 == 0:
+                    cache.put(key, key)
+                    cache.get(key if step % 4 == 0 else (key + 1) % keyspace)
+                else:
+                    snap = cache.snapshot()
+                    assert snap["lookups"] == snap["hits"] + snap["misses"]
+                    assert snap["lookups"] >= last_total  # monotone cut
+                    assert snap["size"] <= snap["capacity"]
+                    if snap["lookups"]:
+                        assert snap["hit_rate"] == pytest.approx(
+                            snap["hits"] / snap["lookups"]
+                        )
+                    last_total = snap["lookups"]
+
+        errors = _run_threads(worker)
+        assert errors == []
+        final = cache.snapshot()
+        # Exactly one lookup per put step across all threads; no increment
+        # may be lost or double-counted whatever the eviction interleaving.
+        assert final["lookups"] == THREADS * per_thread_lookups
+        assert final["evictions"] > 0
+
     def test_concurrent_get_or_compute_converges(self):
         cache = LRUCache(capacity=8)
         computed = []

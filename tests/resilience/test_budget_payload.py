@@ -1,0 +1,120 @@
+"""CancelToken.to_payload / from_payload: the process-boundary round trip.
+
+These tuples also underlie the server's admission handoff (the remote
+conformance backend ships the remaining allowance the same way), so the
+edge cases — expired deadlines, exhausted budgets, stride preservation —
+are wire-compatibility tests, not just pickling tests.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import BudgetExceededError
+from repro.resilience.budget import DEFAULT_STRIDE, Budget, CancelToken
+
+
+def test_unbounded_token_round_trip():
+    token = CancelToken()
+    payload = token.to_payload()
+    assert payload == (None, None, None, DEFAULT_STRIDE)
+    rebuilt = CancelToken.from_payload(payload)
+    assert rebuilt.deadline is None
+    assert rebuilt.max_rows is None
+    assert rebuilt.max_solver_nodes is None
+    rebuilt.check()  # never raises
+    rebuilt.consume_rows(10_000)
+
+
+def test_payload_carries_remaining_not_original_allowance():
+    token = Budget(max_rows=100, max_solver_nodes=50).start()
+    token.consume_rows(30)
+    token.consume_nodes(20)
+    remaining, rows_left, nodes_left, _stride = token.to_payload()
+    assert remaining is None
+    assert rows_left == 70
+    assert nodes_left == 30
+
+
+def test_expired_deadline_ships_zero_and_rebuilt_token_refuses():
+    token = Budget(deadline_ms=1).start()
+    time.sleep(0.005)
+    remaining, *_ = token.to_payload()
+    assert remaining == 0.0  # clamped, never negative
+    rebuilt = CancelToken.from_payload(token.to_payload())
+    time.sleep(0.002)  # the restarted deadline is now + 0.0
+    with pytest.raises(BudgetExceededError, match="deadline exceeded"):
+        rebuilt.check()
+
+
+def test_overspent_rows_clamp_to_zero():
+    token = CancelToken(max_rows=5)
+    with pytest.raises(BudgetExceededError):
+        token.consume_rows(9)
+    _, rows_left, _, _ = token.to_payload()
+    assert rows_left == 0  # not -4
+
+
+def test_zero_rows_left_refuses_first_consumption():
+    token = Budget(max_rows=3).start()
+    token.consume_rows(3)  # exactly at budget: allowed
+    rebuilt = CancelToken.from_payload(token.to_payload())
+    assert rebuilt.max_rows == 0
+    with pytest.raises(BudgetExceededError, match="row budget"):
+        rebuilt.consume_rows(1)
+
+
+def test_zero_nodes_left_refuses_first_consumption():
+    token = Budget(max_solver_nodes=2).start()
+    token.consume_nodes(2)
+    rebuilt = CancelToken.from_payload(token.to_payload())
+    assert rebuilt.max_solver_nodes == 0
+    with pytest.raises(BudgetExceededError, match="solver-node budget"):
+        rebuilt.consume_nodes()
+
+
+def test_default_stride_round_trips():
+    token = Budget(deadline_ms=10_000).start()
+    rebuilt = CancelToken.from_payload(token.to_payload())
+    assert rebuilt.stride == DEFAULT_STRIDE
+
+
+def test_custom_stride_round_trips():
+    token = Budget(deadline_ms=10_000, stride=7).start()
+    rebuilt = CancelToken.from_payload(token.to_payload())
+    assert rebuilt.stride == 7
+
+
+def test_rebuilt_deadline_restarts_on_local_clock():
+    token = Budget(deadline_ms=60_000).start()
+    remaining, *_ = token.to_payload()
+    assert 0.0 < remaining <= 60.0
+    rebuilt = CancelToken.from_payload(token.to_payload())
+    local_remaining = rebuilt.remaining_seconds()
+    assert local_remaining is not None
+    assert abs(local_remaining - remaining) < 1.0
+    rebuilt.check()  # fresh allowance, does not raise
+
+
+def test_rebuilt_token_counts_from_zero():
+    token = Budget(max_rows=10).start()
+    token.consume_rows(4)
+    rebuilt = CancelToken.from_payload(token.to_payload())
+    assert rebuilt.rows == 0
+    rebuilt.consume_rows(6)  # the remaining allowance, exactly
+    with pytest.raises(BudgetExceededError):
+        rebuilt.consume_rows(1)
+
+
+def test_cancellation_does_not_cross_the_payload():
+    """A payload is an allowance, not a live handle: cancelling the
+    parent after shipping does not cancel the rebuilt token."""
+    token = Budget(max_rows=10).start()
+    payload = token.to_payload()
+    token.cancel("parent gave up")
+    rebuilt = CancelToken.from_payload(payload)
+    rebuilt.check()  # not cancelled
+    with pytest.raises(BudgetExceededError):
+        token.check()

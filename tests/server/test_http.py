@@ -1,0 +1,230 @@
+"""The HTTP transport end to end: a live ephemeral-port server per module."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.eval.evaluator import answers as naive_answers
+from repro.logic.parser import parse
+from repro.server import wire
+from repro.server.http import serve
+from repro.server.service import QueryService
+from repro.structures.builders import undirected_cycle
+
+
+@pytest.fixture(scope="module")
+def server_url():
+    server, thread = serve(QueryService())
+    yield server.url
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+def _get(url: str) -> tuple[int, dict]:
+    try:
+        with urllib.request.urlopen(url, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def _post(url: str, payload: dict) -> tuple[int, dict]:
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+@pytest.fixture(scope="module")
+def cycle_id(server_url: str) -> str:
+    status, body = _post(
+        server_url + "/v1/structures",
+        {"tenant": "t", "structure": wire.structure_to_dict(undirected_cycle(6))},
+    )
+    assert status == 200
+    return body["structure_id"]
+
+
+def test_healthz(server_url: str):
+    status, body = _get(server_url + "/healthz")
+    assert status == 200
+    assert body["ok"] is True
+    assert body["wire_version"] == wire.WIRE_VERSION
+
+
+def test_structure_upload_idempotent(server_url: str, cycle_id: str):
+    status, body = _post(
+        server_url + "/v1/structures",
+        {"structure": wire.structure_to_dict(undirected_cycle(6))},
+    )
+    assert status == 200
+    assert body["structure_id"] == cycle_id
+    assert body["size"] == 6
+
+
+def test_prepare_and_answer(server_url: str, cycle_id: str):
+    status, prepared = _post(
+        server_url + "/v1/queries",
+        {"tenant": "t", "formula": "exists y. E(x, y)", "structure_id": cycle_id},
+    )
+    assert status == 200
+    assert prepared["free_variables"] == ["x"]
+    assert prepared["is_sentence"] is False
+
+    status, page = _post(
+        server_url + "/v1/answers",
+        {"tenant": "t", "structure_id": cycle_id, "query": prepared["query"]},
+    )
+    assert status == 200
+    expected = naive_answers(undirected_cycle(6), parse("exists y. E(x, y)"))
+    assert wire.answers_from_wire(page["rows"]) == expected
+    assert page["total_rows"] == len(expected)
+    assert page["has_more"] is False
+    assert page["free_variables"] == ["x"]
+
+
+def test_adhoc_answer_and_paging(server_url: str, cycle_id: str):
+    rows: list = []
+    page_index = 0
+    while True:
+        status, page = _post(
+            server_url + "/v1/answers",
+            {
+                "tenant": "t",
+                "structure_id": cycle_id,
+                "formula": "E(x, y)",
+                "page": page_index,
+                "page_size": 5,
+            },
+        )
+        assert status == 200
+        rows.extend(page["rows"])
+        if not page["has_more"]:
+            break
+        page_index += 1
+    expected = naive_answers(undirected_cycle(6), parse("E(x, y)"))
+    assert wire.answers_from_wire(rows) == expected
+    assert len(rows) == len(expected)  # pages partition, no overlap
+
+
+def test_batch_answers(server_url: str, cycle_id: str):
+    status, body = _post(
+        server_url + "/v1/answers",
+        {
+            "tenant": "t",
+            "requests": [
+                {"structure_id": cycle_id, "formula": "E(x, y)"},
+                {"structure_id": cycle_id, "formula": "exists x. E(x, y)"},
+            ],
+        },
+    )
+    assert status == 200
+    results = body["results"]
+    assert len(results) == 2
+    assert wire.answers_from_wire(results[0]["rows"]) == naive_answers(
+        undirected_cycle(6), parse("E(x, y)")
+    )
+
+
+def test_over_budget_refusal_is_typed_429(server_url: str, cycle_id: str):
+    status, body = _post(
+        server_url + "/v1/answers",
+        {"tenant": "t", "structure_id": cycle_id, "formula": "E(x, y)", "max_rows": 1},
+    )
+    assert status == 429
+    error = body["error"]
+    assert error["type"] == "BudgetExceededError"
+    assert error["refusal"] is True
+    assert error["spent"] == 12
+    assert error["budget"] == 1
+
+
+def test_unknown_structure_404(server_url: str):
+    status, body = _post(
+        server_url + "/v1/answers",
+        {"tenant": "t", "structure_id": "s-0000000000000000", "formula": "E(x, y)"},
+    )
+    assert status == 404
+    assert body["error"]["type"] == "UnknownResourceError"
+
+
+def test_unknown_query_404(server_url: str, cycle_id: str):
+    status, body = _post(
+        server_url + "/v1/answers",
+        {"tenant": "t", "structure_id": cycle_id, "query": "q-nope"},
+    )
+    assert status == 404
+    assert body["error"]["type"] == "UnknownResourceError"
+
+
+def test_parse_error_400(server_url: str, cycle_id: str):
+    status, body = _post(
+        server_url + "/v1/answers",
+        {"tenant": "t", "structure_id": cycle_id, "formula": "E(x, ("},
+    )
+    assert status == 400
+    assert body["error"]["type"] == "ParseError"
+
+
+def test_prepare_conflict_409(server_url: str, cycle_id: str):
+    payload = {
+        "tenant": "t",
+        "formula": "E(x, y)",
+        "name": "clash",
+        "structure_id": cycle_id,
+    }
+    assert _post(server_url + "/v1/queries", payload)[0] == 200
+    status, body = _post(
+        server_url + "/v1/queries", {**payload, "formula": "~(E(x, y))"}
+    )
+    assert status == 409
+    assert body["error"]["type"] == "ServerError"
+
+
+def test_malformed_json_400(server_url: str):
+    request = urllib.request.Request(
+        server_url + "/v1/answers",
+        data=b"{not json",
+        headers={"Content-Type": "application/json"},
+    )
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(request, timeout=30)
+    assert excinfo.value.code == 400
+    assert json.loads(excinfo.value.read())["error"]["type"] == "ServerError"
+
+
+def test_missing_body_400(server_url: str):
+    request = urllib.request.Request(server_url + "/v1/answers", data=b"")
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(request, timeout=30)
+    assert excinfo.value.code == 400
+
+
+def test_unknown_route_404(server_url: str):
+    status, body = _get(server_url + "/nope")
+    assert status == 404
+    status, body = _post(server_url + "/v1/nope", {"tenant": "t"})
+    assert status == 404
+
+
+def test_metrics_reflect_traffic(server_url: str, cycle_id: str):
+    status, metrics = _get(server_url + "/metrics")
+    assert status == 200
+    assert metrics["wire_version"] == wire.WIRE_VERSION
+    assert metrics["requests_served"] > 0
+    assert metrics["structures"] >= 1
+    tenant = metrics["tenants"]["t"]
+    assert tenant["counters"]["answered"] > 0
+    assert tenant["counters"]["refused"] >= 1  # the 429 test above
+    assert "plan" in metrics["caches"] and "answer" in metrics["caches"]

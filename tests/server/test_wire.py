@@ -1,0 +1,231 @@
+"""The wire format (v1): round trips, canonical ordering, typed errors,
+and the corpus-compatibility regression (satellite 1).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro.conformance.serialize as serialize
+from repro.conformance.corpus import default_corpus_dir
+from repro.conformance.generate import CaseGenerator
+from repro.errors import (
+    BudgetExceededError,
+    EvaluationError,
+    InjectedFaultError,
+    ParseError,
+    ServerError,
+    StructureError,
+    UnknownResourceError,
+)
+from repro.eval.evaluator import answers as naive_answers
+from repro.logic.signature import GRAPH
+from repro.server import wire
+from repro.structures.builders import undirected_cycle
+from repro.structures.structure import Structure
+
+
+# -- elements ----------------------------------------------------------------
+
+
+def test_element_round_trip_ints_strings_tuples():
+    for element in [0, -3, 17, "a", "node-1", (0, 1), (1, "x"), ((0, 1), (2, "y"))]:
+        assert wire.decode_element(wire.encode_element(element)) == element
+
+
+def test_element_encoding_is_injective_for_int_vs_str():
+    # 1 and "1" must stay distinct through JSON.
+    assert wire.encode_element(1) == 1
+    assert wire.encode_element("1") == "1"
+    assert wire.decode_element(1) != wire.decode_element("1")
+
+
+def test_tuple_encoding_is_tagged():
+    assert wire.encode_element((0, "a")) == {"t": [0, "a"]}
+    assert wire.decode_element({"t": [0, "a"]}) == (0, "a")
+
+
+def test_bool_and_none_elements_rejected():
+    with pytest.raises(StructureError):
+        wire.encode_element(True)
+    with pytest.raises(StructureError):
+        wire.encode_element(None)
+
+
+def test_bad_element_decode_rejected():
+    with pytest.raises(StructureError, match="cannot deserialize"):
+        wire.decode_element({"bogus": 1})
+    with pytest.raises(StructureError, match="cannot deserialize"):
+        wire.decode_element(1.5)
+
+
+# -- structures --------------------------------------------------------------
+
+
+def test_structure_round_trip_exact():
+    for case in CaseGenerator(seed=11).stream(25):
+        rebuilt = wire.structure_from_dict(wire.structure_to_dict(case.structure))
+        assert rebuilt == case.structure
+
+
+def test_structure_dict_is_json_stable():
+    structure = undirected_cycle(4)
+    first = json.dumps(wire.structure_to_dict(structure), sort_keys=True)
+    second = json.dumps(wire.structure_to_dict(structure), sort_keys=True)
+    assert first == second
+
+
+def test_structure_from_dict_validates_shape():
+    with pytest.raises(StructureError, match="'signature' and 'universe'"):
+        wire.structure_from_dict([1, 2, 3])
+    with pytest.raises(StructureError, match="'signature' and 'universe'"):
+        wire.structure_from_dict({"universe": [1]})
+
+
+def test_structure_digest_content_addressed():
+    a = undirected_cycle(5)
+    b = undirected_cycle(5)
+    c = undirected_cycle(6)
+    assert wire.structure_digest(a) == wire.structure_digest(b)
+    assert wire.structure_digest(a) != wire.structure_digest(c)
+    assert wire.structure_digest(a).startswith("s-")
+
+
+# -- formulas ----------------------------------------------------------------
+
+
+def test_formula_round_trip_semantics_and_fixpoint():
+    for case in CaseGenerator(seed=12).stream(25):
+        text = wire.format_formula(case.formula)
+        reparsed = wire.parse_formula(text, constants=case.structure.signature)
+        assert naive_answers(case.structure, reparsed) == naive_answers(
+            case.structure, case.formula
+        )
+        # One more trip is a syntactic fixpoint.
+        again = wire.parse_formula(
+            wire.format_formula(reparsed), constants=case.structure.signature
+        )
+        assert again == reparsed
+
+
+# -- answer sets -------------------------------------------------------------
+
+
+def test_answers_round_trip_and_canonical_order():
+    rows = frozenset({(2, 1), (1, 2), ("a", "b"), ((0, 1), 3)})
+    encoded = wire.answers_to_wire(rows)
+    assert wire.answers_from_wire(encoded) == rows
+    # Canonical: sorted by repr of the decoded tuple, stable across calls.
+    assert encoded == wire.answers_to_wire(rows)
+    decoded_order = [tuple(wire.decode_element(v) for v in row) for row in encoded]
+    assert decoded_order == sorted(rows, key=repr)
+
+
+def test_empty_and_nullary_answers():
+    assert wire.answers_to_wire(frozenset()) == []
+    assert wire.answers_from_wire([]) == frozenset()
+    assert wire.answers_to_wire(frozenset({()})) == [[]]
+    assert wire.answers_from_wire([[]]) == frozenset({()})
+
+
+# -- typed errors ------------------------------------------------------------
+
+
+def test_status_for_error_mapping():
+    assert wire.status_for_error(InjectedFaultError("site-x")) == 503
+    assert wire.status_for_error(BudgetExceededError("over", spent=2, budget=1)) == 429
+    assert wire.status_for_error(UnknownResourceError("missing")) == 404
+    assert wire.status_for_error(ServerError("conflict", status=409)) == 409
+    assert wire.status_for_error(ServerError("bad")) == 400
+    assert wire.status_for_error(ParseError("syntax")) == 400
+    assert wire.status_for_error(EvaluationError("eval")) == 400
+    assert wire.status_for_error(RuntimeError("bug")) == 500
+
+
+def test_refusal_payload_carries_accounting():
+    payload = wire.error_to_wire(BudgetExceededError("over", spent=82, budget=1))
+    assert payload["status"] == 429
+    error = payload["error"]
+    assert error["type"] == "BudgetExceededError"
+    assert error["refusal"] is True
+    assert error["spent"] == 82
+    assert error["budget"] == 1
+
+
+def test_plain_error_payload_has_no_refusal_fields():
+    payload = wire.error_to_wire(UnknownResourceError("nope"))
+    assert payload["status"] == 404
+    assert payload["error"]["type"] == "UnknownResourceError"
+    assert "refusal" not in payload["error"]
+
+
+# -- satellite 1: the conformance corpus rides the wire format ---------------
+
+
+def test_serialize_module_reuses_wire_functions():
+    """repro.conformance.serialize must not fork the encoding — its
+    structure/formula (de)serializers are the wire module's, by identity."""
+    assert serialize.format_formula is wire.format_formula
+    assert serialize.structure_to_dict is wire.structure_to_dict
+    assert serialize.structure_from_dict is wire.structure_from_dict
+
+
+def _corpus_files() -> list[Path]:
+    return sorted(default_corpus_dir().glob("*.json"))
+
+
+def test_corpus_exists():
+    assert _corpus_files(), "tests/corpus must contain serialized cases"
+
+
+@pytest.mark.parametrize("path", _corpus_files(), ids=lambda p: p.stem)
+def test_corpus_files_round_trip(path: Path):
+    """Every corpus file keeps loading through the shared wire codec.
+
+    The structure section is byte-identical after a round trip.  The
+    formula section re-prints to a fixpoint: the first trip may add
+    parentheses the parser's flattening dropped, the second trip must
+    change nothing — and semantics never change.
+    """
+    raw = path.read_text()
+    case = serialize.case_from_json(raw)
+    reserialized = serialize.case_to_json(case)
+
+    original = json.loads(raw)
+    once = json.loads(reserialized)
+    assert once["structure"] == original["structure"]
+    assert once["name"] == original["name"]
+    assert once["seed"] == original["seed"]
+
+    # Formula: semantics preserved, syntax a fixpoint after one trip.
+    reparsed = wire.parse_formula(
+        once["formula"], constants=case.structure.signature
+    )
+    assert naive_answers(case.structure, reparsed) == naive_answers(
+        case.structure, case.formula
+    )
+    twice = serialize.case_to_json(serialize.case_from_json(reserialized))
+    assert twice == reserialized
+
+
+def test_corpus_structure_section_is_a_valid_wire_upload():
+    """A corpus file's structure section decodes directly as a wire
+    structure — the corpus and the server share one set of bytes."""
+    for path in _corpus_files():
+        payload = json.loads(path.read_text())
+        structure = wire.structure_from_dict(payload["structure"])
+        assert wire.structure_to_dict(structure) == payload["structure"]
+
+
+def test_wire_version_is_one():
+    assert wire.WIRE_VERSION == 1
+
+
+def test_graph_structure_upload_shape():
+    structure = Structure(GRAPH, [1, 2], {"E": [(1, 2)]})
+    data = wire.structure_to_dict(structure)
+    assert data["signature"]["relations"] == {"E": 2}
+    assert data["relations"]["E"] == [[1, 2]]
