@@ -289,18 +289,28 @@ def remote_backend(base_url: str, tenant: str = "conformance") -> Backend:
     typed server refusal exactly like a local one.  Any other non-200 is
     a conformance *failure* (kind ``error``) — the server is not allowed
     to fail requests the in-process engines can answer.
+
+    Every call additionally sends a fresh client-minted ``trace_id`` and
+    **strictly asserts the echo** — on success pages and on typed error
+    bodies alike.  A missing or different id is a conformance failure:
+    wire format v1 guarantees trace correlation, so an un-echoed id
+    would break every client trying to join its calls against the
+    server's span trees and access log.
     """
     import json
     import urllib.error
     import urllib.request
 
     from repro.server import wire
+    from repro.telemetry.context import new_trace_id
 
     base = base_url.rstrip("/")
     structure_ids: dict[Structure, str] = {}
     prepared_names: dict[tuple[Formula, frozenset], str] = {}
 
     def call(path: str, payload: dict) -> tuple[int, dict]:
+        sent_trace_id = new_trace_id()
+        payload = dict(payload, trace_id=sent_trace_id)
         request = urllib.request.Request(
             base + path,
             data=json.dumps(payload).encode(),
@@ -308,16 +318,23 @@ def remote_backend(base_url: str, tenant: str = "conformance") -> Backend:
         )
         try:
             with urllib.request.urlopen(request, timeout=120) as response:
-                return response.status, json.loads(response.read())
+                status, decoded = response.status, json.loads(response.read())
         except urllib.error.HTTPError as error:
             body = error.read()
             try:
                 decoded = json.loads(body)
             except json.JSONDecodeError:
                 decoded = {"error": {"type": "HTTPError", "message": body[:200].decode("utf-8", "replace")}}
-            return error.code, decoded
+            status = error.code
         except (urllib.error.URLError, OSError) as error:
             raise FMTError(f"remote backend cannot reach {base}: {error}") from error
+        echoed = decoded.get("trace_id") if isinstance(decoded, dict) else None
+        if echoed != sent_trace_id:
+            raise FMTError(
+                f"remote {path} did not echo trace_id: sent "
+                f"{sent_trace_id!r}, got {echoed!r} (status {status})"
+            )
+        return status, decoded
 
     def raise_for(status: int, body: dict) -> None:
         error = body.get("error", {}) if isinstance(body, dict) else {}

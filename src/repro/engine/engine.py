@@ -113,6 +113,33 @@ class ProfiledExplanation(Explanation):
         """Measured rows/duration for one node of :attr:`plan`, if recorded."""
         return self.actuals.get(id(node))
 
+    def to_dict(self) -> dict:
+        """A JSON-ready EXPLAIN ANALYZE: the plan tree with the
+        planner's estimates next to the executor's measured actuals per
+        node — what the server's wire-level ``explain`` option ships."""
+
+        def node_dict(node: Plan) -> dict:
+            measured = self.actuals.get(id(node))
+            return {
+                "op": node.label(),
+                "attributes": list(node.attributes),
+                "estimated_rows": node.estimated_rows,
+                "actual_rows": measured.rows if measured is not None else None,
+                "actual_ms": measured.milliseconds if measured is not None else None,
+                "children": [node_dict(child) for child in node.children()],
+            }
+
+        return {
+            "formula": str(self.formula),
+            "normalized": str(self.normalized),
+            "fast_path": self.fast_path,
+            "fast_path_reason": self.fast_path_reason,
+            "estimated_total_rows": self.plan.total_estimated_rows(),
+            "rows": len(self.answers),
+            "seconds": self.seconds,
+            "plan": node_dict(self.plan),
+        }
+
     def __str__(self) -> str:
         dispatch = "dispatched" if self.fast_path else "not dispatched"
         return "\n".join(

@@ -41,6 +41,17 @@ counters, a ``parallel.chunk_ms`` histogram of per-chunk worker time,
 ``parallel.serial_fallbacks`` for degraded calls,
 ``parallel.cancelled_chunks`` for budget-cancelled work, and a
 ``parallel.workers`` gauge recording the pool width in use.
+
+**Trace propagation.**  When the calling thread is recording (a sampled
+request scope, or tracing enabled globally), the current trace identity
+ships with every chunk exactly the way the cancel token's allowance
+does: :func:`repro.telemetry.context.propagation_payload` on the parent
+side, a rebuilt recording scope in the worker, and the worker's
+finished span trees returned alongside the results, where
+:func:`repro.telemetry.tracer.adopt_spans` grafts them back under the
+parent trace.  A request's span tree therefore stays whole even when
+parts of it ran in other processes; when nothing is recording the
+payload is ``None`` and workers skip span collection entirely.
 """
 
 from __future__ import annotations
@@ -60,10 +71,13 @@ from typing import Any
 from repro.errors import BudgetExceededError, ParallelError
 from repro.resilience.budget import CancelToken
 from repro.resilience.faults import fault_point
+from repro.telemetry.context import propagation_payload, scope_from_payload
 from repro.telemetry.metrics import counter as _counter
 from repro.telemetry.metrics import gauge as _gauge
 from repro.telemetry.metrics import histogram as _histogram
+from repro.telemetry.tracer import adopt_spans as _adopt_spans
 from repro.telemetry.tracer import is_enabled as _telemetry_enabled
+from repro.telemetry.tracer import span as _span
 
 __all__ = [
     "ParallelConfig",
@@ -199,14 +213,24 @@ def shutdown() -> None:
 
 
 def _run_chunk(
-    fn: Callable[[Any], Any], chunk: list, token_arg: Any = None
-) -> tuple[list, float]:
+    fn: Callable[[Any], Any],
+    chunk: list,
+    token_arg: Any = None,
+    trace_arg: tuple[str, str] | None = None,
+) -> tuple[list, float, list[dict] | None]:
     """Worker-side body: apply ``fn`` item-wise, timing the whole chunk.
 
     ``token_arg`` is either a live :class:`CancelToken` (thread backend —
     shared memory), a :meth:`CancelToken.to_payload` tuple (process
     backend), or ``None``. A cancelled/expired token stops the chunk
     between items with :class:`BudgetExceededError`.
+
+    ``trace_arg`` is a :func:`propagation_payload` tuple or ``None``.
+    When present the chunk runs under a rebuilt recording scope with the
+    parent's trace id, wrapped in a ``parallel.chunk`` span, and the
+    third return slot carries the finished span trees (serialized) for
+    the parent to adopt; when absent it is ``None`` and tracing costs
+    nothing here.
     """
     if token_arg is None:
         token = None
@@ -214,15 +238,26 @@ def _run_chunk(
         token = token_arg
     else:
         token = CancelToken.from_payload(token_arg)
-    start = time.perf_counter()
-    if token is None:
-        results = [fn(item) for item in chunk]
-    else:
+
+    def run() -> list:
+        if token is None:
+            return [fn(item) for item in chunk]
         results = []
         for item in chunk:
             token.tick("parallel.chunk")
             results.append(fn(item))
-    return results, time.perf_counter() - start
+        return results
+
+    start = time.perf_counter()
+    if trace_arg is None:
+        return run(), time.perf_counter() - start, None
+    scope = scope_from_payload(tuple(trace_arg))
+    with scope:
+        with _span("parallel.chunk") as chunk_span:
+            results = run()
+            chunk_span.set("items", len(chunk))
+    span_dicts = [root.to_dict() for root in scope.roots]
+    return results, time.perf_counter() - start, span_dicts
 
 
 #: Exceptions that mean "this payload does not pickle" — and nothing
@@ -305,12 +340,13 @@ def parallel_map(
         token_arg = cancel_token  # shared memory: workers see cancel() live
     else:
         token_arg = cancel_token.to_payload()
+    trace_arg = propagation_payload()
 
     executor = _shared_executor(chosen_backend, workers)
     futures = []
     for chunk in chunks:
         try:
-            futures.append(executor.submit(_run_chunk, fn, chunk, token_arg))
+            futures.append(executor.submit(_run_chunk, fn, chunk, token_arg, trace_arg))
         except RuntimeError:
             # The shared pool was shut down between our lookup and this
             # submit (shutdown() is allowed to interleave). Get a fresh
@@ -318,9 +354,13 @@ def parallel_map(
             # rather than fail a correct computation.
             executor = _shared_executor(chosen_backend, workers)
             try:
-                futures.append(executor.submit(_run_chunk, fn, chunk, token_arg))
+                futures.append(
+                    executor.submit(_run_chunk, fn, chunk, token_arg, trace_arg)
+                )
             except RuntimeError:
-                futures.append(_CompletedChunk(_run_chunk(fn, chunk, token_arg)))
+                futures.append(
+                    _CompletedChunk(_run_chunk(fn, chunk, token_arg, trace_arg))
+                )
 
     results: list = []
     failure: BaseException | None = None
@@ -332,7 +372,7 @@ def parallel_map(
         try:
             if cancel_token is not None and cancel_token.cancelled:
                 cancel_token.check("parallel.collect")
-            chunk_results, seconds = future.result(timeout=timeout)
+            chunk_results, seconds, chunk_spans = future.result(timeout=timeout)
         except _FuturesTimeoutError:
             failure = BudgetExceededError(
                 f"deadline exceeded at parallel.collect "
@@ -348,6 +388,8 @@ def parallel_map(
             failure = error
             continue
         results.extend(chunk_results)
+        if chunk_spans:
+            _adopt_spans(chunk_spans)
         if telemetry_on:
             _histogram("parallel.chunk_ms").observe(seconds * 1000.0)
     if failure is not None:
@@ -362,10 +404,12 @@ def parallel_map(
 class _CompletedChunk:
     """A future-shaped wrapper for a chunk that had to run in the caller."""
 
-    def __init__(self, value: tuple[list, float]) -> None:
+    def __init__(self, value: tuple[list, float, list[dict] | None]) -> None:
         self._value = value
 
-    def result(self, timeout: float | None = None) -> tuple[list, float]:
+    def result(
+        self, timeout: float | None = None
+    ) -> tuple[list, float, list[dict] | None]:
         return self._value
 
     def cancel(self) -> bool:

@@ -34,6 +34,7 @@ from repro.logic.syntax import Formula
 from repro.resilience.budget import Budget, CancelToken, as_token
 from repro.resilience.faults import arm_faults
 from repro.structures.structure import Element, Structure
+from repro.telemetry.context import current_trace_id
 from repro.telemetry.metrics import counter as _counter
 from repro.telemetry.tracer import is_enabled as _telemetry_enabled
 from repro.telemetry.tracer import span as _span
@@ -111,10 +112,17 @@ class Rung:
 
 @dataclass
 class Degradation:
-    """One recorded step down the ladder (kept for introspection/tests)."""
+    """One recorded step down the ladder (kept for introspection/tests).
+
+    ``trace_id`` is the request context active when the rung failed
+    (``None`` outside a request scope), so a degradation observed in the
+    chain joins the access-log line and span tree of the request that
+    caused it.
+    """
 
     rung: str
     error: str
+    trace_id: str | None = None
 
 
 class FallbackChain:
@@ -187,9 +195,12 @@ class FallbackChain:
                 except BudgetExceededError as error:
                     breaker.record_failure()
                     last_error = error
-                    self.degradations.append(Degradation(rung.name, str(error)))
+                    self.degradations.append(
+                        Degradation(rung.name, str(error), current_trace_id())
+                    )
                     if _telemetry_enabled():
                         _counter(f"resilience.{self.name}.degradations").inc()
+                        _counter("resilience.degradations", rung=rung.name).inc()
                         _counter(f"resilience.rung.{rung.name}.failures").inc()
                     continue
                 breaker.record_success()

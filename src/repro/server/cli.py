@@ -81,6 +81,31 @@ def build_parser() -> argparse.ArgumentParser:
         "/metrics is richer with it on",
     )
     parser.add_argument(
+        "--trace-sample",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="fraction of requests whose spans are recorded (deterministic "
+        "per trace id; ids are echoed regardless). Default: 1.0 with "
+        "--telemetry, 0.0 without",
+    )
+    parser.add_argument(
+        "--access-log",
+        default=None,
+        metavar="PATH",
+        help="write one structured JSON line per answer request to PATH "
+        "('-' = stderr): trace_id, tenant, query hash, rows, budget "
+        "spend, degradations, breaker states, status",
+    )
+    parser.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="flag access-log entries at or over this duration as slow "
+        "(the slow-query log is the slow=true view of the access log)",
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="log one line per request to stderr"
     )
     return parser
@@ -114,12 +139,22 @@ def main(argv: list[str] | None = None) -> int:
     if args.deadline_ms is not None or args.max_rows is not None:
         default_budget = Budget(deadline_ms=args.deadline_ms, max_rows=args.max_rows)
 
+    if args.trace_sample is not None and not 0.0 <= args.trace_sample <= 1.0:
+        print(
+            f"error: --trace-sample must be in [0, 1], got {args.trace_sample}",
+            file=sys.stderr,
+        )
+        return 2
+
     from repro.engine.engine import Engine
+    from repro.telemetry.logs import open_access_log
 
     service = QueryService(
         default_budget=default_budget,
         engine=Engine(max_workers=args.workers),
         degree_bound=args.degree_bound,
+        trace_sample=args.trace_sample,
+        access_log=open_access_log(args.access_log, slow_ms=args.slow_ms),
     )
     server = make_server(service, host=args.host, port=args.port, verbose=args.verbose)
     print(f"serving on {server.url}", flush=True)

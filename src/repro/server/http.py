@@ -18,6 +18,19 @@ result or the typed error payload.  Status codes come from
 (including the conformance ``remote`` backend) can branch on status and
 ``error.type`` without parsing message text.
 
+**Tracing (telemetry v2).**  Every request gets a
+:class:`~repro.telemetry.context.TraceContext` — the client's id from
+the ``trace_id`` body field or ``X-Trace-Id`` header when valid, a
+fresh one otherwise — installed as a request-scoped tracer stack for
+the duration of the handler, so a reused ``ThreadingHTTPServer`` thread
+can never leak spans between tenants.  The final trace id is echoed in
+every response body (success and typed error) and as an ``X-Trace-Id``
+response header; span *recording* follows the service's sampling rate.
+
+``GET /metrics`` content-negotiates: JSON by default (unchanged), and
+Prometheus text exposition 0.0.4 when the ``Accept`` header asks for
+``text/plain`` or the query string says ``?format=prometheus``.
+
 Concurrency: ``ThreadingHTTPServer`` gives one thread per in-flight
 request; everything those threads touch (service dicts, engine caches,
 tenant counters) takes its own lock, and the per-request admission token
@@ -30,10 +43,14 @@ import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
+from urllib.parse import parse_qs, urlsplit
 
 from repro.errors import ServerError
 from repro.server import wire
 from repro.server.service import QueryService
+from repro.telemetry.context import mint, trace_scope
+from repro.telemetry.prometheus import CONTENT_TYPE as _PROMETHEUS_CONTENT_TYPE
+from repro.telemetry.tracer import span as _span
 
 __all__ = ["QueryServer", "make_server", "serve"]
 
@@ -67,17 +84,35 @@ class _Handler(BaseHTTPRequestHandler):
         if getattr(self.server, "verbose", False):
             super().log_message(format, *args)
 
-    def _send_json(self, status: int, payload: dict[str, Any]) -> None:
+    def _send_json(
+        self, status: int, payload: dict[str, Any], trace_id: str | None = None
+    ) -> None:
         body = json.dumps(payload, sort_keys=True).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if trace_id is not None:
+            self.send_header("X-Trace-Id", trace_id)
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_error_payload(self, error: BaseException) -> None:
-        payload = wire.error_to_wire(error)
-        self._send_json(payload["status"], payload)
+    def _send_text(
+        self, status: int, text: str, content_type: str, trace_id: str | None = None
+    ) -> None:
+        body = text.encode()
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        if trace_id is not None:
+            self.send_header("X-Trace-Id", trace_id)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_payload(
+        self, error: BaseException, trace_id: str | None = None
+    ) -> None:
+        payload = wire.error_to_wire(error, trace_id=trace_id)
+        self._send_json(payload["status"], payload, trace_id=trace_id)
 
     def _json_body(self) -> dict[str, Any]:
         length = int(self.headers.get("Content-Length") or 0)
@@ -101,33 +136,68 @@ class _Handler(BaseHTTPRequestHandler):
     # -- routes --------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 — http.server API
+        context = mint(
+            self.headers.get("X-Trace-Id"), rate=self._service.trace_rate()
+        )
         try:
-            if self.path == "/healthz":
-                self._send_json(200, self._service.health())
-            elif self.path == "/metrics":
-                self._send_json(200, self._service.metrics())
+            parts = urlsplit(self.path)
+            if parts.path == "/healthz":
+                self._send_json(200, self._service.health(), trace_id=context.trace_id)
+            elif parts.path == "/metrics":
+                if self._wants_prometheus(parts.query):
+                    self._send_text(
+                        200,
+                        self._service.metrics_prometheus(),
+                        _PROMETHEUS_CONTENT_TYPE,
+                        trace_id=context.trace_id,
+                    )
+                else:
+                    self._send_json(
+                        200, self._service.metrics(), trace_id=context.trace_id
+                    )
             else:
                 self._send_error_payload(
-                    ServerError(f"no route for GET {self.path}", status=404)
+                    ServerError(f"no route for GET {self.path}", status=404),
+                    trace_id=context.trace_id,
                 )
         except Exception as error:  # noqa: BLE001 — boundary: encode, don't crash
-            self._send_error_payload(error)
+            self._send_error_payload(error, trace_id=context.trace_id)
+
+    def _wants_prometheus(self, query: str) -> bool:
+        requested = parse_qs(query).get("format", [""])[0]
+        if requested == "prometheus":
+            return True
+        if requested == "json":
+            return False
+        return "text/plain" in (self.headers.get("Accept") or "")
 
     def do_POST(self) -> None:  # noqa: N802 — http.server API
+        context = None
+        header_id = self.headers.get("X-Trace-Id")
         try:
             body = self._json_body()
-            if self.path == "/v1/structures":
-                self._send_json(200, self._post_structures(body))
-            elif self.path == "/v1/queries":
-                self._send_json(200, self._post_queries(body))
-            elif self.path == "/v1/answers":
-                self._send_json(200, self._post_answers(body))
-            else:
-                self._send_error_payload(
-                    ServerError(f"no route for POST {self.path}", status=404)
-                )
+            context = mint(
+                body.get("trace_id", header_id), rate=self._service.trace_rate()
+            )
+            with trace_scope(context):
+                with _span("server.request") as request_span:
+                    request_span.set("path", self.path)
+                    if self.path == "/v1/structures":
+                        result = self._post_structures(body)
+                    elif self.path == "/v1/queries":
+                        result = self._post_queries(body)
+                    elif self.path == "/v1/answers":
+                        result = self._post_answers(body)
+                    else:
+                        raise ServerError(
+                            f"no route for POST {self.path}", status=404
+                        )
+            result["trace_id"] = context.trace_id
+            self._send_json(200, result, trace_id=context.trace_id)
         except Exception as error:  # noqa: BLE001 — boundary: encode, don't crash
-            self._send_error_payload(error)
+            if context is None:
+                context = mint(header_id, rate=self._service.trace_rate())
+            self._send_error_payload(error, trace_id=context.trace_id)
 
     # -- endpoint bodies -----------------------------------------------------
 
@@ -182,6 +252,7 @@ class _Handler(BaseHTTPRequestHandler):
             deadline_ms=body.get("deadline_ms"),
             max_rows=body.get("max_rows"),
             free_variables=body.get("free_variables"),
+            explain=bool(body.get("explain", False)),
         )
         return page.to_wire()
 

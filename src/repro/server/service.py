@@ -36,6 +36,20 @@ shared answer cache: cache admission is a prepared-query privilege, so
 a flood of one-off queries cannot evict the working set of every other
 tenant.  That split is also what the throughput benchmark measures —
 prepared vs cold is the price of skipping preparation.
+
+**Observability (telemetry v2, S19).**  Every answer request runs under
+a :class:`~repro.telemetry.context.TraceContext` — reused when the
+transport already installed one, minted here when the service is driven
+directly — sampled at ``trace_sample``; the trace id is stamped on every
+span, every degradation the request caused, the structured access-log
+line (:class:`~repro.telemetry.logs.AccessLog`: tenant, query hash,
+rows, budget spend, degradations, breaker states, status, duration),
+and the wire response.  Labeled request metrics
+(``server.requests{tenant,outcome}``, ``server.request_ms{tenant}``)
+are recorded unconditionally — they are cheap, bounded-cardinality, and
+what ``GET /metrics`` exposes in Prometheus text form.  The wire-level
+``explain`` option returns :meth:`Engine.profile`'s per-node actuals
+plus the request's span tree.
 """
 
 from __future__ import annotations
@@ -44,7 +58,8 @@ import hashlib
 import itertools
 import threading
 import time
-from dataclasses import dataclass, field
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
 from typing import Any
 
 from repro.engine.engine import Engine
@@ -60,7 +75,16 @@ from repro.resilience.budget import Budget, CancelToken
 from repro.resilience.fallback import FallbackChain, default_chain
 from repro.server import wire
 from repro.structures.structure import Element, Structure
+from repro.telemetry import context as trace_context
+from repro.telemetry.logs import AccessLog
+from repro.telemetry.metrics import counter as _counter
+from repro.telemetry.metrics import gauge as _gauge
+from repro.telemetry.metrics import histogram as _histogram
 from repro.telemetry.metrics import metrics_snapshot
+from repro.telemetry.prometheus import render_exposition
+from repro.telemetry.tracer import is_enabled as _telemetry_enabled
+from repro.telemetry.tracer import open_root as _open_root
+from repro.telemetry.tracer import span as _span
 
 __all__ = [
     "AnswerPage",
@@ -107,9 +131,10 @@ class AnswerPage:
     free_names: tuple[str, ...]
     query: str | None = None
     structure_id: str = ""
+    explain: dict[str, Any] | None = None
 
     def to_wire(self) -> dict[str, Any]:
-        return {
+        payload = {
             "rows": [
                 [wire.encode_element(value) for value in row] for row in self.rows
             ],
@@ -121,6 +146,9 @@ class AnswerPage:
             "query": self.query,
             "structure_id": self.structure_id,
         }
+        if self.explain is not None:
+            payload["explain"] = self.explain
+        return payload
 
 
 class TenantSession:
@@ -190,6 +218,15 @@ class QueryService:
         a session with the default budget — the multi-tenant analogue of
         "anonymous users get the public rate limit". When false, unknown
         tenants are a 404.
+    trace_sample:
+        Fraction of requests whose spans are recorded (deterministic
+        per trace id). ``None`` (default) follows the process-wide
+        telemetry switch: record everything when telemetry is enabled,
+        nothing otherwise. Trace ids are minted and echoed regardless —
+        sampling decides *profiling*, not *identity*.
+    access_log:
+        Optional :class:`~repro.telemetry.logs.AccessLog` receiving one
+        structured entry per answer request.
     """
 
     def __init__(
@@ -199,17 +236,47 @@ class QueryService:
         degree_bound: int = 3,
         auto_register: bool = True,
         max_page_size: int = MAX_PAGE_SIZE,
+        trace_sample: float | None = None,
+        access_log: AccessLog | None = None,
     ) -> None:
         self.engine = engine if engine is not None else Engine()
         self.default_budget = default_budget
         self.degree_bound = degree_bound
         self.auto_register = auto_register
         self.max_page_size = min(max_page_size, MAX_PAGE_SIZE)
+        self.trace_sample = trace_sample
+        self.access_log = access_log
         self.structures: dict[str, Structure] = {}
         self.tenants: dict[str, TenantSession] = {}
         self._lock = threading.Lock()
         self._started = time.monotonic()
         self.requests_served = 0
+
+    # -- tracing -------------------------------------------------------------
+
+    def trace_rate(self) -> float:
+        """The effective sampling rate for a request arriving now."""
+        if self.trace_sample is not None:
+            return self.trace_sample
+        return 1.0 if _telemetry_enabled() else 0.0
+
+    @contextmanager
+    def request_scope(self, trace_id: object = None):
+        """The request's trace context: reuse the transport's, else mint.
+
+        Yields ``(context, scope)`` where ``scope`` is ``None`` when an
+        enclosing scope (installed by the HTTP layer) is already active —
+        the service then joins that trace instead of starting a nested
+        one, so transport-driven and directly-driven calls behave
+        identically.
+        """
+        existing = trace_context.current_trace()
+        if existing is not None:
+            yield existing, None
+            return
+        minted = trace_context.mint(trace_id, rate=self.trace_rate())
+        with trace_context.trace_scope(minted) as scope:
+            yield minted, scope
 
     # -- tenants -------------------------------------------------------------
 
@@ -403,6 +470,8 @@ class QueryService:
         deadline_ms: float | None = None,
         max_rows: int | None = None,
         free_variables: tuple[str, ...] | list[str] | None = None,
+        explain: bool = False,
+        trace_id: object = None,
     ) -> AnswerPage:
         """One answer page for a prepared query (by name) or an ad-hoc
         formula (by text).
@@ -414,55 +483,186 @@ class QueryService:
         :meth:`prepare`).  Budget exhaustion raises
         :class:`~repro.errors.BudgetExceededError` — the transport maps
         it to a typed 429/503 refusal.
+
+        ``explain=True`` attaches an EXPLAIN ANALYZE payload to the page:
+        :meth:`Engine.profile`'s plan tree with per-node estimates and
+        actuals, plus the request's span tree (when sampled).  Explained
+        requests always execute through the engine's profiling path —
+        actuals must be measured — so a prepared query explained here
+        bypasses its fallback chain for this one call.  ``trace_id``
+        joins (or seeds) the request's trace context.
         """
         session = self.tenant(tenant)
         session.count("requests")
         with self._lock:
             self.requests_served += 1
-        try:
-            structure = self.structure(structure_id)
-            token = self._effective_token(session, deadline_ms, max_rows)
-            if (query is None) == (formula is None):
-                raise ServerError(
-                    "exactly one of 'query' (prepared name) or 'formula' "
-                    "(ad-hoc text) is required"
-                )
-            if query is not None:
-                if free_variables is not None:
-                    raise ServerError(
-                        "'free_variables' is fixed at prepare time for "
-                        "prepared queries"
-                    )
-                prepared = self.prepared_query(tenant, query)
-                validate(prepared.formula, structure.signature)
-                natural, free_names = _answer_schema(
-                    prepared.formula, prepared.free_names
-                )
-                rows = session.chain.answers(structure, prepared.formula, budget=token)
+        started = time.perf_counter()
+        with self.request_scope(trace_id) as (ctx, scope):
+            degradations_before = len(session.chain.degradations)
+            token: CancelToken | None = None
+            status = 200
+            outcome = "ok"
+            query_hash: str | None = None
+            rows_returned = 0
+            try:
+                with _span("server.answers") as answer_span:
+                    answer_span.set("tenant", tenant)
+                    structure = self.structure(structure_id)
+                    token = self._effective_token(session, deadline_ms, max_rows)
+                    if (query is None) == (formula is None):
+                        raise ServerError(
+                            "exactly one of 'query' (prepared name) or 'formula' "
+                            "(ad-hoc text) is required"
+                        )
+                    profile = None
+                    if query is not None:
+                        if free_variables is not None:
+                            raise ServerError(
+                                "'free_variables' is fixed at prepare time for "
+                                "prepared queries"
+                            )
+                        prepared = self.prepared_query(tenant, query)
+                        query_hash = _query_hash(prepared.text)
+                        validate(prepared.formula, structure.signature)
+                        natural, free_names = _answer_schema(
+                            prepared.formula, prepared.free_names
+                        )
+                        if explain:
+                            profile = self.engine.profile(
+                                structure, prepared.formula, budget=token
+                            )
+                            rows = profile.answers
+                        else:
+                            rows = session.chain.answers(
+                                structure, prepared.formula, budget=token
+                            )
+                    else:
+                        parsed = wire.parse_formula(
+                            formula, constants=structure.signature
+                        )
+                        query_hash = _query_hash(wire.format_formula(parsed))
+                        validate(parsed, structure.signature)
+                        natural, free_names = _answer_schema(parsed, free_variables)
+                        # profile() executes unconditionally (no answer-cache
+                        # admission for ad-hoc queries) but still uses the shared
+                        # plan cache and honors the budget.
+                        profile = self.engine.profile(structure, parsed, budget=token)
+                        rows = profile.answers
+                    rows = _cylindrify(rows, natural, free_names, structure.universe)
+                    _admit_result(len(rows), token)
+                    answer_span.set("rows", len(rows))
+            except BudgetExceededError as error:
+                session.count("refused")
+                status, outcome = wire.status_for_error(error), "refused"
+                raise
+            except FMTError as error:
+                session.count("errors")
+                status, outcome = wire.status_for_error(error), "error"
+                raise
+            except BaseException:
+                status, outcome = 500, "error"
+                raise
             else:
-                parsed = wire.parse_formula(
-                    formula, constants=structure.signature
+                result = self._page(
+                    rows,
+                    page,
+                    page_size,
+                    free_names,
+                    query=query,
+                    structure_id=structure_id,
                 )
-                validate(parsed, structure.signature)
-                natural, free_names = _answer_schema(parsed, free_variables)
-                # profile() executes unconditionally (no answer-cache
-                # admission for ad-hoc queries) but still uses the shared
-                # plan cache and honors the budget.
-                rows = self.engine.profile(structure, parsed, budget=token).answers
-            rows = _cylindrify(rows, natural, free_names, structure.universe)
-            _admit_result(len(rows), token)
-        except BudgetExceededError:
-            session.count("refused")
-            raise
-        except FMTError:
-            session.count("errors")
-            raise
-        result = self._page(
-            rows, page, page_size, free_names, query=query, structure_id=structure_id
+                if explain:
+                    result = replace(
+                        result, explain=self._explain_payload(profile, ctx, scope)
+                    )
+                rows_returned = len(result.rows)
+                session.count("answered")
+                session.count("rows_returned", rows_returned)
+                return result
+            finally:
+                duration_ms = (time.perf_counter() - started) * 1000.0
+                _counter("server.requests", tenant=tenant, outcome=outcome).inc()
+                _histogram("server.request_ms", tenant=tenant).observe(duration_ms)
+                self._record_access(
+                    ctx=ctx,
+                    session=session,
+                    op="answers",
+                    query=query,
+                    query_hash=query_hash,
+                    rows=rows_returned,
+                    status=status,
+                    outcome=outcome,
+                    duration_ms=duration_ms,
+                    token=token,
+                    degradations_before=degradations_before,
+                )
+
+    def _explain_payload(self, profile, ctx, scope) -> dict[str, Any]:
+        """The wire ``explain`` object: profile actuals + span tree."""
+        spans: list[dict[str, Any]]
+        root = _open_root()
+        if root is not None:
+            spans = [root.to_dict()]
+        elif scope is not None:
+            spans = [finished.to_dict() for finished in scope.roots]
+        else:
+            spans = []
+        return {
+            "trace_id": ctx.trace_id,
+            "sampled": ctx.sampled,
+            "profile": profile.to_dict() if profile is not None else None,
+            "spans": spans,
+        }
+
+    def _record_access(
+        self,
+        *,
+        ctx,
+        session: TenantSession,
+        op: str,
+        query: str | None,
+        query_hash: str | None,
+        rows: int,
+        status: int,
+        outcome: str,
+        duration_ms: float,
+        token: CancelToken | None,
+        degradations_before: int,
+    ) -> None:
+        """One structured access-log line for a finished request."""
+        log = self.access_log
+        if log is None:
+            return
+        all_degradations = session.chain.degradations
+        degraded = (
+            [
+                {"rung": event.rung, "error": event.error, "trace_id": event.trace_id}
+                for event in all_degradations[degradations_before:]
+            ]
+            if len(all_degradations) > degradations_before
+            else []
         )
-        session.count("answered")
-        session.count("rows_returned", len(result.rows))
-        return result
+        log.log(
+            {
+                "trace_id": ctx.trace_id,
+                "sampled": ctx.sampled,
+                "tenant": session.name,
+                "op": op,
+                "query": query,
+                "query_hash": query_hash,
+                "rows": rows,
+                "status": status,
+                "outcome": outcome,
+                "duration_ms": duration_ms,
+                "budget_rows_spent": token.rows if token is not None else None,
+                "budget_nodes_spent": token.nodes if token is not None else None,
+                "degradations": degraded,
+                "breakers": {
+                    rung: breaker.state
+                    for rung, breaker in session.chain.breakers.items()
+                },
+            }
+        )
 
     def answers_batch(
         self,
@@ -471,6 +671,7 @@ class QueryService:
         deadline_ms: float | None = None,
         max_rows: int | None = None,
         page_size: int | None = None,
+        trace_id: object = None,
     ) -> list[AnswerPage]:
         """Many answer requests, executed through
         :meth:`Engine.answers_batch` under **one** shared budget.
@@ -480,79 +681,132 @@ class QueryService:
         Planning is deduplicated by the shared plan cache; execution
         fans out across the engine's workers.  The whole batch shares
         one admission token — a batch is one unit of work, and a budget
-        that would refuse its parts refuses their sum.
+        that would refuse its parts refuses their sum.  It also shares
+        one trace context: every engine span of the batch (including
+        worker span trees merged back across ``parallel_map``) carries
+        the same trace id, and the access log gets one line for the
+        whole batch.
         """
         session = self.tenant(tenant)
         session.count("batch_requests")
         session.count("requests", len(requests))
         with self._lock:
             self.requests_served += 1
-        if not isinstance(requests, list) or not requests:
-            raise ServerError("'requests' must be a non-empty list")
-        token = self._effective_token(session, deadline_ms, max_rows)
-        pairs: list[tuple[Structure, Formula]] = []
-        shapes: list[tuple] = []
-        for request in requests:
-            if not isinstance(request, dict):
-                raise ServerError("each batch request must be an object")
-            structure = self.structure(request.get("structure_id", ""))
-            name = request.get("query")
-            text = request.get("formula")
-            if (name is None) == (text is None):
-                raise ServerError(
-                    "each batch request needs exactly one of 'query' or 'formula'"
-                )
-            if name is not None:
-                if request.get("free_variables") is not None:
-                    raise ServerError(
-                        "'free_variables' is fixed at prepare time for "
-                        "prepared queries"
-                    )
-                prepared = self.prepared_query(tenant, name)
-                formula = prepared.formula
-                natural, free_names = _answer_schema(formula, prepared.free_names)
+        started = time.perf_counter()
+        with self.request_scope(trace_id) as (ctx, scope):
+            degradations_before = len(session.chain.degradations)
+            token: CancelToken | None = None
+            status = 200
+            outcome = "ok"
+            rows_returned = 0
+            try:
+                with _span("server.answers_batch") as batch_span:
+                    batch_span.set("tenant", tenant)
+                    if not isinstance(requests, list) or not requests:
+                        raise ServerError("'requests' must be a non-empty list")
+                    batch_span.set("requests", len(requests))
+                    token = self._effective_token(session, deadline_ms, max_rows)
+                    pairs: list[tuple[Structure, Formula]] = []
+                    shapes: list[tuple] = []
+                    for request in requests:
+                        if not isinstance(request, dict):
+                            raise ServerError("each batch request must be an object")
+                        structure = self.structure(request.get("structure_id", ""))
+                        name = request.get("query")
+                        text = request.get("formula")
+                        if (name is None) == (text is None):
+                            raise ServerError(
+                                "each batch request needs exactly one of "
+                                "'query' or 'formula'"
+                            )
+                        if name is not None:
+                            if request.get("free_variables") is not None:
+                                raise ServerError(
+                                    "'free_variables' is fixed at prepare time for "
+                                    "prepared queries"
+                                )
+                            prepared = self.prepared_query(tenant, name)
+                            formula = prepared.formula
+                            natural, free_names = _answer_schema(
+                                formula, prepared.free_names
+                            )
+                        else:
+                            formula = wire.parse_formula(
+                                text, constants=structure.signature
+                            )
+                            natural, free_names = _answer_schema(
+                                formula, request.get("free_variables")
+                            )
+                        validate(formula, structure.signature)
+                        pairs.append((structure, formula))
+                        shapes.append(
+                            (
+                                natural,
+                                free_names,
+                                name,
+                                structure,
+                                request.get("structure_id", ""),
+                                int(request.get("page", 0)),
+                                request.get("page_size", page_size),
+                            )
+                        )
+                    try:
+                        answer_sets = self.engine.answers_batch(pairs, budget=token)
+                        answer_sets = [
+                            _cylindrify(rows, natural, free_names, structure.universe)
+                            for rows, (natural, free_names, _, structure, *_rest) in zip(
+                                answer_sets, shapes
+                            )
+                        ]
+                        _admit_result(sum(len(rows) for rows in answer_sets), token)
+                    except BudgetExceededError:
+                        session.count("refused", len(requests))
+                        raise
+                    pages = []
+                    for rows, (_, free_names, name, _, structure_id, page, size) in zip(
+                        answer_sets, shapes
+                    ):
+                        pages.append(
+                            self._page(
+                                rows,
+                                page,
+                                size,
+                                free_names,
+                                query=name,
+                                structure_id=structure_id,
+                            )
+                        )
+            except BudgetExceededError as error:
+                status, outcome = wire.status_for_error(error), "refused"
+                raise
+            except FMTError as error:
+                status, outcome = wire.status_for_error(error), "error"
+                raise
+            except BaseException:
+                status, outcome = 500, "error"
+                raise
             else:
-                formula = wire.parse_formula(text, constants=structure.signature)
-                natural, free_names = _answer_schema(
-                    formula, request.get("free_variables")
+                rows_returned = sum(len(p.rows) for p in pages)
+                session.count("answered", len(requests))
+                session.count("rows_returned", rows_returned)
+                return pages
+            finally:
+                duration_ms = (time.perf_counter() - started) * 1000.0
+                _counter("server.requests", tenant=tenant, outcome=outcome).inc()
+                _histogram("server.request_ms", tenant=tenant).observe(duration_ms)
+                self._record_access(
+                    ctx=ctx,
+                    session=session,
+                    op="answers_batch",
+                    query=None,
+                    query_hash=None,
+                    rows=rows_returned,
+                    status=status,
+                    outcome=outcome,
+                    duration_ms=duration_ms,
+                    token=token,
+                    degradations_before=degradations_before,
                 )
-            validate(formula, structure.signature)
-            pairs.append((structure, formula))
-            shapes.append(
-                (
-                    natural,
-                    free_names,
-                    name,
-                    structure,
-                    request.get("structure_id", ""),
-                    int(request.get("page", 0)),
-                    request.get("page_size", page_size),
-                )
-            )
-        try:
-            answer_sets = self.engine.answers_batch(pairs, budget=token)
-            answer_sets = [
-                _cylindrify(rows, natural, free_names, structure.universe)
-                for rows, (natural, free_names, _, structure, *_rest) in zip(
-                    answer_sets, shapes
-                )
-            ]
-            _admit_result(sum(len(rows) for rows in answer_sets), token)
-        except BudgetExceededError:
-            session.count("refused", len(requests))
-            raise
-        pages = []
-        for rows, (_, free_names, name, _, structure_id, page, size) in zip(
-            answer_sets, shapes
-        ):
-            pages.append(
-                self._page(
-                    rows, page, size, free_names, query=name, structure_id=structure_id
-                )
-            )
-        session.count("answered", len(requests))
-        session.count("rows_returned", sum(len(p.rows) for p in pages))
-        return pages
 
     def _page(
         self,
@@ -617,6 +871,36 @@ class QueryService:
             "tenants": {name: session.snapshot() for name, session in tenants.items()},
             "telemetry": metrics_snapshot(),
         }
+
+    def metrics_prometheus(self) -> str:
+        """``GET /metrics`` in Prometheus text format 0.0.4.
+
+        The labeled registry series render directly; the service-level
+        JSON numbers (uptime, requests served, cache rates) are exported
+        as gauges first so one exposition carries both.
+        """
+        with self._lock:
+            requests_served = self.requests_served
+            structures = len(self.structures)
+            tenants = len(self.tenants)
+        _gauge("server.uptime_seconds").set(time.monotonic() - self._started)
+        _gauge("server.requests_served").set(requests_served)
+        _gauge("server.structures").set(structures)
+        _gauge("server.tenants").set(tenants)
+        _gauge("server.wire_version").set(wire.WIRE_VERSION)
+        for cache_name, snapshot in (
+            ("plan", self.engine.plan_cache.snapshot()),
+            ("answer", self.engine.answer_cache.snapshot()),
+        ):
+            for stat, value in snapshot.items():
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    _gauge("server.cache." + stat, cache=cache_name).set(value)
+        return render_exposition()
+
+
+def _query_hash(canonical_text: str) -> str:
+    """A stable, loggable identity for one query's canonical text."""
+    return hashlib.sha256(canonical_text.encode()).hexdigest()[:16]
 
 
 def _answer_schema(

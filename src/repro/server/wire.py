@@ -25,6 +25,13 @@ Conventions
   — so a refusal (429/503 on :class:`~repro.errors.BudgetExceededError`)
   is machine-distinguishable from a caller mistake (400/404) without
   string matching.
+* **Trace ids** (telemetry v2) are an *additive* v1 field: any request
+  body may carry ``"trace_id"`` (lowercase hex, ≤64 chars; also
+  accepted as an ``X-Trace-Id`` header), and every response — success
+  page or typed error payload — echoes the request's final trace id at
+  the top level, so a client can join its call against the server's
+  span trees, access log, and degradation events.  Old clients that
+  send no id still get one minted and echoed.
 """
 
 from __future__ import annotations
@@ -278,7 +285,9 @@ def status_for_error(error: BaseException) -> int:
     return 500
 
 
-def error_to_wire(error: BaseException, status: int | None = None) -> dict:
+def error_to_wire(
+    error: BaseException, status: int | None = None, trace_id: str | None = None
+) -> dict:
     """The typed error payload for one failed request.
 
     Budget refusals additionally carry ``refusal: true`` plus the
@@ -286,6 +295,8 @@ def error_to_wire(error: BaseException, status: int | None = None) -> dict:
     :class:`~repro.errors.BudgetExceededError`, so admission-control
     outcomes are machine-countable (the conformance remote backend and
     the CI smoke assert on these fields, not on message text).
+    ``trace_id`` (when the failing request ran under a trace context) is
+    echoed at the top level of the error body, same as on success.
     """
     status = status_for_error(error) if status is None else status
     payload: dict[str, Any] = {
@@ -296,4 +307,7 @@ def error_to_wire(error: BaseException, status: int | None = None) -> dict:
         payload["refusal"] = True
         payload["spent"] = error.spent
         payload["budget"] = error.budget
-    return {"error": payload, "status": status}
+    wire: dict[str, Any] = {"error": payload, "status": status}
+    if trace_id is not None:
+        wire["trace_id"] = trace_id
+    return wire

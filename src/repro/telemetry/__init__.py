@@ -8,7 +8,15 @@ per-phase costs instead of one opaque total:
 * :mod:`repro.telemetry.tracer` — nested, timed spans with attributes,
   thread-local stacks, a context-manager/decorator API;
 * :mod:`repro.telemetry.metrics` — named counters, gauges, and
-  histograms with JSON snapshot and text report exports.
+  histograms (labeled, bounded-cardinality) with JSON snapshot and
+  text report exports;
+* :mod:`repro.telemetry.context` — per-request :class:`TraceContext`
+  (trace id, sampling decision) with scoped span stacks and
+  cross-process propagation (telemetry v2, S19);
+* :mod:`repro.telemetry.prometheus` — text exposition 0.0.4 plus the
+  strict parser CI scrapes with;
+* :mod:`repro.telemetry.logs` — the structured JSON access /
+  slow-query log.
 
 **Off by default.** While disabled, :func:`span` returns a shared no-op
 singleton (no allocation) and instrumented call sites skip their metric
@@ -32,6 +40,15 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 
+from repro.telemetry.context import (
+    TraceContext,
+    current_trace,
+    current_trace_id,
+    mint,
+    sampling_decision,
+    trace_scope,
+)
+from repro.telemetry.logs import AccessLog, open_access_log
 from repro.telemetry.metrics import (
     REGISTRY,
     Counter,
@@ -45,29 +62,37 @@ from repro.telemetry.metrics import (
     metrics_snapshot,
     reset_metrics,
 )
+from repro.telemetry.prometheus import parse_exposition, render_exposition
 from repro.telemetry.tracer import (
     Span,
+    adopt_spans,
     current_span,
     disable,
     drain_spans,
     enable,
     finished_spans,
     is_enabled,
+    is_recording,
     reset_tracer,
     span,
     traced,
 )
 
 __all__ = [
+    "AccessLog",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "REGISTRY",
     "Span",
+    "TraceContext",
+    "adopt_spans",
     "capture",
     "counter",
     "current_span",
+    "current_trace",
+    "current_trace_id",
     "disable",
     "drain_spans",
     "enable",
@@ -75,12 +100,19 @@ __all__ = [
     "gauge",
     "histogram",
     "is_enabled",
+    "is_recording",
     "metrics_report",
     "metrics_snapshot",
+    "mint",
+    "open_access_log",
+    "parse_exposition",
+    "render_exposition",
     "reset",
     "reset_metrics",
     "reset_tracer",
+    "sampling_decision",
     "span",
+    "trace_scope",
     "traced",
 ]
 

@@ -1,0 +1,118 @@
+"""Structured JSON access + slow-query logging for the server stack.
+
+One line per served request, machine-parseable (``json.loads`` per
+line), carrying everything needed to join a request's story across the
+observability surfaces: ``trace_id`` (the same id echoed on the wire
+and stamped on every span and degradation event), tenant, operation,
+query hash, row counts, budget spend, degradations, breaker states, and
+the HTTP status the wire layer mapped the outcome to.
+
+The log keeps a bounded in-memory ring of recent entries (so tests and
+the ``explain`` path can inspect without tailing a file) and optionally
+writes each line to a stream. Entries slower than ``slow_ms`` are
+flagged ``"slow": true`` — the slow-query log is a *view* over the
+access log (:meth:`AccessLog.slow_entries`), not a second pipeline, so
+the two can never disagree about what happened.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from collections import deque
+from typing import Any, IO
+
+__all__ = [
+    "AccessLog",
+    "open_access_log",
+]
+
+#: How many recent entries the in-memory ring retains.
+DEFAULT_CAPACITY = 2048
+
+
+class AccessLog:
+    """A thread-safe structured log: JSON lines + a bounded ring buffer.
+
+    ``stream`` (optional) receives one compact JSON line per record;
+    ``slow_ms`` (optional) flags entries whose ``duration_ms`` meets the
+    threshold. Records are plain dicts — the caller decides the schema,
+    the log only stamps ``ts`` (epoch seconds) and the ``slow`` flag.
+    """
+
+    def __init__(
+        self,
+        stream: IO[str] | None = None,
+        slow_ms: float | None = None,
+        capacity: int = DEFAULT_CAPACITY,
+    ) -> None:
+        self.stream = stream
+        self.slow_ms = slow_ms
+        self._lock = threading.Lock()
+        self._entries: deque[dict[str, Any]] = deque(maxlen=capacity)
+
+    def record(self, **fields: Any) -> dict[str, Any]:
+        """Append one entry; returns the stamped record."""
+        return self.log(fields)  # ** already built a fresh dict
+
+    def log(self, entry: dict[str, Any]) -> dict[str, Any]:
+        """Like :meth:`record`, for callers that already hold the dict.
+
+        The entry is stamped and stored as-is (not copied) — hand over
+        ownership, don't mutate it afterwards.  This is the server's
+        per-request hot path, hence the kwargs-free variant.
+        """
+        if "ts" not in entry:
+            entry["ts"] = time.time()
+        duration = entry.get("duration_ms")
+        entry["slow"] = bool(
+            self.slow_ms is not None
+            and isinstance(duration, (int, float))
+            and duration >= self.slow_ms
+        )
+        stream = self.stream
+        if stream is None:
+            # deque.append is atomic under the GIL, and readers snapshot
+            # with a single C-level list(deque) — no lock, no JSON on
+            # the hot path when nothing is tailing the log.
+            self._entries.append(entry)
+        else:
+            line = json.dumps(entry, sort_keys=True, default=str)
+            with self._lock:
+                self._entries.append(entry)
+                stream.write(line + "\n")
+                stream.flush()
+        return entry
+
+    def recent(self, limit: int | None = None) -> list[dict[str, Any]]:
+        """The newest entries, oldest first (all of them by default)."""
+        with self._lock:
+            entries = list(self._entries)
+        if limit is not None:
+            entries = entries[-limit:]
+        return entries
+
+    def slow_entries(self) -> list[dict[str, Any]]:
+        """The slow-query view: entries at or over the threshold."""
+        return [entry for entry in self.recent() if entry.get("slow")]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+def open_access_log(
+    path: str | None, slow_ms: float | None = None
+) -> AccessLog | None:
+    """Build the log the server CLI asked for.
+
+    ``None`` → no log; ``"-"`` → stderr (line-buffered terminals show
+    entries live); anything else → append to that file.
+    """
+    if path is None:
+        return None
+    if path == "-":
+        return AccessLog(stream=sys.stderr, slow_ms=slow_ms)
+    return AccessLog(stream=open(path, "a", encoding="utf-8"), slow_ms=slow_ms)

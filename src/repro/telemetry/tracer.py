@@ -14,11 +14,25 @@ span attributes via :meth:`Span.set` (a no-op while disabled, so call
 sites never need their own enabled checks just to attach attributes —
 though they should guard *expensive* attribute computation with
 :func:`is_enabled`).
+
+**Request scoping (telemetry v2).**  The global switch is no longer the
+only way to record: :func:`push_scope`/:func:`pop_scope` (driven by
+:class:`repro.telemetry.context.trace_scope`) install a *per-request*
+stack with its own recording decision, so a sampled server request
+records spans even with ``REPRO_TELEMETRY`` unset, an unsampled one
+stays free, and a request that dies mid-span can never leak open spans
+onto the reused handler thread — the scope's stack is discarded on exit
+and the previous one restored.  Every recorded span carries the scope's
+``trace_id`` plus its own ``span_id``, and serializes with
+:meth:`Span.to_dict` / :func:`span_from_dict` so worker span trees can
+cross process boundaries and :func:`adopt_spans` can graft them back
+under the parent trace.
 """
 
 from __future__ import annotations
 
 import functools
+import itertools
 import os
 import threading
 import time
@@ -28,14 +42,20 @@ from typing import Any
 
 __all__ = [
     "Span",
+    "adopt_spans",
     "current_span",
     "disable",
     "drain_spans",
     "enable",
     "finished_spans",
     "is_enabled",
+    "is_recording",
+    "open_root",
+    "pop_scope",
+    "push_scope",
     "reset_tracer",
     "span",
+    "span_from_dict",
     "traced",
 ]
 
@@ -65,12 +85,63 @@ def is_enabled() -> bool:
     return _enabled
 
 
+def is_recording() -> bool:
+    """Whether a span created *now on this thread* would be recorded.
+
+    Inside a request scope the scope's sampling decision wins (in both
+    directions); outside, the process-wide switch decides.
+    """
+    recording = getattr(_local, "recording", None)
+    return _enabled if recording is None else recording
+
+
+#: Monotonic span-id source: cheap, unique within the process, rendered
+#: as 8 hex chars to match wire span ids.
+_span_ids = itertools.count(1)
+
+
 def _stack() -> list[Span]:
     stack = getattr(_local, "stack", None)
     if stack is None:
         stack = []
         _local.stack = stack
     return stack
+
+
+# -- request scoping ----------------------------------------------------------
+
+
+def push_scope(
+    trace_id: str | None, recording: bool, roots: list["Span"] | None = None
+) -> tuple:
+    """Swap in a fresh, request-scoped tracer state on this thread.
+
+    Returns an opaque token holding the previous state; hand it back to
+    :func:`pop_scope`.  ``roots`` (if given) additionally collects the
+    root spans finished while the scope is active — the request's span
+    trees, available without scanning the global buffer.
+    """
+    token = (
+        getattr(_local, "stack", None),
+        getattr(_local, "trace_id", None),
+        getattr(_local, "recording", None),
+        getattr(_local, "roots", None),
+    )
+    _local.stack = []
+    _local.trace_id = trace_id
+    _local.recording = recording
+    _local.roots = roots
+    return token
+
+
+def pop_scope(token: tuple) -> int:
+    """Restore the pre-scope tracer state; returns how many spans the
+    scope abandoned still-open (non-zero means an exception unwound past
+    a ``with span(...)`` block — the request died mid-span, and without
+    scoping those spans would have re-parented the thread's next trace)."""
+    orphans = len(getattr(_local, "stack", None) or ())
+    _local.stack, _local.trace_id, _local.recording, _local.roots = token
+    return orphans
 
 
 class Span:
@@ -81,7 +152,15 @@ class Span:
     its parent (or to the finished-roots buffer if it has none).
     """
 
-    __slots__ = ("name", "attributes", "children", "start_s", "end_s")
+    __slots__ = (
+        "name",
+        "attributes",
+        "children",
+        "start_s",
+        "end_s",
+        "trace_id",
+        "span_id",
+    )
 
     def __init__(self, name: str, attributes: dict[str, Any] | None = None) -> None:
         self.name = name
@@ -89,10 +168,13 @@ class Span:
         self.children: list[Span] = []
         self.start_s = 0.0
         self.end_s = 0.0
+        self.trace_id: str | None = None
+        self.span_id = f"{next(_span_ids):08x}"
 
     # -- context manager ----------------------------------------------------
 
     def __enter__(self) -> "Span":
+        self.trace_id = getattr(_local, "trace_id", None)
         _stack().append(self)
         self.start_s = time.perf_counter()
         return self
@@ -105,6 +187,9 @@ class Span:
         if stack:
             stack[-1].children.append(self)
         else:
+            roots = getattr(_local, "roots", None)
+            if roots is not None:
+                roots.append(self)
             with _finished_lock:
                 _finished.append(self)
         return False
@@ -129,6 +214,25 @@ class Span:
         yield self
         for child in self.children:
             yield from child.walk()
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-ready snapshot of the subtree.
+
+        Durations only — ``perf_counter`` timestamps are meaningless
+        across processes, so worker trees ship relative costs and merge
+        cleanly into the parent trace.  A still-open span reports the
+        duration accumulated so far.
+        """
+        end = self.end_s if self.end_s else time.perf_counter()
+        duration_ms = max(end - self.start_s, 0.0) * 1000.0 if self.start_s else 0.0
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "trace_id": self.trace_id,
+            "duration_ms": duration_ms,
+            "attributes": dict(self.attributes),
+            "children": [child.to_dict() for child in self.children],
+        }
 
     def render(self, indent: int = 0) -> str:
         """The span subtree as an indented text block."""
@@ -174,7 +278,8 @@ def span(name: str, **attributes: Any) -> Span | _NoopSpan:
     built even while disabled) and use :meth:`Span.set` inside the block
     instead.
     """
-    if not _enabled:
+    recording = getattr(_local, "recording", None)
+    if not (_enabled if recording is None else recording):
         return NOOP_SPAN
     return Span(name, attributes)
 
@@ -187,7 +292,7 @@ def traced(name: str | None = None) -> Callable:
 
         @functools.wraps(fn)
         def wrapper(*args, **kwargs):
-            if not _enabled:
+            if not is_recording():
                 return fn(*args, **kwargs)
             with Span(label):
                 return fn(*args, **kwargs)
@@ -201,6 +306,56 @@ def current_span() -> Span | None:
     """The innermost open span on this thread, if any."""
     stack = _stack()
     return stack[-1] if stack else None
+
+
+def open_root() -> Span | None:
+    """The outermost *open* span on this thread (the live request root)."""
+    stack = _stack()
+    return stack[0] if stack else None
+
+
+def span_from_dict(data: dict[str, Any]) -> Span:
+    """Rebuild a span subtree from :meth:`Span.to_dict` output."""
+    rebuilt = Span(str(data.get("name", "?")), data.get("attributes") or {})
+    rebuilt.span_id = str(data.get("span_id", rebuilt.span_id))
+    rebuilt.trace_id = data.get("trace_id")
+    rebuilt.start_s = 0.0
+    rebuilt.end_s = float(data.get("duration_ms", 0.0)) / 1000.0
+    rebuilt.children = [span_from_dict(child) for child in data.get("children", ())]
+    return rebuilt
+
+
+def adopt_spans(span_dicts: list[dict[str, Any]]) -> int:
+    """Graft serialized worker span trees into this thread's trace.
+
+    Each tree is re-parented under the innermost open span (the usual
+    case: the batch/fan-out span is still open while chunk results are
+    collected) and stamped with the adopting thread's trace id, so a
+    request's span tree stays single-trace even when parts of it ran in
+    a worker process.  With no span open the trees land as finished
+    roots.  Returns the number of trees adopted; no-ops (returns 0)
+    while not recording.
+    """
+    if not is_recording() or not span_dicts:
+        return 0
+    trace_id = getattr(_local, "trace_id", None)
+    parent = current_span()
+    adopted = 0
+    for data in span_dicts:
+        rebuilt = span_from_dict(data)
+        if trace_id is not None:
+            for node in rebuilt.walk():
+                node.trace_id = trace_id
+        if parent is not None:
+            parent.children.append(rebuilt)
+        else:
+            roots = getattr(_local, "roots", None)
+            if roots is not None:
+                roots.append(rebuilt)
+            with _finished_lock:
+                _finished.append(rebuilt)
+        adopted += 1
+    return adopted
 
 
 def finished_spans() -> tuple[Span, ...]:

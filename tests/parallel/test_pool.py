@@ -163,9 +163,10 @@ class TestParallelMap:
 
     def test_run_chunk_accepts_token_payload(self):
         token = CancelToken(max_rows=100)
-        results, seconds = _run_chunk(_square, [1, 2, 3], token.to_payload())
+        results, seconds, spans = _run_chunk(_square, [1, 2, 3], token.to_payload())
         assert results == [1, 4, 9]
         assert seconds >= 0.0
+        assert spans is None  # no trace payload shipped
 
     def test_run_chunk_stops_on_cancelled_live_token(self):
         token = CancelToken(stride=1)
@@ -271,4 +272,46 @@ class TestTelemetry:
             assert snap["counters"]["parallel.serial_fallbacks"] == 1
         finally:
             telemetry.disable()
+        shutdown()
+
+
+class TestTracePropagation:
+    def test_run_chunk_ships_worker_span_tree(self):
+        results, seconds, spans = _run_chunk(
+            _square, [1, 2, 3], None, ("cafe", "01020304")
+        )
+        assert results == [1, 4, 9]
+        (root,) = spans
+        assert root["name"] == "parallel.chunk"
+        assert root["trace_id"] == "cafe"
+        assert root["attributes"]["items"] == 3
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_worker_spans_adopted_into_parent_trace(self, backend):
+        from repro.telemetry import span
+        from repro.telemetry.context import mint, trace_scope
+
+        with trace_scope(mint("beef", rate=1.0)) as scope:
+            with span("parent.fanout"):
+                result = parallel_map(
+                    _square, range(8), max_workers=2, backend=backend, chunk_size=2
+                )
+        assert result == [v * v for v in range(8)]
+        (root,) = scope.roots
+        assert root.name == "parent.fanout"
+        chunk_spans = [c for c in root.children if c.name == "parallel.chunk"]
+        assert len(chunk_spans) == 4
+        # Adoption re-stamps every worker node with the parent's trace id.
+        for node in root.walk():
+            assert node.trace_id == "beef"
+        shutdown()
+
+    def test_no_spans_shipped_when_not_recording(self):
+        from repro import telemetry
+
+        telemetry.disable()
+        result = parallel_map(
+            _square, range(6), max_workers=2, backend="thread", chunk_size=2
+        )
+        assert result == [v * v for v in range(6)]
         shutdown()

@@ -1,0 +1,205 @@
+"""Request-scoped trace contexts: identity, sampling, scoping, propagation."""
+
+import threading
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import tracer
+from repro.telemetry.context import (
+    TraceContext,
+    current_trace,
+    current_trace_id,
+    mint,
+    new_span_id,
+    new_trace_id,
+    normalize_trace_id,
+    propagation_payload,
+    sampling_decision,
+    scope_from_payload,
+    trace_scope,
+)
+
+
+class TestIdentity:
+    def test_new_ids_are_hex_and_distinct(self):
+        ids = {new_trace_id() for _ in range(64)}
+        assert len(ids) == 64
+        assert all(len(t) == 16 and int(t, 16) >= 0 for t in ids)
+        assert len(new_span_id()) == 8
+
+    def test_normalize_accepts_lowercase_hex(self):
+        assert normalize_trace_id("deadbeef") == "deadbeef"
+        assert normalize_trace_id("  DEADBEEF  ") == "deadbeef"
+
+    @pytest.mark.parametrize(
+        "bad", [None, 42, "", "not hex!", "x" * 65, "g123", "a" * 65]
+    )
+    def test_normalize_rejects_invalid(self, bad):
+        assert normalize_trace_id(bad) is None
+
+    def test_mint_reuses_valid_client_id(self):
+        assert mint("abc123").trace_id == "abc123"
+
+    def test_mint_replaces_invalid_client_id(self):
+        context = mint("NOT VALID")
+        assert context.trace_id != "NOT VALID"
+        assert normalize_trace_id(context.trace_id) == context.trace_id
+
+
+class TestSampling:
+    def test_extremes(self):
+        assert sampling_decision("abc", 1.0) is True
+        assert sampling_decision("abc", 0.0) is False
+
+    def test_deterministic_per_trace_id(self):
+        for trace_id in (new_trace_id() for _ in range(16)):
+            first = sampling_decision(trace_id, 0.5)
+            assert all(
+                sampling_decision(trace_id, 0.5) == first for _ in range(5)
+            )
+
+    def test_rate_roughly_respected(self):
+        hits = sum(sampling_decision(new_trace_id(), 0.3) for _ in range(2000))
+        assert 400 < hits < 800  # 0.3 ± generous slack
+
+    def test_mint_applies_rate(self):
+        assert mint(rate=1.0).sampled is True
+        assert mint(rate=0.0).sampled is False
+
+
+class TestTraceScope:
+    def test_installs_and_restores_context(self):
+        assert current_trace() is None
+        with trace_scope(mint("abc1")) as scope:
+            assert current_trace_id() == "abc1"
+            assert scope.context.trace_id == "abc1"
+        assert current_trace() is None
+
+    def test_sampled_scope_records_even_when_disabled(self):
+        telemetry.disable()
+        with trace_scope(mint("feed", rate=1.0)) as scope:
+            assert tracer.is_recording()
+            with telemetry.span("work"):
+                pass
+        assert [finished.name for finished in scope.roots] == ["work"]
+        assert scope.roots[0].trace_id == "feed"
+
+    def test_unsampled_scope_silences_even_when_enabled(self):
+        telemetry.enable()
+        with trace_scope(mint("feed", rate=0.0)) as scope:
+            assert not tracer.is_recording()
+            with telemetry.span("work"):
+                pass
+        assert scope.roots == []
+
+    def test_exception_mid_span_cannot_leak_into_next_request(self):
+        # The satellite-2 failure mode: a reused handler thread must not
+        # re-parent the next request's spans under a leaked open span.
+        telemetry.disable()
+        with pytest.raises(RuntimeError):
+            with trace_scope(mint("aaaa", rate=1.0)) as first:
+                open_span = telemetry.span("dies").__enter__()
+                assert open_span is not None
+                raise RuntimeError("request died mid-span")
+        assert first.orphaned_spans == 1
+        with trace_scope(mint("bbbb", rate=1.0)) as second:
+            with telemetry.span("next.request"):
+                pass
+        assert [finished.name for finished in second.roots] == ["next.request"]
+        assert second.roots[0].trace_id == "bbbb"
+        assert second.roots[0].children == []
+        assert second.orphaned_spans == 0
+
+    def test_nested_scopes_restore_outer(self):
+        with trace_scope(mint("aaaa", rate=1.0)):
+            with trace_scope(mint("bbbb", rate=0.0)):
+                assert current_trace_id() == "bbbb"
+                assert not tracer.is_recording()
+            assert current_trace_id() == "aaaa"
+            assert tracer.is_recording()
+
+
+class TestPropagation:
+    def test_payload_none_when_not_recording(self):
+        telemetry.disable()
+        assert propagation_payload() is None
+
+    def test_payload_carries_scope_identity(self):
+        with trace_scope(mint("cafe", rate=1.0)):
+            payload = propagation_payload()
+        assert payload is not None
+        assert payload[0] == "cafe"
+
+    def test_payload_mints_fresh_id_when_enabled_without_scope(self):
+        telemetry.enable()
+        payload = propagation_payload()
+        assert payload is not None
+        assert normalize_trace_id(payload[0]) == payload[0]
+
+    def test_worker_scope_records_under_parent_trace(self):
+        scope = scope_from_payload(("cafe", "01020304"))
+        with scope:
+            with telemetry.span("worker.unit"):
+                pass
+        assert [finished.name for finished in scope.roots] == ["worker.unit"]
+        assert scope.roots[0].trace_id == "cafe"
+
+    def test_adopt_spans_grafts_worker_trees(self):
+        scope = scope_from_payload(("cafe", "01020304"))
+        with scope:
+            with telemetry.span("worker.unit"):
+                pass
+        shipped = [finished.to_dict() for finished in scope.roots]
+        with trace_scope(mint("beef", rate=1.0)) as parent:
+            with telemetry.span("parent.collect"):
+                assert tracer.adopt_spans(shipped) == 1
+        (root,) = parent.roots
+        assert root.name == "parent.collect"
+        (child,) = root.children
+        assert child.name == "worker.unit"
+        # Adoption re-stamps the subtree with the adopting trace.
+        assert {node.trace_id for node in child.walk()} == {"beef"}
+
+    def test_adopt_spans_noop_when_not_recording(self):
+        telemetry.disable()
+        assert tracer.adopt_spans([{"name": "x", "duration_ms": 1.0}]) == 0
+
+
+class TestSerialization:
+    def test_span_round_trip(self):
+        telemetry.enable()
+        with telemetry.span("outer") as outer:
+            outer.set("k", "v")
+            with telemetry.span("inner"):
+                pass
+        data = outer.to_dict()
+        rebuilt = tracer.span_from_dict(data)
+        assert rebuilt.name == "outer"
+        assert rebuilt.attributes == {"k": "v"}
+        assert rebuilt.span_id == outer.span_id
+        assert [child.name for child in rebuilt.children] == ["inner"]
+        assert rebuilt.duration_ms == pytest.approx(data["duration_ms"])
+
+    def test_context_to_wire(self):
+        assert TraceContext("abcd", "0102", True).to_wire() == "abcd"
+
+
+class TestThreadIsolation:
+    def test_scopes_are_per_thread(self):
+        seen = {}
+        barrier = threading.Barrier(2)
+
+        def run(tid):
+            with trace_scope(mint(tid, rate=1.0)):
+                barrier.wait()
+                seen[tid] = current_trace_id()
+
+        threads = [
+            threading.Thread(target=run, args=(t,)) for t in ("aaa1", "bbb2")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert seen == {"aaa1": "aaa1", "bbb2": "bbb2"}

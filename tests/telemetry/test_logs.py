@@ -1,0 +1,91 @@
+"""The structured access / slow-query log."""
+
+import io
+import json
+import sys
+import threading
+
+from repro.telemetry.logs import AccessLog, open_access_log
+
+
+class TestAccessLog:
+    def test_record_stamps_ts_and_slow_flag(self):
+        log = AccessLog(slow_ms=50.0)
+        fast = log.record(trace_id="a", duration_ms=10.0)
+        slow = log.record(trace_id="b", duration_ms=50.0)
+        assert fast["slow"] is False
+        assert slow["slow"] is True
+        assert fast["ts"] > 0
+
+    def test_no_threshold_means_nothing_is_slow(self):
+        log = AccessLog()
+        assert log.record(duration_ms=1e9)["slow"] is False
+
+    def test_stream_gets_one_json_line_per_record(self):
+        stream = io.StringIO()
+        log = AccessLog(stream=stream)
+        log.record(trace_id="abc", status=200)
+        log.record(trace_id="def", status=429)
+        lines = [json.loads(line) for line in stream.getvalue().splitlines()]
+        assert [entry["trace_id"] for entry in lines] == ["abc", "def"]
+        assert lines[1]["status"] == 429
+
+    def test_ring_buffer_bounds_memory(self):
+        log = AccessLog(capacity=3)
+        for index in range(10):
+            log.record(n=index)
+        assert len(log) == 3
+        assert [entry["n"] for entry in log.recent()] == [7, 8, 9]
+
+    def test_recent_limit(self):
+        log = AccessLog()
+        for index in range(5):
+            log.record(n=index)
+        assert [entry["n"] for entry in log.recent(limit=2)] == [3, 4]
+
+    def test_slow_entries_view(self):
+        log = AccessLog(slow_ms=100.0)
+        log.record(trace_id="fast", duration_ms=1.0)
+        log.record(trace_id="slow", duration_ms=500.0)
+        assert [entry["trace_id"] for entry in log.slow_entries()] == ["slow"]
+
+    def test_non_json_values_stringified(self):
+        stream = io.StringIO()
+        log = AccessLog(stream=stream)
+        log.record(weird=frozenset({1}))
+        assert json.loads(stream.getvalue())  # does not raise
+
+    def test_concurrent_records_all_land(self):
+        log = AccessLog(capacity=4096)
+        threads = [
+            threading.Thread(
+                target=lambda tid=tid: [log.record(t=tid) for _ in range(100)]
+            )
+            for tid in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(log) == 800
+
+
+class TestOpenAccessLog:
+    def test_none_disables(self):
+        assert open_access_log(None) is None
+
+    def test_dash_means_stderr(self):
+        log = open_access_log("-", slow_ms=5.0)
+        assert log is not None
+        assert log.stream is sys.stderr
+        assert log.slow_ms == 5.0
+
+    def test_path_appends_json_lines(self, tmp_path):
+        target = tmp_path / "access.log"
+        log = open_access_log(str(target), slow_ms=1.0)
+        log.record(trace_id="abc", duration_ms=2.0)
+        log.stream.close()
+        (line,) = target.read_text().splitlines()
+        entry = json.loads(line)
+        assert entry["trace_id"] == "abc"
+        assert entry["slow"] is True

@@ -114,3 +114,107 @@ class TestSnapshotAndReport:
         registry.reset()
         assert len(registry) == 0
         assert "x" not in registry
+
+
+def _small_histogram(name, limit):
+    # Histogram uses __slots__, so shrink the reservoir via a subclass
+    # rather than an instance attribute.
+    cls = type("SmallHistogram", (Histogram,), {"SAMPLE_LIMIT": limit, "__slots__": ()})
+    return cls(name)
+
+
+class TestReservoirSampling:
+    def test_sample_keeps_tracking_after_limit(self):
+        # The pre-fix failure mode: after SAMPLE_LIMIT the sample froze
+        # on warm-up traffic, so p95/p99 never reflected the live stream.
+        hist = _small_histogram("lat", 100)
+        for _ in range(100):
+            hist.observe(1.0)
+        for _ in range(10_000):
+            hist.observe(1000.0)
+        assert hist.count == 10_100
+        assert hist.percentile(50) == 1000.0
+        assert hist.percentile(99) == 1000.0
+
+    def test_reservoir_is_uniform_ish(self):
+        hist = _small_histogram("lat", 500)
+        for value in range(10_000):
+            hist.observe(float(value))
+        sample_mean = sum(hist._sample) / len(hist._sample)
+        assert len(hist._sample) == 500
+        assert 3500 < sample_mean < 6500  # true mean ~5000
+
+    def test_reservoir_deterministic_across_instances(self):
+        def build():
+            hist = _small_histogram("same.name", 50)
+            for value in range(2000):
+                hist.observe(float(value))
+            return list(hist._sample)
+
+        assert build() == build()
+
+    def test_aggregates_stay_exact(self):
+        hist = _small_histogram("lat", 10)
+        for value in range(1, 1001):
+            hist.observe(float(value))
+        assert hist.count == 1000
+        assert hist.total == 500500.0
+        assert hist.min == 1.0
+        assert hist.max == 1000.0
+
+
+class TestLabels:
+    def test_labels_select_distinct_series(self):
+        registry = MetricsRegistry()
+        registry.counter("req", tenant="a").inc()
+        registry.counter("req", tenant="b").inc(2)
+        assert registry.counter("req", tenant="a").value == 1
+        assert registry.counter("req", tenant="b").value == 2
+
+    def test_label_order_is_canonical(self):
+        registry = MetricsRegistry()
+        registry.counter("req", b="2", a="1").inc()
+        metric = registry.counter("req", a="1", b="2")
+        assert metric.value == 1
+        assert metric.name == 'req{a="1",b="2"}'
+        assert metric.base_name == "req"
+        assert metric.labels == {"a": "1", "b": "2"}
+
+    def test_unlabeled_and_labeled_coexist(self):
+        registry = MetricsRegistry()
+        registry.counter("req").inc(5)
+        registry.counter("req", tenant="a").inc()
+        assert registry.counter("req").value == 5
+
+    def test_cardinality_bounded_by_overflow_bucket(self):
+        from repro.telemetry.metrics import MAX_LABEL_SETS
+
+        registry = MetricsRegistry()
+        for index in range(MAX_LABEL_SETS + 50):
+            registry.counter("req", tenant=f"t{index}").inc()
+        overflow = registry.counter("req", tenant="one-more")
+        assert overflow.labels == {"overflow": "true"}
+        # The 50 post-cap tenants all collapsed into the same series.
+        assert overflow.value == 50
+        names = [m.name for m in registry.metrics() if m.base_name == "req"]
+        assert len(names) == MAX_LABEL_SETS + 1
+
+    def test_snapshot_carries_labeled_keys(self):
+        registry = MetricsRegistry()
+        registry.counter("req", tenant="a").inc()
+        registry.gauge("width", pool="x").set(4)
+        registry.histogram("lat", route="/v1").observe(2.0)
+        snap = registry.snapshot()
+        assert snap["counters"]['req{tenant="a"}'] == 1
+        assert snap["gauges"]['width{pool="x"}'] == 4
+        assert snap["histograms"]['lat{route="/v1"}']["count"] == 1
+
+    def test_reset_clears_label_accounting(self):
+        from repro.telemetry.metrics import MAX_LABEL_SETS
+
+        registry = MetricsRegistry()
+        for index in range(MAX_LABEL_SETS):
+            registry.counter("req", tenant=f"t{index}")
+        registry.reset()
+        fresh = registry.counter("req", tenant="after-reset")
+        assert fresh.labels == {"tenant": "after-reset"}

@@ -1,0 +1,140 @@
+"""Prometheus exposition: rendering, sanitization, and the strict parser."""
+
+import math
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.prometheus import (
+    CONTENT_TYPE,
+    parse_exposition,
+    render_exposition,
+    sanitize_name,
+)
+
+
+class TestSanitize:
+    def test_dots_become_underscores(self):
+        assert sanitize_name("server.requests") == "server_requests"
+
+    def test_leading_digit_prefixed(self):
+        assert sanitize_name("1weird") == "_1weird"
+
+    def test_legal_names_untouched(self):
+        assert sanitize_name("already_fine:yes") == "already_fine:yes"
+
+
+class TestRender:
+    def test_counter_gets_total_suffix_and_type_line(self):
+        registry = MetricsRegistry()
+        registry.counter("server.requests", tenant="t1", outcome="ok").inc(3)
+        text = render_exposition(registry)
+        assert "# TYPE server_requests_total counter" in text
+        assert 'server_requests_total{outcome="ok",tenant="t1"} 3' in text
+        assert text.endswith("\n")
+
+    def test_gauge_renders_plain(self):
+        registry = MetricsRegistry()
+        registry.gauge("pool.width").set(7)
+        text = render_exposition(registry)
+        assert "# TYPE pool_width gauge" in text
+        assert "pool_width 7" in text
+
+    def test_histogram_renders_as_summary(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("req.ms")
+        for value in range(1, 101):
+            h.observe(float(value))
+        text = render_exposition(registry)
+        assert "# TYPE req_ms summary" in text
+        assert 'req_ms{quantile="0.5"} 50' in text
+        assert "req_ms_sum 5050" in text
+        assert "req_ms_count 100" in text
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c", who='he said "hi"\\here').inc()
+        text = render_exposition(registry)
+        assert '\\"hi\\"' in text
+        assert "\\\\here" in text
+        parsed = parse_exposition(text)
+        (series,) = parsed["c_total"]["samples"]
+        assert 'he said "hi"\\here' in series
+
+    def test_empty_registry_renders_newline(self):
+        assert render_exposition(MetricsRegistry()) == "\n"
+
+    def test_content_type_is_prometheus_text(self):
+        assert CONTENT_TYPE.startswith("text/plain; version=0.0.4")
+
+
+class TestRoundTrip:
+    def test_full_registry_parses_strictly(self):
+        registry = MetricsRegistry()
+        registry.counter("a.count").inc(5)
+        registry.counter("a.count", tenant="x").inc(2)
+        registry.gauge("b.width").set(1.5)
+        hist = registry.histogram("c.lat", route="/v1")
+        for value in (1.0, 2.0, 3.0):
+            hist.observe(value)
+        families = parse_exposition(render_exposition(registry))
+        assert families["a_count_total"]["type"] == "counter"
+        assert families["a_count_total"]["samples"]["a_count_total"] == 5
+        assert (
+            families["a_count_total"]["samples"]['a_count_total{tenant="x"}'] == 2
+        )
+        assert families["b_width"]["samples"]["b_width"] == 1.5
+        summary = families["c_lat"]["samples"]
+        assert summary['c_lat_count{route="/v1"}'] == 3
+        assert summary['c_lat_sum{route="/v1"}'] == 6
+
+
+class TestStrictParser:
+    def test_parses_special_values(self):
+        families = parse_exposition(
+            "# TYPE x gauge\nx +Inf\ny -Inf\nz NaN\n"
+        )
+        assert families["x"]["samples"]["x"] == math.inf
+        assert families["y"]["samples"]["y"] == -math.inf
+        assert math.isnan(families["z"]["samples"]["z"])
+
+    def test_help_lines_accepted(self):
+        parse_exposition("# HELP x docs here\n# TYPE x counter\nx 1\n")
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "not a metric line at all!\n",
+            "# BOGUS comment kind\n",
+            "name{unterminated=\"...\n",
+            "name{} 1\n",
+            'name{k="v"k2="w"} 1\n',
+            "name\n",
+            "name notanumber\n",
+            "# TYPE x counter\n# TYPE x counter\nx 1\n",
+            "x 1\nx 2\n",
+            'x{a="1",a="2"} 1\n',
+        ],
+    )
+    def test_malformed_lines_raise(self, bad):
+        with pytest.raises(ValueError):
+            parse_exposition(bad)
+
+    def test_summary_children_join_their_family(self):
+        text = (
+            "# TYPE lat summary\n"
+            'lat{quantile="0.5"} 4\n'
+            "lat_sum 10\n"
+            "lat_count 3\n"
+        )
+        families = parse_exposition(text)
+        assert set(families) == {"lat"}
+        assert families["lat"]["samples"]["lat_count"] == 3
+
+
+class TestDefaultRegistry:
+    def test_module_helpers_feed_default_exposition(self):
+        telemetry.counter("demo.hits", outcome="ok").inc()
+        text = render_exposition()
+        assert 'demo_hits_total{outcome="ok"} 1' in text
