@@ -15,6 +15,7 @@ True
 """
 
 from repro.engine.cache import LRUCache
+from repro.engine.columnar import ColumnarExecutor
 from repro.engine.engine import Engine, EngineStats, Explanation, ProfiledExplanation
 from repro.engine.executor import ExecutionStats, Executor, NodeActuals
 from repro.engine.normalize import miniscope, normalize
@@ -23,6 +24,7 @@ from repro.engine.planner import Planner
 from repro.engine.stats import StructureStats, collect_stats
 
 __all__ = [
+    "ColumnarExecutor",
     "Engine",
     "EngineStats",
     "Explanation",

@@ -1,0 +1,165 @@
+"""The columnar executor: compiled kernel pipelines → :class:`Relation`.
+
+Drop-in alternative to :class:`repro.engine.executor.Executor` with the
+same constructor and ``run`` contract, but a completely different inner
+loop: the plan is compiled once per (structure, domain) into a tree of
+generated kernel closures over integer-coded rows
+(:mod:`repro.engine.columnar.compile`), cached on the structure, and
+re-executions just walk that tree. Element objects only reappear at the
+plan root, where the (usually small) answer key set is bulk-decoded.
+
+Parity with the tuple executor is deliberate and load-bearing:
+
+* the same per-node observability — ``executor.{ops,rows,ms}.<Op>``
+  counters/histograms under telemetry, ``NodeActuals`` per plan node
+  when a recorder is attached (fused nodes record under the outermost
+  plan node; the swallowed inner node simply has no actuals);
+* the same budget semantics — ``CancelToken.consume_rows`` per
+  materialized node, so row budgets and deadlines trip at the operator
+  that blew up;
+* the same semijoin pre-filter policy — ``semijoin_filtering`` plus the
+  :data:`~repro.engine.executor.SEMIJOIN_THRESHOLD` size gate, counted
+  in ``ExecutionStats.semijoin_filters`` — applied at run time so one
+  cached pipeline serves every engine configuration.
+
+The tuple executor remains the conformance reference; the
+``engine-columnar`` backend in :mod:`repro.conformance.backends` holds
+this tier to exact answer-set agreement.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import MutableMapping
+
+from repro.resilience.budget import CancelToken
+from repro.engine.columnar.compile import CompiledPlan, PipelineNode, compile_plan
+from repro.engine.executor import (
+    SEMIJOIN_THRESHOLD,
+    ExecutionStats,
+    NodeActuals,
+)
+from repro.engine.plan import Plan
+from repro.eval.algebra import Relation
+from repro.structures.structure import Element, Structure
+from repro.telemetry.metrics import counter as _counter
+from repro.telemetry.metrics import histogram as _histogram
+from repro.telemetry.tracer import is_enabled as _telemetry_enabled
+
+__all__ = ["ColumnarExecutor"]
+
+
+class ColumnarExecutor:
+    """Execute compiled kernel pipelines against one structure and domain."""
+
+    def __init__(
+        self,
+        structure: Structure,
+        domain: tuple[Element, ...],
+        stats: ExecutionStats | None = None,
+        recorder: MutableMapping[int, NodeActuals] | None = None,
+        semijoin_filtering: bool = True,
+        cancel_token: CancelToken | None = None,
+    ) -> None:
+        self.structure = structure
+        self.domain = domain
+        self.stats = stats if stats is not None else ExecutionStats()
+        self.recorder = recorder
+        self.semijoin_filtering = semijoin_filtering
+        self.cancel_token = cancel_token
+
+    def run(self, plan: Plan) -> Relation:
+        compiled = self._compiled(plan)
+        keys = self._exec(compiled.root)
+        rows = compiled.codec.decode_rows(keys, plan.arity, compiled.packed)
+        return Relation._make(plan.attributes, rows)
+
+    # -- pipeline cache -------------------------------------------------------
+
+    def _compiled(self, plan: Plan) -> CompiledPlan:
+        compiled = self.structure.cached(
+            ("columnar-pipeline", id(plan), self.domain),
+            lambda: self._compile(plan),
+        )
+        if compiled.plan is not plan:  # pragma: no cover - defensive: the
+            # cached CompiledPlan pins its plan object alive, so a live id
+            # can never be reused; recompile rather than trust a collision.
+            return self._compile(plan)
+        return compiled
+
+    def _compile(self, plan: Plan) -> CompiledPlan:
+        if not _telemetry_enabled():
+            return compile_plan(plan, self.structure, self.domain)
+        start = time.perf_counter()
+        compiled = compile_plan(plan, self.structure, self.domain)
+        _counter("columnar.pipeline.compiles").inc()
+        _histogram("columnar.compile.ms").observe(
+            (time.perf_counter() - start) * 1000.0
+        )
+        return compiled
+
+    # -- interpretation -------------------------------------------------------
+
+    def _exec(self, node: PipelineNode) -> set:
+        token = self.cancel_token
+        recorder = self.recorder
+        if recorder is None and not _telemetry_enabled():
+            rows = self._apply(node)
+            if token is not None:
+                token.consume_rows(len(rows), node.kind)
+            return rows
+        start = time.perf_counter()
+        rows = self._apply(node)
+        elapsed = time.perf_counter() - start
+        if token is not None:
+            token.consume_rows(len(rows), node.kind)
+        if _telemetry_enabled():
+            kind = node.kind
+            _counter(f"executor.ops.{kind}").inc()
+            _counter(f"executor.rows.{kind}").inc(len(rows))
+            _histogram(f"executor.ms.{kind}").observe(elapsed * 1000.0)
+            _counter(f"columnar.kernel.{kind}").inc()
+        if recorder is not None:
+            recorder[id(node.plan)] = NodeActuals(rows=len(rows), seconds=elapsed)
+        return rows
+
+    def _apply(self, node: PipelineNode) -> set:
+        stats = self.stats
+        children = node.children
+        if not children:
+            # Leaves (scans, domain columns, constant sets) depend only
+            # on the immutable structure and the pipeline's domain:
+            # materialize once, reuse the set on every execution.
+            rows = node.cache
+            if rows is None:
+                rows = node.fn()
+                node.cache = rows
+        elif node.kind == "Join":
+            left = self._exec(children[0])
+            right = self._exec(children[1])
+            stats.joins += 1
+            if (
+                node.shared
+                and self.semijoin_filtering
+                and len(left) > SEMIJOIN_THRESHOLD
+                and len(right) > SEMIJOIN_THRESHOLD
+            ):
+                stats.semijoin_filters += 1
+                before = max(len(left), len(right))
+                if len(left) >= len(right):
+                    left = node.semi_left(left, right)
+                    after = len(left)
+                else:
+                    right = node.semi_right(right, left)
+                    after = len(right)
+                if _telemetry_enabled():
+                    _counter("executor.semijoin.filters").inc()
+                    _counter("executor.semijoin.rows_filtered").inc(before - after)
+            rows = node.fn(left, right)
+        elif node.kind == "AntiJoin":
+            stats.antijoins += 1
+            rows = node.fn(self._exec(children[0]), self._exec(children[1]))
+        else:
+            rows = node.fn(*[self._exec(child) for child in children])
+        stats.rows_materialized += len(rows)
+        return rows

@@ -22,6 +22,7 @@ this); ``domain="active"`` gives database-style active-domain semantics.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Any
@@ -30,6 +31,7 @@ from repro.errors import EvaluationError, LocalityError
 from repro.resilience.budget import Budget, CancelToken, as_token
 from repro.resilience.faults import fault_point
 from repro.engine.cache import LRUCache
+from repro.engine.columnar.executor import ColumnarExecutor
 from repro.engine.executor import ExecutionStats, Executor, NodeActuals
 from repro.engine.normalize import normalize
 from repro.engine.plan import Plan, explain_plan
@@ -185,6 +187,23 @@ class Engine:
         bound execute with the semijoin pre-filter switched off — for
         trivially small plans the filter's extra hash sets cost more
         than they save. Set to 0 to always filter.
+    executor:
+        Which executor tier runs plans: ``"tuple"`` (the reference
+        row-at-a-time executor), ``"columnar"`` (compiled integer-key
+        kernel pipelines, :mod:`repro.engine.columnar`), or ``"auto"``
+        (cost-based dispatch, the default). ``None`` defers to the
+        ``REPRO_EXECUTOR`` environment variable, falling back to
+        ``"auto"``. :meth:`profile` always runs the tuple executor —
+        per-node EXPLAIN ANALYZE actuals are defined on the fully
+        materialized pipeline, which fusion deliberately destroys.
+    tiny_plan_rows / columnar_min_rows:
+        The ``"auto"`` dispatch bands, by total estimated rows: at most
+        ``tiny_plan_rows`` → columnar (its cached compiled pipeline is
+        the cheapest path for trivially small plans, where the tuple
+        executor's per-node setup dominates); at least
+        ``columnar_min_rows`` → columnar (integer kernels win on bulk);
+        in between → the tuple executor (both are fast; the reference
+        path keeps its production mileage).
     max_workers:
         Default worker count for the batch APIs (:meth:`answers_batch`,
         :meth:`evaluate_batch`, :meth:`evaluate_many`). ``None`` defers
@@ -201,11 +220,23 @@ class Engine:
         fast_path_threshold: int | None = None,
         enable_fast_path: bool = True,
         small_plan_rows: int = 2048,
+        executor: str | None = None,
+        tiny_plan_rows: int = 64,
+        columnar_min_rows: int = 512,
         max_workers: int | None = None,
     ) -> None:
         if domain not in ("universe", "active"):
             raise EvaluationError(f"domain must be 'universe' or 'active', got {domain!r}")
+        if executor is None:
+            executor = os.environ.get("REPRO_EXECUTOR", "auto") or "auto"
+        if executor not in ("auto", "tuple", "columnar"):
+            raise EvaluationError(
+                f"executor must be 'auto', 'tuple', or 'columnar', got {executor!r}"
+            )
         self.domain_mode = domain
+        self.executor_mode = executor
+        self.tiny_plan_rows = tiny_plan_rows
+        self.columnar_min_rows = columnar_min_rows
         self.degree_threshold = degree_threshold
         self.fast_path_ball_limit = fast_path_ball_limit
         self.fast_path_threshold = fast_path_threshold
@@ -312,6 +343,7 @@ class Engine:
                     sorted_names,
                     sorted_names,
                     plan.total_estimated_rows() > self.small_plan_rows,
+                    self._use_columnar(plan),
                     token.to_payload() if token is not None else None,
                 )
             )
@@ -608,6 +640,23 @@ class Engine:
 
         return self.plan_cache.get_or_compute(key, build)
 
+    def _use_columnar(self, plan: Plan) -> bool:
+        """The executor-tier dispatch decision for one plan.
+
+        Forced modes short-circuit; ``auto`` sends the two extremes of
+        the cost range to the columnar tier — trivially small plans
+        (cached pipeline beats the tuple executor's per-node setup, the
+        fix for the old ``has-loop`` regression) and bulky plans
+        (integer kernels beat per-row tuple hashing) — and keeps the
+        middle band on the reference tuple executor.
+        """
+        if self.executor_mode == "tuple":
+            return False
+        if self.executor_mode == "columnar":
+            return True
+        estimate = plan.total_estimated_rows()
+        return estimate <= self.tiny_plan_rows or estimate >= self.columnar_min_rows
+
     def _domain_values(self, structure: Structure) -> tuple[Element, ...]:
         if self.domain_mode == "universe":
             return structure.universe
@@ -646,7 +695,12 @@ class Engine:
         plan, _ = self._plan_for(structure, formula)
         domain = self._domain_values(structure)
         fault_point("engine.execute")
-        executor = Executor(
+        executor_class = (
+            ColumnarExecutor
+            if recorder is None and self._use_columnar(plan)
+            else Executor
+        )
+        executor = executor_class(
             structure,
             domain,
             self.stats.execution,
@@ -677,10 +731,20 @@ def _execute_payload(payload: tuple) -> tuple[frozenset, dict[str, int]]:
     together with the execution counters, so the parent can merge both
     back into its caches and stats.
     """
-    plan, structure, domain, sorted_names, order_names, semijoin_filtering, token_payload = payload
+    (
+        plan,
+        structure,
+        domain,
+        sorted_names,
+        order_names,
+        semijoin_filtering,
+        use_columnar,
+        token_payload,
+    ) = payload
     token = CancelToken.from_payload(token_payload) if token_payload is not None else None
     run_stats = ExecutionStats()
-    executor = Executor(
+    executor_class = ColumnarExecutor if use_columnar else Executor
+    executor = executor_class(
         structure,
         domain,
         run_stats,

@@ -186,11 +186,19 @@ class Executor:
                 self._run(plan.child).extend_columns(plan.new_attributes, self.domain)
             )
         if isinstance(plan, Union):
-            parts = [self._run(part) for part in plan.parts]
-            result = Relation.empty(plan.attributes)
-            for part in parts:
-                result = result.union(part)
-            return observe(result)
+            # One result set filled from every part — pairwise
+            # Relation.union would re-hash the accumulated rows once per
+            # part (quadratic for wide unions).
+            rows: set[tuple] = set()
+            for part in plan.parts:
+                relation = self._run(part)
+                if relation.attributes != plan.attributes:
+                    raise EvaluationError(
+                        f"union part produced {relation.attributes}, "
+                        f"expected {plan.attributes}"
+                    )
+                rows.update(relation.rows)
+            return observe(Relation._make(plan.attributes, frozenset(rows)))
         raise EvaluationError(f"unknown plan node {plan!r}")
 
     def _scan(self, plan: AtomScan) -> Relation:

@@ -58,6 +58,12 @@ class Structure:
         "_universe_set",
         "_hash",
         "_cache",
+        # Weak referenceability: the columnar tier's codecs live in
+        # ``_cache`` and point back at the structure through a weakref,
+        # so a dead structure (and its cached pipelines, columns and
+        # memoized scan sets) is reclaimed by refcounting alone instead
+        # of waiting for a cyclic-GC pass.
+        "__weakref__",
     )
 
     def __init__(
@@ -168,7 +174,12 @@ class Structure:
 
         Worker payloads (parallel census chunks, batch plan executions)
         stay small, and each worker rebuilds Gaifman graphs / WL colors
-        on demand — those are cheaper to recompute than to ship.
+        on demand — those are cheaper to recompute than to ship. The
+        columnar tier's per-structure memos (domain codecs, compiled
+        kernel pipelines — :mod:`repro.engine.columnar`) live in the
+        same cache and are likewise rebuilt where they're used: shipping
+        compiled closures would be impossible anyway (they don't
+        pickle), and the rebuild is one linear pass over each relation.
         """
         return (self.signature, self.universe, self.relations, self.constants)
 
