@@ -16,6 +16,11 @@ theorem of the survey:
                        sentence of quantifier rank ≤ r.
 ``ef-transfer``        The EF theorem (Thm 3.5): A ≡_r B implies A and B
                        agree on all sentences of quantifier rank ≤ r.
+``updates``            Update confluence: applying tuple deltas to a live
+                       structure (delta-maintained indexes and all) must
+                       answer exactly like a cold structure built from
+                       the post-delta content — the incremental path is
+                       an optimization, never a semantics.
 =====================  ====================================================
 
 Each oracle takes a case plus the backends applicable to it and returns
@@ -228,6 +233,69 @@ def _check_ef_transfer(case: Case, backends: Sequence) -> list[str]:
     return violations
 
 
+# -- update confluence -------------------------------------------------------
+
+_UPDATE_MAX_SIZE = 12
+_UPDATE_MAX_DELTAS = 4
+
+
+def _check_updates(case: Case, backends: Sequence) -> list[str]:
+    """Mutate a copy of the case structure and compare against a cold build.
+
+    The live copy goes through :meth:`Structure.insert` /
+    :meth:`Structure.delete` (exercising the delta log and memo
+    patching); the cold twin is constructed from the final content in
+    one shot.  Any backend that answers differently on the two has a
+    bug in the incremental maintenance path.
+    """
+    structure, formula = case.structure, case.formula
+    if structure.size == 0 or structure.size > _UPDATE_MAX_SIZE:
+        return []
+    if not structure.signature.relation_names():
+        return []
+    rng = _case_rng(case, 4)
+    live = Structure(
+        structure.signature,
+        structure.universe,
+        {name: set(rows) for name, rows in structure.relations.items()},
+        dict(structure.constants),
+    )
+    relations = sorted(structure.signature.relation_names())
+    applied = []
+    for _ in range(rng.randint(1, _UPDATE_MAX_DELTAS)):
+        relation = rng.choice(relations)
+        arity = structure.signature.arity(relation)
+        existing = sorted(live.relations[relation], key=repr)
+        if existing and rng.random() < 0.5:
+            row = rng.choice(existing)
+            live.delete(relation, row)
+            applied.append(("delete", relation, row))
+        else:
+            row = tuple(rng.choice(structure.universe) for _ in range(arity))
+            live.insert(relation, row)
+            applied.append(("insert", relation, row))
+    cold = Structure(
+        live.signature,
+        live.universe,
+        {name: set(rows) for name, rows in live.relations.items()},
+        dict(live.constants),
+    )
+    violations = []
+    for backend in backends:
+        if not (
+            _applicable(backend, live, formula)
+            and _applicable(backend, cold, formula)
+        ):
+            continue
+        if backend.answers(live, formula) != backend.answers(cold, formula):
+            violations.append(
+                f"{backend.name}: answers diverge after deltas {applied} — "
+                f"live (incrementally maintained) ≠ cold rebuild of the same "
+                f"content (epoch {live.epoch})"
+            )
+    return violations
+
+
 def default_oracles() -> list[Oracle]:
     return [
         Oracle(
@@ -249,5 +317,10 @@ def default_oracles() -> list[Oracle]:
             "ef-transfer",
             "EF theorem: A ≡_r B ⇒ agreement on rank-≤r sentences (Thm 3.5)",
             _check_ef_transfer,
+        ),
+        Oracle(
+            "updates",
+            "update confluence: deltas + incremental maintenance ≡ cold rebuild",
+            _check_updates,
         ),
     ]

@@ -1,9 +1,14 @@
 """A small LRU cache used for plans and answers.
 
 Both engine caches are bounded LRU maps with hit/miss/eviction counters;
-the answer cache additionally supports per-structure invalidation
-(structures are immutable, so this only matters when callers want to
-bound memory or drop results for structures they no longer hold).
+the answer cache additionally supports per-structure invalidation.
+Since structures became mutable (``Structure.insert``/``delete``), a key
+stored before an update may *hash differently* afterwards — its content
+hash moved with the structure it embeds.  Such entries are inert (no
+probe with the old bucket's hash can compare equal to the new content),
+but they can no longer be deleted by key, so :meth:`evict_where` and
+eviction generally must never assume ``del d[key]`` works for a key
+listed by iteration; see :meth:`evict_where`.
 
 The cache is **thread-safe**: under ``REPRO_PARALLEL_BACKEND=thread``
 the engine's caches are hit by pool workers concurrently, and an
@@ -103,14 +108,26 @@ class LRUCache:
         return value
 
     def evict_where(self, predicate: Callable[[Hashable], bool]) -> int:
-        """Drop every entry whose key satisfies ``predicate``; return count."""
+        """Drop every entry whose key satisfies ``predicate``; return count.
+
+        Rebuilds the survivor map instead of deleting doomed keys one by
+        one: a key whose hash changed since insertion (a mutated
+        structure embedded in an answer-cache key) cannot be looked up —
+        ``del`` would raise or, worse, silently miss — but iteration
+        still reaches it, so rebuild-and-swap removes it reliably.
+        """
         with self._lock:
-            doomed = [key for key in self._data if predicate(key)]
-            for key in doomed:
-                del self._data[key]
-            self.evictions += len(doomed)
-            self._record("evictions", len(doomed))
-            return len(doomed)
+            survivors = OrderedDict()
+            doomed = 0
+            for key, value in self._data.items():
+                if predicate(key):
+                    doomed += 1
+                else:
+                    survivors[key] = value
+            self._data = survivors
+            self.evictions += doomed
+            self._record("evictions", doomed)
+            return doomed
 
     def clear(self) -> None:
         with self._lock:

@@ -58,6 +58,7 @@ class DomainCodec:
         "universes",
         "_columns",
         "_packed",
+        "epoch",
     )
 
     def __init__(self, structure: Structure, domain: tuple[Element, ...]) -> None:
@@ -79,6 +80,11 @@ class DomainCodec:
         self.universes: dict[int, frozenset] = {}
         self._columns: dict[str, tuple[array, ...]] = {}
         self._packed: dict[str, frozenset[int]] = {}
+        #: The structure epoch the cached columns were built against.
+        #: ``codec_for`` compares it on every fetch — a codec built
+        #: before an ``insert``/``delete`` holds stale columns and packed
+        #: sets and must never be served again.
+        self.epoch = structure.epoch
 
     @property
     def structure(self) -> Structure:
@@ -224,7 +230,16 @@ def codec_for(structure: Structure, domain: tuple[Element, ...]) -> DomainCodec:
     path shares a single codec. Like every ``Structure.cached`` memo the
     codec is excluded from pickles (see ``Structure.__getstate__``) and
     rebuilt on demand in worker processes.
+
+    **Epoch check.**  ``Structure.insert``/``delete`` drop the memo, but
+    the check here is deliberately redundant: a codec that leaked out of
+    the memo before an update (or a memo restored by an exotic caller)
+    still carries relation columns from the old epoch, and serving them
+    would silently answer against stale data.  A mismatch rebuilds.
     """
-    return structure.cached(  # type: ignore[return-value]
-        ("columnar-codec", domain), lambda: DomainCodec(structure, domain)
-    )
+    key = ("columnar-codec", domain)
+    codec = structure.cached(key, lambda: DomainCodec(structure, domain))
+    if codec.epoch != structure.epoch:
+        codec = DomainCodec(structure, domain)
+        structure._cache[key] = codec
+    return codec  # type: ignore[return-value]

@@ -38,6 +38,8 @@ from repro.engine.plan import Plan, explain_plan
 from repro.engine.planner import Planner
 from repro.engine.stats import StructureStats, collect_stats
 from repro.eval.algebra import Relation
+from repro.incremental.answers import AnswerIndex
+from repro.incremental.enumeration import AnswerStream, plan_enumeration
 from repro.eval.evaluator import answers as naive_answers
 from repro.locality.bounded_degree import BoundedDegreeEvaluator
 from repro.locality.hanf import hanf_locality_radius
@@ -59,6 +61,8 @@ class EngineStats:
     plans_built: int = 0
     executions: int = 0
     fast_path_dispatches: int = 0
+    answers_patched: int = 0
+    enumerations: int = 0
     execution: ExecutionStats = field(default_factory=ExecutionStats)
 
     def as_dict(self) -> dict[str, Any]:
@@ -67,6 +71,8 @@ class EngineStats:
             "plans_built": self.plans_built,
             "executions": self.executions,
             "fast_path_dispatches": self.fast_path_dispatches,
+            "answers_patched": self.answers_patched,
+            "enumerations": self.enumerations,
             "execution": self.execution.as_dict(),
         }
 
@@ -246,6 +252,7 @@ class Engine:
         self.plan_cache = LRUCache(plan_cache_size, name="plan")
         self.answer_cache = LRUCache(answer_cache_size, name="answer")
         self._bounded_degree = LRUCache(64, name="bounded_degree")
+        self._answer_index = AnswerIndex()
         self.stats = EngineStats()
 
     # -- public API ----------------------------------------------------------
@@ -268,6 +275,12 @@ class Engine:
         raising :class:`~repro.errors.BudgetExceededError` instead of
         running long. Exhausted runs cache nothing; answer-cache hits
         return without consuming budget.
+
+        For quantifier-free formulas under universe semantics the engine
+        additionally *maintains* answers across structure updates: a
+        content-cache miss caused by ``Structure.insert``/``delete``
+        first tries to patch the answer set recorded at an earlier epoch
+        (:mod:`repro.incremental.answers`) before recomputing.
         """
         token = as_token(budget)
         free = free_variables(formula)
@@ -285,12 +298,60 @@ class Engine:
                 return naive_answers(structure, formula, free_order, cancel_token=token)
 
         key = (structure, formula, self.domain_mode, order_names)
-        return self.answer_cache.get_or_compute(
-            key,
-            lambda: self._compute_answers(
-                structure, formula, sorted_names, order_names, token
-            ),
-        )
+        maintain = self.domain_mode == "universe" and order_names == sorted_names
+        cached = self.answer_cache.get(key)
+        if cached is not None:
+            if maintain:
+                # The hit certifies the rows match the *current* content,
+                # so re-stamp the maintenance record at the current epoch.
+                self._answer_index.remember(structure, formula, order_names, cached)
+            return cached
+        if maintain:
+            patched = self._answer_index.patch(
+                structure, formula, order_names, cancel_token=token
+            )
+            if patched is not None:
+                self.stats.answers_patched += 1
+                self.answer_cache.put(key, patched)
+                return patched
+        rows = self._compute_answers(structure, formula, sorted_names, order_names, token)
+        self.answer_cache.put(key, rows)
+        if maintain:
+            self._answer_index.remember(structure, formula, order_names, rows)
+        return rows
+
+    def enumerate(
+        self,
+        structure: Structure,
+        formula: Formula,
+        *,
+        budget: "Budget | CancelToken | None" = None,
+    ) -> AnswerStream:
+        """ans(φ, A) as a lazy stream with measured per-answer delay.
+
+        Same answer set as :meth:`answers` (columns in sorted-variable
+        order), but produced one tuple at a time after a preprocessing
+        phase — the Kazana–Segoufin contract (arXiv:1105.3583).  Single
+        atoms stream straight off the relation; single-free-variable
+        queries on bounded-degree, constant-free structures enumerate by
+        neighborhood type (one evaluation per Gaifman class, O(1) delay);
+        everything else falls back to materializing through the planned
+        pipeline.  The returned :class:`~repro.incremental.enumeration.AnswerStream`
+        exposes ``mode``, ``preprocessing_seconds``, and ``delays``.
+
+        ``budget`` charges one row per *yielded* answer (plus deadline
+        ticks during preprocessing), so consuming k answers costs k rows
+        even when the full answer set would exceed the row budget.
+        """
+        token = as_token(budget)
+        validate(formula, structure.signature)
+        self.stats.enumerations += 1
+        with _span("engine.enumerate") as enum_span:
+            stream = plan_enumeration(self, structure, formula, token)
+            enum_span.set("mode", stream.mode)
+        if _telemetry_enabled():
+            _counter("engine.enumerations").inc()
+        return stream
 
     def answers_batch(
         self,

@@ -1,0 +1,207 @@
+"""Cached-answer maintenance for quantifier-free queries.
+
+A cached answer set ans(φ, A) can be *patched* under a tuple delta when
+φ's support is local in the strongest sense: φ is quantifier-free, so
+whether ā ∈ ans(φ, A) depends only on which atoms of φ hold of ā — and a
+delta (op, R, t) can only flip the truth of an R-atom R(τ̄) on
+assignments where τ̄ evaluates to exactly t.  Unifying each R-atom's
+term tuple against t therefore enumerates a *complete* candidate set:
+every answer tuple whose membership may have changed extends one of the
+unifiers.  Each candidate is then verified point-wise against the
+current structure and spliced into the cached set.
+
+Quantified formulas are out of scope by design (one delta can flip
+answers arbitrarily far from the touched tuple through a quantifier);
+the engine falls back to recomputation for them, which the
+``incremental.answers.fallback`` counter makes visible.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import OrderedDict
+
+from repro.errors import FMTError
+from repro.eval.evaluator import evaluate as naive_evaluate
+from repro.logic.analysis import free_variables, subformulas
+from repro.logic.syntax import Atom, Const, Exists, Forall, Formula, Var
+from repro.resilience.budget import CancelToken
+from repro.structures.structure import Structure
+from repro.telemetry.metrics import counter as _counter
+from repro.telemetry.tracer import is_enabled as _telemetry_enabled
+from repro.telemetry.tracer import span as _span
+
+__all__ = ["AnswerIndex", "is_maintainable", "CANDIDATE_LIMIT", "ANSWER_RECORDS_LIMIT"]
+
+#: Patch at most this many candidate answer tuples per maintenance pass;
+#: above it (many unbound variables × large universe) recomputing through
+#: the planned pipeline is the better deal.
+CANDIDATE_LIMIT = 2048
+
+#: How many (structure uid, query) answer records the index retains.
+ANSWER_RECORDS_LIMIT = 256
+
+
+def is_maintainable(formula: Formula) -> bool:
+    """Whether the formula's answers can be delta-maintained: no quantifiers."""
+    return not any(
+        isinstance(node, (Exists, Forall)) for node in subformulas(formula)
+    )
+
+
+class AnswerIndex:
+    """Epoch-stamped answer sets, patched under the owning structure's deltas.
+
+    Keys are ``(structure.uid, formula, order_names)`` — identity-based,
+    because a mutated structure changes content hash on every delta while
+    its uid names the same evolving object.  The engine's content-hash
+    answer cache stays the source of truth for "have I answered this
+    exact structure"; this index answers "I answered an earlier epoch of
+    this object — which rows may have flipped?".
+    """
+
+    def __init__(
+        self,
+        capacity: int = ANSWER_RECORDS_LIMIT,
+        candidate_limit: int = CANDIDATE_LIMIT,
+    ) -> None:
+        self.capacity = capacity
+        self.candidate_limit = candidate_limit
+        self._records: OrderedDict[tuple, tuple[int, frozenset]] = OrderedDict()
+        self.patched = 0
+        self.fallbacks = 0
+
+    def remember(
+        self,
+        structure: Structure,
+        formula: Formula,
+        order_names: tuple[str, ...],
+        rows: frozenset,
+    ) -> None:
+        """Stamp ``rows`` as the answers at the structure's current epoch."""
+        if not is_maintainable(formula):
+            return
+        key = (structure.uid, formula, order_names)
+        self._records[key] = (structure.epoch, rows)
+        self._records.move_to_end(key)
+        while len(self._records) > self.capacity:
+            self._records.popitem(last=False)
+
+    def patch(
+        self,
+        structure: Structure,
+        formula: Formula,
+        order_names: tuple[str, ...],
+        cancel_token: CancelToken | None = None,
+    ) -> frozenset | None:
+        """Answers at the current epoch, patched from a recorded epoch.
+
+        Returns ``None`` when maintenance cannot apply — no record, the
+        delta log has been outrun, or the candidate set explodes — and
+        the caller recomputes (and then calls :meth:`remember`).
+        """
+        key = (structure.uid, formula, order_names)
+        record = self._records.get(key)
+        if record is None:
+            return None
+        epoch, rows = record
+        deltas = structure.deltas_since(epoch)
+        if deltas is None:
+            del self._records[key]
+            self._note_fallback()
+            return None
+        self._records.move_to_end(key)
+        if not deltas:
+            return rows
+        names = tuple(sorted(var.name for var in free_variables(formula)))
+        if names != order_names:
+            # Bespoke column orders never take the maintenance path —
+            # candidates below are built in sorted-name order.
+            return None
+        candidates = _candidates(
+            structure, formula, names, deltas, self.candidate_limit
+        )
+        if candidates is None:
+            self._note_fallback()
+            return None
+        with _span("incremental.answers.patch") as patch_span:
+            patch_span.set("deltas", len(deltas)).set("candidates", len(candidates))
+            added = set()
+            removed = set()
+            variables = tuple(Var(name) for name in names)
+            for candidate in candidates:
+                if cancel_token is not None:
+                    cancel_token.tick("incremental.answers")
+                assignment = dict(zip(variables, candidate))
+                if naive_evaluate(structure, formula, assignment):
+                    added.add(candidate)
+                else:
+                    removed.add(candidate)
+            new_rows = frozenset((set(rows) - removed) | added)
+        self._records[key] = (structure.epoch, new_rows)
+        self.patched += 1
+        if _telemetry_enabled():
+            _counter("incremental.answers.patched").inc()
+        return new_rows
+
+    def _note_fallback(self) -> None:
+        self.fallbacks += 1
+        if _telemetry_enabled():
+            _counter("incremental.answers.fallback").inc()
+
+
+def _candidates(
+    structure: Structure,
+    formula: Formula,
+    names: tuple[str, ...],
+    deltas: list[tuple[str, str, tuple]],
+    limit: int,
+) -> set[tuple] | None:
+    """Every answer tuple whose membership one of the deltas may flip.
+
+    For each delta (op, R, t) and each R-atom of the formula, unify the
+    atom's terms against t; each successful unifier, extended over the
+    universe on the formula's remaining free variables, is a candidate.
+    Returns ``None`` when the extension would exceed ``limit``.
+    """
+    atoms_by_relation: dict[str, list[Atom]] = {}
+    for node in subformulas(formula):
+        if isinstance(node, Atom):
+            atoms_by_relation.setdefault(node.relation, []).append(node)
+    universe = structure.universe
+    candidates: set[tuple] = set()
+    for _, relation, row in deltas:
+        for atom in atoms_by_relation.get(relation, ()):
+            binding = _unify(structure, atom, row)
+            if binding is None:
+                continue
+            unbound = [name for name in names if name not in binding]
+            growth = len(universe) ** len(unbound) if unbound else 1
+            if len(candidates) + growth > limit:
+                return None
+            for combo in itertools.product(universe, repeat=len(unbound)):
+                env = dict(binding)
+                env.update(zip(unbound, combo))
+                candidates.add(tuple(env[name] for name in names))
+    return candidates
+
+
+def _unify(structure: Structure, atom: Atom, row: tuple) -> dict | None:
+    """Match the atom's term tuple against a concrete row, or ``None``."""
+    binding: dict[str, object] = {}
+    for term, value in zip(atom.terms, row):
+        if isinstance(term, Var):
+            bound = binding.get(term.name, _MISSING)
+            if bound is _MISSING:
+                binding[term.name] = value
+            elif bound != value:
+                return None
+        elif isinstance(term, Const):
+            if structure.constant(term.name) != value:
+                return None
+        else:  # pragma: no cover - the syntax has only Var/Const terms
+            raise FMTError(f"unsupported term {term!r}")
+    return binding
+
+
+_MISSING = object()

@@ -36,6 +36,7 @@ from collections import Counter, defaultdict, deque
 from collections.abc import Iterable, Sequence
 
 from repro.engine.cache import LRUCache
+from repro.incremental.census import CensusIndex
 from repro.resilience.budget import CancelToken
 from repro.resilience.faults import fault_point
 from repro.structures.gaifman import gaifman_adjacency, neighborhood
@@ -90,6 +91,7 @@ class TypeRegistry:
         self.isomorphism_tests = 0
         self.key_hits = 0
         self.census_memo = LRUCache(census_memo_size, name="census_memo")
+        self.incremental = CensusIndex()
 
     def type_of(self, structure: Structure) -> int:
         fingerprint = structure_fingerprint(structure) if self._use_fingerprint else ()
@@ -283,6 +285,7 @@ def _census_via_keys(
     max_workers: int | None,
     keys: list[tuple] | None = None,
     cancel_token: CancelToken | None = None,
+    types_out: dict | None = None,
 ) -> Counter:
     centers_list = [(element,) for element in structure.universe]
     if keys is None:
@@ -297,6 +300,8 @@ def _census_via_keys(
             key, lambda centers=centers: neighborhood(structure, centers, radius)
         )
         census[type_id] += 1
+        if types_out is not None:
+            types_out[centers[0]] = type_id
     return census
 
 
@@ -352,9 +357,22 @@ def neighborhood_census(
                 structure, radius, registry, cancel_token=cancel_token
             )
         else:
+            patched = registry.incremental.patch(structure, radius, registry)
+            if patched is not None:
+                registry.census_memo.put(memo_key, Counter(patched))
+                census_span.set("radius", radius).set("types", len(patched))
+                census_span.set("incremental", 1)
+                return patched
+            types: dict = {}
             census = _census_via_keys(
-                structure, radius, registry, max_workers, cancel_token=cancel_token
+                structure,
+                radius,
+                registry,
+                max_workers,
+                cancel_token=cancel_token,
+                types_out=types,
             )
+            registry.incremental.record(structure, radius, census, types)
         registry.census_memo.put(memo_key, Counter(census))
         if _telemetry_enabled():
             _counter("locality.censuses_computed").inc()
@@ -415,9 +433,17 @@ def neighborhood_census_many(
     for structure in structures:
         keys = keys_by_structure.pop(structure, None)
         if keys is not None:
+            types: dict = {}
             census = _census_via_keys(
-                structure, radius, registry, 1, keys=keys, cancel_token=cancel_token
+                structure,
+                radius,
+                registry,
+                1,
+                keys=keys,
+                cancel_token=cancel_token,
+                types_out=types,
             )
+            registry.incremental.record(structure, radius, census, types)
             registry.census_memo.put((structure, radius), Counter(census))
             if _telemetry_enabled():
                 _counter("locality.censuses_computed").inc()

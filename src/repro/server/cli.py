@@ -114,6 +114,12 @@ def build_parser() -> argparse.ArgumentParser:
         "(the slow-query log is the slow=true view of the access log)",
     )
     parser.add_argument(
+        "--readonly",
+        action="store_true",
+        help="disable POST /v1/structures/<id>/updates (typed 403); for "
+        "replicas that must never diverge from their upstream",
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="log one line per request to stderr"
     )
     return parser
@@ -163,6 +169,7 @@ def main(argv: list[str] | None = None) -> int:
         degree_bound=args.degree_bound,
         trace_sample=args.trace_sample,
         access_log=open_access_log(args.access_log, slow_ms=args.slow_ms),
+        readonly=args.readonly,
     )
     server = make_server(service, host=args.host, port=args.port, verbose=args.verbose)
     print(f"serving on {server.url}", flush=True)

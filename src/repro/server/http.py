@@ -9,6 +9,7 @@ Endpoints (all JSON, wire format v1 — see :mod:`repro.server.wire`):
 ``POST /v1/structures``    upload a structure → content-addressed id
 ``POST /v1/queries``       prepare a named query (parse + validate once)
 ``POST /v1/answers``       answer pages: prepared or ad-hoc, single or batched
+``POST /v1/structures/<id>/updates``  batched tuple deltas → new content id
 =========================  ==================================================
 
 The handler is a pure codec: decode JSON → call the service → encode the
@@ -182,12 +183,15 @@ class _Handler(BaseHTTPRequestHandler):
             with trace_scope(context):
                 with _span("server.request") as request_span:
                     request_span.set("path", self.path)
+                    update_target = _updates_target(self.path)
                     if self.path == "/v1/structures":
                         result = self._post_structures(body)
                     elif self.path == "/v1/queries":
                         result = self._post_queries(body)
                     elif self.path == "/v1/answers":
                         result = self._post_answers(body)
+                    elif update_target is not None:
+                        result = self._post_structure_updates(update_target, body)
                     else:
                         raise ServerError(
                             f"no route for POST {self.path}", status=404
@@ -231,6 +235,21 @@ class _Handler(BaseHTTPRequestHandler):
             "is_sentence": prepared.is_sentence,
         }
 
+    def _post_structure_updates(
+        self, structure_id: str, body: dict[str, Any]
+    ) -> dict[str, Any]:
+        tenant = _required_str(body, "tenant")
+        updates = body.get("updates")
+        if not isinstance(updates, list):
+            raise ServerError("'updates' must be a list of delta objects")
+        return self._service.apply_updates(
+            tenant,
+            structure_id,
+            updates,
+            deadline_ms=body.get("deadline_ms"),
+            max_rows=body.get("max_rows"),
+        )
+
     def _post_answers(self, body: dict[str, Any]) -> dict[str, Any]:
         tenant = _required_str(body, "tenant")
         if "requests" in body:
@@ -255,6 +274,19 @@ class _Handler(BaseHTTPRequestHandler):
             explain=bool(body.get("explain", False)),
         )
         return page.to_wire()
+
+
+def _updates_target(path: str) -> str | None:
+    """The structure id of a ``/v1/structures/<id>/updates`` path, if any."""
+    parts = path.split("/")
+    if (
+        len(parts) == 5
+        and parts[:3] == ["", "v1", "structures"]
+        and parts[4] == "updates"
+        and parts[3]
+    ):
+        return parts[3]
+    return None
 
 
 def _required_str(body: dict[str, Any], key: str) -> str:

@@ -8,8 +8,14 @@ FO system needs and nothing else:
 
 * a **structure store** — content-addressed by
   :func:`repro.server.wire.structure_digest`, shared across tenants
-  (structures are immutable, so cross-tenant sharing is safe and makes
-  the shared caches effective);
+  (sharing by content is what makes the shared caches effective).
+  Structures are mutable through exactly one door:
+  ``POST /v1/structures/<id>/updates`` (:meth:`QueryService.apply_updates`)
+  applies a batch of tuple deltas in place — the incremental layer
+  patches the structure's indexes rather than rebuilding them — and
+  re-registers the structure under its new content digest, retiring the
+  old id (queries against a retired id get a typed 409 naming the
+  successor, so a client that raced an update can follow the chain);
 * one **shared engine** — its plan and answer caches (the PR 5 locked
   LRUs) are the cross-tenant plan cache the ISSUE names: the first
   tenant to run a query pays for planning, every tenant afterwards
@@ -172,6 +178,7 @@ class TenantSession:
             "batch_requests": 0,
             "structures_registered": 0,
             "queries_prepared": 0,
+            "updates_applied": 0,
         }
         self.lock = threading.Lock()
 
@@ -227,6 +234,10 @@ class QueryService:
     access_log:
         Optional :class:`~repro.telemetry.logs.AccessLog` receiving one
         structured entry per answer request.
+    readonly:
+        When true, :meth:`apply_updates` refuses every request with a
+        typed 403 — the switch for replicas that must never diverge from
+        their upstream (``--readonly`` on the CLI).
     """
 
     def __init__(
@@ -238,6 +249,7 @@ class QueryService:
         max_page_size: int = MAX_PAGE_SIZE,
         trace_sample: float | None = None,
         access_log: AccessLog | None = None,
+        readonly: bool = False,
     ) -> None:
         self.engine = engine if engine is not None else Engine()
         self.default_budget = default_budget
@@ -246,7 +258,9 @@ class QueryService:
         self.max_page_size = min(max_page_size, MAX_PAGE_SIZE)
         self.trace_sample = trace_sample
         self.access_log = access_log
+        self.readonly = readonly
         self.structures: dict[str, Structure] = {}
+        self._superseded: dict[str, str] = {}
         self.tenants: dict[str, TenantSession] = {}
         self._lock = threading.Lock()
         self._started = time.monotonic()
@@ -336,9 +350,147 @@ class QueryService:
     def structure(self, structure_id: str) -> Structure:
         with self._lock:
             structure = self.structures.get(structure_id)
+            successor = self._superseded.get(structure_id)
         if structure is None:
+            if successor is not None:
+                raise ServerError(
+                    f"structure {structure_id!r} was updated; "
+                    f"its current id is {successor!r}",
+                    status=409,
+                )
             raise UnknownResourceError(f"unknown structure {structure_id!r}")
         return structure
+
+    def apply_updates(
+        self,
+        tenant: str,
+        structure_id: str,
+        updates: list,
+        deadline_ms: float | None = None,
+        max_rows: int | None = None,
+        trace_id: object = None,
+    ) -> dict[str, Any]:
+        """Apply a batch of tuple deltas to a stored structure, in place.
+
+        ``updates`` is the wire-v1-additive delta list
+        (:func:`repro.server.wire.updates_from_wire`), or already-decoded
+        ``(op, relation, row)`` tuples.  The batch is **atomic at
+        validation**: every delta is checked against the structure's
+        signature and universe before any is applied, so a bad delta in
+        the middle of the batch is a 400 with the store untouched.
+        Applied deltas run through ``Structure.insert``/``delete`` — the
+        incremental layer patches the Gaifman/incidence memos, and the
+        locality census and cached answers are patched lazily on their
+        next read.
+
+        Admission follows the answers path: the batch charges one row
+        per delta (all up front, so a 429 refusal is as atomic as a 400)
+        against the tightest of the tenant budget and the request
+        overrides — a tenant's write traffic is bounded by the same
+        envelope as its reads.  The response echoes the structure's
+        **new content digest** — the old id is retired (subsequent reads
+        get a 409 naming the successor) unless the batch round-tripped
+        back to the identical contents.
+        """
+        session = self.tenant(tenant)
+        session.count("requests")
+        with self._lock:
+            self.requests_served += 1
+        started = time.perf_counter()
+        with self.request_scope(trace_id) as (ctx, scope):  # noqa: F841 — scope keeps the trace open
+            token: CancelToken | None = None
+            status = 200
+            outcome = "ok"
+            applied = 0
+            try:
+                with _span("server.updates") as update_span:
+                    update_span.set("tenant", tenant)
+                    if self.readonly:
+                        raise ServerError(
+                            "this server is read-only; updates are disabled",
+                            status=403,
+                        )
+                    structure = self.structure(structure_id)
+                    token = self._effective_token(session, deadline_ms, max_rows)
+                    if updates and isinstance(updates[0], dict):
+                        deltas = wire.updates_from_wire(updates)
+                    else:
+                        deltas = [
+                            (op, relation, tuple(row)) for op, relation, row in updates
+                        ]
+                    if not deltas:
+                        raise ServerError("'updates' must be a non-empty list")
+                    # Validate and charge the whole batch before applying
+                    # any of it: a 400 or a 429 must leave the store
+                    # untouched (a refusal *between* deltas would strand
+                    # mutated content under its pre-update digest).
+                    for _, relation, row in deltas:
+                        structure.check_update(relation, row)
+                    if token is not None:
+                        token.consume_rows(len(deltas), "server.updates")
+                    noops = 0
+                    for op, relation, row in deltas:
+                        changed = (
+                            structure.insert(relation, row)
+                            if op == "insert"
+                            else structure.delete(relation, row)
+                        )
+                        if changed:
+                            applied += 1
+                        else:
+                            noops += 1
+                    new_id = wire.structure_digest(structure)
+                    with self._lock:
+                        if new_id != structure_id:
+                            self.structures.pop(structure_id, None)
+                            self.structures[new_id] = structure
+                            self._superseded[structure_id] = new_id
+                            # A resurrected id is current again, and any
+                            # stale chain onto it must not shadow it.
+                            self._superseded.pop(new_id, None)
+                    update_span.set("deltas", len(deltas)).set("applied", applied)
+                    update_span.set("epoch", structure.epoch)
+                    session.count("updates_applied", applied)
+                    if _telemetry_enabled():
+                        _counter("incremental.updates.applied", tenant=tenant).inc(applied)
+                        _counter("incremental.updates.noops", tenant=tenant).inc(noops)
+                    return {
+                        "structure_id": new_id,
+                        "previous_id": structure_id,
+                        "applied": applied,
+                        "noops": noops,
+                        "epoch": structure.epoch,
+                        "size": structure.size,
+                        "wire_version": wire.WIRE_VERSION,
+                    }
+            except BudgetExceededError as error:
+                session.count("refused")
+                status, outcome = wire.status_for_error(error), "refused"
+                raise
+            except FMTError as error:
+                session.count("errors")
+                status, outcome = wire.status_for_error(error), "error"
+                raise
+            except BaseException:
+                status, outcome = 500, "error"
+                raise
+            finally:
+                duration_ms = (time.perf_counter() - started) * 1000.0
+                _counter("server.requests", tenant=tenant, outcome=outcome).inc()
+                _histogram("server.request_ms", tenant=tenant).observe(duration_ms)
+                self._record_access(
+                    ctx=ctx,
+                    session=session,
+                    op="updates",
+                    query=None,
+                    query_hash=None,
+                    rows=applied,
+                    status=status,
+                    outcome=outcome,
+                    duration_ms=duration_ms,
+                    token=token,
+                    degradations_before=len(session.chain.degradations),
+                )
 
     # -- prepared queries ----------------------------------------------------
 

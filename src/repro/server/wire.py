@@ -77,6 +77,8 @@ __all__ = [
     "structure_to_dict",
     "structure_from_dict",
     "structure_digest",
+    "updates_from_wire",
+    "updates_to_wire",
     "answers_to_wire",
     "answers_from_wire",
     "error_to_wire",
@@ -231,10 +233,57 @@ def structure_digest(structure: Structure) -> str:
     """A content-addressed structure id: ``s-`` + SHA-256 prefix of the
     canonical wire encoding.  Identical structures (however uploaded, by
     whichever tenant) share an id, which is what lets the server share
-    plan- and answer-cache entries across tenants safely — structures
-    are immutable."""
+    plan- and answer-cache entries across tenants safely.  Updates
+    (``POST /v1/structures/<id>/updates``) keep the addressing honest by
+    re-registering the mutated structure under its *new* digest and
+    retiring the old id."""
     canonical = json.dumps(structure_to_dict(structure), sort_keys=True)
     return "s-" + hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+# -- structure updates (wire v1 additive) ------------------------------------
+
+
+def updates_from_wire(data: Any) -> list[tuple[str, str, tuple]]:
+    """Decode a batched-delta payload: ``[{"op", "relation", "row"}, ...]``.
+
+    Shape validation only — ``op`` must be ``insert`` or ``delete``,
+    ``relation`` a string, ``row`` a list of wire elements.  Whether the
+    relation exists, the arity matches, and the row's elements lie in
+    the universe is checked by the service against the target structure
+    (those are *that structure's* errors, not the encoding's).
+    """
+    if not isinstance(data, list) or not data:
+        raise StructureError("'updates' must be a non-empty list of delta objects")
+    deltas: list[tuple[str, str, tuple]] = []
+    for entry in data:
+        if not isinstance(entry, dict):
+            raise StructureError(f"delta must be an object, got {entry!r}")
+        op = entry.get("op")
+        if op not in ("insert", "delete"):
+            raise StructureError(
+                f"delta op must be 'insert' or 'delete', got {op!r}"
+            )
+        relation = entry.get("relation")
+        if not isinstance(relation, str):
+            raise StructureError(f"delta relation must be a string, got {relation!r}")
+        row = entry.get("row")
+        if not isinstance(row, list):
+            raise StructureError(f"delta row must be a list, got {row!r}")
+        deltas.append((op, relation, tuple(decode_element(value) for value in row)))
+    return deltas
+
+
+def updates_to_wire(deltas: list[tuple[str, str, tuple]]) -> list[dict]:
+    """Encode deltas in the request format (used by clients and tests)."""
+    return [
+        {
+            "op": op,
+            "relation": relation,
+            "row": [encode_element(value) for value in row],
+        }
+        for op, relation, row in deltas
+    ]
 
 
 # -- answer sets -------------------------------------------------------------

@@ -2,8 +2,18 @@
 
 A :class:`Structure` is a finite universe together with an interpretation
 of every relation symbol of its signature (and of its constants, if any).
-Structures are immutable and hashable; all "mutating" operations return
-new structures.
+Structures are hashable and content-equal; derived-structure operations
+(:meth:`Structure.induced`, unions, products, ...) return new structures.
+
+Since the incremental layer (ISSUE 9) a structure is additionally
+*updatable in place*: :meth:`Structure.insert` and
+:meth:`Structure.delete` change one relation tuple, bump the structure's
+**epoch**, and *patch* the structural memo caches (Gaifman adjacency,
+row incidence) instead of discarding them.  Every mutation is recorded
+in a bounded delta log, so epoch-aware consumers — the locality census,
+the engine's answer maintenance — can read :meth:`deltas_since` and
+patch their own indexes rather than recompute.  The universe and the
+constant interpretation never change; only relation contents do.
 
 The element sort order used internally is deterministic (by type name and
 repr), so every derived object — neighborhoods, unions, canonical invariants
@@ -12,6 +22,7 @@ repr), so every derived object — neighborhoods, unions, canonical invariants
 
 from __future__ import annotations
 
+import itertools
 from collections.abc import Hashable, Iterable, Mapping
 from typing import Callable
 
@@ -21,6 +32,21 @@ from repro.logic.signature import Signature
 __all__ = ["Structure", "Element"]
 
 Element = Hashable
+
+#: Process-unique identities for structures (see :attr:`Structure.uid`).
+#: Content hashing cannot key *identity-based* incremental indexes: two
+#: content-equal structures may diverge under updates, and one mutated
+#: structure changes its content hash on every delta.
+_UIDS = itertools.count(1)
+
+#: Bound on the per-structure delta log.  Consumers that fall further
+#: behind than this get ``None`` from :meth:`Structure.deltas_since` and
+#: must recompute — the log bounds memory, not history.
+DELTA_LOG_LIMIT = 256
+
+#: Memo keys the mutation path patches in place; every other ``_cache``
+#: entry is dropped on update (safe default: recompute on demand).
+_PATCHED_MEMOS = frozenset({("gaifman",), ("row-incidence",)})
 
 
 def _sort_key(element: Element) -> tuple[str, str]:
@@ -58,6 +84,12 @@ class Structure:
         "_universe_set",
         "_hash",
         "_cache",
+        # Incremental state: ``epoch`` counts applied updates, ``uid`` is
+        # a process-unique identity (content hashes move under updates,
+        # identities do not), ``_deltas`` is the bounded update log.
+        "epoch",
+        "uid",
+        "_deltas",
         # Weak referenceability: the columnar tier's codecs live in
         # ``_cache`` and point back at the structure through a weakref,
         # so a dead structure (and its cached pipelines, columns and
@@ -125,6 +157,9 @@ class Structure:
 
         self._hash: int | None = None
         self._cache: dict = {}
+        self.epoch: int = 0
+        self.uid: int = next(_UIDS)
+        self._deltas: list[tuple[str, str, tuple]] = []
 
     # -- basic protocol ----------------------------------------------------
 
@@ -192,6 +227,11 @@ class Structure:
         self.constants = constants
         self._hash = None
         self._cache = {}
+        # A worker-side copy is a different object with its own update
+        # history; it must not alias the sender's incremental identity.
+        self.epoch = 0
+        self.uid = next(_UIDS)
+        self._deltas = []
 
     # -- membership ----------------------------------------------------------
 
@@ -228,6 +268,131 @@ class Structure:
             for row in tuples:
                 active.update(row)
         return frozenset(active)
+
+    # -- updates (incremental evaluation) -------------------------------------
+
+    def insert(self, relation: str, row: tuple) -> bool:
+        """Add ``row`` to ``relation`` in place; return whether it was new.
+
+        Bumps :attr:`epoch`, appends to the delta log, and *patches* the
+        structural memos (row incidence, Gaifman adjacency) rather than
+        rebuilding them.  Memos the mutation path does not understand are
+        dropped and recomputed on demand.  A no-op insert (the row is
+        already present) returns ``False`` and changes nothing.
+        """
+        return self._update("insert", relation, row)
+
+    def delete(self, relation: str, row: tuple) -> bool:
+        """Remove ``row`` from ``relation`` in place; return whether present.
+
+        Same contract as :meth:`insert`; a no-op delete (the row is
+        absent) returns ``False`` and changes nothing.  The universe is
+        untouched — deletes never remove elements.
+        """
+        return self._update("delete", relation, row)
+
+    def deltas_since(self, epoch: int) -> list[tuple[str, str, tuple]] | None:
+        """The ``(op, relation, row)`` deltas applied after ``epoch``.
+
+        Returns ``[]`` when ``epoch`` is current, ``None`` when the
+        caller is from the future (a different structure's epoch) or has
+        fallen behind the bounded log — in that case patching is off the
+        table and the caller must recompute from the current contents.
+        """
+        behind = self.epoch - epoch
+        if behind < 0 or behind > len(self._deltas):
+            return None
+        if behind == 0:
+            return []
+        return self._deltas[-behind:]
+
+    def check_update(self, relation: str, row: tuple) -> tuple:
+        """Validate a delta without applying it; return the normalized row.
+
+        Raises the same :class:`SignatureError`/:class:`StructureError`
+        an :meth:`insert`/:meth:`delete` would — callers that need
+        all-or-nothing batches (the server's updates endpoint) validate
+        every delta here before applying any.
+        """
+        row = tuple(row)
+        if relation not in self.relations:
+            raise SignatureError(f"unknown relation symbol {relation!r}")
+        arity = self.signature.arity(relation)
+        if len(row) != arity:
+            raise StructureError(
+                f"tuple {row!r} for {relation!r} has length {len(row)}, expected {arity}"
+            )
+        for value in row:
+            if value not in self._universe_set:
+                raise StructureError(
+                    f"tuple {row!r} for {relation!r} mentions {value!r}, "
+                    "which is outside the universe"
+                )
+        return row
+
+    def _update(self, op: str, relation: str, row: tuple) -> bool:
+        row = self.check_update(relation, row)
+        tuples = self.relations[relation]
+        if op == "insert":
+            if row in tuples:
+                return False
+            self.relations[relation] = tuples | {row}
+        else:
+            if row not in tuples:
+                return False
+            self.relations[relation] = tuples - {row}
+        self.epoch += 1
+        self._deltas.append((op, relation, row))
+        if len(self._deltas) > DELTA_LOG_LIMIT:
+            del self._deltas[: len(self._deltas) - DELTA_LOG_LIMIT]
+        self._hash = None
+        self._patch_memos(op, relation, row)
+        return True
+
+    def _patch_memos(self, op: str, relation: str, row: tuple) -> None:
+        """Patch the structural memos for one applied delta; drop the rest.
+
+        Row incidence maps each element to the ``(relation, row)`` pairs
+        it occurs in; the Gaifman adjacency is derivable from it.  Both
+        are patched in O(|row| · degree).  Other memo entries (WL colors,
+        engine stats, columnar codecs and pipelines) are discarded — each
+        owner either recomputes on demand or, like the columnar codec,
+        carries its own epoch check as a second line of defense.
+        """
+        patched: dict = {}
+        incidence = self._cache.get(("row-incidence",))
+        if incidence is not None:
+            incidence = dict(incidence)
+            pair = (relation, row)
+            for element in set(row):
+                pairs = incidence.get(element, ())
+                if op == "insert":
+                    incidence[element] = (*pairs, pair)
+                else:
+                    incidence[element] = tuple(p for p in pairs if p != pair)
+            patched[("row-incidence",)] = incidence
+        adjacency = self._cache.get(("gaifman",))
+        if adjacency is not None:
+            touched = set(row)
+            adjacency = dict(adjacency)
+            if op == "insert":
+                for element in touched:
+                    adjacency[element] = adjacency[element] | (touched - {element})
+            elif incidence is not None:
+                # A deleted row may or may not sever edges (another row
+                # can still connect the same pair); recompute the touched
+                # elements' rows from the patched incidence.
+                for element in touched:
+                    neighbors: set[Element] = set()
+                    for _, other_row in incidence.get(element, ()):
+                        neighbors.update(other_row)
+                    neighbors.discard(element)
+                    adjacency[element] = frozenset(neighbors)
+            else:
+                adjacency = None
+            if adjacency is not None:
+                patched[("gaifman",)] = adjacency
+        self._cache = patched
 
     # -- derived structures ---------------------------------------------------
 

@@ -23,6 +23,7 @@ def test_oracle_names_and_theorems():
         "negation",
         "disjoint-union",
         "ef-transfer",
+        "updates",
     ]
     for o in oracles:
         assert o.theorem  # every oracle cites its justification
@@ -37,7 +38,36 @@ def test_oracles_pass_on_honest_backends():
         "negation",
         "disjoint-union",
         "ef-transfer",
+        "updates",
     }
+
+
+def test_updates_oracle_catches_stale_maintenance():
+    """A backend that ignores deltas (answers from the pre-update content,
+    simulating a never-invalidated cache) must be flagged."""
+
+    def stale(structure, formula):
+        deltas = structure.deltas_since(0)
+        if deltas:
+            relations = {name: set(rows) for name, rows in structure.relations.items()}
+            for op, relation, row in reversed(deltas):
+                (relations[relation].discard if op == "insert" else relations[relation].add)(row)
+            from repro.structures.structure import Structure
+
+            structure = Structure(
+                structure.signature,
+                structure.universe,
+                relations,
+                dict(structure.constants),
+            )
+        return naive_answers(structure, formula)
+
+    backend = Backend("stale-cache", stale)
+    violations = []
+    for case in CaseGenerator(seed=0).stream(60):
+        violations += oracle("updates").check(case, [backend])
+    assert violations
+    assert any("stale-cache" in message for message in violations)
 
 
 def test_isomorphism_oracle_catches_label_dependence():

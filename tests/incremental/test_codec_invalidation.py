@@ -1,0 +1,57 @@
+"""DomainCodec epoch invalidation: a stale codec is never served.
+
+The codec caches columnar materializations (int columns, packed key
+sets) of every base relation on the structure itself.  Before updates
+existed the cache could never go stale; with ``insert``/``delete`` a
+codec built at epoch k holds wrong columns at epoch k+1.  The fix is
+two-layered — ``Structure._update`` drops the memo, and ``codec_for``
+re-checks the epoch stamp — and this file is the regression suite for
+both layers.
+"""
+
+from __future__ import annotations
+
+from repro.engine.columnar.codec import codec_for
+from repro.engine.engine import Engine
+from repro.eval.evaluator import answers as naive_answers
+from repro.logic.parser import parse
+from repro.structures.builders import directed_cycle, random_graph
+
+
+def test_codec_is_replaced_after_an_update():
+    structure = directed_cycle(5)
+    domain = tuple(structure.universe)
+    before = codec_for(structure, domain)
+    assert codec_for(structure, domain) is before  # cached while current
+    stale_rows = before.packed_relation("E")  # materialize the epoch-0 columns
+    structure.insert("E", (0, 2))
+    after = codec_for(structure, domain)
+    assert after is not before
+    assert after.epoch == structure.epoch
+    assert after.packed_relation("E") != stale_rows
+
+
+def test_stale_codec_survives_even_a_resurrected_memo():
+    """Even if a stale codec object reappears in the memo (epoch drift
+    without a memo drop), ``codec_for`` refuses to serve it."""
+    structure = directed_cycle(5)
+    domain = tuple(structure.universe)
+    stale = codec_for(structure, domain)
+    structure.insert("E", (0, 2))
+    # Adversarially re-install the stale codec where the memo keeps it.
+    structure._cache[("columnar-codec", domain)] = stale
+    served = codec_for(structure, domain)
+    assert served is not stale
+    assert served.epoch == structure.epoch
+
+
+def test_columnar_answers_correct_across_updates():
+    engine = Engine(executor="columnar", columnar_min_rows=0, tiny_plan_rows=0)
+    formula = parse("E(x, y) & E(y, z)")
+    structure = random_graph(10, 0.3, seed=5)
+    assert engine.answers(structure, formula) == naive_answers(structure, formula)
+    for step in range(12):
+        a, b = step % 10, (step * 3 + 1) % 10
+        if not structure.insert("E", (a, b)):
+            structure.delete("E", (a, b))
+        assert engine.answers(structure, formula) == naive_answers(structure, formula)
