@@ -70,6 +70,7 @@ from repro.errors import (
     LocalityError,
     ParseError,
     SignatureError,
+    StaleStreamError,
     StructureError,
 )
 from repro.engine import (
@@ -127,7 +128,7 @@ __all__ = [
     # errors
     "FMTError", "SignatureError", "FormulaError", "ParseError",
     "StructureError", "EvaluationError", "GameError", "LocalityError",
-    "DatalogError", "BudgetExceededError",
+    "DatalogError", "BudgetExceededError", "StaleStreamError",
     # logic
     "Signature", "GRAPH", "ORDER", "SUCCESSOR", "SET", "parse",
     "quantifier_rank",

@@ -28,8 +28,16 @@ import weakref
 from array import array
 
 from repro.structures.structure import Element, Structure
+from repro.telemetry.metrics import counter as _counter
+from repro.telemetry.tracer import is_enabled as _telemetry_enabled
 
-__all__ = ["DomainCodec", "codec_for", "PACK_MAX_ARITY", "PACK_KEY_LIMIT"]
+__all__ = [
+    "DomainCodec",
+    "codec_for",
+    "codec_stats",
+    "PACK_MAX_ARITY",
+    "PACK_KEY_LIMIT",
+]
 
 #: Maximal arity packed into a single int key; wider rows fall back to
 #: tuple-of-int keys.
@@ -220,6 +228,70 @@ class DomainCodec:
         self._packed[relation] = packed
         return packed
 
+    # -- delta maintenance ----------------------------------------------------
+
+    def apply_deltas(self, deltas: list[tuple[str, str, tuple]]) -> None:
+        """Patch the cached materializations with applied structure deltas.
+
+        The domain is unchanged by updates (inserts and deletes touch
+        relations only, never the universe), so the id bijection,
+        ``base``, and the cached key ``universes`` all stay valid — only
+        the per-relation columns and packed sets move.  Each delta costs
+        O(1) for an insert (append one id per column, one frozenset
+        union) and O(rows) for a delete (locate the coded row).  Only
+        *materialized* entries are patched; relations never coded against
+        this codec are still built lazily from the current contents.
+
+        Rows mentioning elements outside the domain are skipped, exactly
+        as :meth:`columns` drops them at build time.  Nullary relations
+        carry no columns to patch — their entries are dropped and rebuilt
+        on demand.
+        """
+        for op, relation, row in deltas:
+            if not row:
+                self._columns.pop(relation, None)
+                self._packed.pop(relation, None)
+                continue
+            ids = []
+            for value in row:
+                ident = self.index.get(value)
+                if ident is None:
+                    break
+                ids.append(ident)
+            if len(ids) != len(row):
+                continue  # foreign row: never materialized, nothing to patch
+            cols = self._columns.get(relation)
+            if cols is not None:
+                if op == "insert":
+                    for column, ident in zip(cols, ids):
+                        column.append(ident)
+                else:
+                    first = cols[0]
+                    for position in range(len(first) - 1, -1, -1):
+                        if all(
+                            column[position] == ident
+                            for column, ident in zip(cols, ids)
+                        ):
+                            for column in cols:
+                                del column[position]
+                            break
+            packed = self._packed.get(relation)
+            if packed is not None:
+                key = 0
+                for ident in ids:
+                    key = key * self.base + ident
+                if op == "insert":
+                    self._packed[relation] = packed | {key}
+                else:
+                    self._packed[relation] = packed - {key}
+        self.epoch = self.structure.epoch
+
+
+#: Process-wide patch/rebuild tallies, maintained even with telemetry
+#: disabled — benchmarks and tests assert "zero full re-encodes" against
+#: these without paying for the metrics registry in the timed loop.
+codec_stats = {"patched": 0, "rebuilt": 0}
+
 
 def codec_for(structure: Structure, domain: tuple[Element, ...]) -> DomainCodec:
     """The (structure, domain) codec, cached on the structure.
@@ -231,15 +303,32 @@ def codec_for(structure: Structure, domain: tuple[Element, ...]) -> DomainCodec:
     codec is excluded from pickles (see ``Structure.__getstate__``) and
     rebuilt on demand in worker processes.
 
-    **Epoch check.**  ``Structure.insert``/``delete`` drop the memo, but
-    the check here is deliberately redundant: a codec that leaked out of
-    the memo before an update (or a memo restored by an exotic caller)
-    still carries relation columns from the old epoch, and serving them
-    would silently answer against stale data.  A mismatch rebuilds.
+    **Epoch check.**  ``Structure.insert``/``delete`` keeps the memo
+    (see ``Structure._patch_memos``) but bumps the epoch; the check here
+    is what makes that safe — a codec stamped with an older epoch is
+    never served as-is.  When the structure's delta log still covers the
+    gap, the codec is *patched in place* (:meth:`DomainCodec.apply_deltas`
+    — O(delta) instead of O(structure)); only a codec too far behind the
+    bounded log, adopted from another structure, or built for a
+    different domain tuple is rebuilt from scratch.
     """
     key = ("columnar-codec", domain)
     codec = structure.cached(key, lambda: DomainCodec(structure, domain))
     if codec.epoch != structure.epoch:
-        codec = DomainCodec(structure, domain)
-        structure._cache[key] = codec
+        deltas = structure.deltas_since(codec.epoch)
+        if (
+            deltas is not None
+            and codec.domain == domain
+            and codec._structure() is structure
+        ):
+            codec.apply_deltas(deltas)
+            codec_stats["patched"] += 1
+            if _telemetry_enabled():
+                _counter("columnar.codec.patched").inc()
+        else:
+            codec = DomainCodec(structure, domain)
+            structure._cache[key] = codec
+            codec_stats["rebuilt"] += 1
+            if _telemetry_enabled():
+                _counter("columnar.codec.rebuilt").inc()
     return codec  # type: ignore[return-value]

@@ -33,6 +33,7 @@ import time
 from typing import MutableMapping
 
 from repro.resilience.budget import CancelToken
+from repro.engine.columnar.codec import codec_for
 from repro.engine.columnar.compile import CompiledPlan, PipelineNode, compile_plan
 from repro.engine.executor import (
     SEMIJOIN_THRESHOLD,
@@ -77,14 +78,39 @@ class ColumnarExecutor:
     # -- pipeline cache -------------------------------------------------------
 
     def _compiled(self, plan: Plan) -> CompiledPlan:
-        compiled = self.structure.cached(
-            ("columnar-pipeline", id(plan), self.domain),
-            lambda: self._compile(plan),
-        )
+        key = ("columnar-pipeline", id(plan), self.domain)
+        compiled = self.structure.cached(key, lambda: self._compile(plan))
         if compiled.plan is not plan:  # pragma: no cover - defensive: the
             # cached CompiledPlan pins its plan object alive, so a live id
             # can never be reused; recompile rather than trust a collision.
             return self._compile(plan)
+        if compiled.epoch != self.structure.epoch:
+            compiled = self._refresh(plan, compiled, key)
+        return compiled
+
+    def _refresh(
+        self, plan: Plan, compiled: CompiledPlan, key: tuple
+    ) -> CompiledPlan:
+        """Bring a cached pipeline forward across structure updates.
+
+        The cheap path: the delta log covers the gap and ``codec_for``
+        patched the same codec object the pipeline compiled against — the
+        generated kernels read the patched columns directly, so only the
+        leaf memos of relations the deltas touched are dropped
+        (:meth:`CompiledPlan.refresh`).  If the codec had to be rebuilt
+        (log outrun, foreign codec), the captured column references are
+        orphaned and the whole pipeline is recompiled.
+        """
+        structure = self.structure
+        deltas = structure.deltas_since(compiled.epoch)
+        codec = codec_for(structure, self.domain)
+        if deltas is None or codec is not compiled.codec:
+            compiled = self._compile(plan)
+            structure._cache[key] = compiled
+            return compiled
+        compiled.refresh(deltas, structure.epoch)
+        if _telemetry_enabled():
+            _counter("columnar.pipeline.refreshes").inc()
         return compiled
 
     def _compile(self, plan: Plan) -> CompiledPlan:

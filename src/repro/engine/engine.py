@@ -276,10 +276,12 @@ class Engine:
         running long. Exhausted runs cache nothing; answer-cache hits
         return without consuming budget.
 
-        For quantifier-free formulas under universe semantics the engine
-        additionally *maintains* answers across structure updates: a
-        content-cache miss caused by ``Structure.insert``/``delete``
-        first tries to patch the answer set recorded at an earlier epoch
+        For quantifier-free formulas — and, since ISSUE 10, quantified
+        formulas in the local-existential and Hanf-gated fragments —
+        under universe semantics the engine additionally *maintains*
+        answers across structure updates: a content-cache miss caused by
+        ``Structure.insert``/``delete`` first tries to patch the answer
+        set recorded at an earlier epoch
         (:mod:`repro.incremental.answers`) before recomputing.
         """
         token = as_token(budget)
@@ -319,6 +321,33 @@ class Engine:
         if maintain:
             self._answer_index.remember(structure, formula, order_names, rows)
         return rows
+
+    def maintained_changed(
+        self,
+        structure: Structure,
+        formula: Formula,
+        *,
+        budget: "Budget | CancelToken | None" = None,
+    ) -> bool | None:
+        """Did φ's maintained answer set change across pending deltas?
+
+        ``True``/``False`` when a maintenance record for (structure uid,
+        φ) could be patched to the current epoch and compared; ``None``
+        when the engine cannot cheaply decide (no record, non-universe
+        semantics, delta log outrun, or the patch work limits tripped) —
+        callers that must not miss a change treat ``None`` as "assume
+        changed".  The patched rows stay in the maintenance record, so a
+        follow-up :meth:`answers` call reuses the work.  This is what
+        the server's updates endpoint uses to report dirtied prepared
+        queries without re-running them.
+        """
+        if self.domain_mode != "universe":
+            return None
+        token = as_token(budget)
+        order_names = tuple(sorted(var.name for var in free_variables(formula)))
+        return self._answer_index.changed(
+            structure, formula, order_names, cancel_token=token
+        )
 
     def enumerate(
         self,
@@ -611,13 +640,23 @@ class Engine:
         )
 
     def invalidate(self, structure: Structure) -> int:
-        """Drop every cached answer for ``structure``; return the count."""
+        """Drop every cached answer for ``structure``; return the count.
+
+        Both layers go: the content-hash answer cache *and* the
+        delta-maintained records (:class:`AnswerIndex`), so the next
+        read genuinely re-executes instead of being answered by a
+        surviving maintenance record.  The count reports cache entries
+        (one per cached answer set, as before); forgotten maintenance
+        records ride along uncounted.
+        """
+        self._answer_index.forget(structure)
         return self.answer_cache.evict_where(lambda key: key[0] == structure)
 
     def clear_caches(self) -> None:
         self.plan_cache.clear()
         self.answer_cache.clear()
         self._bounded_degree.clear()
+        self._answer_index.clear()
 
     def reset_stats(self) -> None:
         """Zero the lifetime counters (cache contents are untouched)."""

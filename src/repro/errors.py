@@ -103,6 +103,26 @@ class UnknownResourceError(ServerError):
         super().__init__(message, status=404)
 
 
+class StaleStreamError(FMTError):
+    """An :class:`~repro.incremental.enumeration.AnswerStream` was pulled
+    after its structure mutated.
+
+    A stream pins the structure's epoch at creation; ``insert``/``delete``
+    invalidate the preprocessing the constant-delay guarantee rests on, so
+    rather than silently yielding answers for a structure that no longer
+    exists, ``next()`` raises this error.  Re-plan with
+    :meth:`Engine.enumerate` to stream the updated answers.
+    """
+
+    def __init__(self, pinned_epoch: int, current_epoch: int) -> None:
+        self.pinned_epoch = pinned_epoch
+        self.current_epoch = current_epoch
+        super().__init__(
+            "answer stream is stale: structure moved from epoch "
+            f"{pinned_epoch} to {current_epoch} after preprocessing"
+        )
+
+
 class BudgetExceededError(FMTError):
     """A computation exceeded an explicit resource budget supplied by the caller.
 

@@ -12,13 +12,31 @@ Three strategies, tried in order by :func:`plan_enumeration`:
 * ``atom`` — the query is a single atom over distinct variables: stream
   the relation's rows (reordered to sorted-variable columns).  O(1)
   delay, no evaluation at all.
-* ``types`` — one free variable on a bounded-degree, constant-free
-  structure: Gaifman locality says x ↦ φ(x) is constant on each
-  radius-``(7^qr − 1)/2`` neighborhood isomorphism type, so
-  preprocessing partitions the universe by ball key and evaluates *one
-  representative per class*; enumeration then streams the members of the
-  satisfying classes.  Linear preprocessing, O(1) delay — the
+* ``types`` — one or two free variables on a bounded-degree,
+  constant-free structure: Gaifman locality says ā ↦ φ(ā) is constant
+  on each radius-``(7^qr − 1)/2`` neighborhood isomorphism type, so
+  preprocessing partitions by ball key and evaluates *one
+  representative per class*; enumeration then streams the members of
+  the satisfying classes.  Linear preprocessing, O(1) delay — the
   Kazana–Segoufin shape realized through the census machinery.
+
+  For two free variables the n² pairs are never keyed individually.
+  Preprocessing splits pairs into *near* (Gaifman distance ≤ 2r+1,
+  at most ``n · |B_{2r+1}|`` of them, keyed and decided pairwise) and
+  *far* (radius-r balls disjoint, so the joint neighborhood is the
+  disjoint union of the point neighborhoods and the verdict is a
+  function of the ordered pair of *point* types — one representative
+  evaluation per type pair).  Enumeration of a far class streams
+  members of the target point class skipping the ≤ ``|B_{2r+1}|``
+  near elements, so the delay stays bounded by the ball size, not n.
+
+Every stream pins the structure's epoch at planning time.  An
+``insert``/``delete`` invalidates the preprocessing the constant-delay
+guarantee rests on, so a subsequent ``next()`` raises
+:class:`~repro.errors.StaleStreamError` instead of yielding answers
+for a structure that no longer exists — in every mode, including
+``materialized`` (a snapshot taken before the update would silently
+mix epochs for consumers that interleave reads with writes).
 * ``materialized`` — everything else: compute the full answer set
   through the engine (planned, cached, budgeted) and stream it.  The
   fallback keeps :meth:`Engine.enumerate` total.
@@ -35,6 +53,7 @@ from __future__ import annotations
 import time
 from collections.abc import Iterator
 
+from repro.errors import StaleStreamError
 from repro.eval.evaluator import evaluate as naive_evaluate
 from repro.logic.analysis import free_variables, quantifier_rank
 from repro.logic.syntax import Atom, Formula, Var
@@ -62,6 +81,10 @@ class AnswerStream:
         Wall-clock spent before the first answer could be produced.
     delays:
         Seconds spent inside each completed ``next()`` call so far.
+    epoch:
+        The structure epoch the stream was planned against.  ``next()``
+        raises :class:`~repro.errors.StaleStreamError` once the
+        structure has moved past it.
     """
 
     def __init__(
@@ -70,17 +93,25 @@ class AnswerStream:
         mode: str,
         free_names: tuple[str, ...],
         preprocessing_seconds: float,
+        structure: Structure | None = None,
     ) -> None:
         self._iterator = iterator
         self.mode = mode
         self.free_names = free_names
         self.preprocessing_seconds = preprocessing_seconds
         self.delays: list[float] = []
+        self._structure = structure
+        self.epoch = structure.epoch if structure is not None else 0
 
     def __iter__(self) -> "AnswerStream":
         return self
 
     def __next__(self) -> tuple:
+        structure = self._structure
+        if structure is not None and structure.epoch != self.epoch:
+            if _telemetry_enabled():
+                _counter("incremental.enumerate.stale").inc()
+            raise StaleStreamError(self.epoch, structure.epoch)
         started = time.perf_counter()
         value = next(self._iterator)
         delay = time.perf_counter() - started
@@ -105,7 +136,7 @@ def plan_enumeration(
     preprocessing = time.perf_counter() - started
     if _telemetry_enabled():
         _counter("incremental.enumerate.streams", mode=mode).inc()
-    return AnswerStream(iterator, mode, free_names, preprocessing)
+    return AnswerStream(iterator, mode, free_names, preprocessing, structure)
 
 
 def _build(
@@ -122,8 +153,13 @@ def _build(
             (tuple(row[i] for i in order) for row in rows), token
         )
     if _types_applicable(engine, structure, formula, free_names):
-        satisfying = _types_preprocess(engine, structure, formula, free_names, token)
-        return "types", _stream(((element,) for element in satisfying), token)
+        if len(free_names) == 1:
+            satisfying = _types_preprocess(
+                engine, structure, formula, free_names, token
+            )
+            return "types", _stream(((element,) for element in satisfying), token)
+        pairs = _pair_types_preprocess(structure, formula, free_names, token)
+        return "types", _stream(pairs, token)
     rows = engine.answers(structure, formula, budget=token)
     # The full set is already charged to the budget by the engine; stream
     # it in deterministic order without re-charging.
@@ -151,7 +187,7 @@ def _types_applicable(
     from repro.engine.stats import collect_stats
     from repro.locality.neighborhoods import max_ball_size
 
-    if len(free_names) != 1 or engine.domain_mode != "universe":
+    if len(free_names) not in (1, 2) or engine.domain_mode != "universe":
         return False
     if structure.constants:
         return False
@@ -159,6 +195,11 @@ def _types_applicable(
     if stats.max_degree > engine.degree_threshold:
         return False
     radius = _types_radius(formula)
+    if len(free_names) == 2:
+        # The pair decomposition keys near pairs at the joint radius and
+        # skips up to |B_{2r+1}(a)| elements per far yield, so the
+        # *separation* ball is what must stay constant-sized.
+        radius = 2 * radius + 1
     return max_ball_size(stats.max_degree, radius) <= engine.fast_path_ball_limit
 
 
@@ -201,3 +242,90 @@ def _types_preprocess(
             satisfying.extend(members)
     satisfying.sort(key=_sort_key)
     return satisfying
+
+
+def _pair_types_preprocess(
+    structure: Structure,
+    formula: Formula,
+    free_names: tuple[str, ...],
+    token: CancelToken | None,
+) -> Iterator[tuple]:
+    """Tuple-type enumeration for two free variables (near/far split).
+
+    Let r be the Gaifman locality radius of φ(x, y).  A pair (a, b) is
+    *near* when b ∈ B_{2r+1}(a) — there are at most n·|B_{2r+1}| of
+    those, and each is keyed by the iso type of its joint radius-r
+    neighborhood, one representative evaluation per type.  Otherwise the
+    pair is *far*: B_r(a) and B_r(b) are disjoint with no Gaifman edge
+    between them, so N_r(a, b) is the disjoint union N_r(a) ⊔ N_r(b)
+    and the verdict depends only on the ordered pair of *point* types —
+    decided once per type pair on any far representative.  Streaming a
+    far class skips the ≤ |B_{2r+1}(a)| near elements of the target
+    class, keeping the delay bounded by the ball size, never by n.
+    """
+    from repro.locality.neighborhoods import ball_key
+    from repro.structures.gaifman import ball
+
+    radius = _types_radius(formula)
+    separation = 2 * radius + 1
+    x, y = Var(free_names[0]), Var(free_names[1])
+    universe = sorted(structure.universe, key=_sort_key)
+
+    point_key: dict = {}
+    members: dict[tuple, list] = {}
+    near: dict = {}
+    for element in universe:
+        if token is not None:
+            token.tick("engine.enumerate")
+        key = ball_key(structure, (element,), radius)
+        point_key[element] = key
+        members.setdefault(key, []).append(element)
+        near[element] = ball(structure, element, separation)
+
+    near_verdict: dict[tuple, bool] = {}
+    near_sat: dict = {}
+    for a in universe:
+        sat = near_sat[a] = []
+        for b in sorted(near[a], key=_sort_key):
+            if token is not None:
+                token.tick("engine.enumerate")
+            key = ball_key(structure, (a, b), radius)
+            verdict = near_verdict.get(key)
+            if verdict is None:
+                verdict = bool(naive_evaluate(structure, formula, {x: a, y: b}))
+                near_verdict[key] = verdict
+            if verdict:
+                sat.append(b)
+
+    # One far representative per ordered type pair; a pair of classes
+    # whose members are all mutually near contributes no far answers.
+    far_true: dict[tuple, list] = {key: [] for key in members}
+    for k1 in sorted(members, key=repr):
+        for k2 in sorted(members, key=repr):
+            representative = None
+            for a in members[k1]:
+                if token is not None:
+                    token.tick("engine.enumerate")
+                ball_a = near[a]
+                for b in members[k2]:
+                    if b not in ball_a:
+                        representative = (a, b)
+                        break
+                if representative is not None:
+                    break
+            if representative is not None and naive_evaluate(
+                structure, formula, {x: representative[0], y: representative[1]}
+            ):
+                far_true[k1].append(k2)
+
+    def generate() -> Iterator[tuple]:
+        for a in universe:
+            for b in near_sat[a]:
+                yield (a, b)
+            ball_a = near[a]
+            for k2 in far_true[point_key[a]]:
+                for b in members[k2]:
+                    if b not in ball_a:
+                        yield (a, b)
+
+    return generate()

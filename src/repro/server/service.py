@@ -390,7 +390,11 @@ class QueryService:
         envelope as its reads.  The response echoes the structure's
         **new content digest** — the old id is retired (subsequent reads
         get a 409 naming the successor) unless the batch round-tripped
-        back to the identical contents.
+        back to the identical contents — and ``queries_dirtied``, the
+        sorted names of the tenant's prepared queries whose answer sets
+        changed (or could not be proven unchanged) across the batch,
+        decided by the incremental layer without recomputation
+        (:meth:`_dirtied_queries`).
         """
         session = self.tenant(tenant)
         session.count("requests")
@@ -448,12 +452,17 @@ class QueryService:
                             # A resurrected id is current again, and any
                             # stale chain onto it must not shadow it.
                             self._superseded.pop(new_id, None)
+                    dirtied = self._dirtied_queries(session, structure, token)
                     update_span.set("deltas", len(deltas)).set("applied", applied)
                     update_span.set("epoch", structure.epoch)
+                    update_span.set("queries_dirtied", len(dirtied))
                     session.count("updates_applied", applied)
                     if _telemetry_enabled():
                         _counter("incremental.updates.applied", tenant=tenant).inc(applied)
                         _counter("incremental.updates.noops", tenant=tenant).inc(noops)
+                        _counter(
+                            "incremental.updates.queries_dirtied", tenant=tenant
+                        ).inc(len(dirtied))
                     return {
                         "structure_id": new_id,
                         "previous_id": structure_id,
@@ -461,6 +470,7 @@ class QueryService:
                         "noops": noops,
                         "epoch": structure.epoch,
                         "size": structure.size,
+                        "queries_dirtied": dirtied,
                         "wire_version": wire.WIRE_VERSION,
                     }
             except BudgetExceededError as error:
@@ -491,6 +501,43 @@ class QueryService:
                     token=token,
                     degradations_before=len(session.chain.degradations),
                 )
+
+    def _dirtied_queries(
+        self,
+        session: TenantSession,
+        structure: Structure,
+        token: CancelToken | None,
+    ) -> list[str]:
+        """Which of the tenant's prepared queries changed their answers.
+
+        Decided entirely by the incremental layer
+        (:meth:`Engine.maintained_changed`) — never by a full recompute,
+        so the cost is bounded by the dirty neighborhoods of the batch,
+        not the structure.  The list is *conservative-complete*: a query
+        whose maintained record cannot decide (never queried, log
+        outrun, work limits, budget expiry) is reported as dirtied.  The
+        deltas are already applied when this runs, so a budget expiry
+        here must not fail the request — the remaining queries are
+        simply reported dirtied.
+        """
+        dirtied: list[str] = []
+        exhausted = False
+        for name in sorted(session.prepared):
+            if exhausted:
+                dirtied.append(name)
+                continue
+            prepared = session.prepared[name]
+            try:
+                changed = self.engine.maintained_changed(
+                    structure, prepared.formula, budget=token
+                )
+            except BudgetExceededError:
+                exhausted = True
+                dirtied.append(name)
+                continue
+            if changed is not False:
+                dirtied.append(name)
+        return dirtied
 
     # -- prepared queries ----------------------------------------------------
 

@@ -299,6 +299,12 @@ class Structure:
         fallen behind the bounded log — in that case patching is off the
         table and the caller must recompute from the current contents.
         """
+        # Boundary audit (ISSUE 10): the log holds the last
+        # min(epoch, DELTA_LOG_LIMIT) deltas, so a caller exactly
+        # DELTA_LOG_LIMIT behind still gets the full suffix; only at
+        # DELTA_LOG_LIMIT+1 has the needed oldest delta been trimmed.
+        # ``behind > len`` (not ``>=``) is therefore the correct cut —
+        # pinned by regression tests at limit−1 / limit / limit+1.
         behind = self.epoch - epoch
         if behind < 0 or behind > len(self._deltas):
             return None
@@ -354,12 +360,22 @@ class Structure:
 
         Row incidence maps each element to the ``(relation, row)`` pairs
         it occurs in; the Gaifman adjacency is derivable from it.  Both
-        are patched in O(|row| · degree).  Other memo entries (WL colors,
-        engine stats, columnar codecs and pipelines) are discarded — each
-        owner either recomputes on demand or, like the columnar codec,
-        carries its own epoch check as a second line of defense.
+        are patched in O(|row| · degree).  Columnar codecs and compiled
+        pipelines over the (immutable) universe domain are *kept* — they
+        carry their own epoch stamps, and ``codec_for`` / the columnar
+        executor patch them forward from the delta log on next use
+        instead of re-encoding the whole structure.  Active-domain
+        columnar entries are dropped (the active domain itself moves
+        under updates, so their key would go stale anyway), as is
+        everything else (WL colors, engine stats): each owner recomputes
+        on demand.
         """
         patched: dict = {}
+        for key, value in self._cache.items():
+            if key[0] in ("columnar-codec", "columnar-pipeline") and (
+                key[-1] is self.universe or key[-1] == self.universe
+            ):
+                patched[key] = value
         incidence = self._cache.get(("row-incidence",))
         if incidence is not None:
             incidence = dict(incidence)

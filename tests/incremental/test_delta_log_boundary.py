@@ -1,0 +1,90 @@
+"""Regression pins for the ``deltas_since`` log boundary (ISSUE 10 audit).
+
+The delta log is a bounded deque: after k updates it holds the last
+``min(k, DELTA_LOG_LIMIT)`` deltas.  A consumer at epoch ``e`` is
+``behind = epoch - e`` deltas behind and can be patched iff the log
+still holds all of them — ``behind <= len(log)``.  The audited cut in
+:meth:`Structure.deltas_since` is ``behind > len(self._deltas)`` →
+``None``; an off-by-one in either direction is catastrophic in a
+different way (``>=`` would refuse the exactly-full suffix and force a
+spurious rebuild; a missing check would serve a *truncated* suffix and
+silently corrupt every patched index).  These tests pin the boundary at
+limit−1 / limit / limit+1 so neither regression can land quietly.
+"""
+
+from __future__ import annotations
+
+from repro.structures.builders import directed_cycle
+from repro.structures.structure import DELTA_LOG_LIMIT, Structure
+
+
+def _toggle(structure: Structure, step: int) -> tuple:
+    n = structure.size
+    row = (step % n, (step * 3 + 1) % n)
+    if not structure.insert("E", row):
+        structure.delete("E", row)
+    return row
+
+
+def _advance(structure: Structure, count: int) -> None:
+    for step in range(count):
+        _toggle(structure, step)
+
+
+def test_behind_limit_minus_one_returns_exact_suffix():
+    structure = directed_cycle(7)
+    _advance(structure, 3)  # a little pre-history so the log isn't aligned
+    pinned = structure.epoch
+    _advance(structure, DELTA_LOG_LIMIT - 1)
+    suffix = structure.deltas_since(pinned)
+    assert suffix is not None
+    assert len(suffix) == DELTA_LOG_LIMIT - 1
+
+
+def test_behind_exactly_limit_still_served_full_log():
+    """behind == len(log) == DELTA_LOG_LIMIT is the last patchable state:
+    the suffix is the *entire* log, not a refusal."""
+    structure = directed_cycle(7)
+    _advance(structure, 3)
+    pinned = structure.epoch
+    _advance(structure, DELTA_LOG_LIMIT)
+    suffix = structure.deltas_since(pinned)
+    assert suffix is not None
+    assert len(suffix) == DELTA_LOG_LIMIT
+
+
+def test_behind_limit_plus_one_refuses_with_none():
+    """One more update and the oldest needed delta has been evicted:
+    ``None``, never a silently-truncated suffix."""
+    structure = directed_cycle(7)
+    _advance(structure, 3)
+    pinned = structure.epoch
+    _advance(structure, DELTA_LOG_LIMIT + 1)
+    assert structure.deltas_since(pinned) is None
+
+
+def test_served_suffix_replays_to_the_live_content():
+    """The boundary case suffix is not just the right *length* — replaying
+    it over the pinned snapshot reproduces the live relations exactly."""
+    structure = directed_cycle(7)
+    _advance(structure, 3)
+    pinned_epoch = structure.epoch
+    snapshot = {name: set(rows) for name, rows in structure.relations.items()}
+    _advance(structure, DELTA_LOG_LIMIT)
+    suffix = structure.deltas_since(pinned_epoch)
+    assert suffix is not None
+    for op, relation, row in suffix:
+        if op == "insert":
+            snapshot[relation].add(row)
+        else:
+            snapshot[relation].discard(row)
+    assert snapshot == {
+        name: set(rows) for name, rows in structure.relations.items()
+    }
+
+
+def test_current_epoch_returns_empty_and_future_epoch_refuses():
+    structure = directed_cycle(5)
+    _advance(structure, 4)
+    assert structure.deltas_since(structure.epoch) == []
+    assert structure.deltas_since(structure.epoch + 1) is None

@@ -16,7 +16,7 @@ import statistics
 import pytest
 
 from repro.engine.engine import Engine
-from repro.errors import BudgetExceededError
+from repro.errors import BudgetExceededError, StaleStreamError
 from repro.eval.evaluator import answers as naive_answers
 from repro.logic.parser import parse
 from repro.resilience.budget import Budget
@@ -81,6 +81,101 @@ def test_types_mode_preprocessing_charges_no_rows():
     assert len({next(stream), next(stream)}) == 2
     with pytest.raises(BudgetExceededError):
         next(stream)
+
+
+# -- two free variables: the pair-type (near/far) fast path ------------------
+
+
+@pytest.mark.parametrize(
+    ("structure", "text"),
+    [
+        (directed_cycle(30), "exists z. (E(x, z) & E(z, y))"),
+        (directed_cycle(30), "E(x, y) | E(y, x)"),
+        (directed_cycle(25), "~E(x, y)"),
+        (directed_cycle(25), "x = y | E(x, y)"),
+        (directed_cycle(20), "exists z. (E(x, z) & ~E(z, y))"),
+    ],
+)
+def test_pair_enumeration_uses_types_mode_and_matches_naive(structure, text):
+    engine = Engine()
+    formula = parse(text)
+    stream = engine.enumerate(structure, formula)
+    assert stream.mode == "types"
+    rows = list(stream)
+    assert len(rows) == len(set(rows)), "streams must not repeat answers"
+    assert frozenset(rows) == naive_answers(structure, formula)
+
+
+def test_pair_enumeration_never_keys_all_n_squared_pairs():
+    """The near/far split touches O(n·|ball|) pairs in preprocessing even
+    when nearly all n² pairs are answers — the far classes are decided
+    once per point-type pair, so yielding 870 answers costs 870 yields
+    but only ~n pairwise evaluations."""
+    n = 30
+    structure = directed_cycle(n)
+    formula = parse("~E(x, y)")  # n² − n answers
+    stream = Engine().enumerate(structure, formula)
+    assert stream.mode == "types"
+    assert len(list(stream)) == n * n - n
+
+
+def test_pair_enumeration_falls_back_on_high_degree():
+    # A dense random graph blows the ball-size gate: materialized, still correct.
+    structure = random_graph(12, 0.6, seed=5)
+    formula = parse("E(x, y) | E(y, x)")
+    stream = Engine().enumerate(structure, formula)
+    assert stream.mode == "materialized"
+    assert frozenset(stream) == naive_answers(structure, formula)
+
+
+# -- staleness: streams pin the epoch they were planned at (satellite 3) -----
+
+
+@pytest.mark.parametrize(
+    ("text", "mode"),
+    [
+        ("E(x, y)", "atom"),
+        ("exists y. E(x, y)", "types"),
+        ("E(x, y) | E(y, x)", "types"),
+        ("E(x, y) & E(y, z)", "materialized"),
+    ],
+)
+def test_stream_raises_stale_after_update_in_every_mode(text, mode):
+    structure = directed_cycle(10)
+    stream = Engine().enumerate(structure, parse(text))
+    assert stream.mode == mode
+    next(stream)  # answers flow while the structure is unchanged
+    structure.insert("E", (0, 5))
+    with pytest.raises(StaleStreamError) as excinfo:
+        next(stream)
+    assert excinfo.value.pinned_epoch == 0
+    assert excinfo.value.current_epoch == 1
+    # Staleness is permanent for this stream, even after more updates.
+    structure.delete("E", (0, 5))
+    with pytest.raises(StaleStreamError):
+        next(stream)
+
+
+def test_stream_stays_live_across_a_noop_update():
+    """Inserting an already-present row does not bump the epoch, so the
+    stream keeps yielding — staleness tracks *content*, not calls."""
+    structure = directed_cycle(6)
+    stream = Engine().enumerate(structure, parse("E(x, y)"))
+    next(stream)
+    assert not structure.insert("E", (0, 1))  # already an edge: no-op
+    assert len(list(stream)) == 5  # the remaining answers still arrive
+
+
+def test_replanning_after_staleness_sees_the_new_answers():
+    structure = directed_cycle(6)
+    engine = Engine()
+    stream = engine.enumerate(structure, parse("E(x, y)"))
+    next(stream)
+    structure.insert("E", (0, 3))
+    with pytest.raises(StaleStreamError):
+        next(stream)
+    fresh = engine.enumerate(structure, parse("E(x, y)"))
+    assert frozenset(fresh) == naive_answers(structure, parse("E(x, y)"))
 
 
 # -- constant delay under answer-count scaling -------------------------------

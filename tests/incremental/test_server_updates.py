@@ -192,6 +192,74 @@ def _post(url: str, payload: dict) -> tuple[int, dict]:
         return error.code, json.loads(error.read())
 
 
+# -- queries_dirtied: which prepared answer sets moved (ISSUE 10) ------------
+
+
+def _bigger_cycle_id(service: QueryService) -> str:
+    return service.add_structure(directed_cycle(12), tenant="t1")
+
+
+def test_updates_report_dirtied_prepared_queries(service):
+    sid = _bigger_cycle_id(service)
+    service.prepare(
+        "t1", "exists y. (E(x, y) & E(y, x))", name="mutual", structure_id=sid
+    )
+    service.prepare("t1", "exists y. E(x, y)", name="outdeg", structure_id=sid)
+    service.answers("t1", sid, query="mutual")
+    service.answers("t1", sid, query="outdeg")
+    # A chord adds no mutual edge and every element already had a successor.
+    result = service.apply_updates("t1", sid, [_delta("insert", (0, 5))])
+    assert result["queries_dirtied"] == []
+    # Closing a 2-cycle changes `mutual` (0 and 1 join) but not `outdeg`.
+    result = service.apply_updates(
+        "t1", result["structure_id"], [_delta("insert", (1, 0))]
+    )
+    assert result["queries_dirtied"] == ["mutual"]
+
+
+def test_never_queried_prepared_queries_are_conservatively_dirtied(service):
+    sid = _bigger_cycle_id(service)
+    service.prepare("t1", "exists y. E(x, y)", name="cold", structure_id=sid)
+    # No answers call: there is no maintained record to patch, so the
+    # service cannot prove the answer set unchanged — report it dirtied.
+    result = service.apply_updates("t1", sid, [_delta("insert", (0, 5))])
+    assert result["queries_dirtied"] == ["cold"]
+
+
+def test_dirtied_queries_are_per_tenant(service):
+    sid = _bigger_cycle_id(service)
+    service.prepare(
+        "t1", "exists y. (E(x, y) & E(y, x))", name="mine", structure_id=sid
+    )
+    service.answers("t1", sid, query="mine")
+    service.prepare(
+        "t2", "exists y. (E(x, y) & E(y, x))", name="theirs", structure_id=sid
+    )
+    result = service.apply_updates("t1", sid, [_delta("insert", (1, 0))])
+    # Only the updating tenant's queries are inspected and named.
+    assert result["queries_dirtied"] == ["mine"]
+
+
+def test_dirtied_computation_never_fails_an_applied_update(service, monkeypatch):
+    """Budget expiry while deciding dirtiness must not 429 the request —
+    the deltas are already applied by then.  The undecided queries are
+    reported dirtied instead."""
+    sid = _bigger_cycle_id(service)
+    service.prepare(
+        "t1", "exists y. (E(x, y) & E(y, x))", name="q1", structure_id=sid
+    )
+    service.prepare("t1", "exists y. E(x, y)", name="q2", structure_id=sid)
+    service.answers("t1", sid, query="q1")
+
+    def expired(*_args, **_kwargs):
+        raise BudgetExceededError("deadline exceeded mid-maintenance")
+
+    monkeypatch.setattr(service.engine, "maintained_changed", expired)
+    result = service.apply_updates("t1", sid, [_delta("insert", (0, 5))])
+    assert result["applied"] == 1
+    assert result["queries_dirtied"] == ["q1", "q2"]
+
+
 def test_updates_endpoint_end_to_end():
     service = QueryService()
     server, _thread = serve(service)

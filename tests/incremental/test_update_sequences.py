@@ -103,6 +103,43 @@ def test_maintained_engine_answers_track_naive(structure, steps):
         assert engine.answers(live, formula) == naive_answers(live, formula)
 
 
+#: Quantified formulas spanning both maintained tiers (ISSUE 10):
+#: witness-anchored existentials (local tier), a negated-atom body that
+#: forces the Hanf census-gated tier, and a sentence.
+QUANTIFIED = [
+    "exists y. (E(x, y) & E(y, x))",
+    "exists y. exists z. (E(x, y) & E(y, z))",
+    "exists y. (E(x, y) | E(y, x))",
+    "exists y. ~E(x, y)",
+    "exists y. forall z. (E(x, y) & (E(z, x) -> E(x, z)))",
+    "exists x. exists y. (E(x, y) & E(y, x))",
+]
+
+
+@pytest.mark.parametrize("executor", ["tuple", "columnar"])
+@given(
+    structure=strategies.graphs(min_size=2, max_size=6),
+    steps=deltas(),
+    text=st.sampled_from(QUANTIFIED),
+)
+@settings(max_examples=25, deadline=None)
+def test_quantified_maintained_answers_track_cold_recompute(
+    executor, structure, steps, text
+):
+    """Satellite 4: after *every* insert/delete the maintained quantified
+    answers equal a cold recompute, under both executor tiers.  One
+    engine instance lives across the whole sequence so every path —
+    remember, promote, patch, overflow-fallback — gets exercised."""
+    engine = Engine(executor=executor, columnar_min_rows=0, tiny_plan_rows=0)
+    formula = parse(text)
+    live = _cold_copy(structure)
+    assert engine.answers(live, formula) == naive_answers(live, formula)
+    for insert, row in steps:
+        row = tuple(value % structure.size for value in row)
+        _apply(live, (insert, row))
+        assert engine.answers(live, formula) == naive_answers(_cold_copy(live), formula)
+
+
 def test_quantifier_free_sequences_patch_not_recompute():
     """On a long update run the maintained path does the work: the engine
     patches answer sets instead of re-running the planner every step."""
